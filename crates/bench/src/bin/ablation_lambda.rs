@@ -1,0 +1,6 @@
+//! Ablation: ℓ1 regularization factor λ (paper Eq. (4)).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::ablations::lambda(p));
+}

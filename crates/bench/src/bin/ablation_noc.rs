@@ -1,0 +1,5 @@
+//! Ablation: buffered NoC flow control (paper §V.B).
+
+fn main() {
+    print!("{}", sparsenn_bench::experiments::ablations::noc());
+}

@@ -1,0 +1,5 @@
+//! Ablation: column- vs row-based V scheduling (paper §V.C).
+
+fn main() {
+    print!("{}", sparsenn_bench::experiments::ablations::sched());
+}

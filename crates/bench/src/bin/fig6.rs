@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 6 (TER & sparsity vs rank).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::fig6::run(p));
+}

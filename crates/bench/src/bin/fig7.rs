@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 7 (cycles & power per layer, uv_on/off).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::fig7::run(p));
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in paper order (tables II & III first because
+//! they are instantaneous, then the training-heavy figures).
+
+use sparsenn_bench::experiments as e;
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    println!("# SparseNN reproduction — experiment suite (profile: {p})\n");
+    print!("{}\n", e::table2::run());
+    print!("{}\n", e::table3::run());
+    print!("{}\n", e::fig6::run(p));
+    print!("{}\n", e::table1::run(p));
+    print!("{}\n", e::fig7::run(p));
+    print!("{}\n", e::table4::run(p));
+    print!("{}\n", e::ablations::noc());
+    print!("{}\n", e::ablations::sched());
+    print!("{}\n", e::ablations::lambda(p));
+}

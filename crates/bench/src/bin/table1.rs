@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I (5-layer TER & per-layer sparsity).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::table1::run(p));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table II (machine parameters).
+
+fn main() {
+    print!("{}", sparsenn_bench::experiments::table2::run());
+}

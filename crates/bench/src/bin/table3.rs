@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table III (area breakdown).
+
+fn main() {
+    print!("{}", sparsenn_bench::experiments::table3::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table IV (SIMD platform comparison).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::table4::run(p));
+}

@@ -1,0 +1,9 @@
+//! One module per paper table/figure, plus the ablations of DESIGN.md §6.
+
+pub mod ablations;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,351 @@
+//! The end-to-end experiment pipeline.
+
+use sparsenn_datasets::{DatasetKind, DatasetSpec, SplitDataset};
+use sparsenn_energy::{PowerModel, PowerReport};
+use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_model::stats::{predicted_sparsity, test_error_rate, EvalMode};
+use sparsenn_model::PredictedNetwork;
+use sparsenn_sim::{Machine, MachineConfig, MachineEvents, NetworkRun};
+use sparsenn_train::{end_to_end, no_uv, svd_baseline, TrainConfig};
+
+/// Which training regime produces the predictor (the three rows of the
+/// paper's Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum TrainingAlgorithm {
+    /// The paper's Algorithm 1 (predictor trained by backprop + STE).
+    #[default]
+    EndToEnd,
+    /// Truncated-SVD predictor refreshed once per epoch (LRADNN baseline).
+    Svd,
+    /// No predictor at all ("NO UV"); the network still *carries* random
+    /// predictors so it can be simulated, but evaluation ignores them.
+    NoUv,
+}
+
+impl std::fmt::Display for TrainingAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrainingAlgorithm::EndToEnd => "End-to-End",
+            TrainingAlgorithm::Svd => "SVD",
+            TrainingAlgorithm::NoUv => "NO UV",
+        })
+    }
+}
+
+/// Builder assembling a full SparseNN experiment: dataset → training →
+/// quantization → simulator.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_core::{SystemBuilder, TrainingAlgorithm};
+/// use sparsenn_core::datasets::DatasetKind;
+/// let sys = SystemBuilder::new(DatasetKind::Rot)
+///     .algorithm(TrainingAlgorithm::Svd)
+///     .dims(&[784, 32, 10])
+///     .rank(4)
+///     .train_samples(60)
+///     .test_samples(20)
+///     .epochs(1)
+///     .build();
+/// assert_eq!(sys.network().predictors().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    kind: DatasetKind,
+    dims: Vec<usize>,
+    rank: usize,
+    algorithm: TrainingAlgorithm,
+    train_samples: usize,
+    test_samples: usize,
+    config: TrainConfig,
+    machine: MachineConfig,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for the given dataset variant with the paper's
+    /// 3-layer network defaults.
+    pub fn new(kind: DatasetKind) -> Self {
+        Self {
+            kind,
+            dims: vec![784, 1000, 10],
+            rank: 15,
+            algorithm: TrainingAlgorithm::EndToEnd,
+            train_samples: 1000,
+            test_samples: 500,
+            config: TrainConfig::default(),
+            machine: MachineConfig::default(),
+        }
+    }
+
+    /// Layer sizes (`[input, hidden…, output]`).
+    pub fn dims(mut self, dims: &[usize]) -> Self {
+        self.dims = dims.to_vec();
+        self
+    }
+
+    /// Predictor rank `r`.
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Training algorithm.
+    pub fn algorithm(mut self, algorithm: TrainingAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Number of generated training samples.
+    pub fn train_samples(mut self, n: usize) -> Self {
+        self.train_samples = n;
+        self
+    }
+
+    /// Number of generated test samples.
+    pub fn test_samples(mut self, n: usize) -> Self {
+        self.test_samples = n;
+        self
+    }
+
+    /// Training epochs.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// Full training configuration (overrides [`epochs`](Self::epochs)).
+    pub fn train_config(mut self, config: TrainConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Machine configuration for the simulator.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Generates the data, trains the network and quantizes it.
+    pub fn build(self) -> TrainedSystem {
+        let spec = DatasetSpec {
+            kind: self.kind,
+            train: self.train_samples,
+            test: self.test_samples,
+            seed: self.config.seed,
+        };
+        let split = spec.generate();
+        let net = match self.algorithm {
+            TrainingAlgorithm::EndToEnd => {
+                end_to_end::train(&self.dims, self.rank, &split, &self.config).0
+            }
+            TrainingAlgorithm::Svd => {
+                svd_baseline::train(&self.dims, self.rank, &split, &self.config).0
+            }
+            TrainingAlgorithm::NoUv => {
+                let (mlp, _) = no_uv::train(&self.dims, &split, &self.config);
+                // Attach SVD predictors so the hardware path stays runnable;
+                // NO-UV evaluation ignores them.
+                let mut rng = sparsenn_linalg::init::seeded_rng(self.config.seed);
+                let mut net =
+                    PredictedNetwork::with_random_predictors(mlp, self.rank, &mut rng);
+                svd_baseline::refresh_predictors(&mut net, self.rank, self.config.seed);
+                net
+            }
+        };
+        let fixed = FixedNetwork::from_float(&net);
+        TrainedSystem {
+            kind: self.kind,
+            algorithm: self.algorithm,
+            split,
+            net,
+            fixed,
+            machine: Machine::new(self.machine),
+        }
+    }
+}
+
+/// A trained, quantized, simulatable SparseNN system.
+#[derive(Clone, Debug)]
+pub struct TrainedSystem {
+    kind: DatasetKind,
+    algorithm: TrainingAlgorithm,
+    split: SplitDataset,
+    net: PredictedNetwork,
+    fixed: FixedNetwork,
+    machine: Machine,
+}
+
+/// Per-hidden-layer aggregate of a batch simulation (the unit of Fig. 7).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerSummary {
+    /// Mean total cycles per sample.
+    pub cycles: f64,
+    /// Mean predictor-phase cycles per sample.
+    pub vu_cycles: f64,
+    /// Merged event counters over all samples.
+    pub events: MachineEvents,
+    /// Power/energy estimate over the merged events.
+    pub power: PowerReport,
+}
+
+/// Result of simulating a batch of samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimulationSummary {
+    /// One entry per network layer (hidden layers first, classifier last).
+    pub layers: Vec<LayerSummary>,
+    /// Samples simulated.
+    pub samples: usize,
+    /// Fraction of simulated samples classified correctly.
+    pub fixed_accuracy: f32,
+}
+
+impl TrainedSystem {
+    /// The dataset variant the system was trained on.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The training algorithm used.
+    pub fn algorithm(&self) -> TrainingAlgorithm {
+        self.algorithm
+    }
+
+    /// The generated train/test split.
+    pub fn split(&self) -> &SplitDataset {
+        &self.split
+    }
+
+    /// The trained float network.
+    pub fn network(&self) -> &PredictedNetwork {
+        &self.net
+    }
+
+    /// The quantized network the simulator runs.
+    pub fn fixed(&self) -> &FixedNetwork {
+        &self.fixed
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Test error rate (%), using the evaluation mode matching the
+    /// training algorithm (predictor-gated unless NO-UV).
+    pub fn test_error_rate(&self) -> f32 {
+        let mode = match self.algorithm {
+            TrainingAlgorithm::NoUv => EvalMode::Plain,
+            _ => EvalMode::Predicted,
+        };
+        test_error_rate(&self.net, &self.split.test, mode)
+    }
+
+    /// Mean predicted output sparsity per hidden layer (%), on the test
+    /// set — the paper's ρ⁽ˡ⁾.
+    pub fn predicted_sparsity(&self) -> Vec<f32> {
+        predicted_sparsity(&self.net, &self.split.test)
+    }
+
+    /// Simulates test sample `i` through the accelerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range of the test set.
+    pub fn simulate_sample(&self, i: usize, mode: UvMode) -> NetworkRun {
+        let x = self.fixed.quantize_input(self.split.test.image(i));
+        self.machine.run_network(&self.fixed, &x, mode)
+    }
+
+    /// Simulates the first `samples` test images and aggregates per-layer
+    /// cycles, events and power — the measurement behind Fig. 7.
+    pub fn simulate_batch(&self, samples: usize, mode: UvMode) -> SimulationSummary {
+        let samples = samples.min(self.split.test.len());
+        let num_layers = self.fixed.num_layers();
+        let mut cycles = vec![0u64; num_layers];
+        let mut vu_cycles = vec![0u64; num_layers];
+        let mut events = vec![MachineEvents::default(); num_layers];
+        let mut correct = 0usize;
+        for i in 0..samples {
+            let run = self.simulate_sample(i, mode);
+            if run.classify() == self.split.test.label(i) as usize {
+                correct += 1;
+            }
+            for (l, layer) in run.layers.iter().enumerate() {
+                cycles[l] += layer.cycles;
+                vu_cycles[l] += layer.vu_cycles;
+                events[l].merge(&layer.events);
+            }
+        }
+        let model = PowerModel::new(self.machine.config());
+        let layers = (0..num_layers)
+            .map(|l| LayerSummary {
+                cycles: cycles[l] as f64 / samples.max(1) as f64,
+                vu_cycles: vu_cycles[l] as f64 / samples.max(1) as f64,
+                events: events[l],
+                power: model.estimate(&events[l]),
+            })
+            .collect();
+        SimulationSummary {
+            layers,
+            samples,
+            fixed_accuracy: if samples == 0 { 0.0 } else { correct as f32 / samples as f32 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(algorithm: TrainingAlgorithm) -> TrainedSystem {
+        SystemBuilder::new(DatasetKind::Basic)
+            .dims(&[784, 24, 10])
+            .rank(4)
+            .algorithm(algorithm)
+            .train_samples(80)
+            .test_samples(30)
+            .epochs(2)
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_consistent_system() {
+        let sys = tiny(TrainingAlgorithm::EndToEnd);
+        assert_eq!(sys.kind(), DatasetKind::Basic);
+        assert_eq!(sys.network().mlp().dims(), vec![784, 24, 10]);
+        assert_eq!(sys.fixed().num_layers(), 2);
+        assert_eq!(sys.split().test.len(), 30);
+    }
+
+    #[test]
+    fn all_algorithms_build_and_evaluate() {
+        for alg in [TrainingAlgorithm::EndToEnd, TrainingAlgorithm::Svd, TrainingAlgorithm::NoUv]
+        {
+            let sys = tiny(alg);
+            let ter = sys.test_error_rate();
+            assert!((0.0..=100.0).contains(&ter), "{alg}: TER {ter}");
+            assert_eq!(sys.predicted_sparsity().len(), 1);
+        }
+    }
+
+    #[test]
+    fn batch_simulation_aggregates_layers() {
+        let sys = tiny(TrainingAlgorithm::EndToEnd);
+        let summary = sys.simulate_batch(3, UvMode::On);
+        assert_eq!(summary.samples, 3);
+        assert_eq!(summary.layers.len(), 2);
+        assert!(summary.layers[0].cycles > 0.0);
+        assert!(summary.layers[0].vu_cycles > 0.0, "hidden layer runs the predictor");
+        assert_eq!(summary.layers[1].vu_cycles, 0.0, "classifier does not");
+        assert!(summary.layers[0].power.total_mw > 0.0);
+    }
+
+    #[test]
+    fn uv_on_reduces_w_memory_traffic() {
+        let sys = tiny(TrainingAlgorithm::EndToEnd);
+        let on = sys.simulate_batch(2, UvMode::On);
+        let off = sys.simulate_batch(2, UvMode::Off);
+        assert!(on.layers[0].events.w_reads < off.layers[0].events.w_reads);
+    }
+}

@@ -1,0 +1,157 @@
+//! In-memory dataset containers.
+
+use crate::generator::DatasetKind;
+use crate::{IMAGE_PIXELS, NUM_CLASSES};
+use std::fmt;
+
+/// A labelled image dataset (all images 28×28, row-major `f32` in `[0,1]`).
+#[derive(Clone, PartialEq)]
+pub struct Dataset {
+    kind: DatasetKind,
+    images: Vec<Vec<f32>>,
+    labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel image/label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length, an image is not 784 pixels,
+    /// or a label is ≥ 10.
+    pub fn new(kind: DatasetKind, images: Vec<Vec<f32>>, labels: Vec<u8>) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(images.iter().all(|i| i.len() == IMAGE_PIXELS), "image size mismatch");
+        assert!(labels.iter().all(|&l| (l as usize) < NUM_CLASSES), "label out of range");
+        Self { kind, images, labels }
+    }
+
+    /// Which variant generated this dataset.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// The `i`-th image (784 pixels, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn image(&self, i: usize) -> &[f32] {
+        &self.images[i]
+    }
+
+    /// The `i`-th label (0–9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> u8 {
+        self.labels[i]
+    }
+
+    /// Iterator over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], u8)> + '_ {
+        self.images.iter().map(|i| i.as_slice()).zip(self.labels.iter().copied())
+    }
+
+    /// Mean fraction of exactly-zero pixels — the *input activation
+    /// sparsity* of the network's first layer, the quantity EIE-style
+    /// accelerators exploit.
+    pub fn input_sparsity(&self) -> f32 {
+        if self.images.is_empty() {
+            return 0.0;
+        }
+        let zeros: usize =
+            self.images.iter().map(|img| img.iter().filter(|&&p| p == 0.0).count()).sum();
+        zeros as f32 / (self.images.len() * IMAGE_PIXELS) as f32
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> [usize; NUM_CLASSES] {
+        let mut h = [0usize; NUM_CLASSES];
+        for &l in &self.labels {
+            h[l as usize] += 1;
+        }
+        h
+    }
+}
+
+impl fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dataset({:?}, {} samples, input sparsity {:.1}%)",
+            self.kind,
+            self.len(),
+            self.input_sparsity() * 100.0
+        )
+    }
+}
+
+/// A train/test split of a generated dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplitDataset {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion (used for TER measurements).
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            DatasetKind::Basic,
+            vec![vec![0.0; IMAGE_PIXELS], vec![1.0; IMAGE_PIXELS]],
+            vec![3, 7],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.label(1), 7);
+        assert_eq!(d.image(0).len(), IMAGE_PIXELS);
+        assert_eq!(d.kind(), DatasetKind::Basic);
+    }
+
+    #[test]
+    fn sparsity_is_mean_zero_fraction() {
+        let d = tiny();
+        assert_eq!(d.input_sparsity(), 0.5);
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        let h = tiny().class_histogram();
+        assert_eq!(h[3], 1);
+        assert_eq!(h[7], 1);
+        assert_eq!(h.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(DatasetKind::Basic, vec![vec![0.0; IMAGE_PIXELS]], vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        Dataset::new(DatasetKind::Basic, vec![vec![0.0; IMAGE_PIXELS]], vec![10]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Parametric digit glyphs and their rasterizer.
+//!
+//! Each digit class 0–9 is described by a small set of polyline strokes in a
+//! unit box. Rasterization computes, for each pixel, the distance to the
+//! nearest stroke segment and converts it to intensity with a soft edge —
+//! a cheap analytic signed-distance-field renderer. The result looks like a
+//! clean handwritten digit and, crucially for this reproduction, has the
+//! same ink-to-background ratio (≈ 15–25 % nonzero pixels) as real MNIST.
+
+use crate::transform::Affine;
+use crate::{IMAGE_PIXELS, IMAGE_SIDE};
+
+/// Rendering style knobs for a digit glyph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GlyphStyle {
+    /// Stroke half-width in unit-box coordinates (≈ pixels / 28).
+    pub thickness: f32,
+    /// Width of the anti-aliased edge falloff.
+    pub softness: f32,
+    /// Peak ink intensity (multiplies the whole glyph).
+    pub intensity: f32,
+}
+
+impl Default for GlyphStyle {
+    fn default() -> Self {
+        Self { thickness: 0.045, softness: 0.035, intensity: 1.0 }
+    }
+}
+
+/// A polyline stroke in unit-box coordinates.
+type Stroke = Vec<(f32, f32)>;
+
+/// Approximates a circular arc with a polyline.
+///
+/// `(cx, cy)` center, `r` radius, angles in radians, `n` segments.
+fn arc(cx: f32, cy: f32, rx: f32, ry: f32, a0: f32, a1: f32, n: usize) -> Stroke {
+    (0..=n)
+        .map(|i| {
+            let t = a0 + (a1 - a0) * (i as f32) / (n as f32);
+            (cx + rx * t.cos(), cy + ry * t.sin())
+        })
+        .collect()
+}
+
+/// Straight segment.
+fn seg(x0: f32, y0: f32, x1: f32, y1: f32) -> Stroke {
+    vec![(x0, y0), (x1, y1)]
+}
+
+use std::f32::consts::PI;
+
+/// The stroke templates for digits 0–9, in a unit box with `y` growing
+/// downward (screen convention). Hand-tuned to look like clean digits.
+fn strokes_for(digit: u8) -> Vec<Stroke> {
+    match digit {
+        0 => vec![arc(0.5, 0.5, 0.26, 0.36, 0.0, 2.0 * PI, 24)],
+        1 => vec![seg(0.5, 0.12, 0.5, 0.88), seg(0.5, 0.12, 0.36, 0.28)],
+        2 => vec![
+            arc(0.5, 0.32, 0.24, 0.20, -PI, 0.35, 14),
+            seg(0.70, 0.44, 0.28, 0.86),
+            seg(0.28, 0.86, 0.76, 0.86),
+        ],
+        3 => vec![
+            arc(0.48, 0.32, 0.22, 0.19, -PI * 0.9, PI * 0.5, 14),
+            arc(0.48, 0.68, 0.24, 0.20, -PI * 0.5, PI * 0.9, 14),
+        ],
+        4 => vec![seg(0.62, 0.12, 0.24, 0.62), seg(0.24, 0.62, 0.80, 0.62), seg(0.62, 0.12, 0.62, 0.88)],
+        5 => vec![
+            seg(0.72, 0.14, 0.32, 0.14),
+            seg(0.32, 0.14, 0.30, 0.46),
+            arc(0.48, 0.64, 0.24, 0.22, -PI * 0.55, PI * 0.75, 16),
+        ],
+        6 => vec![
+            arc(0.52, 0.30, 0.22, 0.26, -PI * 0.85, -PI * 0.25, 10),
+            seg(0.34, 0.26, 0.28, 0.62),
+            arc(0.50, 0.66, 0.22, 0.20, 0.0, 2.0 * PI, 20),
+        ],
+        7 => vec![seg(0.26, 0.14, 0.76, 0.14), seg(0.76, 0.14, 0.42, 0.88)],
+        8 => vec![
+            arc(0.5, 0.32, 0.20, 0.18, 0.0, 2.0 * PI, 18),
+            arc(0.5, 0.68, 0.24, 0.20, 0.0, 2.0 * PI, 18),
+        ],
+        9 => vec![
+            arc(0.50, 0.34, 0.22, 0.20, 0.0, 2.0 * PI, 20),
+            seg(0.72, 0.34, 0.62, 0.88),
+        ],
+        _ => panic!("digit out of range: {digit}"),
+    }
+}
+
+/// Squared distance from point `p` to segment `(a, b)`.
+fn dist2_to_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 > 0.0 { ((px - ax) * dx + (py - ay) * dy) / len2 } else { 0.0 };
+    let t = t.clamp(0.0, 1.0);
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    (px - cx) * (px - cx) + (py - cy) * (py - cy)
+}
+
+/// Renders digit `digit` through the affine transform `xf` into a 28×28
+/// image (row-major, values in `[0, 1]`).
+///
+/// The transform is applied to the *strokes* (forward mapping), so arbitrary
+/// rotations never produce resampling holes.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_datasets::{render_digit, Affine, GlyphStyle};
+/// let img = render_digit(3, &Affine::identity(), &GlyphStyle::default());
+/// assert_eq!(img.len(), 28 * 28);
+/// assert!(img.iter().any(|&p| p > 0.5)); // some ink
+/// assert!(img.iter().filter(|&&p| p == 0.0).count() > 400); // mostly background
+/// ```
+pub fn render_digit(digit: u8, xf: &Affine, style: &GlyphStyle) -> Vec<f32> {
+    let strokes: Vec<Stroke> =
+        strokes_for(digit).into_iter().map(|s| s.iter().map(|&p| xf.apply(p)).collect()).collect();
+
+    let mut img = vec![0.0f32; IMAGE_PIXELS];
+    // Distance beyond which a pixel cannot receive ink.
+    let reach = style.thickness + style.softness;
+    let reach2 = reach * reach;
+    for (idx, px) in img.iter_mut().enumerate() {
+        let x = ((idx % IMAGE_SIDE) as f32 + 0.5) / IMAGE_SIDE as f32;
+        let y = ((idx / IMAGE_SIDE) as f32 + 0.5) / IMAGE_SIDE as f32;
+        let mut best = f32::INFINITY;
+        for stroke in &strokes {
+            for pair in stroke.windows(2) {
+                let d2 = dist2_to_segment((x, y), pair[0], pair[1]);
+                if d2 < best {
+                    best = d2;
+                }
+            }
+        }
+        if best <= reach2 {
+            let d = best.sqrt();
+            let v = ((reach - d) / style.softness).clamp(0.0, 1.0);
+            *px = (v * style.intensity).clamp(0.0, 1.0);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ink_fraction(img: &[f32]) -> f32 {
+        img.iter().filter(|&&p| p > 0.0).count() as f32 / img.len() as f32
+    }
+
+    #[test]
+    fn every_digit_renders_with_plausible_ink() {
+        for d in 0..10u8 {
+            let img = render_digit(d, &Affine::identity(), &GlyphStyle::default());
+            let ink = ink_fraction(&img);
+            assert!(
+                (0.05..0.45).contains(&ink),
+                "digit {d} has ink fraction {ink}, outside MNIST-like range"
+            );
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn digits_are_mutually_distinct() {
+        let imgs: Vec<Vec<f32>> =
+            (0..10u8).map(|d| render_digit(d, &Affine::identity(), &GlyphStyle::default())).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                let dist: f32 = imgs[i]
+                    .iter()
+                    .zip(&imgs[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                assert!(dist > 1.0, "digits {i} and {j} are too similar (L2 = {dist})");
+            }
+        }
+    }
+
+    #[test]
+    fn thicker_style_means_more_ink() {
+        let thin = GlyphStyle { thickness: 0.03, ..GlyphStyle::default() };
+        let thick = GlyphStyle { thickness: 0.07, ..GlyphStyle::default() };
+        let a = ink_fraction(&render_digit(0, &Affine::identity(), &thin));
+        let b = ink_fraction(&render_digit(0, &Affine::identity(), &thick));
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit out of range")]
+    fn digit_out_of_range_panics() {
+        render_digit(10, &Affine::identity(), &GlyphStyle::default());
+    }
+
+    #[test]
+    fn intensity_scales_peak() {
+        let dim = GlyphStyle { intensity: 0.5, ..GlyphStyle::default() };
+        let img = render_digit(1, &Affine::identity(), &dim);
+        let max = img.iter().cloned().fold(0.0f32, f32::max);
+        assert!((max - 0.5).abs() < 1e-6);
+    }
+}

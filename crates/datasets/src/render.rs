@@ -1,0 +1,97 @@
+//! Image rendering helpers: ASCII previews and PGM export.
+//!
+//! Synthetic datasets need eyeballing — a generator bug (digits off-grid,
+//! background washing out the strokes) would silently invalidate every
+//! downstream experiment. These helpers make the images inspectable from
+//! a terminal (`to_ascii`) or any image viewer (`to_pgm`).
+
+use crate::{IMAGE_PIXELS, IMAGE_SIDE};
+
+/// Intensity ramp used for ASCII rendering, dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a 28×28 image as ASCII art, one character per pixel.
+///
+/// # Panics
+///
+/// Panics if `img.len() != 784`.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_datasets::{render_digit, to_ascii, Affine, GlyphStyle};
+/// let img = render_digit(7, &Affine::identity(), &GlyphStyle::default());
+/// let art = to_ascii(&img);
+/// assert_eq!(art.lines().count(), 28);
+/// assert!(art.contains('@'), "stroke pixels render bright");
+/// ```
+pub fn to_ascii(img: &[f32]) -> String {
+    assert_eq!(img.len(), IMAGE_PIXELS, "expected a 28x28 image");
+    let mut out = String::with_capacity((IMAGE_SIDE + 1) * IMAGE_SIDE);
+    for row in 0..IMAGE_SIDE {
+        for col in 0..IMAGE_SIDE {
+            let v = img[row * IMAGE_SIDE + col].clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Encodes a 28×28 image as a binary PGM (P5) file body.
+///
+/// # Panics
+///
+/// Panics if `img.len() != 784`.
+pub fn to_pgm(img: &[f32]) -> Vec<u8> {
+    assert_eq!(img.len(), IMAGE_PIXELS, "expected a 28x28 image");
+    let mut out = format!("P5\n{IMAGE_SIDE} {IMAGE_SIDE}\n255\n").into_bytes();
+    out.extend(img.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{render_digit, Affine, GlyphStyle};
+
+    fn digit() -> Vec<f32> {
+        render_digit(3, &Affine::identity(), &GlyphStyle::default())
+    }
+
+    #[test]
+    fn ascii_has_grid_shape_and_contrast() {
+        let art = to_ascii(&digit());
+        assert_eq!(art.lines().count(), IMAGE_SIDE);
+        assert!(art.lines().all(|l| l.chars().count() == IMAGE_SIDE));
+        assert!(art.contains(' ') && art.contains('@'), "needs background and ink");
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let pgm = to_pgm(&digit());
+        assert!(pgm.starts_with(b"P5\n28 28\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n28 28\n255\n".len() + IMAGE_PIXELS);
+    }
+
+    #[test]
+    fn pgm_values_track_intensity() {
+        let img = digit();
+        let pgm = to_pgm(&img);
+        let body = &pgm[pgm.len() - IMAGE_PIXELS..];
+        let brightest = img
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(body[brightest] > 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "28x28")]
+    fn wrong_size_panics() {
+        to_ascii(&[0.0; 10]);
+    }
+}

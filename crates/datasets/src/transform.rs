@@ -1,0 +1,122 @@
+//! 2-D affine transforms applied to glyph strokes.
+
+/// A 2-D affine transform `p ↦ A·(p − c) + c + t` about the box center
+/// `c = (0.5, 0.5)`.
+///
+/// Composed from rotation, anisotropic scale, shear and translation — the
+/// jitter applied to every generated sample, plus the full-circle rotation
+/// of the ROT variant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Affine {
+    a00: f32,
+    a01: f32,
+    a10: f32,
+    a11: f32,
+    tx: f32,
+    ty: f32,
+}
+
+impl Affine {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self { a00: 1.0, a01: 0.0, a10: 0.0, a11: 1.0, tx: 0.0, ty: 0.0 }
+    }
+
+    /// Builds a jitter transform: rotate by `theta`, scale by
+    /// `(sx, sy)`, shear by `k`, then translate by `(tx, ty)` (unit-box
+    /// units), all about the box center.
+    pub fn jitter(theta: f32, sx: f32, sy: f32, k: f32, tx: f32, ty: f32) -> Self {
+        let (sin, cos) = theta.sin_cos();
+        // R · Shear · Scale
+        let (m00, m01) = (cos, -sin);
+        let (m10, m11) = (sin, cos);
+        // Shear in x by k: [[1, k], [0, 1]]
+        let (s00, s01, s10, s11) = (m00, m00 * k + m01, m10, m10 * k + m11);
+        Self { a00: s00 * sx, a01: s01 * sy, a10: s10 * sx, a11: s11 * sy, tx, ty }
+    }
+
+    /// Pure rotation by `theta` about the box center.
+    pub fn rotation(theta: f32) -> Self {
+        Self::jitter(theta, 1.0, 1.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Applies the transform to a point in unit-box coordinates.
+    pub fn apply(&self, p: (f32, f32)) -> (f32, f32) {
+        let (x, y) = (p.0 - 0.5, p.1 - 0.5);
+        (self.a00 * x + self.a01 * y + 0.5 + self.tx, self.a10 * x + self.a11 * y + 0.5 + self.ty)
+    }
+
+    /// Composes `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Affine) -> Affine {
+        // Both maps are x ↦ A(x−c)+c+t; compose the linear parts and fold
+        // the offsets.
+        let a00 = self.a00 * other.a00 + self.a01 * other.a10;
+        let a01 = self.a00 * other.a01 + self.a01 * other.a11;
+        let a10 = self.a10 * other.a00 + self.a11 * other.a10;
+        let a11 = self.a10 * other.a01 + self.a11 * other.a11;
+        // other: q = B(x−c)+c+u ; self: A(q−c)+c+t = A·B(x−c) + A·u + c + t
+        let tx = self.a00 * other.tx + self.a01 * other.ty + self.tx;
+        let ty = self.a10 * other.tx + self.a11 * other.ty + self.ty;
+        Affine { a00, a01, a10, a11, tx, ty }
+    }
+}
+
+impl Default for Affine {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: (f32, f32), b: (f32, f32)) -> bool {
+        (a.0 - b.0).abs() < 1e-5 && (a.1 - b.1).abs() < 1e-5
+    }
+
+    #[test]
+    fn identity_fixes_points() {
+        let id = Affine::identity();
+        assert!(close(id.apply((0.3, 0.7)), (0.3, 0.7)));
+    }
+
+    #[test]
+    fn rotation_fixes_center() {
+        let r = Affine::rotation(1.234);
+        assert!(close(r.apply((0.5, 0.5)), (0.5, 0.5)));
+    }
+
+    #[test]
+    fn quarter_turn_moves_axis_point() {
+        let r = Affine::rotation(std::f32::consts::FRAC_PI_2);
+        // (1, 0.5) is (0.5, 0) from center; rotating by 90° gives (0, 0.5).
+        assert!(close(r.apply((1.0, 0.5)), (0.5, 1.0)));
+    }
+
+    #[test]
+    fn rotation_preserves_distance_from_center() {
+        let r = Affine::rotation(0.77);
+        let p = (0.9, 0.3);
+        let q = r.apply(p);
+        let d0 = ((p.0 - 0.5).powi(2) + (p.1 - 0.5).powi(2)).sqrt();
+        let d1 = ((q.0 - 0.5).powi(2) + (q.1 - 0.5).powi(2)).sqrt();
+        assert!((d0 - d1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn translation_shifts() {
+        let t = Affine::jitter(0.0, 1.0, 1.0, 0.0, 0.1, -0.2);
+        assert!(close(t.apply((0.5, 0.5)), (0.6, 0.3)));
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let f = Affine::jitter(0.3, 1.1, 0.9, 0.1, 0.05, -0.02);
+        let g = Affine::rotation(1.0);
+        let p = (0.2, 0.8);
+        let seq = f.apply(g.apply(p));
+        let comp = f.compose(&g).apply(p);
+        assert!(close(seq, comp), "{seq:?} vs {comp:?}");
+    }
+}

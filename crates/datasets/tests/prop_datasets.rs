@@ -1,0 +1,75 @@
+//! Property-based tests of the synthetic dataset generators: the
+//! invariants every downstream experiment silently relies on.
+
+use proptest::prelude::*;
+use sparsenn_datasets::{DatasetKind, DatasetSpec, IMAGE_PIXELS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>(), n in 1usize..40) {
+        for kind in DatasetKind::ALL {
+            let spec = DatasetSpec { kind, train: n, test: n / 2, seed };
+            prop_assert_eq!(spec.generate(), spec.generate());
+        }
+    }
+
+    /// Every pixel of every variant stays in [0, 1] and every image has
+    /// the right size; labels stay in range.
+    #[test]
+    fn images_are_well_formed(seed in any::<u64>(), n in 1usize..30) {
+        for kind in DatasetKind::ALL {
+            let d = DatasetSpec { kind, train: n, test: 0, seed }.generate().train;
+            for (img, label) in d.iter() {
+                prop_assert_eq!(img.len(), IMAGE_PIXELS);
+                prop_assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+                prop_assert!(label < 10);
+            }
+        }
+    }
+
+    /// The input-sparsity profile that drives Fig. 7 holds for every seed:
+    /// BASIC and ROT are mostly zeros, BG-RAND is dense.
+    #[test]
+    fn sparsity_profile_holds(seed in any::<u64>()) {
+        let n = 30usize;
+        let basic = DatasetSpec { kind: DatasetKind::Basic, train: n, test: 0, seed }
+            .generate().train.input_sparsity();
+        let rot = DatasetSpec { kind: DatasetKind::Rot, train: n, test: 0, seed }
+            .generate().train.input_sparsity();
+        let bg = DatasetSpec { kind: DatasetKind::BgRand, train: n, test: 0, seed }
+            .generate().train.input_sparsity();
+        prop_assert!(basic > 0.5, "basic {basic}");
+        prop_assert!(rot > 0.5, "rot {rot}");
+        prop_assert!(bg < 0.02, "bg_rand {bg}");
+    }
+
+    /// Class balance: round-robin labels give equal counts whenever the
+    /// sample count is a multiple of 10.
+    #[test]
+    fn classes_are_balanced(seed in any::<u64>(), tens in 1usize..5) {
+        let d = DatasetSpec { kind: DatasetKind::Basic, train: tens * 10, test: 0, seed }
+            .generate().train;
+        let h = d.class_histogram();
+        prop_assert!(h.iter().all(|&c| c == tens), "{h:?}");
+    }
+
+    /// ROT images keep roughly the same amount of ink as BASIC — rotation
+    /// must not clip the glyph off the canvas.
+    #[test]
+    fn rotation_preserves_ink(seed in any::<u64>()) {
+        let n = 20usize;
+        let ink = |kind| {
+            let d = DatasetSpec { kind, train: n, test: 0, seed }.generate().train;
+            let total: f32 = (0..d.len())
+                .map(|i| d.image(i).iter().sum::<f32>())
+                .sum();
+            total / n as f32
+        };
+        let basic = ink(DatasetKind::Basic);
+        let rot = ink(DatasetKind::Rot);
+        prop_assert!(rot > basic * 0.6 && rot < basic * 1.6, "basic {basic} rot {rot}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Area report reproducing the paper's Table III.
+
+use crate::logic::LogicArea;
+use crate::sram::SramMacro;
+use crate::tech::TechNode;
+use sparsenn_sim::MachineConfig;
+use std::fmt;
+
+/// Area breakdown of the accelerator, mm², in Table III's rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaReport {
+    /// Total die area.
+    pub total_mm2: f64,
+    /// Combinational standard cells.
+    pub combinational_mm2: f64,
+    /// Buffer/inverter cells (subset of combinational in the paper's
+    /// report; listed separately, same convention here).
+    pub buf_inv_mm2: f64,
+    /// Sequential (non-combinational) cells.
+    pub non_combinational_mm2: f64,
+    /// SRAM macros.
+    pub macro_mm2: f64,
+    /// One processing element (logic + its macros).
+    pub pe_mm2: f64,
+    /// All routing logic (the 21 H-tree routers).
+    pub routing_mm2: f64,
+}
+
+impl AreaReport {
+    /// Fraction of the total taken by SRAM macros.
+    pub fn macro_fraction(&self) -> f64 {
+        self.macro_mm2 / self.total_mm2
+    }
+
+    /// Fraction of the total taken by routing.
+    pub fn routing_fraction(&self) -> f64 {
+        self.routing_mm2 / self.total_mm2
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Area breakdown (mm^2):")?;
+        writeln!(f, "  Total              {:>12.3} (100%)", self.total_mm2)?;
+        writeln!(
+            f,
+            "  Combinational      {:>12.3} ({:.1}%)",
+            self.combinational_mm2,
+            100.0 * self.combinational_mm2 / self.total_mm2
+        )?;
+        writeln!(
+            f,
+            "  Buf/Inv            {:>12.3} ({:.1}%)",
+            self.buf_inv_mm2,
+            100.0 * self.buf_inv_mm2 / self.total_mm2
+        )?;
+        writeln!(
+            f,
+            "  Non-combinational  {:>12.3} ({:.1}%)",
+            self.non_combinational_mm2,
+            100.0 * self.non_combinational_mm2 / self.total_mm2
+        )?;
+        writeln!(
+            f,
+            "  Macro (Memory)     {:>12.3} ({:.1}%)",
+            self.macro_mm2,
+            100.0 * self.macro_fraction()
+        )?;
+        writeln!(
+            f,
+            "  Processing element {:>12.3} x{} ({:.1}%)",
+            self.pe_mm2,
+            64,
+            100.0 * self.pe_mm2 * 64.0 / self.total_mm2
+        )?;
+        write!(
+            f,
+            "  Routing logics     {:>12.3} ({:.1}%)",
+            self.routing_mm2,
+            100.0 * self.routing_fraction()
+        )
+    }
+}
+
+/// Number of routers in a radix-4 three-level H-tree over 64 PEs.
+fn router_count(cfg: &MachineConfig) -> usize {
+    let mut total = 0;
+    let mut n = cfg.num_pes();
+    while n > 1 {
+        n /= cfg.noc.radix;
+        total += n;
+    }
+    total
+}
+
+/// Computes the area report for a machine configuration at 65 nm.
+pub fn area_report(cfg: &MachineConfig) -> AreaReport {
+    area_report_at(cfg, TechNode::n65())
+}
+
+/// Computes the area report at an arbitrary node.
+pub fn area_report_at(cfg: &MachineConfig, tech: TechNode) -> AreaReport {
+    let logic = LogicArea::at(tech);
+    let w = SramMacro::new(cfg.w_mem_bytes, 16, tech);
+    let u = SramMacro::new(cfg.u_mem_bytes, 16, tech);
+    let v = SramMacro::new(cfg.v_mem_bytes, 16, tech);
+    let n = cfg.num_pes() as f64;
+
+    let macro_per_pe = w.area_mm2() + u.area_mm2() + v.area_mm2();
+    let pe_logic = logic.pe_combinational_mm2 + logic.pe_sequential_mm2 + logic.pe_buf_inv_mm2;
+    let pe = macro_per_pe + pe_logic;
+    let routing = router_count(cfg) as f64 * logic.router_mm2;
+    let total = pe * n + routing;
+
+    AreaReport {
+        total_mm2: total,
+        combinational_mm2: logic.pe_combinational_mm2 * n + routing * 0.6,
+        buf_inv_mm2: logic.pe_buf_inv_mm2 * n,
+        non_combinational_mm2: logic.pe_sequential_mm2 * n + routing * 0.4,
+        macro_mm2: macro_per_pe * n,
+        pe_mm2: pe,
+        routing_mm2: routing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_matches_table_iii_shape() {
+        let r = area_report(&MachineConfig::default());
+        // Paper: 78.4 mm² total, 94.8 % macro, < 1 % routing,
+        // PE = 1.216 mm² × 64 = 99.2 %.
+        assert!((r.total_mm2 - 78.4).abs() < 6.0, "total {:.1} mm²", r.total_mm2);
+        assert!((r.macro_fraction() - 0.948).abs() < 0.02, "macro {:.3}", r.macro_fraction());
+        assert!(r.routing_fraction() < 0.01, "routing {:.4}", r.routing_fraction());
+        assert!((r.pe_mm2 - 1.216).abs() < 0.1, "PE {:.3} mm²", r.pe_mm2);
+    }
+
+    #[test]
+    fn router_count_is_21_for_the_default_tree() {
+        assert_eq!(router_count(&MachineConfig::default()), 16 + 4 + 1);
+    }
+
+    #[test]
+    fn components_are_consistent() {
+        let r = area_report(&MachineConfig::default());
+        let rebuilt = r.macro_mm2 + r.combinational_mm2 + r.non_combinational_mm2 + r.buf_inv_mm2;
+        assert!((rebuilt - r.total_mm2).abs() < 0.02 * r.total_mm2);
+        assert!((r.pe_mm2 * 64.0 + r.routing_mm2 - r.total_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let s = area_report(&MachineConfig::default()).to_string();
+        for needle in ["Total", "Combinational", "Buf/Inv", "Macro", "Routing"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn smaller_node_shrinks_everything() {
+        let big = area_report(&MachineConfig::default());
+        let small = area_report_at(&MachineConfig::default(), TechNode::n28());
+        assert!(small.total_mm2 < big.total_mm2 / 4.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Per-operation logic energies and logic-area constants (65 nm anchors).
+//!
+//! The values are standard-cell estimates of the kind Design Compiler +
+//! PrimeTime would report for a 65 nm LP library at the paper's 500 MHz
+//! operating point. What matters for the reproduction is their *relative*
+//! magnitude versus SRAM accesses — the W-memory read dominates everything
+//! else, which is exactly why skipping predicted-zero rows saves energy.
+
+use crate::tech::TechNode;
+
+/// Per-event dynamic energies, picojoules, at a given node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogicEnergies {
+    /// One 16×16-bit multiply-accumulate into a wide accumulator.
+    pub mac_pj: f64,
+    /// One 32/64-bit accumulator addition (router ACC stage).
+    pub add_pj: f64,
+    /// One activation register file access (read or write).
+    pub regfile_pj: f64,
+    /// One activation-queue push or pop.
+    pub queue_pj: f64,
+    /// One predictor-bank bit write.
+    pub pred_write_pj: f64,
+    /// One predictor-bank LNZD scan.
+    pub pred_scan_pj: f64,
+    /// One flit traversing one router (buffer write/read + crossbar).
+    pub router_hop_pj: f64,
+    /// Pipeline/control overhead of a busy datapath cycle.
+    pub busy_overhead_pj: f64,
+    /// Clock-tree energy of an idle PE cycle.
+    pub idle_clock_pj: f64,
+}
+
+impl LogicEnergies {
+    /// Energies at the given technology node.
+    pub fn at(tech: TechNode) -> Self {
+        let s = tech.energy_scale();
+        Self {
+            mac_pj: 1.0 * s,
+            add_pj: 0.2 * s,
+            regfile_pj: 0.3 * s,
+            queue_pj: 0.3 * s,
+            pred_write_pj: 0.02 * s,
+            pred_scan_pj: 0.10 * s,
+            router_hop_pj: 1.8 * s,
+            busy_overhead_pj: 0.7 * s,
+            idle_clock_pj: 0.45 * s,
+        }
+    }
+}
+
+/// Logic-area constants, mm² at 65 nm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogicArea {
+    /// Combinational logic per PE (datapath, LNZDs, address generation).
+    pub pe_combinational_mm2: f64,
+    /// Sequential logic per PE (pipeline registers, queues, register
+    /// files, predictor bank).
+    pub pe_sequential_mm2: f64,
+    /// Buffers/inverters per PE (clock and repeater cells).
+    pub pe_buf_inv_mm2: f64,
+    /// One router of the H-tree (buffers + crossbar + ACC adder).
+    pub router_mm2: f64,
+}
+
+impl LogicArea {
+    /// Areas at the given technology node.
+    ///
+    /// 65 nm anchors are calibrated against the paper's Table III:
+    /// combinational 1.72 mm², non-combinational 2.07 mm², buf/inv
+    /// 0.20 mm² over 64 PEs, and 0.59 mm² of routing over 21 routers.
+    pub fn at(tech: TechNode) -> Self {
+        let s = tech.area_scale();
+        Self {
+            pe_combinational_mm2: 0.0214 * s,
+            pe_sequential_mm2: 0.0287 * s,
+            pe_buf_inv_mm2: 0.0031 * s,
+            router_mm2: 0.0281 * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramMacro;
+
+    #[test]
+    fn sram_read_dominates_logic_ops() {
+        let e = LogicEnergies::at(TechNode::n65());
+        let w = SramMacro::new(128 * 1024, 16, TechNode::n65());
+        assert!(w.read_energy_pj() > 10.0 * e.mac_pj, "W read must dominate the MAC");
+        assert!(w.read_energy_pj() > 5.0 * e.router_hop_pj);
+    }
+
+    #[test]
+    fn energies_scale_with_node() {
+        let old = LogicEnergies::at(TechNode::n65());
+        let new = LogicEnergies::at(TechNode::n28());
+        assert!(new.mac_pj < old.mac_pj);
+        assert!((new.mac_pj / old.mac_pj - new.add_pj / old.add_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_cycles_are_much_cheaper_than_busy_work() {
+        let e = LogicEnergies::at(TechNode::n65());
+        let w = SramMacro::new(128 * 1024, 16, TechNode::n65());
+        let busy = w.read_energy_pj() + e.mac_pj + e.busy_overhead_pj;
+        assert!(e.idle_clock_pj < busy / 20.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Power and energy estimation from simulator event counts.
+//!
+//! The reproduction's PrimeTime: the cycle-level simulator reports *what
+//! toggled* ([`MachineEvents`]), this module prices each event and divides
+//! by wall-clock time. All components are reported separately so the
+//! benches can show *where* the uv_on savings come from (fewer W-memory
+//! reads, cheap U/V accesses, idle cycles).
+
+use crate::logic::LogicEnergies;
+use crate::sram::SramMacro;
+use crate::tech::TechNode;
+use sparsenn_sim::{MachineConfig, MachineEvents};
+use std::fmt;
+
+/// Power/energy estimate for one simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PowerReport {
+    /// Execution time, microseconds.
+    pub time_us: f64,
+    /// W-memory dynamic power, mW.
+    pub w_mem_mw: f64,
+    /// U + V memory dynamic power, mW.
+    pub uv_mem_mw: f64,
+    /// Datapath (MAC + pipeline overhead) power, mW.
+    pub datapath_mw: f64,
+    /// Register files, queues and predictor bank power, mW.
+    pub regfile_mw: f64,
+    /// NoC power (router hops + ACC merges), mW.
+    pub noc_mw: f64,
+    /// Idle clocking power, mW.
+    pub idle_mw: f64,
+    /// Static leakage (all SRAM macros), mW.
+    pub leakage_mw: f64,
+    /// Total power, mW.
+    pub total_mw: f64,
+    /// Total energy, microjoules.
+    pub energy_uj: f64,
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "time {:.2} us, energy {:.2} uJ, power {:.1} mW", self.time_us, self.energy_uj, self.total_mw)?;
+        write!(
+            f,
+            "  W-mem {:.1} | U/V-mem {:.1} | datapath {:.1} | RF/queues {:.1} | NoC {:.1} | idle {:.1} | leakage {:.1} (mW)",
+            self.w_mem_mw, self.uv_mem_mw, self.datapath_mw, self.regfile_mw,
+            self.noc_mw, self.idle_mw, self.leakage_mw
+        )
+    }
+}
+
+/// Prices simulator events at a technology node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    clock_ns: f64,
+    energies: LogicEnergies,
+    w_read_pj: f64,
+    uv_read_pj: f64,
+    leakage_mw: f64,
+}
+
+impl PowerModel {
+    /// Builds the model for a machine configuration at 65 nm.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Self::at_node(cfg, TechNode::n65())
+    }
+
+    /// Builds the model for a machine configuration at a given node.
+    pub fn at_node(cfg: &MachineConfig, tech: TechNode) -> Self {
+        let w = SramMacro::new(cfg.w_mem_bytes, 16, tech);
+        let u = SramMacro::new(cfg.u_mem_bytes, 16, tech);
+        let v = SramMacro::new(cfg.v_mem_bytes, 16, tech);
+        let n = cfg.num_pes() as f64;
+        Self {
+            clock_ns: cfg.clock_ns,
+            energies: LogicEnergies::at(tech),
+            w_read_pj: w.read_energy_pj(),
+            // U and V macros are the same size by default; average anyway.
+            uv_read_pj: (u.read_energy_pj() + v.read_energy_pj()) / 2.0,
+            leakage_mw: n * (w.leakage_mw() + u.leakage_mw() + v.leakage_mw()),
+        }
+    }
+
+    /// Estimates power and energy for one simulation's event counts.
+    pub fn estimate(&self, ev: &MachineEvents) -> PowerReport {
+        let e = &self.energies;
+        let time_us = ev.cycles as f64 * self.clock_ns * 1e-3;
+
+        let w_mem_pj = ev.w_reads as f64 * self.w_read_pj;
+        let uv_mem_pj = (ev.u_reads + ev.v_reads) as f64 * self.uv_read_pj;
+        let datapath_pj = ev.macs as f64 * e.mac_pj
+            + ev.pe_busy_cycles as f64 * e.busy_overhead_pj;
+        let regfile_pj = (ev.src_reads + ev.dst_writes) as f64 * e.regfile_pj
+            + (ev.queue_pushes + ev.queue_pops) as f64 * e.queue_pj
+            + ev.pred_writes as f64 * e.pred_write_pj
+            + ev.pred_scans as f64 * e.pred_scan_pj;
+        let noc_pj =
+            ev.noc.hops as f64 * e.router_hop_pj + ev.noc.acc_merges as f64 * e.add_pj;
+        let idle_pj = ev.pe_idle_cycles as f64 * e.idle_clock_pj;
+
+        let dynamic_pj = w_mem_pj + uv_mem_pj + datapath_pj + regfile_pj + noc_pj + idle_pj;
+        let leak_uj = self.leakage_mw * time_us * 1e-3;
+        let energy_uj = dynamic_pj * 1e-6 + leak_uj;
+
+        // pJ / µs = µW; ×10⁻³ → mW.
+        let to_mw = |pj: f64| if time_us > 0.0 { pj / time_us * 1e-3 } else { 0.0 };
+        let total_mw = if time_us > 0.0 { energy_uj / time_us * 1e3 } else { 0.0 };
+        PowerReport {
+            time_us,
+            w_mem_mw: to_mw(w_mem_pj),
+            uv_mem_mw: to_mw(uv_mem_pj),
+            datapath_mw: to_mw(datapath_pj),
+            regfile_mw: to_mw(regfile_pj),
+            noc_mw: to_mw(noc_pj),
+            idle_mw: to_mw(idle_pj),
+            leakage_mw: self.leakage_mw,
+            total_mw,
+            energy_uj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_events(cycles: u64) -> MachineEvents {
+        // A fully-busy uv_off machine: every PE reads W + MACs every cycle.
+        let pes = 64;
+        MachineEvents {
+            cycles,
+            w_cycles: cycles,
+            w_reads: cycles * pes,
+            macs: cycles * pes,
+            pe_busy_cycles: cycles * pes,
+            ..MachineEvents::default()
+        }
+    }
+
+    #[test]
+    fn fully_busy_machine_lands_in_fig7_power_range() {
+        let model = PowerModel::new(&MachineConfig::default());
+        let p = model.estimate(&busy_events(10_000));
+        // The paper's uv_off power is high hundreds of mW to ~1.4 W.
+        assert!(
+            p.total_mw > 800.0 && p.total_mw < 1800.0,
+            "busy power {:.0} mW outside the plausible range",
+            p.total_mw
+        );
+        assert!(p.w_mem_mw > 0.75 * p.total_mw, "W memory must dominate");
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let model = PowerModel::new(&MachineConfig::default());
+        let mut ev = busy_events(5_000);
+        ev.u_reads = 10_000;
+        ev.v_reads = 10_000;
+        ev.noc.hops = 3_000;
+        ev.pe_idle_cycles = 10_000;
+        let p = model.estimate(&ev);
+        let sum = p.w_mem_mw + p.uv_mem_mw + p.datapath_mw + p.regfile_mw + p.noc_mw
+            + p.idle_mw + p.leakage_mw;
+        assert!((sum - p.total_mw).abs() < 1e-6 * p.total_mw);
+    }
+
+    #[test]
+    fn energy_scales_with_events_power_with_rate() {
+        let model = PowerModel::new(&MachineConfig::default());
+        let a = model.estimate(&busy_events(1_000));
+        let b = model.estimate(&busy_events(2_000));
+        assert!((b.energy_uj / a.energy_uj - 2.0).abs() < 0.01);
+        assert!((b.total_mw - a.total_mw).abs() < 1.0, "steady-state power is rate-invariant");
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let model = PowerModel::new(&MachineConfig::default());
+        let p = model.estimate(&MachineEvents::default());
+        assert_eq!(p.total_mw, 0.0);
+        assert_eq!(p.energy_uj, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let model = PowerModel::new(&MachineConfig::default());
+        let s = model.estimate(&busy_events(100)).to_string();
+        for needle in ["W-mem", "U/V-mem", "NoC", "leakage"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

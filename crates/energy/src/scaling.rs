@@ -1,0 +1,77 @@
+//! Cross-technology comparison rules (the paper's Table IV argument).
+//!
+//! The paper compares the 65 nm SparseNN against the 28 nm DNN-Engine by
+//! scaling per-access memory energy: "the energy consumption per read
+//! access is roughly 11× when the technology node is scaled from 28 nm to
+//! 65 nm and the memory size changes from 1 MB to 8 MB". This module
+//! reproduces that factor from the [`crate::sram`] model and provides the
+//! normalized energy-efficiency comparison used to reach the paper's
+//! "4× better energy-efficiency" conclusion.
+
+use crate::sram::SramMacro;
+use crate::tech::TechNode;
+
+/// Ratio of per-access read energies between two `(capacity bytes, node)`
+/// memory configurations.
+pub fn per_access_energy_ratio(
+    to: (usize, TechNode),
+    from: (usize, TechNode),
+) -> f64 {
+    let a = SramMacro::new(to.0, 16, to.1);
+    let b = SramMacro::new(from.0, 16, from.1);
+    a.read_energy_pj() / b.read_energy_pj()
+}
+
+/// The paper's normalization: scale a foreign platform's energy up to the
+/// SparseNN memory configuration (8 MB at 65 nm) before comparing.
+///
+/// Returns `(scaling_factor, scaled_energy_uj)`.
+pub fn normalize_energy_to_sparsenn(
+    foreign_energy_uj: f64,
+    foreign_mem_bytes: usize,
+    foreign_tech: TechNode,
+) -> (f64, f64) {
+    let factor = per_access_energy_ratio(
+        (8 * 1024 * 1024, TechNode::n65()),
+        (foreign_mem_bytes, foreign_tech),
+    );
+    (factor, foreign_energy_uj * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scaling_factor_is_about_11x() {
+        // 28 nm / 1 MB  →  65 nm / 8 MB.
+        let r = per_access_energy_ratio(
+            (8 * 1024 * 1024, TechNode::n65()),
+            (1_000_000, TechNode::n28()),
+        );
+        assert!((9.0..13.0).contains(&r), "scaling factor {r}, paper says ≈ 11×");
+    }
+
+    #[test]
+    fn identity_scaling_is_one() {
+        let r = per_access_energy_ratio(
+            (1 << 20, TechNode::n65()),
+            (1 << 20, TechNode::n65()),
+        );
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_reproduces_the_4x_conclusion() {
+        // Paper: DNN-Engine ≈ 5.1 µJ on BG-RAND layer 1; SparseNN ≈ 14 µJ;
+        // after the ≈ 11× normalization SparseNN is ≈ 4× more efficient.
+        let (factor, scaled) = normalize_energy_to_sparsenn(5.1, 1_000_000, TechNode::n28());
+        let sparsenn_uj = 14.0;
+        let advantage = scaled / sparsenn_uj;
+        assert!(factor > 9.0 && factor < 13.0);
+        assert!(
+            (2.5..6.0).contains(&advantage),
+            "advantage {advantage:.1}×, paper concludes ≈ 4×"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! CACTI-style SRAM macro model.
+//!
+//! First-order technology-independent scaling laws calibrated at 65 nm:
+//!
+//! * dynamic read energy ∝ √capacity (bitline + decoder energy grows with
+//!   the array's linear dimension);
+//! * access time ∝ capacity^⅓ — calibrated so the 128 KB W macro needs
+//!   more than 1.7 ns, the paper's stated reason for the 2 ns clock;
+//! * leakage ∝ capacity;
+//! * area ∝ capacity (≈ 8 mm²/MB at 65 nm, which puts the Table II machine
+//!   at Table III's ≈ 74 mm² of macro).
+
+use crate::tech::TechNode;
+
+/// One on-chip SRAM macro.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramMacro {
+    capacity_bytes: usize,
+    word_bits: u32,
+    tech: TechNode,
+}
+
+/// Read energy per 16-bit word of a 128 KB macro at 65 nm, picojoules
+/// (CACTI-6.5-flavoured anchor point).
+const READ_PJ_ANCHOR: f64 = 36.0;
+const ANCHOR_SQRT_BYTES: f64 = 362.038_671_967_512_36; // √131072
+
+impl SramMacro {
+    /// A macro of `capacity_bytes` with `word_bits`-wide ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity or word width.
+    pub fn new(capacity_bytes: usize, word_bits: u32, tech: TechNode) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        assert!(word_bits > 0, "word width must be positive");
+        Self { capacity_bytes, word_bits, tech }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Dynamic energy of one read access, picojoules.
+    pub fn read_energy_pj(&self) -> f64 {
+        READ_PJ_ANCHOR * (self.capacity_bytes as f64).sqrt() / ANCHOR_SQRT_BYTES
+            * (f64::from(self.word_bits) / 16.0)
+            * self.tech.energy_scale()
+    }
+
+    /// Dynamic energy of one write access, picojoules (≈ 10 % above read).
+    pub fn write_energy_pj(&self) -> f64 {
+        self.read_energy_pj() * 1.1
+    }
+
+    /// Static leakage power, milliwatts (1.2 µW/KB at 65 nm LP).
+    pub fn leakage_mw(&self) -> f64 {
+        1.2e-3 * (self.capacity_bytes as f64 / 1024.0) * self.tech.energy_scale()
+    }
+
+    /// Random-access time, nanoseconds (`0.35 · KB^⅓` at 65 nm).
+    pub fn access_time_ns(&self) -> f64 {
+        0.35 * (self.capacity_bytes as f64 / 1024.0).cbrt()
+            * (f64::from(self.tech.nm()) / 65.0)
+    }
+
+    /// Macro area, mm² (8.28 mm²/MB at 65 nm).
+    pub fn area_mm2(&self) -> f64 {
+        8.28 * (self.capacity_bytes as f64 / (1024.0 * 1024.0)) * self.tech.area_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w_macro() -> SramMacro {
+        SramMacro::new(128 * 1024, 16, TechNode::n65())
+    }
+
+    fn uv_macro() -> SramMacro {
+        SramMacro::new(8 * 1024, 16, TechNode::n65())
+    }
+
+    #[test]
+    fn anchor_is_exact() {
+        assert!((w_macro().read_energy_pj() - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_macros_are_cheaper_per_access() {
+        // √(128K/8K) = 4: the U/V memories cost a quarter per access.
+        let ratio = w_macro().read_energy_pj() / uv_macro().read_energy_pj();
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn w_macro_access_time_justifies_2ns_clock() {
+        // Paper: "the access time of the 128KB SRAM is more than 1.7 ns".
+        let t = w_macro().access_time_ns();
+        assert!(t > 1.7 && t < 2.0, "access time {t} ns");
+    }
+
+    #[test]
+    fn area_tracks_capacity_linearly() {
+        let a = w_macro().area_mm2();
+        let b = uv_macro().area_mm2();
+        assert!((a / b - 16.0).abs() < 1e-9);
+        // One PE's macros (128 + 8 + 8 KB) ≈ Table III's 74.4/64 ≈ 1.16 mm².
+        let per_pe = a + 2.0 * b;
+        assert!((per_pe - 1.16).abs() < 0.05, "per-PE macro area {per_pe} mm²");
+    }
+
+    #[test]
+    fn newer_node_cuts_energy_and_area() {
+        let old = SramMacro::new(1 << 20, 16, TechNode::n65());
+        let new = SramMacro::new(1 << 20, 16, TechNode::n28());
+        assert!(new.read_energy_pj() < old.read_energy_pj() / 2.0);
+        assert!(new.area_mm2() < old.area_mm2() / 4.0);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        assert!(w_macro().write_energy_pj() > w_macro().read_energy_pj());
+    }
+}

@@ -1,0 +1,86 @@
+//! Technology nodes and their first-order scaling factors.
+
+/// A CMOS technology node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TechNode {
+    nm: u32,
+}
+
+/// The reference node every constant in this crate is calibrated at
+/// (TSMC 65 nm LP, the paper's implementation node).
+pub const REFERENCE_NM: u32 = 65;
+
+impl TechNode {
+    /// A node at `nm` nanometres.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero feature size.
+    pub fn new(nm: u32) -> Self {
+        assert!(nm > 0, "feature size must be positive");
+        Self { nm }
+    }
+
+    /// The paper's implementation node.
+    pub fn n65() -> Self {
+        Self { nm: 65 }
+    }
+
+    /// DNN-Engine's node (Table IV).
+    pub fn n28() -> Self {
+        Self { nm: 28 }
+    }
+
+    /// Feature size in nanometres.
+    pub fn nm(&self) -> u32 {
+        self.nm
+    }
+
+    /// Dynamic-energy scale factor relative to 65 nm.
+    ///
+    /// Energy per switched node goes as `C·V²`; with constant-field scaling
+    /// both shrink with feature size. The exponent 1.6 is fitted so the
+    /// combined capacity + node scaling reproduces the paper's CACTI
+    /// observation (28 nm/1 MB → 65 nm/8 MB ≈ 11× per access — see
+    /// [`crate::scaling`]).
+    pub fn energy_scale(&self) -> f64 {
+        (f64::from(self.nm) / f64::from(REFERENCE_NM)).powf(1.6)
+    }
+
+    /// Area scale factor relative to 65 nm (classic `L²` scaling).
+    pub fn area_scale(&self) -> f64 {
+        let r = f64::from(self.nm) / f64::from(REFERENCE_NM);
+        r * r
+    }
+}
+
+impl Default for TechNode {
+    fn default() -> Self {
+        Self::n65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_node_is_unity() {
+        let t = TechNode::n65();
+        assert!((t.energy_scale() - 1.0).abs() < 1e-12);
+        assert!((t.area_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_nodes_are_cheaper() {
+        let t = TechNode::n28();
+        assert!(t.energy_scale() < 1.0);
+        assert!(t.area_scale() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_nm_panics() {
+        TechNode::new(0);
+    }
+}

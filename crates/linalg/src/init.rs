@@ -1,0 +1,86 @@
+//! Deterministic random initialization helpers.
+//!
+//! Every stochastic choice in the repository (weight init, dataset
+//! generation, SVD sketches, SGD shuffling) flows through a seeded
+//! [`rand::rngs::StdRng`], so experiments are bit-reproducible across runs
+//! and machines.
+
+use crate::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the repository-standard seeded RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+///
+/// Implemented locally so the workspace does not need `rand_distr`.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > 1e-12 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Xavier/Glorot uniform initialization: `U(-l, l)` with
+/// `l = sqrt(6 / (fan_in + fan_out))`. The classic choice for the
+/// tanh/sigmoid era, used here for the predictor factors `U, V` whose
+/// outputs feed a (hard) sign rather than a ReLU.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| (rng.gen_range(-limit..limit)) as f32)
+}
+
+/// He/Kaiming normal initialization: `N(0, 2 / fan_in)`, the standard for
+/// ReLU layers (the paper's hidden layers are all ReLU).
+pub fn he_normal(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let std = (2.0 / cols as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| (gaussian(rng) * std) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = xavier_uniform(4, 5, &mut seeded_rng(7));
+        let b = xavier_uniform(4, 5, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let m = xavier_uniform(30, 30, &mut seeded_rng(1));
+        let limit = (6.0f32 / 60.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = seeded_rng(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = seeded_rng(3);
+        let wide = he_normal(10, 1000, &mut rng);
+        let narrow = he_normal(10, 10, &mut seeded_rng(3));
+        let std_wide = wide.frobenius_norm() / (wide.as_slice().len() as f32).sqrt();
+        let std_narrow = narrow.frobenius_norm() / (narrow.as_slice().len() as f32).sqrt();
+        assert!(std_wide < std_narrow, "{std_wide} vs {std_narrow}");
+    }
+}

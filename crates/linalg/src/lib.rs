@@ -1,0 +1,44 @@
+//! Dense linear-algebra substrate for the SparseNN reproduction.
+//!
+//! Everything the training algorithms of the paper need, implemented from
+//! scratch:
+//!
+//! * [`Matrix`] — row-major `f32` matrices with the handful of kernels DNN
+//!   training uses (`matvec`, transposed `matvec`, rank-1 updates).
+//! * [`vector`] — slice-level vector kernels (dot, axpy, ReLU, Hadamard…).
+//! * [`qr`] — thin QR via modified Gram–Schmidt (used by the randomized
+//!   truncated SVD).
+//! * [`svd`] — one-sided Jacobi SVD, the workhorse behind the **truncated
+//!   SVD sparsity predictor** baseline of the paper (Davis et al. \[11\],
+//!   LRADNN \[12\]).
+//! * [`truncated`] — randomized subspace-iteration truncated SVD, so the
+//!   per-epoch `U·V` refresh of the SVD baseline scales to 1000×1000 weight
+//!   matrices.
+//! * [`init`] — deterministic weight initializers (Xavier/He) built on a
+//!   seeded RNG, so every experiment in the repository is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsenn_linalg::{Matrix, truncated::truncated_svd};
+//!
+//! let a = Matrix::from_fn(6, 4, |i, j| (i as f32) + (j as f32));
+//! let svd = truncated_svd(&a, 2, 42);
+//! // Rank-2 approximation of a rank-2 matrix is (near) exact.
+//! let approx = svd.reconstruct();
+//! assert!(a.sub(&approx).frobenius_norm() < 1e-3 * a.frobenius_norm().max(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod truncated;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use svd::Svd;
+pub use truncated::TruncatedSvd;

@@ -1,0 +1,156 @@
+//! Thin QR decomposition via modified Gram–Schmidt.
+//!
+//! Used by the randomized truncated SVD ([`crate::truncated`]) to
+//! orthonormalize sketch matrices. Modified Gram–Schmidt (column-by-column
+//! re-orthogonalization) is numerically adequate here because the subsequent
+//! subspace iteration is self-correcting.
+
+use crate::Matrix;
+
+/// Result of a thin QR factorization `A = Q·R` with `Q` having orthonormal
+/// columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Qr {
+    /// `m × k` matrix with orthonormal columns (`k = min(m, n)` of the input,
+    /// minus any columns that were numerically dependent and dropped).
+    pub q: Matrix,
+    /// `k × n` upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR factorization of `a` by modified Gram–Schmidt with
+/// one re-orthogonalization pass.
+///
+/// Columns whose residual norm falls below `1e-10 · ‖A‖_F` are replaced by
+/// zero columns in `Q` (and zero rows in `R`), keeping the output shapes
+/// predictable for rank-deficient inputs.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_linalg::{Matrix, qr::qr};
+/// let a = Matrix::from_fn(5, 3, |i, j| ((i + 1) * (j + 2)) as f32 + if i == j { 1.0 } else { 0.0 });
+/// let f = qr(&a);
+/// let recon = f.q.matmul(&f.r);
+/// assert!(a.sub(&recon).frobenius_norm() < 1e-4);
+/// ```
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook algorithm
+pub fn qr(a: &Matrix) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let tol = 1e-10 * f64::from(a.frobenius_norm().max(1.0));
+
+    // Work on columns.
+    let mut cols: Vec<Vec<f32>> = (0..n).map(|j| a.col(j)).collect();
+    let mut q_cols: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let mut r = Matrix::zeros(k, n);
+
+    for j in 0..n {
+        if q_cols.len() == k {
+            // Remaining columns only get projected, no new Q columns.
+            let mut v = cols[j].clone();
+            for (i, qi) in q_cols.iter().enumerate() {
+                let rij = crate::vector::dot(qi, &v);
+                r.set(i, j, rij);
+                crate::vector::axpy(-rij, qi, &mut v);
+            }
+            continue;
+        }
+        let mut v = std::mem::take(&mut cols[j]);
+        // Two MGS passes for re-orthogonalization.
+        for _ in 0..2 {
+            for (i, qi) in q_cols.iter().enumerate() {
+                let proj = crate::vector::dot(qi, &v);
+                let prev = r.get(i, j);
+                r.set(i, j, prev + proj);
+                crate::vector::axpy(-proj, qi, &mut v);
+            }
+        }
+        let norm = crate::vector::norm2(&v);
+        let qi_index = q_cols.len();
+        if f64::from(norm) <= tol {
+            // Dependent column: contributes a zero Q column only if we still
+            // need to fill the basis; R entry stays zero.
+            q_cols.push(vec![0.0; m]);
+            r.set(qi_index, j, 0.0);
+        } else {
+            crate::vector::scale(1.0 / norm, &mut v);
+            r.set(qi_index, j, norm);
+            q_cols.push(v);
+        }
+    }
+    // If fewer than k columns were produced (n < k impossible; k = min),
+    // pad with zero columns for shape stability.
+    while q_cols.len() < k {
+        q_cols.push(vec![0.0; m]);
+    }
+
+    let q = Matrix::from_fn(m, k, |i, j| q_cols[j][i]);
+    Qr { q, r }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_conditioned(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| {
+            ((i * 7 + j * 3) % 11) as f32 - 5.0 + if i == j { 8.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = well_conditioned(8, 4);
+        let f = qr(&a);
+        let qt_q = f.q.transpose().matmul(&f.q);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (qt_q.get(i, j) - expect).abs() < 1e-4,
+                    "QᵀQ[{i},{j}] = {}",
+                    qt_q.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches() {
+        let a = well_conditioned(8, 4);
+        let f = qr(&a);
+        assert!(a.sub(&f.q.matmul(&f.r)).frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = well_conditioned(6, 6);
+        let f = qr(&a);
+        for i in 0..6 {
+            for j in 0..i {
+                assert!(f.r.get(i, j).abs() < 1e-4, "R[{i},{j}] = {}", f.r.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input_keeps_shapes() {
+        // Two identical columns.
+        let a = Matrix::from_fn(5, 3, |i, j| if j == 2 { (i + 1) as f32 } else { (i + 1) as f32 * (j + 1) as f32 });
+        let f = qr(&a);
+        assert_eq!(f.q.shape(), (5, 3));
+        assert_eq!(f.r.shape(), (3, 3));
+        assert!(a.sub(&f.q.matmul(&f.r)).frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn wide_matrix_thin_q() {
+        let a = well_conditioned(3, 7);
+        let f = qr(&a);
+        assert_eq!(f.q.shape(), (3, 3));
+        assert_eq!(f.r.shape(), (3, 7));
+        assert!(a.sub(&f.q.matmul(&f.r)).frobenius_norm() < 1e-3);
+    }
+}

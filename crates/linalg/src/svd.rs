@@ -1,0 +1,266 @@
+//! Full singular value decomposition via one-sided Jacobi rotations.
+//!
+//! One-sided Jacobi orthogonalizes the columns of `A` by plane rotations;
+//! at convergence the column norms are the singular values, the normalized
+//! columns are the left singular vectors, and the accumulated rotations form
+//! the right singular vectors. It is simple, unconditionally stable and — on
+//! the small factor matrices the truncated SVD produces — fast enough.
+
+use crate::Matrix;
+
+/// A full (thin) SVD `A = U·diag(s)·Vᵀ` with singular values sorted in
+/// descending order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Svd {
+    /// `m × k` matrix of left singular vectors (`k = min(m, n)`).
+    pub u: Matrix,
+    /// The `k` singular values, descending.
+    pub s: Vec<f32>,
+    /// `n × k` matrix of right singular vectors.
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `U·diag(s)·Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let k = self.s.len();
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Matrix::zeros(m, n);
+        for t in 0..k {
+            let st = self.s[t];
+            if st == 0.0 {
+                continue;
+            }
+            let ut = self.u.col(t);
+            let vt = self.v.col(t);
+            out.add_scaled_outer(st, &ut, &vt);
+        }
+        out
+    }
+
+    /// Keeps only the `r` largest singular triplets.
+    pub fn truncate(&self, r: usize) -> Svd {
+        let r = r.min(self.s.len());
+        Svd {
+            u: Matrix::from_fn(self.u.rows(), r, |i, j| self.u.get(i, j)),
+            s: self.s[..r].to_vec(),
+            v: Matrix::from_fn(self.v.rows(), r, |i, j| self.v.get(i, j)),
+        }
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up (convergence is
+/// typically reached in well under 15 sweeps).
+const MAX_SWEEPS: usize = 42;
+
+/// Computes the thin SVD of `a` by one-sided Jacobi.
+///
+/// Singular values are returned in descending order; zero singular values
+/// get zero left-singular columns (shapes stay `m×k`, `k`, `n×k`).
+///
+/// Intended for matrices with `min(m, n)` up to a few hundred — the
+/// training-scale (1000×1000) truncated decompositions should use
+/// [`crate::truncated::truncated_svd`], which only calls this on a small
+/// core matrix.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_linalg::{Matrix, svd::jacobi_svd};
+/// let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]]);
+/// let svd = jacobi_svd(&a);
+/// assert!((svd.s[0] - 3.0).abs() < 1e-5 && (svd.s[1] - 2.0).abs() < 1e-5);
+/// ```
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook algorithm
+pub fn jacobi_svd(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    if m < n {
+        // Work on the transpose and swap factors.
+        let t = jacobi_svd(&a.transpose());
+        return Svd { u: t.v, s: t.s, v: t.u };
+    }
+    let k = n;
+
+    // Columns of the working matrix in f64 for accumulation accuracy.
+    let mut g: Vec<Vec<f64>> = (0..n)
+        .map(|j| a.col(j).iter().map(|&x| f64::from(x)).collect())
+        .collect();
+    // Right-rotation accumulator V (n×n), starts as identity.
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..n).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    let eps = 1e-12;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (alpha, beta, gamma) = {
+                    let (ci, cj) = (&g[i], &g[j]);
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for t in 0..m {
+                        alpha += ci[t] * ci[t];
+                        beta += cj[t] * cj[t];
+                        gamma += ci[t] * cj[t];
+                    }
+                    (alpha, beta, gamma)
+                };
+                if gamma.abs() <= eps * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate columns i and j of G and of V.
+                let (gi, gj) = split_two(&mut g, i, j);
+                rotate(gi, gj, c, s);
+                let (vi, vj) = split_two(&mut v, i, j);
+                rotate(vi, vj, c, s);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and vectors, then sort descending.
+    let mut triplets: Vec<(f64, usize)> = g
+        .iter()
+        .enumerate()
+        .map(|(j, col)| (col.iter().map(|x| x * x).sum::<f64>().sqrt(), j))
+        .collect();
+    triplets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = Matrix::zeros(m, k);
+    let mut s_out = vec![0.0f32; k];
+    let mut v_out = Matrix::zeros(n, k);
+    for (out_j, &(sigma, j)) in triplets.iter().enumerate() {
+        s_out[out_j] = sigma as f32;
+        if sigma > 0.0 {
+            for t in 0..m {
+                u.set(t, out_j, (g[j][t] / sigma) as f32);
+            }
+        }
+        for t in 0..n {
+            v_out.set(t, out_j, v[j][t] as f32);
+        }
+    }
+    Svd { u, s: s_out, v: v_out }
+}
+
+/// Borrow two distinct columns mutably.
+fn split_two<T>(cols: &mut [Vec<T>], i: usize, j: usize) -> (&mut Vec<T>, &mut Vec<T>) {
+    debug_assert!(i < j);
+    let (lo, hi) = cols.split_at_mut(j);
+    (&mut lo[i], &mut hi[0])
+}
+
+#[inline]
+fn rotate(x: &mut [f64], y: &mut [f64], c: f64, s: f64) {
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let xv = *xi;
+        let yv = *yi;
+        *xi = c * xv - s * yv;
+        *yi = s * xv + c * yv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(m: &Matrix, tol: f32) {
+        let g = m.transpose().matmul(m);
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g.get(i, j) - expect).abs() < tol,
+                    "gram[{i},{j}] = {} (expected {expect})",
+                    g.get(i, j)
+                );
+            }
+        }
+    }
+
+    fn test_matrix(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |i, j| {
+            ((i * 13 + j * 7) % 17) as f32 - 8.0 + ((i + 2 * j) % 5) as f32 * 0.37
+        })
+    }
+
+    #[test]
+    fn diagonal_matrix_recovers_diagonal() {
+        let a = Matrix::from_rows(&[vec![0.0, 5.0], vec![-4.0, 0.0], vec![0.0, 0.0]]);
+        let svd = jacobi_svd(&a);
+        assert!((svd.s[0] - 5.0).abs() < 1e-5);
+        assert!((svd.s[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reconstruction_is_accurate() {
+        let a = test_matrix(12, 8);
+        let svd = jacobi_svd(&a);
+        let err = a.sub(&svd.reconstruct()).frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-5, "relative error {err}");
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let a = test_matrix(10, 6);
+        let svd = jacobi_svd(&a);
+        assert_orthonormal_cols(&svd.u, 1e-4);
+        assert_orthonormal_cols(&svd.v, 1e-4);
+    }
+
+    #[test]
+    fn singular_values_descend() {
+        let a = test_matrix(15, 9);
+        let svd = jacobi_svd(&a);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn wide_matrix_handled_by_transpose() {
+        let a = test_matrix(5, 11);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.u.shape(), (5, 5));
+        assert_eq!(svd.v.shape(), (11, 5));
+        let err = a.sub(&svd.reconstruct()).frobenius_norm() / a.frobenius_norm();
+        assert!(err < 1e-5);
+    }
+
+    #[test]
+    fn truncation_error_matches_tail_energy() {
+        let a = test_matrix(12, 12);
+        let svd = jacobi_svd(&a);
+        let r = 4;
+        let tail: f32 = svd.s[r..].iter().map(|s| s * s).sum::<f32>().sqrt();
+        let err = a.sub(&svd.truncate(r).reconstruct_truncated()).frobenius_norm();
+        assert!((err - tail).abs() < 1e-2 * tail.max(1.0), "err {err} vs tail {tail}");
+    }
+
+    #[test]
+    fn rank_deficient_matrix_gets_zero_singulars() {
+        // rank-1 matrix
+        let a = Matrix::from_fn(6, 4, |i, j| (i as f32 + 1.0) * (j as f32 - 1.5));
+        let svd = jacobi_svd(&a);
+        assert!(svd.s[0] > 1.0);
+        for &s in &svd.s[1..] {
+            assert!(s < 1e-4, "expected tiny singular value, got {s}");
+        }
+    }
+
+    impl Svd {
+        fn reconstruct_truncated(&self) -> Matrix {
+            self.reconstruct()
+        }
+    }
+}

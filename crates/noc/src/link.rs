@@ -1,0 +1,123 @@
+//! Credit-managed router input ports and fixed-latency links.
+
+use std::collections::VecDeque;
+
+/// A router input buffer plus the link feeding it.
+///
+/// Credit accounting: the upstream sender may launch a flit only when
+/// `buffer occupancy + flits in flight on the link < capacity`, so the
+/// buffer can never overflow regardless of timing — the invariant the
+/// paper's "packet-buffer with credit" flow control provides.
+#[derive(Clone, Debug)]
+pub struct Port<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    /// In-flight flits: `(arrival_cycle, flit)`, ordered by arrival.
+    link: VecDeque<(u64, T)>,
+    latency: u64,
+}
+
+impl<T> Port<T> {
+    /// Creates an empty port.
+    pub fn new(capacity: usize, latency: u64) -> Self {
+        assert!(capacity > 0, "port capacity must be positive");
+        Self { queue: VecDeque::new(), capacity, link: VecDeque::new(), latency }
+    }
+
+    /// `true` if the sender holds a credit (buffer + in-flight < capacity).
+    pub fn has_credit(&self) -> bool {
+        self.queue.len() + self.link.len() < self.capacity
+    }
+
+    /// Launches a flit onto the link at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without credit — senders must check
+    /// [`has_credit`](Self::has_credit) first (the hardware cannot
+    /// physically do otherwise).
+    pub fn send(&mut self, cycle: u64, flit: T) {
+        assert!(self.has_credit(), "send without credit");
+        self.link.push_back((cycle + self.latency, flit));
+    }
+
+    /// Moves link arrivals due at `cycle` into the buffer.
+    pub fn advance(&mut self, cycle: u64) {
+        while let Some(&(ready, _)) = self.link.front() {
+            if ready > cycle {
+                break;
+            }
+            let (_, flit) = self.link.pop_front().expect("checked nonempty");
+            self.queue.push_back(flit);
+            debug_assert!(self.queue.len() <= self.capacity, "credit violation");
+        }
+    }
+
+    /// The flit at the head of the buffer, if any.
+    pub fn head(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Pops the head flit (returns the credit to the sender).
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Buffer occupancy (excludes in-flight flits).
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when both buffer and link are empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty() && self.link.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_blocks_at_capacity() {
+        let mut p: Port<u32> = Port::new(2, 1);
+        assert!(p.has_credit());
+        p.send(0, 1);
+        assert!(p.has_credit());
+        p.send(0, 2);
+        assert!(!p.has_credit(), "2 in flight with capacity 2 ⇒ no credit");
+        p.advance(1);
+        assert!(!p.has_credit(), "arrivals occupy the buffer, still no credit");
+        assert_eq!(p.pop(), Some(1));
+        assert!(p.has_credit(), "pop returns a credit");
+    }
+
+    #[test]
+    fn latency_is_respected() {
+        let mut p: Port<u32> = Port::new(4, 3);
+        p.send(10, 7);
+        p.advance(12);
+        assert!(p.head().is_none(), "not arrived yet");
+        p.advance(13);
+        assert_eq!(p.head(), Some(&7));
+    }
+
+    #[test]
+    fn fifo_order_on_link() {
+        let mut p: Port<u32> = Port::new(4, 2);
+        p.send(0, 1);
+        p.send(1, 2);
+        p.advance(3);
+        assert_eq!(p.pop(), Some(1));
+        assert_eq!(p.pop(), Some(2));
+        assert_eq!(p.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "send without credit")]
+    fn overcommit_panics() {
+        let mut p: Port<u32> = Port::new(1, 1);
+        p.send(0, 1);
+        p.send(0, 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! The partial-sum reduction tree (V phase, paper Fig. 4).
+//!
+//! During the V computation the columns of `V` live with the PEs, so each
+//! PE produces a *partial sum* for every predictor row. The H-tree routers
+//! carry an extra ACC pipeline stage (Fig. 4(c): RC → SA → ST → ACC → LT):
+//! a partial sum entering a router is added into that router's accumulation
+//! register for its row; the flit carrying the **last** missing contribution
+//! continues up the tree with the merged value, the others are absorbed.
+//! The root therefore emits each row's complete 64-PE sum exactly once.
+
+use crate::config::NocConfig;
+use crate::link::Port;
+use crate::stats::NocStats;
+use std::collections::VecDeque;
+
+/// A partial-sum flit: predictor row and the running Q(2·FRAC) value.
+type SumFlit = (u32, i64);
+
+#[derive(Clone, Debug)]
+struct ReduceRouter {
+    ports: Vec<Port<SumFlit>>,
+    /// Per-row accumulation registers.
+    acc: Vec<i64>,
+    /// Contributions merged so far, per row.
+    cnt: Vec<u32>,
+    /// Contributions expected per row (ports with participating subtrees).
+    expected: u32,
+}
+
+impl ReduceRouter {
+    fn new(cfg: &NocConfig, rows: usize, expected: u32) -> Self {
+        Self {
+            ports: (0..cfg.radix)
+                .map(|_| Port::new(cfg.queue_capacity, cfg.hop_latency))
+                .collect(),
+            acc: vec![0; rows],
+            cnt: vec![0; rows],
+            expected,
+        }
+    }
+
+    /// Port whose head has the smallest row id (deterministic service
+    /// order; any fair policy works because addition commutes).
+    fn winner(&self) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for (i, port) in self.ports.iter().enumerate() {
+            if let Some(&(row, _)) = port.head() {
+                if best.is_none_or(|(brow, _)| row < brow) {
+                    best = Some((row, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ports.iter().all(Port::is_empty)
+    }
+}
+
+/// Cycle-level model of the accumulating reduction through the H-tree.
+///
+/// Construct it with the set of *participating* PEs (those holding at least
+/// one nonzero input activation — PEs with nothing to contribute stay
+/// silent, and the expected-contribution counts adjust so rows still
+/// complete).
+#[derive(Clone, Debug)]
+pub struct ReduceTree {
+    cfg: NocConfig,
+    levels: usize,
+    routers: Vec<Vec<ReduceRouter>>,
+    /// Completed row sums waiting at the root (emitted one per cycle).
+    root_out: VecDeque<SumFlit>,
+    cycle: u64,
+    stats: NocStats,
+    expected_total: u64,
+    emitted: u64,
+}
+
+impl ReduceTree {
+    /// Builds a tree for `rows` predictor rows with the given PE
+    /// participation mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants.len() != cfg.num_pes`.
+    pub fn new(cfg: &NocConfig, rows: usize, participants: &[bool]) -> Self {
+        assert_eq!(participants.len(), cfg.num_pes, "one participation flag per PE");
+        let levels = cfg.levels();
+        // A subtree contributes if any of its PEs participate.
+        let mut contributing: Vec<bool> = participants.to_vec();
+        let mut routers = Vec::with_capacity(levels);
+        for l in 0..levels {
+            let n = cfg.routers_at_level(l);
+            let mut level = Vec::with_capacity(n);
+            let mut next_contributing = Vec::with_capacity(n);
+            for r in 0..n {
+                let children = &contributing[r * cfg.radix..(r + 1) * cfg.radix];
+                let expected = children.iter().filter(|&&c| c).count() as u32;
+                level.push(ReduceRouter::new(cfg, rows, expected));
+                next_contributing.push(expected > 0);
+            }
+            routers.push(level);
+            contributing = next_contributing;
+        }
+        let participating_rows = if participants.iter().any(|&p| p) { rows as u64 } else { 0 };
+        Self {
+            cfg: *cfg,
+            levels,
+            routers,
+            root_out: VecDeque::new(),
+            cycle: 0,
+            stats: NocStats::default(),
+            expected_total: participating_rows,
+            emitted: 0,
+        }
+    }
+
+    /// Injects a partial sum from PE `pe` for `row`. Returns `false` when
+    /// the leaf router has no credit (the PE must retry next cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` or `row` is out of range.
+    pub fn try_inject(&mut self, pe: usize, row: u32, partial: i64) -> bool {
+        assert!(pe < self.cfg.num_pes, "PE index out of range");
+        assert!((row as usize) < self.routers[0][0].acc.len(), "row out of range");
+        let port = &mut self.routers[0][pe / self.cfg.radix].ports[pe % self.cfg.radix];
+        if port.has_credit() {
+            port.send(self.cycle, (row, partial));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances one cycle; returns a completed `(row, total)` if the root
+    /// finished one.
+    pub fn tick(&mut self) -> Option<SumFlit> {
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        let cycle = self.cycle;
+
+        for level in &mut self.routers {
+            for r in level.iter_mut() {
+                for p in &mut r.ports {
+                    p.advance(cycle);
+                }
+            }
+        }
+
+        // Root-side first so credits free up for the levels below.
+        for l in (0..self.levels).rev() {
+            let is_root = l == self.levels - 1;
+            let (lower, upper) = self.routers.split_at_mut(l + 1);
+            let this_level = &mut lower[l];
+            for r in 0..this_level.len() {
+                let Some(port) = this_level[r].winner() else { continue };
+                let &(row, _) = this_level[r].ports[port].head().expect("winner has head");
+                let completes = this_level[r].cnt[row as usize] + 1 == this_level[r].expected;
+                if completes && !is_root {
+                    // The completing flit must continue upward: it needs a
+                    // credit at the parent, else the pipeline stalls.
+                    let parent = &upper[0][r / self.cfg.radix].ports[r % self.cfg.radix];
+                    if !parent.has_credit() {
+                        self.stats.credit_stalls += 1;
+                        continue;
+                    }
+                }
+                let (row, val) = this_level[r].ports[port].pop().expect("winner has head");
+                let slot = row as usize;
+                this_level[r].acc[slot] += val;
+                this_level[r].cnt[slot] += 1;
+                self.stats.acc_merges += 1;
+                self.stats.hops += 1;
+                if this_level[r].cnt[slot] == this_level[r].expected {
+                    let total = this_level[r].acc[slot];
+                    if is_root {
+                        self.root_out.push_back((row, total));
+                    } else {
+                        let parent = &mut upper[0][r / self.cfg.radix].ports[r % self.cfg.radix];
+                        parent.send(cycle, (row, total));
+                    }
+                }
+            }
+        }
+
+        let peak = self
+            .routers
+            .iter()
+            .flat_map(|lvl| lvl.iter())
+            .flat_map(|r| r.ports.iter().map(Port::occupancy))
+            .max()
+            .unwrap_or(0);
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(peak);
+
+        let out = self.root_out.pop_front();
+        if out.is_some() {
+            self.stats.root_emissions += 1;
+            self.emitted += 1;
+        }
+        out
+    }
+
+    /// `true` once every expected row has been emitted and nothing is in
+    /// flight.
+    pub fn is_done(&self) -> bool {
+        self.emitted == self.expected_total
+            && self.root_out.is_empty()
+            && self.routers.iter().flatten().all(ReduceRouter::is_empty)
+    }
+
+    /// Activity counters accumulated since construction.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_reduction(
+        rows: usize,
+        contributions: &[(usize, u32, i64)],
+        participants: &[bool],
+    ) -> Vec<(u32, i64)> {
+        let cfg = NocConfig::default();
+        let mut tree = ReduceTree::new(&cfg, rows, participants);
+        let mut pending: Vec<(usize, u32, i64)> = contributions.to_vec();
+        let mut out = Vec::new();
+        for _ in 0..20_000 {
+            pending.retain(|&(pe, row, v)| !tree.try_inject(pe, row, v));
+            if let Some(done) = tree.tick() {
+                out.push(done);
+            }
+            if pending.is_empty() && tree.is_done() {
+                break;
+            }
+        }
+        assert!(pending.is_empty(), "injection starved");
+        assert!(tree.is_done(), "reduction did not finish");
+        out
+    }
+
+    #[test]
+    fn sums_match_sequential_reference() {
+        let rows = 5;
+        let participants = vec![true; 64];
+        let mut contributions = Vec::new();
+        let mut expect = vec![0i64; rows];
+        for pe in 0..64usize {
+            for row in 0..rows {
+                let v = (pe as i64 + 1) * (row as i64 + 3) - 40;
+                contributions.push((pe, row as u32, v));
+                expect[row] += v;
+            }
+        }
+        let out = run_reduction(rows, &contributions, &participants);
+        assert_eq!(out.len(), rows);
+        let mut got = vec![0i64; rows];
+        for (row, total) in out {
+            got[row as usize] = total;
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn each_row_emitted_exactly_once() {
+        let participants = vec![true; 64];
+        let contributions: Vec<(usize, u32, i64)> =
+            (0..64).flat_map(|pe| (0..3u32).map(move |r| (pe, r, 1))).collect();
+        let out = run_reduction(3, &contributions, &participants);
+        let mut rows: Vec<u32> = out.iter().map(|&(r, _)| r).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 1, 2]);
+        assert!(out.iter().all(|&(_, total)| total == 64));
+    }
+
+    #[test]
+    fn silent_pes_do_not_block_completion() {
+        // Only 3 PEs participate, scattered across subtrees.
+        let mut participants = vec![false; 64];
+        for &pe in &[2usize, 21, 63] {
+            participants[pe] = true;
+        }
+        let contributions = vec![(2usize, 0u32, 10i64), (21, 0, 20), (63, 0, 30)];
+        let out = run_reduction(1, &contributions, &participants);
+        assert_eq!(out, vec![(0, 60)]);
+    }
+
+    #[test]
+    fn no_participants_is_immediately_done() {
+        let cfg = NocConfig::default();
+        let tree = ReduceTree::new(&cfg, 4, &vec![false; 64]);
+        assert!(tree.is_done());
+    }
+
+    #[test]
+    fn merge_count_matches_total_contributions() {
+        let participants = vec![true; 64];
+        let contributions: Vec<(usize, u32, i64)> =
+            (0..64).map(|pe| (pe, 0u32, 1i64)).collect();
+        let cfg = NocConfig::default();
+        let mut tree = ReduceTree::new(&cfg, 1, &participants);
+        let mut pending = contributions;
+        for _ in 0..10_000 {
+            pending.retain(|&(pe, row, v)| !tree.try_inject(pe, row, v));
+            tree.tick();
+            if pending.is_empty() && tree.is_done() {
+                break;
+            }
+        }
+        assert!(tree.is_done());
+        // 64 merges at the leaves + 16 at internal + 4 at root = 84.
+        assert_eq!(tree.stats().acc_merges, 84);
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn row_out_of_range_panics() {
+        let cfg = NocConfig::default();
+        let mut tree = ReduceTree::new(&cfg, 2, &vec![true; 64]);
+        tree.try_inject(0, 7, 1);
+    }
+}

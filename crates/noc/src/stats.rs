@@ -1,0 +1,52 @@
+//! Event counters collected by the trees (inputs to the energy model).
+
+/// Activity counters for one tree over one simulation.
+///
+/// Every field is a *count of events*; the energy model in
+/// `sparsenn-energy` multiplies them by per-event energies, mirroring how
+/// the paper feeds post-synthesis toggle rates into PrimeTime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Cycles ticked.
+    pub cycles: u64,
+    /// Router traversals (one flit moving through one router).
+    pub hops: u64,
+    /// Flits the root emitted (broadcasts or finished reductions).
+    pub root_emissions: u64,
+    /// Cycles the root wanted to emit but was stalled by the sink.
+    pub sink_stalls: u64,
+    /// Cycles a router had a flit but no credit to forward it.
+    pub credit_stalls: u64,
+    /// Peak occupancy observed over all router buffers.
+    pub peak_occupancy: usize,
+    /// ACC-stage merge operations (reduce tree only).
+    pub acc_merges: u64,
+}
+
+impl NocStats {
+    /// Merges another stats block into this one (peaks take the max).
+    pub fn merge(&mut self, other: &NocStats) {
+        self.cycles += other.cycles;
+        self.hops += other.hops;
+        self.root_emissions += other.root_emissions;
+        self.sink_stalls += other.sink_stalls;
+        self.credit_stalls += other.credit_stalls;
+        self.peak_occupancy = self.peak_occupancy.max(other.peak_occupancy);
+        self.acc_merges += other.acc_merges;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_maxes_peaks() {
+        let mut a = NocStats { cycles: 10, hops: 5, peak_occupancy: 2, ..NocStats::default() };
+        let b = NocStats { cycles: 3, hops: 7, peak_occupancy: 4, ..NocStats::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 13);
+        assert_eq!(a.hops, 12);
+        assert_eq!(a.peak_occupancy, 4);
+    }
+}

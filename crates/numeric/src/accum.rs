@@ -1,0 +1,181 @@
+//! The wide MAC accumulator of the PE datapath.
+
+use crate::Fixed;
+
+/// A 64-bit multiply-accumulate register.
+///
+/// Hardware MAC units keep a guard-banded accumulator much wider than the
+/// 16-bit operand words so that long dot products never overflow mid-sum.
+/// 64 bits is enough for `2^23` worst-case Q6.10 products (`|p| ≤ 2^30`),
+/// far beyond the 4 K-activation layers SparseNN supports — which makes
+/// accumulation exactly associative and commutative. That property is what
+/// lets the out-of-order activation delivery of the H-tree NoC produce
+/// results **bit-identical** to the sequential golden model (paper §V.B).
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_numeric::{Accumulator, Q6_10};
+/// let xs = [0.5f32, -1.25, 3.0];
+/// let ws = [2.0f32, 0.75, -0.5];
+/// let mut fwd = Accumulator::new();
+/// let mut rev = Accumulator::new();
+/// for i in 0..3 {
+///     fwd.mac(Q6_10::from_f32(ws[i]), Q6_10::from_f32(xs[i]));
+///     rev.mac(Q6_10::from_f32(ws[2 - i]), Q6_10::from_f32(xs[2 - i]));
+/// }
+/// assert_eq!(fwd, rev); // order independent, bit for bit
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Accumulator {
+    sum: i64,
+}
+
+impl Accumulator {
+    /// Creates a cleared accumulator.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { sum: 0 }
+    }
+
+    /// Creates an accumulator holding a raw `Q(2·FRAC)` partial sum.
+    ///
+    /// Used when partial sums travel through the NoC (the V-phase reduction
+    /// embeds an ACC stage in every router, paper Fig. 4(c)).
+    #[inline]
+    pub const fn from_raw(sum: i64) -> Self {
+        Self { sum }
+    }
+
+    /// The raw `Q(2·FRAC)` value of the accumulator.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.sum
+    }
+
+    /// Multiply-accumulate: `self += w · a` at full precision.
+    #[inline]
+    pub fn mac<const FRAC: u32>(&mut self, w: Fixed<FRAC>, a: Fixed<FRAC>) {
+        self.sum += i64::from(w.wide_mul(a));
+    }
+
+    /// Adds another accumulator (the router ACC stage of the V phase).
+    #[inline]
+    pub fn merge(&mut self, other: Accumulator) {
+        self.sum += other.sum;
+    }
+
+    /// `true` when no product has been accumulated (or they cancelled).
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.sum == 0
+    }
+
+    /// Sign of the accumulated pre-activation.
+    ///
+    /// The U-phase of the predictor only needs this single bit:
+    /// `p = sign(U V a)`. Zero is treated as non-positive (the row is
+    /// bypassed), matching `sign(0) = 0 ⇒ not scheduled`.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.sum > 0
+    }
+
+    /// Writes the accumulator back to a 16-bit word: arithmetic shift by
+    /// `FRAC` with round-to-nearest-even, then saturation — the PE's
+    /// writeback stage.
+    #[inline]
+    pub fn to_fixed<const FRAC: u32>(self) -> Fixed<FRAC> {
+        let shifted = round_shift_even(self.sum, FRAC);
+        let clamped = shifted.clamp(i64::from(i16::MIN), i64::from(i16::MAX));
+        Fixed::from_raw(clamped as i16)
+    }
+
+    /// Converts the full-precision sum to `f32` (for diagnostics only; the
+    /// datapath never does this).
+    #[inline]
+    pub fn to_f32<const FRAC: u32>(self) -> f32 {
+        (self.sum as f64 / (1u64 << (2 * FRAC)) as f64) as f32
+    }
+}
+
+/// Arithmetic right shift with round-to-nearest, ties to even.
+#[inline]
+#[allow(clippy::if_same_then_else)] // branches spell out the rounding cases
+fn round_shift_even(v: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return v;
+    }
+    let floor = v >> shift;
+    let rem = v - (floor << shift);
+    let half = 1i64 << (shift - 1);
+    if rem > half {
+        floor + 1
+    } else if rem < half {
+        floor
+    } else if floor & 1 == 0 {
+        floor
+    } else {
+        floor + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Q6_10;
+
+    #[test]
+    fn mac_accumulates_exact_products() {
+        let mut acc = Accumulator::new();
+        acc.mac(Q6_10::from_f32(1.5), Q6_10::from_f32(2.0));
+        acc.mac(Q6_10::from_f32(-0.5), Q6_10::from_f32(1.0));
+        // 3.0 - 0.5 = 2.5 in Q20: 2.5 * 2^20
+        assert_eq!(acc.raw(), (2.5 * f64::powi(2.0, 20)) as i64);
+        assert_eq!(acc.to_fixed::<10>().to_f32(), 2.5);
+    }
+
+    #[test]
+    fn writeback_rounds_ties_to_even() {
+        // raw Q20 value exactly halfway between two Q10 codes.
+        let half = 1i64 << 9; // 0.5 ulp at FRAC=10
+        assert_eq!(Accumulator::from_raw((4 << 10) + half).to_fixed::<10>().raw(), 4);
+        assert_eq!(Accumulator::from_raw((5 << 10) + half).to_fixed::<10>().raw(), 6);
+        assert_eq!(Accumulator::from_raw(-((5i64 << 10) + half)).to_fixed::<10>().raw(), -6,);
+        assert_eq!(Accumulator::from_raw((4 << 10) + half + 1).to_fixed::<10>().raw(), 5);
+    }
+
+    #[test]
+    fn writeback_saturates() {
+        let big = Accumulator::from_raw(i64::MAX / 2);
+        assert_eq!(big.to_fixed::<10>(), Q6_10::MAX);
+        let small = Accumulator::from_raw(i64::MIN / 2);
+        assert_eq!(small.to_fixed::<10>(), Q6_10::MIN);
+    }
+
+    #[test]
+    fn merge_matches_flat_accumulation() {
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        let mut flat = Accumulator::new();
+        for i in 0..16i16 {
+            let w = Q6_10::from_raw(i * 100 - 800);
+            let x = Q6_10::from_raw(i * 37 - 300);
+            if i % 2 == 0 {
+                a.mac(w, x);
+            } else {
+                b.mac(w, x);
+            }
+            flat.mac(w, x);
+        }
+        a.merge(b);
+        assert_eq!(a, flat);
+    }
+
+    #[test]
+    fn sign_predicate_treats_zero_as_inactive() {
+        assert!(!Accumulator::new().is_positive());
+        assert!(Accumulator::from_raw(1).is_positive());
+        assert!(!Accumulator::from_raw(-1).is_positive());
+    }
+}

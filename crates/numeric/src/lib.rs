@@ -1,0 +1,52 @@
+//! 16-bit fixed-point arithmetic substrate for the SparseNN reproduction.
+//!
+//! The SparseNN accelerator (Zhu et al., DATE 2018) quantizes all weights and
+//! activations to **16-bit fixed point** (Table II of the paper). This crate
+//! provides the exact arithmetic the hardware datapath performs, so that the
+//! cycle-level simulator in `sparsenn-sim` can be verified **bit for bit**
+//! against a functional golden model — the reproduction's analogue of the
+//! paper's "functional simulation ... verified against the fixed point
+//! simulation in Matlab".
+//!
+//! # Layout
+//!
+//! * [`Fixed`] — a two's-complement 16-bit word with a const-generic number of
+//!   fraction bits. The accelerator uses [`Q6_10`] (1 sign + 5 integer + 10
+//!   fraction bits).
+//! * [`Accumulator`] — the wide (64-bit) MAC accumulator. Using an
+//!   accumulator wide enough that no intermediate sum can overflow makes
+//!   accumulation **order independent**, which is what allows the
+//!   out-of-order H-tree delivery of the NoC to be bit-exact with the
+//!   in-order golden model (Section V.B of the paper: "the out-of-order input
+//!   activations do not affect the computation results").
+//! * [`quantize`] — helpers to quantize `f32` tensors and measure the induced
+//!   error.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsenn_numeric::{Q6_10, Accumulator};
+//!
+//! let w = Q6_10::from_f32(0.5);
+//! let a = Q6_10::from_f32(-1.25);
+//! let mut acc = Accumulator::new();
+//! acc.mac(w, a);
+//! acc.mac(w, a);
+//! assert_eq!(acc.to_fixed::<10>().to_f32(), -1.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod fixed;
+pub mod quantize;
+
+pub use accum::Accumulator;
+pub use fixed::{Fixed, Q6_10};
+
+/// Number of fraction bits used by the SparseNN datapath (Q6.10).
+pub const FRAC_BITS: u32 = 10;
+
+/// Width in bits of the fixed-point word used by the accelerator.
+pub const WORD_BITS: u32 = 16;

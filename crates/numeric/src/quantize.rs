@@ -1,0 +1,111 @@
+//! Tensor quantization helpers.
+//!
+//! The bridge between the floating-point training world
+//! (`sparsenn-train`) and the fixed-point accelerator world
+//! (`sparsenn-sim`). Quantization is per-element round-to-nearest with
+//! saturation; [`QuantStats`] reports how much signal the Q6.10 grid lost so
+//! experiments can confirm the quantization is benign before trusting
+//! simulated accuracy.
+
+use crate::Fixed;
+
+/// Quantizes a slice of `f32` values to fixed point.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_numeric::quantize::quantize_slice;
+/// use sparsenn_numeric::Q6_10;
+/// let q: Vec<Q6_10> = quantize_slice(&[0.5, -1.0, 0.3]);
+/// assert_eq!(q[0].to_f32(), 0.5);
+/// ```
+pub fn quantize_slice<const FRAC: u32>(xs: &[f32]) -> Vec<Fixed<FRAC>> {
+    xs.iter().map(|&x| Fixed::from_f32(x)).collect()
+}
+
+/// Dequantizes a slice of fixed-point values back to `f32`.
+pub fn dequantize_slice<const FRAC: u32>(xs: &[Fixed<FRAC>]) -> Vec<f32> {
+    xs.iter().map(|x| x.to_f32()).collect()
+}
+
+/// Error statistics of a quantization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QuantStats {
+    /// Largest absolute difference between an input and its quantized value.
+    pub max_abs_error: f32,
+    /// Mean absolute difference.
+    pub mean_abs_error: f32,
+    /// Number of elements that hit the saturation rails.
+    pub saturated: usize,
+    /// Number of elements quantized.
+    pub len: usize,
+}
+
+/// Quantizes a slice and reports the induced error.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_numeric::quantize::quantize_with_stats;
+/// let (q, stats) = quantize_with_stats::<10>(&[0.5, 100.0]);
+/// assert_eq!(stats.saturated, 1); // 100.0 is outside Q6.10 range
+/// assert_eq!(q.len(), 2);
+/// ```
+pub fn quantize_with_stats<const FRAC: u32>(xs: &[f32]) -> (Vec<Fixed<FRAC>>, QuantStats) {
+    let mut stats = QuantStats { len: xs.len(), ..QuantStats::default() };
+    let mut sum_err = 0.0f64;
+    let q: Vec<Fixed<FRAC>> = xs
+        .iter()
+        .map(|&x| {
+            let f = Fixed::<FRAC>::from_f32(x);
+            if f == Fixed::MAX || f == Fixed::MIN {
+                stats.saturated += 1;
+            }
+            let err = (x - f.to_f32()).abs();
+            if err > stats.max_abs_error {
+                stats.max_abs_error = err;
+            }
+            sum_err += f64::from(err);
+            f
+        })
+        .collect();
+    if !xs.is_empty() {
+        stats.mean_abs_error = (sum_err / xs.len() as f64) as f32;
+    }
+    (q, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_at_most_half_ulp() {
+        let ulp = f32::powi(2.0, -10);
+        let xs: Vec<f32> = (0..1000).map(|i| (i as f32) * 0.0137 - 7.0).collect();
+        let (_, stats) = quantize_with_stats::<10>(&xs);
+        assert!(stats.max_abs_error <= ulp / 2.0 + f32::EPSILON);
+        assert_eq!(stats.saturated, 0);
+        assert_eq!(stats.len, 1000);
+    }
+
+    #[test]
+    fn saturation_counted() {
+        let (_, stats) = quantize_with_stats::<10>(&[40.0, -40.0, 0.0]);
+        assert_eq!(stats.saturated, 2);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let (q, stats) = quantize_with_stats::<10>(&[]);
+        assert!(q.is_empty());
+        assert_eq!(stats.mean_abs_error, 0.0);
+    }
+
+    #[test]
+    fn dequantize_inverts_quantize_on_grid() {
+        let xs = [0.5f32, -0.25, 3.0];
+        let q = quantize_slice::<10>(&xs);
+        assert_eq!(dequantize_slice(&q), xs.to_vec());
+    }
+}

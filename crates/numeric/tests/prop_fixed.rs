@@ -1,0 +1,110 @@
+//! Property-based tests for the fixed-point substrate.
+
+use proptest::prelude::*;
+use sparsenn_numeric::{Accumulator, Fixed, Q6_10};
+
+proptest! {
+    /// Quantizing any in-range float and reading it back stays within half
+    /// an ulp of the original.
+    #[test]
+    fn quantize_roundtrip_within_half_ulp(x in -31.9f32..31.9) {
+        let q = Q6_10::from_f32(x);
+        let ulp = f32::powi(2.0, -10);
+        prop_assert!((q.to_f32() - x).abs() <= ulp / 2.0 + f32::EPSILON);
+    }
+
+    /// Values already on the Q6.10 grid quantize losslessly.
+    #[test]
+    fn grid_points_are_fixed_points(raw in i16::MIN..=i16::MAX) {
+        let q = Q6_10::from_raw(raw);
+        prop_assert_eq!(Q6_10::from_f32(q.to_f32()), q);
+    }
+
+    /// Saturating addition is commutative and never panics.
+    #[test]
+    fn add_commutes(a in any::<i16>(), b in any::<i16>()) {
+        let x = Q6_10::from_raw(a);
+        let y = Q6_10::from_raw(b);
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    /// Saturating addition is monotone in each argument.
+    #[test]
+    fn add_is_monotone(a in any::<i16>(), b in any::<i16>(), c in any::<i16>()) {
+        let (lo, hi) = if b <= c { (b, c) } else { (c, b) };
+        let x = Q6_10::from_raw(a);
+        prop_assert!(x + Q6_10::from_raw(lo) <= x + Q6_10::from_raw(hi));
+    }
+
+    /// Wide multiplication agrees with f64 arithmetic exactly.
+    #[test]
+    fn wide_mul_matches_f64(a in any::<i16>(), b in any::<i16>()) {
+        let p = Q6_10::from_raw(a).wide_mul(Q6_10::from_raw(b));
+        prop_assert_eq!(i64::from(p), i64::from(a) * i64::from(b));
+    }
+
+    /// Accumulation is order independent: any permutation of MACs produces a
+    /// bit-identical accumulator. This is the invariant the out-of-order NoC
+    /// delivery relies on.
+    #[test]
+    fn accumulation_is_order_independent(
+        pairs in prop::collection::vec((any::<i16>(), any::<i16>()), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let mut fwd = Accumulator::new();
+        for &(w, a) in &pairs {
+            fwd.mac(Q6_10::from_raw(w), Q6_10::from_raw(a));
+        }
+        // Deterministic pseudo-shuffle driven by the seed.
+        let mut shuffled = pairs.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut rev = Accumulator::new();
+        for &(w, a) in &shuffled {
+            rev.mac(Q6_10::from_raw(w), Q6_10::from_raw(a));
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Merging split accumulators equals flat accumulation (router ACC stage
+    /// correctness at the arithmetic level).
+    #[test]
+    fn merge_equals_flat(
+        pairs in prop::collection::vec((any::<i16>(), any::<i16>()), 0..64),
+        split in 0usize..64,
+    ) {
+        let split = split.min(pairs.len());
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        let mut flat = Accumulator::new();
+        for (i, &(w, a)) in pairs.iter().enumerate() {
+            let (w, a) = (Q6_10::from_raw(w), Q6_10::from_raw(a));
+            if i < split { left.mac(w, a) } else { right.mac(w, a) }
+            flat.mac(w, a);
+        }
+        left.merge(right);
+        prop_assert_eq!(left, flat);
+    }
+
+    /// Writeback never panics and always lands inside the i16 range.
+    #[test]
+    fn writeback_in_range(sum in any::<i64>()) {
+        let f: Fixed<10> = Accumulator::from_raw(sum).to_fixed();
+        // Either saturated or within one ulp of sum / 2^10.
+        prop_assert!(f.raw() == i16::MAX || f.raw() == i16::MIN ||
+            ((i64::from(f.raw()) << 10) - sum).abs() <= 1 << 9);
+    }
+
+    /// ReLU output is always non-negative and idempotent.
+    #[test]
+    fn relu_invariants(raw in any::<i16>()) {
+        let x = Q6_10::from_raw(raw);
+        let r = x.relu();
+        prop_assert!(r.raw() >= 0);
+        prop_assert_eq!(r.relu(), r);
+    }
+}

@@ -1,0 +1,146 @@
+//! Machine configuration (the paper's Table II).
+
+use sparsenn_noc::NocConfig;
+
+/// Micro-architectural parameters of the simulated accelerator.
+///
+/// The defaults are the paper's Table II machine:
+///
+/// | parameter | value |
+/// |---|---|
+/// | Quantization | 16-bit fixed point |
+/// | On-chip W/U/V memory per PE | 128 KB / 8 KB / 8 KB |
+/// | Activation registers per PE | 64 |
+/// | NoC flow control | packet buffer with credit |
+/// | PEs | 64, 3-level H-tree |
+/// | Clock | 2 ns (500 MHz) |
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Network topology and flow control.
+    pub noc: NocConfig,
+    /// Depth of each PE's activation queue, in entries.
+    pub act_queue_depth: usize,
+    /// W memory per PE, bytes.
+    pub w_mem_bytes: usize,
+    /// U memory per PE, bytes.
+    pub u_mem_bytes: usize,
+    /// V memory per PE, bytes.
+    pub v_mem_bytes: usize,
+    /// Activation registers per PE (each of the two ping-pong files).
+    pub act_regs_per_pe: usize,
+    /// PE datapath pipeline depth (memory address, memory access,
+    /// multiply, add, write back — paper §V.D).
+    pub pe_pipeline_depth: u64,
+    /// Clock period in nanoseconds (2 ns: the 128 KB SRAM access alone is
+    /// more than 1.7 ns).
+    pub clock_ns: f64,
+}
+
+impl MachineConfig {
+    /// Number of processing elements.
+    pub fn num_pes(&self) -> usize {
+        self.noc.num_pes
+    }
+
+    /// Maximum supported activations per layer
+    /// (`act_regs_per_pe × num_pes`, 4 K for the default machine).
+    pub fn max_activations(&self) -> usize {
+        self.act_regs_per_pe * self.num_pes()
+    }
+
+    /// Peak throughput in GOP/s: each PE performs one multiply and one add
+    /// per cycle (64 GOP/s for the default machine — Table IV).
+    pub fn peak_gops(&self) -> f64 {
+        self.num_pes() as f64 * 2.0 / self.clock_ns
+    }
+
+    /// Total on-chip W memory (8 MB for the default machine).
+    pub fn total_w_mem_bytes(&self) -> usize {
+        self.w_mem_bytes * self.num_pes()
+    }
+
+    /// Largest weight-matrix shape `(rows, cols)` that fits the per-PE W
+    /// memory with 16-bit weights.
+    pub fn w_capacity_words_per_pe(&self) -> usize {
+        self.w_mem_bytes / 2
+    }
+
+    /// Checks that an `rows × cols` layer fits this machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated limit.
+    pub fn validate_layer(&self, rows: usize, cols: usize) -> Result<(), String> {
+        let n = self.num_pes();
+        if cols > self.max_activations() {
+            return Err(format!(
+                "{cols} input activations exceed the {}-entry register files",
+                self.max_activations()
+            ));
+        }
+        if rows > self.max_activations() {
+            return Err(format!(
+                "{rows} output activations exceed the {}-entry register files",
+                self.max_activations()
+            ));
+        }
+        let rows_per_pe = rows.div_ceil(n);
+        let words = rows_per_pe * cols;
+        if words > self.w_capacity_words_per_pe() {
+            return Err(format!(
+                "layer needs {words} weight words per PE, memory holds {}",
+                self.w_capacity_words_per_pe()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            noc: NocConfig::default(),
+            act_queue_depth: 16,
+            w_mem_bytes: 128 * 1024,
+            u_mem_bytes: 8 * 1024,
+            v_mem_bytes: 8 * 1024,
+            act_regs_per_pe: 64,
+            pe_pipeline_depth: 5,
+            clock_ns: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_ii() {
+        let c = MachineConfig::default();
+        assert_eq!(c.num_pes(), 64);
+        assert_eq!(c.w_mem_bytes, 128 * 1024);
+        assert_eq!(c.u_mem_bytes, 8 * 1024);
+        assert_eq!(c.v_mem_bytes, 8 * 1024);
+        assert_eq!(c.act_regs_per_pe, 64);
+        assert_eq!(c.total_w_mem_bytes(), 8 * 1024 * 1024); // 8 MB
+        assert_eq!(c.max_activations(), 4096); // 4 K
+        assert_eq!(c.peak_gops(), 64.0); // Table IV
+    }
+
+    #[test]
+    fn paper_layers_fit() {
+        let c = MachineConfig::default();
+        assert!(c.validate_layer(1000, 784).is_ok());
+        assert!(c.validate_layer(1000, 1000).is_ok());
+        assert!(c.validate_layer(10, 1000).is_ok());
+    }
+
+    #[test]
+    fn oversized_layers_are_rejected() {
+        let c = MachineConfig::default();
+        assert!(c.validate_layer(5000, 1000).is_err());
+        assert!(c.validate_layer(1000, 5000).is_err());
+        assert!(c.validate_layer(4096, 4096).is_err(), "4K×4K needs 128K words/PE");
+    }
+}

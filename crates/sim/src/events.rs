@@ -1,0 +1,98 @@
+//! Activity counters — the simulator's equivalent of post-synthesis toggle
+//! rates.
+//!
+//! Every counter is a raw event count over one simulation; the energy model
+//! in `sparsenn-energy` turns them into joules and watts. Nothing here is
+//! time-normalized, so counters from several layers can simply be added.
+
+use sparsenn_noc::NocStats;
+
+/// Event counters for one layer (or network) simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineEvents {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Cycles spent in the predictor phases (V reduction + U consumption).
+    pub vu_cycles: u64,
+    /// Cycles spent in the W feedforward phase.
+    pub w_cycles: u64,
+    /// 16-bit words read from the per-PE W memories.
+    pub w_reads: u64,
+    /// 16-bit words read from the per-PE U memories.
+    pub u_reads: u64,
+    /// 16-bit words read from the per-PE V memories.
+    pub v_reads: u64,
+    /// Multiply-accumulate operations executed by PE datapaths.
+    pub macs: u64,
+    /// Source activation register file reads (LNZD scans feeding the NoC).
+    pub src_reads: u64,
+    /// Destination register file writebacks (one per produced activation).
+    pub dst_writes: u64,
+    /// Activation-queue pushes (one per PE per delivered broadcast).
+    pub queue_pushes: u64,
+    /// Activation-queue pops.
+    pub queue_pops: u64,
+    /// Predictor register bank writes (one per output row, U phase).
+    pub pred_writes: u64,
+    /// Predictor register bank LNZD scans (one per activation processed in
+    /// a predicted W phase).
+    pub pred_scans: u64,
+    /// PE-cycles doing useful datapath work.
+    pub pe_busy_cycles: u64,
+    /// PE-cycles idle (queue empty / waiting on the network).
+    pub pe_idle_cycles: u64,
+    /// Combined NoC activity (broadcast tree + reduce tree).
+    pub noc: NocStats,
+}
+
+impl MachineEvents {
+    /// Element-wise accumulation (peaks take the max via [`NocStats::merge`]).
+    pub fn merge(&mut self, other: &MachineEvents) {
+        self.cycles += other.cycles;
+        self.vu_cycles += other.vu_cycles;
+        self.w_cycles += other.w_cycles;
+        self.w_reads += other.w_reads;
+        self.u_reads += other.u_reads;
+        self.v_reads += other.v_reads;
+        self.macs += other.macs;
+        self.src_reads += other.src_reads;
+        self.dst_writes += other.dst_writes;
+        self.queue_pushes += other.queue_pushes;
+        self.queue_pops += other.queue_pops;
+        self.pred_writes += other.pred_writes;
+        self.pred_scans += other.pred_scans;
+        self.pe_busy_cycles += other.pe_busy_cycles;
+        self.pe_idle_cycles += other.pe_idle_cycles;
+        self.noc.merge(&other.noc);
+    }
+
+    /// Mean PE datapath utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.pe_busy_cycles + self.pe_idle_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pe_busy_cycles as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MachineEvents { cycles: 10, macs: 100, ..MachineEvents::default() };
+        let b = MachineEvents { cycles: 5, macs: 50, ..MachineEvents::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.macs, 150);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let e = MachineEvents { pe_busy_cycles: 3, pe_idle_cycles: 1, ..MachineEvents::default() };
+        assert!((e.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(MachineEvents::default().utilization(), 0.0);
+    }
+}

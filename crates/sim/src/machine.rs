@@ -1,0 +1,487 @@
+//! The whole-machine simulator: 64 PEs + H-tree, phase sequencing.
+
+use crate::config::MachineConfig;
+use crate::events::MachineEvents;
+use crate::pe::{Pe, StepOutcome};
+use sparsenn_model::fixedpoint::{FixedMatrix, FixedNetwork, FixedPredictor, UvMode};
+use sparsenn_noc::{ActFlit, BroadcastTree, ReduceTree};
+use sparsenn_numeric::{Accumulator, Q6_10};
+use std::collections::VecDeque;
+
+/// Which phase a cycle belonged to (reporting granularity of Fig. 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Predictor phases: V reduction and U consumption (overlapped).
+    Vu,
+    /// Feedforward W phase.
+    W,
+}
+
+/// Result of simulating one layer.
+#[derive(Clone, Debug)]
+pub struct LayerRun {
+    /// The produced output activations (bit-exact vs. the golden model).
+    pub output: Vec<Q6_10>,
+    /// Predictor mask (`true` = computed), when the predictor ran.
+    pub mask: Option<Vec<bool>>,
+    /// Total cycles for the layer (`vu_cycles + w_cycles`).
+    pub cycles: u64,
+    /// Cycles in the V/U predictor phases (0 in `uv_off` mode).
+    pub vu_cycles: u64,
+    /// Cycles in the W feedforward phase.
+    pub w_cycles: u64,
+    /// Activity counters for the energy model.
+    pub events: MachineEvents,
+    /// Busy datapath cycles per PE — the per-PE work distribution. The
+    /// paper points out that "the number of nonzero output activations
+    /// predicted by the sparsity predictor also varies from PE to PE";
+    /// this vector quantifies it.
+    pub pe_busy: Vec<u64>,
+}
+
+impl LayerRun {
+    /// Work imbalance: busiest PE's cycles over the mean. 1.0 = perfectly
+    /// balanced; the whole layer's duration is paced by the max, so this is
+    /// the factor by which imbalance stretches the W phase (and where the
+    /// idle-cycle power savings of `uv_on` come from).
+    pub fn work_imbalance(&self) -> f64 {
+        let max = self.pe_busy.iter().copied().max().unwrap_or(0);
+        let sum: u64 = self.pe_busy.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 * self.pe_busy.len() as f64 / sum as f64
+    }
+}
+
+/// Result of simulating a whole network.
+#[derive(Clone, Debug)]
+pub struct NetworkRun {
+    /// Per-layer results, input side first.
+    pub layers: Vec<LayerRun>,
+}
+
+impl NetworkRun {
+    /// Output activations of the final layer.
+    pub fn output(&self) -> &[Q6_10] {
+        &self.layers.last().expect("at least one layer").output
+    }
+
+    /// Argmax classification of the final layer.
+    pub fn classify(&self) -> usize {
+        let out = self.output();
+        let mut best = 0;
+        for (i, v) in out.iter().enumerate() {
+            if v.raw() > out[best].raw() {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of per-layer cycle counts.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Merged activity counters.
+    pub fn total_events(&self) -> MachineEvents {
+        let mut ev = MachineEvents::default();
+        for l in &self.layers {
+            ev.merge(&l.events);
+        }
+        ev
+    }
+}
+
+/// The cycle-level SparseNN machine.
+///
+/// Stateless between runs: every [`run_layer`](Machine::run_layer) builds
+/// fresh PEs and NoC state, so runs are independent and deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+/// Upper bound on simulated cycles per phase — a deadlock tripwire, far
+/// above any legitimate layer (the largest supported layer needs fewer
+/// than 4 K × 4 K / 64 ≈ 256 K W-phase cycles).
+const CYCLE_GUARD: u64 = 50_000_000;
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Simulates one layer.
+    ///
+    /// `predictor` is used only when `mode == UvMode::On` and
+    /// `is_hidden` — exactly the layers the paper equips with predictors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer does not fit the machine
+    /// ([`MachineConfig::validate_layer`]) or `input` width mismatches `w`.
+    pub fn run_layer(
+        &self,
+        w: &FixedMatrix,
+        predictor: Option<&FixedPredictor>,
+        input: &[Q6_10],
+        is_hidden: bool,
+        mode: UvMode,
+    ) -> LayerRun {
+        self.cfg
+            .validate_layer(w.rows(), w.cols())
+            .unwrap_or_else(|e| panic!("layer does not fit the machine: {e}"));
+        assert_eq!(input.len(), w.cols(), "input width mismatch");
+
+        let n_pes = self.cfg.num_pes();
+        let mut ev = MachineEvents::default();
+        let mut pes: Vec<Pe> = (0..n_pes)
+            .map(|id| Pe::new(id, n_pes, self.cfg.act_queue_depth, input, w.rows()))
+            .collect();
+
+        let mut pe_busy = vec![0u64; n_pes];
+        let predicted = mode == UvMode::On && is_hidden && predictor.is_some();
+        let vu_cycles = if predicted {
+            let p = predictor.expect("checked above");
+            self.run_vu_phase(&mut pes, p, &mut ev, &mut pe_busy)
+        } else {
+            pes.iter_mut().for_each(Pe::force_all_active);
+            0
+        };
+
+        let w_cycles = self.run_w_phase(&mut pes, w, predicted, &mut ev, &mut pe_busy);
+
+        // Writeback to the destination register file.
+        let mut output = vec![Q6_10::ZERO; w.rows()];
+        for pe in &pes {
+            for (row, val) in pe.writeback(is_hidden, &mut ev) {
+                output[row as usize] = val;
+            }
+        }
+        let mask = predicted.then(|| {
+            let mut mask = vec![false; w.rows()];
+            for pe in &pes {
+                for (&row, &bit) in pe.rows().iter().zip(pe.predictor_bits()) {
+                    mask[row as usize] = bit;
+                }
+            }
+            mask
+        });
+
+        ev.vu_cycles = vu_cycles;
+        ev.w_cycles = w_cycles;
+        ev.cycles = vu_cycles + w_cycles;
+        LayerRun {
+            output,
+            mask,
+            cycles: vu_cycles + w_cycles,
+            vu_cycles,
+            w_cycles,
+            events: ev,
+            pe_busy,
+        }
+    }
+
+    /// Simulates the whole network, feeding each layer's (already
+    /// quantized) outputs to the next — the ping-pong register files.
+    pub fn run_network(&self, net: &FixedNetwork, input: &[Q6_10], mode: UvMode) -> NetworkRun {
+        let mut acts = input.to_vec();
+        let mut layers = Vec::with_capacity(net.num_layers());
+        for l in 0..net.num_layers() {
+            let is_hidden = l + 1 < net.num_layers();
+            let predictor = if is_hidden { net.predictors().get(l) } else { None };
+            let run = self.run_layer(&net.layers()[l], predictor, &acts, is_hidden, mode);
+            acts = run.output.clone();
+            layers.push(run);
+        }
+        NetworkRun { layers }
+    }
+
+    /// The overlapped V/U predictor phases. Returns the cycle count.
+    fn run_vu_phase(
+        &self,
+        pes: &mut [Pe],
+        p: &FixedPredictor,
+        ev: &mut MachineEvents,
+        pe_busy: &mut [u64],
+    ) -> u64 {
+        let r = p.v.rows();
+        let participants: Vec<bool> = pes.iter().map(Pe::participates).collect();
+        for pe in pes.iter_mut() {
+            pe.begin_v(r);
+        }
+        let mut reduce = ReduceTree::new(&self.cfg.noc, r, &participants);
+        // Root output buffer and the downward broadcast pipeline for the
+        // quantized V results.
+        let mut pending: VecDeque<ActFlit> = VecDeque::new();
+        let mut down: VecDeque<(u64, ActFlit)> = VecDeque::new();
+        let bcast_latency = self.cfg.noc.broadcast_latency();
+
+        let mut cycle: u64 = 0;
+        loop {
+            cycle += 1;
+            assert!(cycle < CYCLE_GUARD, "V/U phase deadlock");
+
+            // Network interfaces push finished partials into the reduce tree.
+            for pe in pes.iter_mut() {
+                if let Some((row, val)) = pe.pending_v_emit() {
+                    if reduce.try_inject(pe.id(), row, val) {
+                        pe.clear_v_emit();
+                    }
+                }
+            }
+
+            // Root finishes at most one row per cycle; zero results are not
+            // broadcast (the U phase skips them exactly).
+            if let Some((row, total)) = reduce.tick() {
+                let q: Q6_10 = Accumulator::from_raw(total).to_fixed();
+                if !q.is_zero() {
+                    pending.push_back(ActFlit { index: row, value: q.raw() });
+                }
+            }
+
+            // Enter the broadcast pipeline only with guaranteed queue space.
+            let sink_ready = pes.iter().all(|pe| pe.queue_free() > down.len());
+            if sink_ready {
+                if let Some(f) = pending.pop_front() {
+                    down.push_back((cycle + bcast_latency, f));
+                }
+            }
+            if let Some(&(ready, f)) = down.front() {
+                if ready <= cycle {
+                    down.pop_front();
+                    for pe in pes.iter_mut() {
+                        pe.push_act(f, ev);
+                    }
+                }
+            }
+
+            // Datapaths.
+            for (pe, busy) in pes.iter_mut().zip(pe_busy.iter_mut()) {
+                match pe.step_vu(&p.v, &p.u, ev) {
+                    StepOutcome::Busy => {
+                        ev.pe_busy_cycles += 1;
+                        *busy += 1;
+                    }
+                    _ => ev.pe_idle_cycles += 1,
+                }
+            }
+
+            let done = reduce.is_done()
+                && pending.is_empty()
+                && down.is_empty()
+                && pes.iter().all(|pe| pe.v_done() && pe.drained());
+            if done {
+                break;
+            }
+        }
+        ev.noc.merge(reduce.stats());
+        for pe in pes.iter_mut() {
+            pe.latch_predictor(ev);
+        }
+        cycle + self.cfg.pe_pipeline_depth
+    }
+
+    /// The W feedforward phase. Returns the cycle count.
+    fn run_w_phase(
+        &self,
+        pes: &mut [Pe],
+        w: &FixedMatrix,
+        uv_on: bool,
+        ev: &mut MachineEvents,
+        pe_busy: &mut [u64],
+    ) -> u64 {
+        for pe in pes.iter_mut() {
+            pe.rewind_src();
+        }
+        let mut tree: BroadcastTree<ActFlit> = BroadcastTree::new(&self.cfg.noc);
+        let mut cycle: u64 = 0;
+        loop {
+            cycle += 1;
+            assert!(cycle < CYCLE_GUARD, "W phase deadlock");
+
+            // Network interfaces: LNZD scan + inject one activation/cycle.
+            for pe in pes.iter_mut() {
+                if let Some(f) = pe.peek_src() {
+                    if tree.try_inject(pe.id(), f) {
+                        pe.advance_src();
+                        ev.src_reads += 1;
+                    }
+                }
+            }
+
+            let sink_ready = pes.iter().all(|pe| pe.queue_free() > tree.down_in_flight());
+            if let Some(f) = tree.tick(sink_ready) {
+                for pe in pes.iter_mut() {
+                    pe.push_act(f, ev);
+                }
+            }
+
+            for (pe, busy) in pes.iter_mut().zip(pe_busy.iter_mut()) {
+                match pe.step_w(w, uv_on, ev) {
+                    StepOutcome::Busy => {
+                        ev.pe_busy_cycles += 1;
+                        *busy += 1;
+                    }
+                    _ => ev.pe_idle_cycles += 1,
+                }
+            }
+
+            let done = tree.is_idle()
+                && pes.iter().all(|pe| pe.peek_src().is_none() && pe.drained());
+            if done {
+                break;
+            }
+        }
+        ev.noc.merge(tree.stats());
+        cycle + self.cfg.pe_pipeline_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsenn_linalg::init::seeded_rng;
+    use sparsenn_model::{Mlp, PredictedNetwork};
+
+    fn build(seed: u64, dims: &[usize], rank: usize) -> (FixedNetwork, Vec<Q6_10>) {
+        let mut rng = seeded_rng(seed);
+        let mlp = Mlp::random(dims, &mut rng);
+        let net = PredictedNetwork::with_random_predictors(mlp, rank, &mut rng);
+        let fixed = FixedNetwork::from_float(&net);
+        let x: Vec<f32> =
+            (0..dims[0]).map(|i| if i % 3 == 0 { 0.0 } else { ((i as f32) * 0.41).sin().abs() }).collect();
+        let xq = fixed.quantize_input(&x);
+        (fixed, xq)
+    }
+
+    #[test]
+    fn machine_matches_golden_uv_off() {
+        let (net, x) = build(1, &[40, 96, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_network(&net, &x, UvMode::Off);
+        let golden = net.forward(&x, UvMode::Off);
+        for (l, (run_l, gold_l)) in run.layers.iter().zip(&golden).enumerate() {
+            assert_eq!(run_l.output, gold_l.output, "layer {l} mismatch (uv_off)");
+        }
+    }
+
+    #[test]
+    fn machine_matches_golden_uv_on() {
+        let (net, x) = build(2, &[40, 96, 72, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_network(&net, &x, UvMode::On);
+        let golden = net.forward(&x, UvMode::On);
+        for (l, (run_l, gold_l)) in run.layers.iter().zip(&golden).enumerate() {
+            assert_eq!(run_l.output, gold_l.output, "layer {l} output mismatch (uv_on)");
+            assert_eq!(run_l.mask, gold_l.mask, "layer {l} mask mismatch");
+        }
+    }
+
+    #[test]
+    fn uv_off_w_reads_count_nnz_times_rows() {
+        let (net, x) = build(3, &[32, 128, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_layer(&net.layers()[0], None, &x, true, UvMode::Off);
+        let nnz = x.iter().filter(|v| !v.is_zero()).count() as u64;
+        assert_eq!(run.events.w_reads, nnz * 128);
+        assert_eq!(run.events.macs, nnz * 128);
+        assert_eq!(run.events.src_reads, nnz);
+        assert_eq!(run.events.queue_pushes, nnz * 64);
+    }
+
+    #[test]
+    fn predicted_layer_reads_less_w_memory() {
+        let (net, x) = build(4, &[48, 256, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let off = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
+        let on = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+        // A random predictor predicts ~half inactive, so W traffic drops.
+        assert!(
+            on.events.w_reads < off.events.w_reads,
+            "uv_on w_reads {} should be below uv_off {}",
+            on.events.w_reads,
+            off.events.w_reads
+        );
+        // But it pays U/V reads instead.
+        assert!(on.events.u_reads > 0 && on.events.v_reads > 0);
+        assert_eq!(off.events.u_reads, 0);
+    }
+
+    #[test]
+    fn zero_input_finishes_immediately_with_zero_output() {
+        let (net, _) = build(5, &[32, 64, 10], 4);
+        let x = vec![Q6_10::ZERO; 32];
+        let machine = Machine::new(MachineConfig::default());
+        for mode in [UvMode::Off, UvMode::On] {
+            let run = machine.run_network(&net, &x, mode);
+            assert!(run.output().iter().all(|v| v.is_zero()));
+            let golden = net.forward(&x, mode);
+            assert_eq!(run.output(), &golden.last().unwrap().output[..]);
+            assert!(run.total_cycles() < 100, "near-instant for empty input");
+        }
+    }
+
+    #[test]
+    fn tiny_act_queue_still_exact_just_slower() {
+        let (net, x) = build(6, &[40, 128, 10], 4);
+        let fast = Machine::new(MachineConfig::default());
+        let tiny = Machine::new(MachineConfig {
+            act_queue_depth: 4,
+            ..MachineConfig::default()
+        });
+        let a = fast.run_network(&net, &x, UvMode::Off);
+        let b = tiny.run_network(&net, &x, UvMode::Off);
+        assert_eq!(a.output(), b.output(), "queue depth must not change results");
+        assert!(b.total_cycles() >= a.total_cycles(), "backpressure can only slow things");
+    }
+
+    #[test]
+    fn classify_matches_golden() {
+        let (net, x) = build(7, &[36, 80, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_network(&net, &x, UvMode::On);
+        assert_eq!(run.classify(), net.classify(&x, UvMode::On));
+    }
+
+    #[test]
+    fn pe_work_distribution_is_recorded() {
+        let (net, x) = build(9, &[48, 256, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let off = machine.run_layer(&net.layers()[0], None, &x, true, UvMode::Off);
+        assert_eq!(off.pe_busy.len(), 64);
+        // uv_off: every PE has 4 rows and does identical work per
+        // activation — perfectly balanced.
+        assert!((off.work_imbalance() - 1.0).abs() < 0.05, "{}", off.work_imbalance());
+        let on =
+            machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+        // uv_on: the random predictor spreads active rows unevenly.
+        assert!(on.work_imbalance() > 1.05, "{}", on.work_imbalance());
+        // Busy cycles recorded per PE must sum to the global counter.
+        let sum: u64 = on.pe_busy.iter().sum();
+        assert_eq!(sum, on.events.pe_busy_cycles);
+    }
+
+    #[test]
+    fn network_run_accounting_adds_up() {
+        let (net, x) = build(8, &[36, 80, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_network(&net, &x, UvMode::On);
+        let per_layer: u64 = run.layers.iter().map(|l| l.cycles).sum();
+        assert_eq!(run.total_cycles(), per_layer);
+        for l in &run.layers {
+            assert_eq!(l.cycles, l.vu_cycles + l.w_cycles);
+        }
+        // Classifier layer never runs the predictor phases.
+        assert_eq!(run.layers.last().unwrap().vu_cycles, 0);
+        assert!(run.layers[0].vu_cycles > 0);
+    }
+}

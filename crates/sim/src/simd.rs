@@ -1,0 +1,161 @@
+//! Analytic models of the SIMD comparison platforms (paper Table IV).
+//!
+//! The paper compares SparseNN against two published SIMD accelerators:
+//!
+//! * **LRADNN** (ASP-DAC 2016): SIMD-32, 65 nm, 3.5 MB unified weight
+//!   memory, low-rank output-sparsity predictor, 7.08 GOP/s peak — the
+//!   unified memory must feed 32 operands per cycle, capping the clock;
+//! * **DNN-Engine** (ISSCC 2017): SIMD-8, 28 nm, 1 MB, input-sparsity
+//!   skipping at 1.2 GHz — high clock, low parallelism.
+//!
+//! Neither is cycle-simulated here (their RTL is not public); following the
+//! paper's own methodology, their cycle counts come from the analytic
+//! `work / SIMD width` expression and their energy from
+//! `published power × modelled time`. The paper's example — DNN-Engine
+//! takes `785·1000/8` cycles on BG-RAND's first layer and spends ≈ 5.1 µJ —
+//! is reproduced by these models and checked by a unit test.
+
+/// An analytically-modelled SIMD accelerator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimdPlatform {
+    /// Display name.
+    pub name: &'static str,
+    /// MACs per cycle.
+    pub simd_width: usize,
+    /// Clock frequency, GHz.
+    pub freq_ghz: f64,
+    /// Technology node, nm.
+    pub tech_nm: u32,
+    /// On-chip weight memory, bytes.
+    pub w_mem_bytes: usize,
+    /// Published power range, mW.
+    pub power_mw: (f64, f64),
+    /// Published die area, mm².
+    pub area_mm2: f64,
+    /// `true` if the platform skips zero *input* activations.
+    pub skips_input_zeros: bool,
+    /// `Some(r)`: the platform bypasses predicted-zero *outputs* using a
+    /// rank-`r` low-rank predictor.
+    pub output_predictor_rank: Option<usize>,
+}
+
+impl SimdPlatform {
+    /// The LRADNN platform of Table IV (rank parameterizes its predictor).
+    pub fn lradnn(rank: usize) -> Self {
+        Self {
+            name: "LRADNN",
+            simd_width: 32,
+            // Published peak is 7.08 GOPs = 32 lanes × 2 ops × f.
+            freq_ghz: 7.08 / 64.0,
+            tech_nm: 65,
+            w_mem_bytes: 3_500_000,
+            power_mw: (439.0, 487.0),
+            area_mm2: 51.0,
+            skips_input_zeros: false,
+            output_predictor_rank: Some(rank),
+        }
+    }
+
+    /// The DNN-Engine platform of Table IV.
+    pub fn dnn_engine() -> Self {
+        Self {
+            name: "DNN-Engine",
+            simd_width: 8,
+            freq_ghz: 1.2,
+            tech_nm: 28,
+            w_mem_bytes: 1_000_000,
+            power_mw: (63.5, 63.5),
+            area_mm2: 5.76,
+            skips_input_zeros: true,
+            output_predictor_rank: None,
+        }
+    }
+
+    /// Peak throughput, GOP/s (1 MAC = 2 ops).
+    pub fn peak_gops(&self) -> f64 {
+        self.simd_width as f64 * 2.0 * self.freq_ghz
+    }
+
+    /// Modelled cycles for an `m × n` layer.
+    ///
+    /// * `nnz_in` — nonzero input activations (exploited only when
+    ///   [`skips_input_zeros`](Self::skips_input_zeros));
+    /// * `active_out` — outputs the platform actually computes (for
+    ///   platforms with an output predictor; others compute all `m`).
+    pub fn layer_cycles(&self, m: usize, n: usize, nnz_in: usize, active_out: usize) -> u64 {
+        let n_eff = if self.skips_input_zeros { nnz_in } else { n };
+        let (m_eff, predictor_work) = match self.output_predictor_rank {
+            Some(r) => (active_out, r * (m + n)),
+            None => (m, 0),
+        };
+        ((predictor_work + m_eff * n_eff) as u64).div_ceil(self.simd_width as u64)
+    }
+
+    /// Modelled execution time for a cycle count, microseconds.
+    pub fn time_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e3)
+    }
+
+    /// Modelled energy for a cycle count, microjoules, using the midpoint
+    /// of the published power range (the paper's own methodology for the
+    /// 4× energy-efficiency comparison).
+    pub fn energy_uj(&self, cycles: u64) -> f64 {
+        let power_mw = (self.power_mw.0 + self.power_mw.1) / 2.0;
+        power_mw * 1e-3 * self.time_us(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_performance_matches_table_iv() {
+        assert!((SimdPlatform::lradnn(15).peak_gops() - 7.08).abs() < 1e-9);
+        assert!((SimdPlatform::dnn_engine().peak_gops() - 19.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dnn_engine_reproduces_papers_bg_rand_example() {
+        // "DNN-Engine takes 785×1000/8 cycles to finish the 1st hidden
+        // layer computation of the dataset BG-RAND … approximately 5.1 µJ".
+        let e = SimdPlatform::dnn_engine();
+        let cycles = e.layer_cycles(1000, 785, 785, 1000);
+        assert_eq!(cycles, 785 * 1000 / 8);
+        let energy = e.energy_uj(cycles);
+        assert!(
+            (energy - 5.1).abs() < 0.3,
+            "modelled {energy} µJ, paper says ≈ 5.1 µJ"
+        );
+    }
+
+    #[test]
+    fn input_skipping_helps_only_dnn_engine() {
+        let lradnn = SimdPlatform::lradnn(15);
+        let engine = SimdPlatform::dnn_engine();
+        let dense = engine.layer_cycles(1000, 1000, 1000, 1000);
+        let sparse = engine.layer_cycles(1000, 1000, 300, 1000);
+        assert!(sparse < dense);
+        let l_dense = lradnn.layer_cycles(1000, 1000, 1000, 1000);
+        let l_sparse = lradnn.layer_cycles(1000, 1000, 300, 1000);
+        assert_eq!(l_dense, l_sparse, "LRADNN ignores input sparsity");
+    }
+
+    #[test]
+    fn output_predictor_helps_only_lradnn() {
+        let lradnn = SimdPlatform::lradnn(15);
+        let all = lradnn.layer_cycles(1000, 1000, 1000, 1000);
+        let third = lradnn.layer_cycles(1000, 1000, 1000, 333);
+        assert!(third < all);
+        // But it always pays the r(m+n) prediction overhead.
+        let zero_out = lradnn.layer_cycles(1000, 1000, 1000, 0);
+        assert_eq!(zero_out, (15u64 * 2000).div_ceil(32));
+    }
+
+    #[test]
+    fn time_and_energy_scale_linearly() {
+        let e = SimdPlatform::dnn_engine();
+        assert!((e.time_us(2_400_000) - 2000.0).abs() < 1e-6);
+        assert!((e.energy_uj(1200) * 2.0 - e.energy_uj(2400)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based verification of the cycle-level machine against the
+//! fixed-point golden model — the reproduction's equivalent of verifying
+//! the RTL against the Matlab fixed-point simulation.
+
+use proptest::prelude::*;
+use sparsenn_linalg::init::seeded_rng;
+use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_model::{Mlp, PredictedNetwork};
+use sparsenn_sim::{Machine, MachineConfig};
+
+fn build_net(seed: u64, hidden: usize, rank: usize) -> FixedNetwork {
+    let mut rng = seeded_rng(seed);
+    let mlp = Mlp::random(&[24, hidden, 10], &mut rng);
+    let net = PredictedNetwork::with_random_predictors(mlp, rank, &mut rng);
+    FixedNetwork::from_float(&net)
+}
+
+fn build_input(seed: u64, len: usize, sparsity_pct: u8) -> Vec<f32> {
+    let mut rng = seeded_rng(seed ^ 0xDEAD);
+    (0..len)
+        .map(|_| {
+            use rand::Rng;
+            if rng.gen_range(0u8..100) < sparsity_pct {
+                0.0
+            } else {
+                rng.gen_range(-2.0f32..2.0)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The machine's outputs are bit-identical to the golden model for
+    /// random networks, inputs, sparsity levels and both UV modes.
+    #[test]
+    fn machine_is_bit_exact_vs_golden(
+        seed in 0u64..10_000,
+        hidden in 8usize..96,
+        rank in 1usize..6,
+        sparsity in 0u8..100,
+        uv_on in any::<bool>(),
+    ) {
+        let net = build_net(seed, hidden, rank);
+        let x = net.quantize_input(&build_input(seed, 24, sparsity));
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_network(&net, &x, mode);
+        let golden = net.forward(&x, mode);
+        for (l, (r, g)) in run.layers.iter().zip(&golden).enumerate() {
+            prop_assert_eq!(&r.output, &g.output, "layer {} output differs", l);
+            prop_assert_eq!(&r.mask, &g.mask, "layer {} mask differs", l);
+        }
+    }
+
+    /// Queue depth and NoC buffer capacity affect timing, never results.
+    #[test]
+    fn flow_control_parameters_never_change_results(
+        seed in 0u64..10_000,
+        queue_depth in 4usize..32,
+        noc_cap in 1usize..8,
+    ) {
+        let net = build_net(seed, 48, 4);
+        let x = net.quantize_input(&build_input(seed, 24, 40));
+        let reference = Machine::new(MachineConfig::default());
+        let mut cfg = MachineConfig::default();
+        cfg.act_queue_depth = queue_depth;
+        cfg.noc.queue_capacity = noc_cap;
+        let tweaked = Machine::new(cfg);
+        let a = reference.run_network(&net, &x, UvMode::On);
+        let b = tweaked.run_network(&net, &x, UvMode::On);
+        prop_assert_eq!(a.output(), b.output());
+    }
+
+    /// Cycle counts are deterministic: the same run twice gives identical
+    /// cycles and event counters.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..10_000) {
+        let net = build_net(seed, 40, 3);
+        let x = net.quantize_input(&build_input(seed, 24, 30));
+        let machine = Machine::new(MachineConfig::default());
+        let a = machine.run_network(&net, &x, UvMode::On);
+        let b = machine.run_network(&net, &x, UvMode::On);
+        prop_assert_eq!(a.total_cycles(), b.total_cycles());
+        prop_assert_eq!(a.total_events(), b.total_events());
+    }
+
+    /// Predicted-inactive rows never touch the W memory: W reads in uv_on
+    /// mode are exactly (nnz inputs) × (active rows)… summed per activation.
+    #[test]
+    fn w_reads_scale_with_active_rows(seed in 0u64..1_000) {
+        let net = build_net(seed, 64, 4);
+        let x = net.quantize_input(&build_input(seed, 24, 20));
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+        let nnz = x.iter().filter(|v| !v.is_zero()).count() as u64;
+        let active = run.mask.as_ref().unwrap().iter().filter(|&&m| m).count() as u64;
+        prop_assert_eq!(run.events.w_reads, nnz * active);
+    }
+}

@@ -1,0 +1,74 @@
+//! Softmax cross-entropy loss.
+//!
+//! The paper's Algorithm 1 only requires `δ⁽ᴸ⁾ = ∂ℓ/∂a⁽ᴸ⁾` "knowing `a⁽ᴸ⁾`
+//! and `a*`"; for 10-class digit classification the standard choice is a
+//! softmax cross-entropy on the linear output layer, whose gradient is the
+//! famously simple `softmax(logits) − onehot(label)`.
+
+use sparsenn_linalg::vector::softmax;
+
+/// Cross-entropy loss `−log softmax(logits)[label]`.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn cross_entropy(logits: &[f32], label: usize) -> f32 {
+    assert!(label < logits.len(), "label out of range");
+    let p = softmax(logits);
+    -p[label].max(1e-12).ln()
+}
+
+/// Gradient of [`cross_entropy`] with respect to the logits:
+/// `softmax(logits) − onehot(label)`.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range.
+pub fn cross_entropy_grad(logits: &[f32], label: usize) -> Vec<f32> {
+    assert!(label < logits.len(), "label out of range");
+    let mut g = softmax(logits);
+    g[label] -= 1.0;
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_low_when_confidently_correct() {
+        let confident = cross_entropy(&[10.0, -10.0], 0);
+        let wrong = cross_entropy(&[10.0, -10.0], 1);
+        assert!(confident < 1e-3);
+        assert!(wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let g = cross_entropy_grad(&[1.0, 2.0, 3.0], 1);
+        assert!((g.iter().sum::<f32>()).abs() < 1e-6);
+        assert!(g[1] < 0.0, "true-class gradient must be negative");
+    }
+
+    #[test]
+    fn gradient_matches_numerical_derivative() {
+        let logits = [0.3f32, -1.2, 0.8, 0.1];
+        let label = 2;
+        let g = cross_entropy_grad(&logits, label);
+        let eps = 1e-3f32;
+        for k in 0..logits.len() {
+            let mut plus = logits;
+            plus[k] += eps;
+            let mut minus = logits;
+            minus[k] -= eps;
+            let num = (cross_entropy(&plus, label) - cross_entropy(&minus, label)) / (2.0 * eps);
+            assert!((num - g[k]).abs() < 1e-3, "dim {k}: analytic {} vs numeric {num}", g[k]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        cross_entropy(&[0.0, 1.0], 5);
+    }
+}

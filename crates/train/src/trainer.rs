@@ -1,0 +1,131 @@
+//! Shared SGD driver: epochs, shuffling, learning-rate decay, history.
+
+use sparsenn_datasets::Dataset;
+use sparsenn_linalg::init::seeded_rng;
+use rand::seq::SliceRandom;
+
+/// Hyperparameters shared by all three training algorithms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Initial SGD learning rate η.
+    pub lr: f32,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// ℓ1 regularization factor λ on the predictor output (Eq. (4));
+    /// only the end-to-end algorithm uses it.
+    pub lambda: f32,
+    /// Seed for weight initialization and epoch shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 10, lr: 0.02, lr_decay: 0.95, lambda: 2e-4, seed: 0x5ba2_5e44 }
+    }
+}
+
+/// Statistics recorded after each epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct EpochStats {
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Learning rate used during the epoch.
+    pub lr: f32,
+}
+
+/// Training history (one entry per epoch).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct History {
+    /// Per-epoch statistics, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl History {
+    /// Final training loss, or `NaN` if no epoch ran.
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::NAN, |e| e.train_loss)
+    }
+}
+
+/// Runs the generic per-sample SGD loop.
+///
+/// `step(image, label, lr)` performs one forward/backward/update step and
+/// returns the sample loss. Sample order is reshuffled every epoch with a
+/// deterministic RNG derived from `config.seed`.
+pub fn run_epochs(
+    data: &Dataset,
+    config: &TrainConfig,
+    mut step: impl FnMut(&[f32], usize, f32) -> f32,
+) -> History {
+    let mut history = History::default();
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = seeded_rng(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut lr = config.lr;
+    for _epoch in 0..config.epochs {
+        indices.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        for &i in &indices {
+            loss_sum += f64::from(step(data.image(i), data.label(i) as usize, lr));
+        }
+        let mean = if data.is_empty() { 0.0 } else { (loss_sum / data.len() as f64) as f32 };
+        history.epochs.push(EpochStats { train_loss: mean, lr });
+        lr *= config.lr_decay;
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsenn_datasets::{DatasetKind, DatasetSpec};
+
+    fn data() -> Dataset {
+        DatasetSpec { kind: DatasetKind::Basic, train: 12, test: 0, seed: 5 }.generate().train
+    }
+
+    #[test]
+    fn runs_expected_number_of_steps() {
+        let d = data();
+        let mut steps = 0usize;
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let h = run_epochs(&d, &cfg, |_, _, _| {
+            steps += 1;
+            1.0
+        });
+        assert_eq!(steps, 36);
+        assert_eq!(h.epochs.len(), 3);
+        assert_eq!(h.final_loss(), 1.0);
+    }
+
+    #[test]
+    fn lr_decays_per_epoch() {
+        let d = data();
+        let cfg = TrainConfig { epochs: 2, lr: 1.0, lr_decay: 0.5, ..TrainConfig::default() };
+        let h = run_epochs(&d, &cfg, |_, _, _| 0.0);
+        assert_eq!(h.epochs[0].lr, 1.0);
+        assert_eq!(h.epochs[1].lr, 0.5);
+    }
+
+    #[test]
+    fn shuffling_is_deterministic_per_seed() {
+        let d = data();
+        let order = |seed| {
+            let mut seen = Vec::new();
+            let cfg = TrainConfig { epochs: 1, seed, ..TrainConfig::default() };
+            run_epochs(&d, &cfg, |img, _, _| {
+                seen.push(img[200].to_bits());
+                0.0
+            });
+            seen
+        };
+        assert_eq!(order(1), order(1));
+        assert_ne!(order(1), order(2));
+    }
+
+    #[test]
+    fn empty_history_loss_is_nan() {
+        assert!(History::default().final_loss().is_nan());
+    }
+}

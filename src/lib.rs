@@ -1,0 +1,27 @@
+//! **sparsenn** — a from-scratch Rust reproduction of *SparseNN: An
+//! Energy-Efficient Neural Network Accelerator Exploiting Input and Output
+//! Sparsity* (Zhu, Jiang, Chen, Tsui — DATE 2018, arXiv:1711.01263).
+//!
+//! This facade re-exports the whole workspace through
+//! [`sparsenn_core`]: synthetic datasets, the end-to-end predictor
+//! training of Algorithm 1 and its baselines, the 16-bit fixed-point golden
+//! model, the cycle-level 64-PE accelerator simulator with its H-tree NoC,
+//! and the energy/power/area models. See `README.md` for a tour and
+//! `examples/` for runnable entry points.
+//!
+//! ```
+//! use sparsenn::datasets::DatasetKind;
+//! use sparsenn::{SystemBuilder, TrainingAlgorithm};
+//!
+//! let sys = SystemBuilder::new(DatasetKind::Basic)
+//!     .dims(&[784, 32, 10])
+//!     .rank(4)
+//!     .algorithm(TrainingAlgorithm::EndToEnd)
+//!     .train_samples(60)
+//!     .test_samples(20)
+//!     .epochs(1)
+//!     .build();
+//! assert!(sys.test_error_rate() <= 100.0);
+//! ```
+
+pub use sparsenn_core::*;

@@ -1,0 +1,99 @@
+//! Cross-crate integration: the full pipeline from synthetic data to
+//! simulated silicon.
+
+use sparsenn::datasets::DatasetKind;
+use sparsenn::model::fixedpoint::UvMode;
+use sparsenn::{SystemBuilder, TrainingAlgorithm};
+
+fn small_system(alg: TrainingAlgorithm) -> sparsenn::TrainedSystem {
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, 64, 10])
+        .rank(6)
+        .algorithm(alg)
+        .train_samples(150)
+        .test_samples(50)
+        .epochs(3)
+        .build()
+}
+
+#[test]
+fn trained_system_beats_chance_and_simulates_exactly() {
+    let sys = small_system(TrainingAlgorithm::EndToEnd);
+    let ter = sys.test_error_rate();
+    assert!(ter < 60.0, "TER {ter}% is at chance level");
+
+    // The cycle-level machine must agree with the golden model bit for bit
+    // on real trained weights, both modes, several samples.
+    for i in 0..5 {
+        let x = sys.fixed().quantize_input(sys.split().test.image(i));
+        for mode in [UvMode::Off, UvMode::On] {
+            let run = sys.machine().run_network(sys.fixed(), &x, mode);
+            let golden = sys.fixed().forward(&x, mode);
+            for (l, (r, g)) in run.layers.iter().zip(&golden).enumerate() {
+                assert_eq!(r.output, g.output, "sample {i} layer {l} {mode:?}");
+                assert_eq!(r.mask, g.mask, "sample {i} layer {l} mask {mode:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let a = small_system(TrainingAlgorithm::EndToEnd);
+    let b = small_system(TrainingAlgorithm::EndToEnd);
+    assert_eq!(a.network(), b.network(), "training must be bit-reproducible");
+    let run_a = a.simulate_sample(0, UvMode::On);
+    let run_b = b.simulate_sample(0, UvMode::On);
+    assert_eq!(run_a.total_cycles(), run_b.total_cycles());
+    assert_eq!(run_a.total_events(), run_b.total_events());
+}
+
+#[test]
+fn all_three_algorithms_flow_through_the_whole_stack() {
+    for alg in [TrainingAlgorithm::EndToEnd, TrainingAlgorithm::Svd, TrainingAlgorithm::NoUv] {
+        let sys = small_system(alg);
+        let run = sys.simulate_sample(0, UvMode::On);
+        assert_eq!(run.layers.len(), 2, "{alg}: two weight layers");
+        assert!(run.total_cycles() > 0, "{alg}");
+        let batch = sys.simulate_batch(2, UvMode::On);
+        assert!(batch.layers[0].power.total_mw > 0.0, "{alg}");
+    }
+}
+
+#[test]
+fn quantized_accuracy_tracks_float_accuracy() {
+    let sys = small_system(TrainingAlgorithm::EndToEnd);
+    let n = 30usize;
+    let mut float_correct = 0usize;
+    let mut fixed_correct = 0usize;
+    for i in 0..n {
+        let img = sys.split().test.image(i);
+        let label = sys.split().test.label(i) as usize;
+        let float_pred = sparsenn::linalg::vector::argmax(
+            sys.network().forward_predicted(img).logits(),
+        )
+        .unwrap();
+        let xq = sys.fixed().quantize_input(img);
+        let fixed_pred = sys.fixed().classify(&xq, UvMode::On);
+        float_correct += usize::from(float_pred == label);
+        fixed_correct += usize::from(fixed_pred == label);
+    }
+    let diff = (float_correct as i64 - fixed_correct as i64).unsigned_abs() as usize;
+    assert!(
+        diff <= n / 5,
+        "Q6.10 quantization changed accuracy too much: float {float_correct}/{n}, fixed {fixed_correct}/{n}"
+    );
+}
+
+#[test]
+fn predictor_gating_reduces_work_on_every_hidden_layer() {
+    let sys = small_system(TrainingAlgorithm::EndToEnd);
+    let off = sys.simulate_batch(3, UvMode::Off);
+    let on = sys.simulate_batch(3, UvMode::On);
+    // Hidden layer: fewer W reads with the predictor on; some U/V reads paid.
+    assert!(on.layers[0].events.w_reads < off.layers[0].events.w_reads);
+    assert!(on.layers[0].events.u_reads > 0);
+    assert_eq!(off.layers[0].events.u_reads, 0);
+    // Classifier layer carries no predictor in either mode.
+    assert_eq!(on.layers[1].vu_cycles, 0.0);
+}
