@@ -7,9 +7,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use sparsenn_core::datasets::{DatasetKind, DatasetSpec};
+use sparsenn_core::linalg::init;
 use sparsenn_core::linalg::init::seeded_rng;
 use sparsenn_core::linalg::truncated::truncated_svd;
-use sparsenn_core::linalg::{init, Matrix};
 use sparsenn_core::model::fixedpoint::{FixedNetwork, UvMode};
 use sparsenn_core::model::{Mlp, PredictedNetwork};
 use sparsenn_core::noc::{ActFlit, BroadcastTree, NocConfig, ReduceTree};
@@ -22,9 +22,13 @@ fn bench_linalg(c: &mut Criterion) {
     let mut rng = seeded_rng(1);
     let a = init::he_normal(1000, 784, &mut rng);
     let x: Vec<f32> = (0..784).map(|i| (i as f32 * 0.1).sin()).collect();
-    g.bench_function("matvec_1000x784", |b| b.iter(|| black_box(a.matvec(black_box(&x)))));
+    g.bench_function("matvec_1000x784", |b| {
+        b.iter(|| black_box(a.matvec(black_box(&x))))
+    });
     let y: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.2).cos()).collect();
-    g.bench_function("matvec_t_1000x784", |b| b.iter(|| black_box(a.matvec_t(black_box(&y)))));
+    g.bench_function("matvec_t_1000x784", |b| {
+        b.iter(|| black_box(a.matvec_t(black_box(&y))))
+    });
     let small = init::he_normal(256, 256, &mut rng);
     g.sample_size(10);
     g.bench_function("truncated_svd_rank15_256x256", |b| {
@@ -46,7 +50,12 @@ fn bench_datasets(c: &mut Criterion) {
     for kind in DatasetKind::ALL {
         g.bench_function(format!("generate_32_{kind}"), |b| {
             b.iter(|| {
-                let spec = DatasetSpec { kind, train: 32, test: 0, seed: 9 };
+                let spec = DatasetSpec {
+                    kind,
+                    train: 32,
+                    test: 0,
+                    seed: 9,
+                };
                 black_box(spec.generate())
             })
         });
@@ -62,7 +71,13 @@ fn bench_noc(c: &mut Criterion) {
                 let mut pending: Vec<(usize, ActFlit)> = Vec::new();
                 for pe in 0..64usize {
                     for k in 0..4u32 {
-                        pending.push((pe, ActFlit { index: pe as u32 * 4 + k, value: 1 }));
+                        pending.push((
+                            pe,
+                            ActFlit {
+                                index: pe as u32 * 4 + k,
+                                value: 1,
+                            },
+                        ));
                     }
                 }
                 (BroadcastTree::new(&NocConfig::default()), pending)
@@ -85,8 +100,9 @@ fn bench_noc(c: &mut Criterion) {
             || {
                 let participants = vec![true; 64];
                 let tree = ReduceTree::new(&NocConfig::default(), 16, &participants);
-                let pending: Vec<(usize, u32, i64)> =
-                    (0..64).flat_map(|pe| (0..16u32).map(move |r| (pe, r, pe as i64 + 1))).collect();
+                let pending: Vec<(usize, u32, i64)> = (0..64)
+                    .flat_map(|pe| (0..16u32).map(move |r| (pe, r, pe as i64 + 1)))
+                    .collect();
                 (tree, pending)
             },
             |(mut tree, mut pending)| {
@@ -110,8 +126,15 @@ fn machine_fixture() -> (Machine, FixedNetwork, Vec<sparsenn_core::numeric::Q6_1
     let mlp = Mlp::random(&[256, 512, 10], &mut rng);
     let net = PredictedNetwork::with_random_predictors(mlp, 15, &mut rng);
     let fixed = FixedNetwork::from_float(&net);
-    let x: Vec<f32> =
-        (0..256).map(|i| if i % 3 == 0 { 0.0 } else { (i as f32 * 0.11).sin().abs() }).collect();
+    let x: Vec<f32> = (0..256)
+        .map(|i| {
+            if i % 3 == 0 {
+                0.0
+            } else {
+                (i as f32 * 0.11).sin().abs()
+            }
+        })
+        .collect();
     let xq = fixed.quantize_input(&x);
     (Machine::new(MachineConfig::default()), fixed, xq)
 }
@@ -159,7 +182,14 @@ fn bench_training(c: &mut Criterion) {
         b.iter_batched(
             || net.clone(),
             |mut n| {
-                black_box(sgd_step(&mut n, &x, 3, 0.02, 2e-4, PredictorActivation::Sign))
+                black_box(sgd_step(
+                    &mut n,
+                    &x,
+                    3,
+                    0.02,
+                    2e-4,
+                    PredictorActivation::Sign,
+                ))
             },
             BatchSize::LargeInput,
         )

@@ -1,18 +1,40 @@
 //! Runs every experiment in paper order (tables II & III first because
-//! they are instantaneous, then the training-heavy figures).
+//! they are instantaneous, then the training-heavy figures), printing the
+//! markdown reports to stdout and recording per-experiment wall time in
+//! `BENCH_results.json` (override the path with `SPARSENN_BENCH_JSON`).
 
 use sparsenn_bench::experiments as e;
+use sparsenn_bench::report::BenchResults;
 
 fn main() {
     let p = sparsenn_core::Profile::from_env();
     println!("# SparseNN reproduction — experiment suite (profile: {p})\n");
-    print!("{}\n", e::table2::run());
-    print!("{}\n", e::table3::run());
-    print!("{}\n", e::fig6::run(p));
-    print!("{}\n", e::table1::run(p));
-    print!("{}\n", e::fig7::run(p));
-    print!("{}\n", e::table4::run(p));
-    print!("{}\n", e::ablations::noc());
-    print!("{}\n", e::ablations::sched());
-    print!("{}\n", e::ablations::lambda(p));
+    let mut results = BenchResults::new(p.to_string());
+    type Experiment<'a> = (&'a str, Box<dyn FnOnce() -> String>);
+    let experiments: Vec<Experiment> = vec![
+        ("table2", Box::new(e::table2::run)),
+        ("table3", Box::new(e::table3::run)),
+        ("fig6", Box::new(move || e::fig6::run(p))),
+        ("table1", Box::new(move || e::table1::run(p))),
+        ("fig7", Box::new(move || e::fig7::run(p))),
+        ("table4", Box::new(move || e::table4::run(p))),
+        ("ablation_noc", Box::new(e::ablations::noc)),
+        ("ablation_sched", Box::new(e::ablations::sched)),
+        ("ablation_lambda", Box::new(move || e::ablations::lambda(p))),
+    ];
+    for (name, experiment) in experiments {
+        let report = results.run(name, experiment);
+        println!("{report}");
+    }
+
+    let path =
+        std::env::var("SPARSENN_BENCH_JSON").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    match results.write_json(&path) {
+        Ok(()) => eprintln!(
+            "wrote {path} ({} experiments, {:.1}s total)",
+            results.experiments.len(),
+            results.total_seconds()
+        ),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }

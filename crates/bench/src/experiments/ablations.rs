@@ -23,7 +23,10 @@ pub fn noc() -> String {
     let mut rows = Vec::new();
     let mut base_cycles = None;
     for depth in [1usize, 2, 4, 16] {
-        let cfg = MachineConfig { act_queue_depth: depth, ..MachineConfig::default() };
+        let cfg = MachineConfig {
+            act_queue_depth: depth,
+            ..MachineConfig::default()
+        };
         let machine = Machine::new(cfg);
         let run = machine.run_layer(&net.layers()[0], None, &xq, false, UvMode::Off);
         let base = *base_cycles.get_or_insert(run.cycles);
@@ -36,7 +39,10 @@ pub fn noc() -> String {
         ]);
     }
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation — buffered NoC flow control (paper §V.B)\n");
+    let _ = writeln!(
+        out,
+        "## Ablation — buffered NoC flow control (paper §V.B)\n"
+    );
     let _ = writeln!(
         out,
         "Fat 16×784 matrix (V-phase shape): each PE holds at most one output row and \
@@ -46,7 +52,13 @@ pub fn noc() -> String {
          activation); the paper's buffered credit flow keeps one delivery per cycle.\n"
     );
     out.push_str(&markdown_table(
-        &["activation queue depth", "cycles", "vs depth 1", "PE utilization %", "root sink stalls"],
+        &[
+            "activation queue depth",
+            "cycles",
+            "vs depth 1",
+            "PE utilization %",
+            "root sink stalls",
+        ],
         &rows,
     ));
     let _ = writeln!(out);
@@ -70,7 +82,10 @@ pub fn noc() -> String {
         "Router buffer depth is far less sensitive (cheap buffers suffice — \
          consistent with the paper's <1% routing area):\n"
     );
-    out.push_str(&markdown_table(&["router buffer depth", "cycles", "credit stalls"], &router_rows));
+    out.push_str(&markdown_table(
+        &["router buffer depth", "cycles", "credit stalls"],
+        &router_rows,
+    ));
     out
 }
 
@@ -83,7 +98,15 @@ pub fn noc() -> String {
 pub fn sched() -> String {
     let mut rng = seeded_rng(0x5CED);
     let n = 784usize;
-    let x: Vec<f32> = (0..n).map(|i| if i % 4 == 0 { 0.0 } else { (i as f32 * 0.13).sin() }).collect();
+    let x: Vec<f32> = (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                0.0
+            } else {
+                (i as f32 * 0.13).sin()
+            }
+        })
+        .collect();
 
     let mut rows = Vec::new();
     for r in [4usize, 8, 16, 32, 64] {
@@ -93,7 +116,10 @@ pub fn sched() -> String {
 
         // Row-based: V as an ordinary row-interleaved layer.
         let machine = Machine::new(MachineConfig::default());
-        let xq: Vec<_> = x.iter().map(|&f| sparsenn_core::numeric::Q6_10::from_f32(f)).collect();
+        let xq: Vec<_> = x
+            .iter()
+            .map(|&f| sparsenn_core::numeric::Q6_10::from_f32(f))
+            .collect();
         let row_run = machine.run_layer(&vq, None, &xq, false, UvMode::Off);
 
         // Column-based: the machine's real V phase. Isolate it with a
@@ -113,7 +139,13 @@ pub fn sched() -> String {
             v.clone(),
         );
         let net = FixedNetwork::from_float(&PredictedNetwork::new(mlp2, vec![pred]));
-        let col_run = machine.run_layer(&net.layers()[0], net.predictors().first(), &xq, true, UvMode::On);
+        let col_run = machine.run_layer(
+            &net.layers()[0],
+            net.predictors().first(),
+            &xq,
+            true,
+            UvMode::On,
+        );
 
         rows.push(vec![
             r.to_string(),
@@ -170,12 +202,18 @@ pub fn lambda(p: Profile) -> String {
         ]);
     }
     let mut out = String::new();
-    let _ = writeln!(out, "## Ablation — ℓ1 regularization factor λ (Eq. (4), profile: {p})\n");
+    let _ = writeln!(
+        out,
+        "## Ablation — ℓ1 regularization factor λ (Eq. (4), profile: {p})\n"
+    );
     let _ = writeln!(
         out,
         "Paper: \"a larger regularization factor λ can result in a larger sparsity \
          prediction in each layer, but TER might be affected due to the underfitting.\"\n"
     );
-    out.push_str(&markdown_table(&["lambda", "TER %", "predicted sparsity %"], &rows));
+    out.push_str(&markdown_table(
+        &["lambda", "TER %", "predicted sparsity %"],
+        &rows,
+    ));
     out
 }

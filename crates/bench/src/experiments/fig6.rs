@@ -39,7 +39,11 @@ fn measure(kind: DatasetKind, alg: TrainingAlgorithm, rank: usize, p: Profile) -
         .test_samples(p.test_samples())
         .epochs(p.epochs())
         .build();
-    RankPoint { rank, ter: sys.test_error_rate(), sparsity: sys.predicted_sparsity()[0] }
+    RankPoint {
+        rank,
+        ter: sys.test_error_rate(),
+        sparsity: sys.predicted_sparsity()[0],
+    }
 }
 
 /// Runs the full Fig. 6 sweep for one dataset.
@@ -56,7 +60,10 @@ pub fn sweep(kind: DatasetKind, p: Profile) -> Fig6Series {
     Fig6Series {
         kind,
         no_uv_ter: no_uv.test_error_rate(),
-        svd: ranks.iter().map(|&r| measure(kind, TrainingAlgorithm::Svd, r, p)).collect(),
+        svd: ranks
+            .iter()
+            .map(|&r| measure(kind, TrainingAlgorithm::Svd, r, p))
+            .collect(),
         end_to_end: ranks
             .iter()
             .map(|&r| measure(kind, TrainingAlgorithm::EndToEnd, r, p))
@@ -67,7 +74,10 @@ pub fn sweep(kind: DatasetKind, p: Profile) -> Fig6Series {
 /// Renders the Fig. 6 report for all three datasets.
 pub fn run(p: Profile) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 6 — TER and output sparsity vs rank (3-layer, profile: {p})\n");
+    let _ = writeln!(
+        out,
+        "## Fig. 6 — TER and output sparsity vs rank (3-layer, profile: {p})\n"
+    );
     let _ = writeln!(
         out,
         "Paper shape to reproduce: End-to-End TER tracks (or beats) SVD and degrades \
@@ -76,7 +86,11 @@ pub fn run(p: Profile) -> String {
     );
     for kind in DatasetKind::ALL {
         let s = sweep(kind, p);
-        let _ = writeln!(out, "### {kind} (NO UV reference TER: {:.2}%)\n", s.no_uv_ter);
+        let _ = writeln!(
+            out,
+            "### {kind} (NO UV reference TER: {:.2}%)\n",
+            s.no_uv_ter
+        );
         let rows: Vec<Vec<String>> = s
             .svd
             .iter()
@@ -92,7 +106,13 @@ pub fn run(p: Profile) -> String {
             })
             .collect();
         out.push_str(&markdown_table(
-            &["rank r", "TER% SVD", "TER% End-to-End", "sparsity% SVD", "sparsity% End-to-End"],
+            &[
+                "rank r",
+                "TER% SVD",
+                "TER% End-to-End",
+                "sparsity% SVD",
+                "sparsity% End-to-End",
+            ],
             &rows,
         ));
         let _ = writeln!(out);

@@ -51,8 +51,12 @@ pub fn trained_system(kind: DatasetKind, p: Profile) -> TrainedSystem {
 /// Simulates both modes and collects per-hidden-layer cycles and power.
 pub fn measure(sys: &TrainedSystem, p: Profile) -> Fig7Series {
     let hidden = sys.network().predictors().len();
-    let off = sys.simulate_batch(p.sim_samples(), UvMode::Off);
-    let on = sys.simulate_batch(p.sim_samples(), UvMode::On);
+    let off = sys
+        .simulate_batch(p.sim_samples(), UvMode::Off)
+        .expect("the paper-shaped network fits the default machine");
+    let on = sys
+        .simulate_batch(p.sim_samples(), UvMode::On)
+        .expect("the paper-shaped network fits the default machine");
     let point = |s: &sparsenn_core::LayerSummary, samples: usize| LayerPoint {
         cycles: s.cycles,
         power_mw: s.power.total_mw,
@@ -61,7 +65,12 @@ pub fn measure(sys: &TrainedSystem, p: Profile) -> Fig7Series {
     Fig7Series {
         kind: sys.kind(),
         layers: (0..hidden)
-            .map(|l| (point(&off.layers[l], off.samples), point(&on.layers[l], on.samples)))
+            .map(|l| {
+                (
+                    point(&off.layers[l], off.samples),
+                    point(&on.layers[l], on.samples),
+                )
+            })
             .collect(),
     }
 }
@@ -69,7 +78,10 @@ pub fn measure(sys: &TrainedSystem, p: Profile) -> Fig7Series {
 /// Renders the Fig. 7 report for all three datasets.
 pub fn run(p: Profile) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Fig. 7 — execution cycles & power per hidden layer (profile: {p})\n");
+    let _ = writeln!(
+        out,
+        "## Fig. 7 — execution cycles & power per hidden layer (profile: {p})\n"
+    );
     let _ = writeln!(
         out,
         "Paper shape to reproduce: BG-RAND's 1st hidden layer is the most expensive \
@@ -99,9 +111,17 @@ pub fn run(p: Profile) -> String {
     }
     out.push_str(&markdown_table(
         &[
-            "dataset", "layer", "cycles uv_off", "cycles uv_on", "delta-cycles",
-            "power uv_off (mW)", "power uv_on (mW)", "delta-power",
-            "energy uv_off (uJ)", "energy uv_on (uJ)", "delta-energy",
+            "dataset",
+            "layer",
+            "cycles uv_off",
+            "cycles uv_on",
+            "delta-cycles",
+            "power uv_off (mW)",
+            "power uv_on (mW)",
+            "delta-power",
+            "energy uv_off (uJ)",
+            "energy uv_on (uJ)",
+            "delta-energy",
         ],
         &rows,
     ));

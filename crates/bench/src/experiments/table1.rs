@@ -13,13 +13,41 @@ use std::fmt::Write as _;
 pub const PAPER_TABLE_I: &[(&str, &str, f32, Option<f32>, Option<f32>, Option<f32>)] = &[
     ("rot", "NO UV", 8.54, None, None, None),
     ("rot", "SVD", 10.69, Some(90.74), Some(28.12), Some(34.27)),
-    ("rot", "End-to-End", 8.8, Some(69.41), Some(64.13), Some(71.07)),
+    (
+        "rot",
+        "End-to-End",
+        8.8,
+        Some(69.41),
+        Some(64.13),
+        Some(71.07),
+    ),
     ("basic", "NO UV", 2.738, None, None, None),
     ("basic", "SVD", 2.728, Some(62.5), Some(38.15), Some(39.38)),
-    ("basic", "End-to-End", 2.718, Some(56.34), Some(65.89), Some(66.7)),
+    (
+        "basic",
+        "End-to-End",
+        2.718,
+        Some(56.34),
+        Some(65.89),
+        Some(66.7),
+    ),
     ("bg_rand", "NO UV", 10.08, None, None, None),
-    ("bg_rand", "SVD", 10.036, Some(51.61), Some(51.49), Some(24.01)),
-    ("bg_rand", "End-to-End", 10.03, Some(52.79), Some(48.23), Some(41.44)),
+    (
+        "bg_rand",
+        "SVD",
+        10.036,
+        Some(51.61),
+        Some(51.49),
+        Some(24.01),
+    ),
+    (
+        "bg_rand",
+        "End-to-End",
+        10.03,
+        Some(52.79),
+        Some(48.23),
+        Some(41.44),
+    ),
 ];
 
 /// One measured Table I row.
@@ -45,9 +73,17 @@ pub fn measure(kind: DatasetKind, algorithm: TrainingAlgorithm, p: Profile) -> T
         .test_samples(p.test_samples())
         .epochs(p.epochs())
         .build();
-    let rho =
-        if algorithm == TrainingAlgorithm::NoUv { Vec::new() } else { sys.predicted_sparsity() };
-    Table1Row { kind, algorithm, ter: sys.test_error_rate(), rho }
+    let rho = if algorithm == TrainingAlgorithm::NoUv {
+        Vec::new()
+    } else {
+        sys.predicted_sparsity()
+    };
+    Table1Row {
+        kind,
+        algorithm,
+        ter: sys.test_error_rate(),
+        rho,
+    }
 }
 
 /// Renders Table I, paper values beside measured ones.
@@ -60,8 +96,11 @@ pub fn run(p: Profile) -> String {
     );
     let mut rows = Vec::new();
     for kind in [DatasetKind::Rot, DatasetKind::Basic, DatasetKind::BgRand] {
-        for alg in [TrainingAlgorithm::NoUv, TrainingAlgorithm::Svd, TrainingAlgorithm::EndToEnd]
-        {
+        for alg in [
+            TrainingAlgorithm::NoUv,
+            TrainingAlgorithm::Svd,
+            TrainingAlgorithm::EndToEnd,
+        ] {
             let m = measure(kind, alg, p);
             let paper = PAPER_TABLE_I
                 .iter()
@@ -71,7 +110,10 @@ pub fn run(p: Profile) -> String {
                 if v.is_empty() {
                     "N.A.".to_string()
                 } else {
-                    v.iter().map(|r| format!("{r:.1}")).collect::<Vec<_>>().join("/")
+                    v.iter()
+                        .map(|r| format!("{r:.1}"))
+                        .collect::<Vec<_>>()
+                        .join("/")
                 }
             };
             let paper_rho = match (paper.3, paper.4, paper.5) {
@@ -89,7 +131,14 @@ pub fn run(p: Profile) -> String {
         }
     }
     out.push_str(&markdown_table(
-        &["dataset", "algorithm", "TER% paper", "TER% measured", "rho1/2/3 paper", "rho1/2/3 measured"],
+        &[
+            "dataset",
+            "algorithm",
+            "TER% paper",
+            "TER% measured",
+            "rho1/2/3 paper",
+            "rho1/2/3 measured",
+        ],
         &rows,
     ));
     let _ = writeln!(out);

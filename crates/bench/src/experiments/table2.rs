@@ -9,7 +9,11 @@ use std::fmt::Write as _;
 pub fn run() -> String {
     let cfg = MachineConfig::default();
     let rows = vec![
-        vec!["Quantization scheme".into(), "16-bit fixed point".into(), "16-bit fixed point (Q6.10)".into()],
+        vec![
+            "Quantization scheme".into(),
+            "16-bit fixed point".into(),
+            "16-bit fixed point (Q6.10)".into(),
+        ],
         vec![
             "On-chip W/U/V memory per PE".into(),
             "128KB/8KB/8KB".into(),
@@ -28,12 +32,18 @@ pub fn run() -> String {
         vec![
             "Flow control of NoC router".into(),
             "Packet-buffer with credit".into(),
-            format!("packet-buffer with credit (depth {})", cfg.noc.queue_capacity),
+            format!(
+                "packet-buffer with credit (depth {})",
+                cfg.noc.queue_capacity
+            ),
         ],
     ];
     let mut out = String::new();
     let _ = writeln!(out, "## Table II — micro-architectural parameters\n");
-    out.push_str(&markdown_table(&["parameter", "paper", "this implementation"], &rows));
+    out.push_str(&markdown_table(
+        &["parameter", "paper", "this implementation"],
+        &rows,
+    ));
     let _ = writeln!(out);
     let _ = writeln!(
         out,

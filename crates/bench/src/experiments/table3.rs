@@ -29,14 +29,21 @@ pub fn run() -> String {
         row("Total", PAPER_TOTAL_MM2, r.total_mm2),
         row("Combinational", PAPER_COMB_MM2, r.combinational_mm2),
         row("Buf/Inv", PAPER_BUFINV_MM2, r.buf_inv_mm2),
-        row("Non-combinational", PAPER_NONCOMB_MM2, r.non_combinational_mm2),
+        row(
+            "Non-combinational",
+            PAPER_NONCOMB_MM2,
+            r.non_combinational_mm2,
+        ),
         row("Macro (Memory)", PAPER_MACRO_MM2, r.macro_mm2),
         row("Processing element (each)", PAPER_PE_MM2, r.pe_mm2),
         row("Routing logics", PAPER_ROUTING_MM2, r.routing_mm2),
     ];
     let mut out = String::new();
     let _ = writeln!(out, "## Table III — area breakdown (mm²)\n");
-    out.push_str(&markdown_table(&["module", "paper", "measured", "delta"], &rows));
+    out.push_str(&markdown_table(
+        &["module", "paper", "measured", "delta"],
+        &rows,
+    ));
     let _ = writeln!(out);
     let _ = writeln!(
         out,

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod report;
 
 use std::fmt::Write as _;
 
@@ -37,7 +38,11 @@ use std::fmt::Write as _;
 pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| {} |", header.join(" | "));
-    let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }

@@ -1,0 +1,168 @@
+//! Machine-readable benchmark results.
+//!
+//! `run_all` writes a `BENCH_results.json` next to its markdown output so
+//! the perf trajectory (wall time per experiment, profile, parallelism)
+//! can be tracked across PRs without parsing markdown. The JSON is
+//! hand-emitted — the workspace has no serde — and deliberately flat:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "profile": "fast",
+//!   "workers": 8,
+//!   "total_seconds": 123.4,
+//!   "experiments": [
+//!     { "name": "table2", "seconds": 0.001, "report_chars": 512 }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timing record for one experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentResult {
+    /// Experiment name (the bin name: `table2`, `fig6`, …).
+    pub name: String,
+    /// Wall-clock seconds the experiment took.
+    pub seconds: f64,
+    /// Size of the produced markdown report, in characters.
+    pub report_chars: usize,
+}
+
+/// Collector for a whole `run_all` sweep.
+#[derive(Clone, Debug, Default)]
+pub struct BenchResults {
+    /// Active profile name (`fast` / `full`).
+    pub profile: String,
+    /// Per-experiment timings, in execution order.
+    pub experiments: Vec<ExperimentResult>,
+}
+
+impl BenchResults {
+    /// Starts a collector for the given profile.
+    pub fn new(profile: impl Into<String>) -> Self {
+        Self {
+            profile: profile.into(),
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Runs one experiment, printing its markdown report and recording its
+    /// wall time. Returns the report so callers can post-process it.
+    pub fn run(&mut self, name: &str, experiment: impl FnOnce() -> String) -> String {
+        let t = Instant::now();
+        let report = experiment();
+        self.experiments.push(ExperimentResult {
+            name: name.to_string(),
+            seconds: t.elapsed().as_secs_f64(),
+            report_chars: report.chars().count(),
+        });
+        report
+    }
+
+    /// Total wall-clock seconds across all recorded experiments.
+    pub fn total_seconds(&self) -> f64 {
+        self.experiments.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Renders the results as a JSON document.
+    pub fn to_json(&self) -> String {
+        // The engine's own resolution, so the recorded value matches the
+        // pool the experiments actually ran on.
+        let workers = sparsenn_core::engine::default_worker_count();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
+        let _ = writeln!(out, "  \"workers\": {workers},");
+        let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
+        let _ = writeln!(out, "  \"experiments\": [");
+        for (i, e) in self.experiments.iter().enumerate() {
+            let comma = if i + 1 < self.experiments.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": \"{}\", \"seconds\": {:.3}, \"report_chars\": {} }}{comma}",
+                escape(&e.name),
+                e.seconds,
+                e.report_chars,
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_renders_json() {
+        let mut r = BenchResults::new("fast");
+        let report = r.run("table2", || "## Table II\n".to_string());
+        assert!(report.starts_with("## Table II"));
+        r.run("fig6", || "x".repeat(100));
+        let json = r.to_json();
+        assert!(json.contains("\"profile\": \"fast\""));
+        assert!(json.contains("\"name\": \"table2\""));
+        assert!(json.contains("\"report_chars\": 100"));
+        assert!(json.contains("\"schema\": 1"));
+        // Exactly one trailing comma structure: the list parses crudely.
+        assert_eq!(json.matches("{ \"name\"").count(), 2);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn total_sums_experiments() {
+        let mut r = BenchResults::new("fast");
+        r.experiments.push(ExperimentResult {
+            name: "a".into(),
+            seconds: 1.5,
+            report_chars: 0,
+        });
+        r.experiments.push(ExperimentResult {
+            name: "b".into(),
+            seconds: 0.5,
+            report_chars: 0,
+        });
+        assert!((r.total_seconds() - 2.0).abs() < 1e-12);
+    }
+}

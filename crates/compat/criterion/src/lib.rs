@@ -1,0 +1,199 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! micro-benchmarks use: [`Criterion`], [`Criterion::benchmark_group`],
+//! `bench_function`, `sample_size`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! warmed up briefly, then timed for a fixed wall-clock budget; the mean
+//! ns/iteration is printed. No statistics, plots or saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched setup cost relates to the routine (accepted, ignored).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh batch every iteration.
+    PerIteration,
+}
+
+/// Times closures handed to `bench_function`.
+pub struct Bencher {
+    /// Accumulated measured time.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Wall-clock measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Brief warm-up so one-time effects (allocator, caches) settle.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let wall = Instant::now();
+        while wall.elapsed() < self.budget {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like [`iter`](Self::iter), with untimed per-iteration setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let wall = Instant::now();
+        while wall.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in uses a time budget
+    /// instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small budget: the stand-in is a smoke-timer, not a statistics
+        // engine. SPARSENN_BENCH_MS overrides (e.g. 2000 for stabler means).
+        let ms = std::env::var("SPARSENN_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Self {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(&mut self, id: N, f: F) {
+        let name = id.into();
+        self.run_one(&name, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{name:<44} (no iterations completed)");
+        } else {
+            let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!("{name:<44} {ns:>14.1} ns/iter ({} iters)", b.iters);
+        }
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters > 0);
+        b.iter_batched(|| 1u64, |x| x + 1, BatchSize::SmallInput);
+    }
+
+    #[test]
+    fn group_api_shape_compiles_and_runs() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

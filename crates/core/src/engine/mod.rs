@@ -1,0 +1,59 @@
+//! The inference engine: one trait, three execution substrates, one
+//! parallel serving front end.
+//!
+//! The paper's evaluation is a single workload pushed through
+//! interchangeable execution substrates — the SparseNN accelerator, the
+//! UV-disabled EIE baseline, and the SIMD platforms of Table IV. This
+//! module gives the reproduction the same shape:
+//!
+//! * [`InferenceBackend`] — the substrate abstraction. Implemented by
+//!   [`CycleAccurateBackend`] (the 64-PE cycle-level machine),
+//!   [`GoldenBackend`] (the timing-free fixed-point golden model) and
+//!   [`SimdBackend`] (the analytic SIMD platform models of Table IV).
+//!   Every backend returns the same [`RunRecord`] — outputs, per-layer
+//!   cycles and activity events — so an experiment swaps substrates by
+//!   changing one constructor call.
+//! * [`Session`] — a serving front end built from a
+//!   [`TrainedSystem`](crate::TrainedSystem): owns a backend, borrows the
+//!   quantized network and test set, and runs batched inference on a
+//!   `std::thread::scope` worker pool sized by
+//!   `std::thread::available_parallelism`. Batch results fold into the
+//!   same [`SimulationSummary`](crate::SimulationSummary) the serial path
+//!   produces — bit for bit.
+//!
+//! All entry points return `Result<_, `[`SparseNnError`]`>`; no input can
+//! panic the engine.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsenn_core::engine::{GoldenBackend, InferenceBackend};
+//! use sparsenn_core::datasets::DatasetKind;
+//! use sparsenn_core::model::fixedpoint::UvMode;
+//! use sparsenn_core::{SystemBuilder, TrainingAlgorithm};
+//!
+//! let system = SystemBuilder::new(DatasetKind::Basic)
+//!     .dims(&[784, 24, 10])
+//!     .rank(4)
+//!     .train_samples(60)
+//!     .test_samples(20)
+//!     .epochs(1)
+//!     .build();
+//!
+//! // Serve through the golden model instead of the cycle simulator —
+//! // same Session API, same RunRecord shape.
+//! let session = system.session_with(Box::new(GoldenBackend::new()));
+//! let record = session.run_sample(0, UvMode::On).unwrap();
+//! assert_eq!(record.layers.len(), 2);
+//! assert!(session.run_sample(1_000_000, UvMode::On).is_err());
+//! ```
+//!
+//! [`SparseNnError`]: crate::SparseNnError
+
+mod backends;
+mod record;
+mod session;
+
+pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
+pub use record::{LayerRecord, RunRecord};
+pub use session::{default_worker_count, Session};

@@ -1,0 +1,127 @@
+//! The backend-independent result of one inference run.
+
+use sparsenn_numeric::Q6_10;
+use sparsenn_sim::{LayerRun, MachineEvents, NetworkRun};
+
+/// Per-layer result of one inference run on any backend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerRecord {
+    /// Output activations (bit-exact across backends by construction).
+    pub output: Vec<Q6_10>,
+    /// Predictor mask (`true` = computed), when a predictor ran.
+    pub mask: Option<Vec<bool>>,
+    /// Total modelled cycles (0 for timing-free backends).
+    pub cycles: u64,
+    /// Cycles attributed to the V/U predictor phases.
+    pub vu_cycles: u64,
+    /// Cycles attributed to the W feedforward phase.
+    pub w_cycles: u64,
+    /// Activity counters (exact for the cycle-accurate backend, functional
+    /// estimates for analytic backends).
+    pub events: MachineEvents,
+}
+
+impl From<LayerRun> for LayerRecord {
+    fn from(l: LayerRun) -> Self {
+        Self {
+            output: l.output,
+            mask: l.mask,
+            cycles: l.cycles,
+            vu_cycles: l.vu_cycles,
+            w_cycles: l.w_cycles,
+            events: l.events,
+        }
+    }
+}
+
+/// The common result every [`InferenceBackend`](super::InferenceBackend)
+/// returns: outputs, cycles and events, per layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Name of the backend that produced this record.
+    pub backend: String,
+    /// Per-layer results, input side first. Non-empty by construction
+    /// (backends reject empty networks with
+    /// [`SparseNnError::EmptyNetwork`](crate::SparseNnError::EmptyNetwork)).
+    pub layers: Vec<LayerRecord>,
+}
+
+impl RunRecord {
+    /// Converts a cycle-level machine run.
+    pub fn from_network_run(backend: impl Into<String>, run: NetworkRun) -> Self {
+        Self {
+            backend: backend.into(),
+            layers: run.layers.into_iter().map(LayerRecord::from).collect(),
+        }
+    }
+
+    /// Output activations of the final layer (empty only for the
+    /// unreachable zero-layer record).
+    pub fn output(&self) -> &[Q6_10] {
+        self.layers.last().map_or(&[], |l| &l.output)
+    }
+
+    /// Argmax classification of the final layer (0 on an empty record).
+    pub fn classify(&self) -> usize {
+        sparsenn_numeric::argmax(self.output())
+    }
+
+    /// Sum of per-layer cycle counts.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Merged activity counters over all layers.
+    pub fn total_events(&self) -> MachineEvents {
+        let mut ev = MachineEvents::default();
+        for l in &self.layers {
+            ev.merge(&l.events);
+        }
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cycles: &[u64]) -> RunRecord {
+        RunRecord {
+            backend: "test".into(),
+            layers: cycles
+                .iter()
+                .map(|&c| LayerRecord {
+                    output: vec![Q6_10::from_f32(0.5), Q6_10::from_f32(1.5)],
+                    mask: None,
+                    cycles: c,
+                    vu_cycles: 0,
+                    w_cycles: c,
+                    events: MachineEvents {
+                        cycles: c,
+                        ..MachineEvents::default()
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let r = record(&[10, 32]);
+        assert_eq!(r.total_cycles(), 42);
+        assert_eq!(r.total_events().cycles, 42);
+        assert_eq!(r.classify(), 1);
+        assert_eq!(r.output().len(), 2);
+    }
+
+    #[test]
+    fn empty_record_is_harmless() {
+        let r = RunRecord {
+            backend: "test".into(),
+            layers: Vec::new(),
+        };
+        assert_eq!(r.output(), &[]);
+        assert_eq!(r.classify(), 0);
+        assert_eq!(r.total_cycles(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The crate-wide error type for the public inference API.
+//!
+//! Every fallible entry point of `sparsenn-core` — [`Session`] runs,
+//! [`TrainedSystem::simulate_sample`] and batch simulation — returns
+//! `Result<_, SparseNnError>` instead of panicking, so serving code can
+//! route bad requests without tearing the process down.
+//!
+//! [`Session`]: crate::engine::Session
+//! [`TrainedSystem::simulate_sample`]: crate::TrainedSystem::simulate_sample
+
+use sparsenn_sim::MachineError;
+
+/// Errors surfaced by the public SparseNN inference API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseNnError {
+    /// A test-set sample index was out of range.
+    SampleOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of samples available.
+        len: usize,
+    },
+    /// An input activation vector's width does not match the network.
+    InputWidthMismatch {
+        /// Width the network's first layer expects.
+        expected: usize,
+        /// Width supplied.
+        got: usize,
+    },
+    /// A layer's shape exceeds a limit of the executing backend.
+    LayerDoesNotFit {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Human-readable description of the violated limit.
+        reason: String,
+    },
+    /// The network has no layers.
+    EmptyNetwork,
+    /// A worker thread of a parallel batch run terminated abnormally.
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for SparseNnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseNnError::SampleOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "sample index {index} out of range for a {len}-sample test set"
+                )
+            }
+            SparseNnError::InputWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input width mismatch: network expects {expected} activations, got {got}"
+                )
+            }
+            SparseNnError::LayerDoesNotFit { layer, reason } => {
+                write!(f, "layer {layer} does not fit the backend: {reason}")
+            }
+            SparseNnError::EmptyNetwork => f.write_str("network has no layers"),
+            SparseNnError::WorkerPanicked => {
+                f.write_str("a batch-simulation worker thread panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseNnError {}
+
+impl From<MachineError> for SparseNnError {
+    fn from(e: MachineError) -> Self {
+        match e {
+            MachineError::LayerDoesNotFit { layer, reason } => {
+                SparseNnError::LayerDoesNotFit { layer, reason }
+            }
+            MachineError::InputWidthMismatch { expected, got } => {
+                SparseNnError::InputWidthMismatch { expected, got }
+            }
+            MachineError::EmptyNetwork => SparseNnError::EmptyNetwork,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseNnError::SampleOutOfRange { index: 9, len: 4 };
+        assert!(e.to_string().contains("9") && e.to_string().contains("4"));
+        let e = SparseNnError::InputWidthMismatch {
+            expected: 784,
+            got: 10,
+        };
+        assert!(e.to_string().contains("784"));
+    }
+
+    #[test]
+    fn machine_errors_convert() {
+        let e: SparseNnError = MachineError::InputWidthMismatch {
+            expected: 3,
+            got: 5,
+        }
+        .into();
+        assert_eq!(
+            e,
+            SparseNnError::InputWidthMismatch {
+                expected: 3,
+                got: 5
+            }
+        );
+        let e: SparseNnError = MachineError::EmptyNetwork.into();
+        assert_eq!(e, SparseNnError::EmptyNetwork);
+    }
+}

@@ -23,9 +23,18 @@
 //!     .build();
 //! let ter = system.test_error_rate();
 //! assert!(ter <= 100.0);
-//! let run = system.simulate_sample(0, UvMode::On);
+//! let run = system.simulate_sample(0, UvMode::On).unwrap();
 //! assert!(run.total_cycles() > 0);
 //! ```
+//!
+//! # The engine
+//!
+//! Inference is served through the [`engine`] module: every execution
+//! substrate — the cycle-accurate machine, the golden fixed-point model,
+//! the analytic SIMD platforms of Table IV — implements
+//! [`engine::InferenceBackend`], and [`engine::Session`] batches samples
+//! over a worker pool. All public inference entry points return
+//! `Result<_, `[`SparseNnError`]`>`; nothing panics on bad input.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,8 +63,13 @@ pub use sparsenn_sim as sim;
 /// Energy, power and area models (re-export of `sparsenn-energy`).
 pub use sparsenn_energy as energy;
 
+pub mod engine;
+mod error;
 mod profile;
 mod system;
 
+pub use error::SparseNnError;
 pub use profile::Profile;
-pub use system::{LayerSummary, SimulationSummary, SystemBuilder, TrainedSystem, TrainingAlgorithm};
+pub use system::{
+    LayerSummary, SimulationSummary, SystemBuilder, TrainedSystem, TrainingAlgorithm,
+};

@@ -20,9 +20,16 @@ pub enum Profile {
 
 impl Profile {
     /// Reads `SPARSENN_PROFILE` (`fast` default, `full` for paper scale).
+    /// Matching is case-insensitive (`full`, `FULL` and `Full` all work).
     pub fn from_env() -> Self {
-        match std::env::var("SPARSENN_PROFILE").as_deref() {
-            Ok("full") | Ok("FULL") => Profile::Full,
+        Self::parse(std::env::var("SPARSENN_PROFILE").ok().as_deref())
+    }
+
+    /// Parses a `SPARSENN_PROFILE` value (`None` = unset → `Fast`).
+    /// Case-insensitive; anything other than `full` falls back to `Fast`.
+    pub fn parse(value: Option<&str>) -> Self {
+        match value {
+            Some(v) if v.eq_ignore_ascii_case("full") => Profile::Full,
             _ => Profile::Fast,
         }
     }
@@ -108,7 +115,13 @@ impl Profile {
 
     /// The 5-layer dims used by the hardware experiments.
     pub fn hw_dims_5layer(&self) -> Vec<usize> {
-        vec![784, self.hw_hidden(), self.hw_hidden(), self.hw_hidden(), 10]
+        vec![
+            784,
+            self.hw_hidden(),
+            self.hw_hidden(),
+            self.hw_hidden(),
+            10,
+        ]
     }
 
     /// Training-set size for the hardware experiments (the simulated
@@ -165,5 +178,32 @@ mod tests {
     fn display_names() {
         assert_eq!(Profile::Fast.to_string(), "fast");
         assert_eq!(Profile::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        // Tests the pure parser, not from_env: mutating the process
+        // environment races other threads' getenv calls under the parallel
+        // test runner.
+        for (value, expected) in [
+            ("full", Profile::Full),
+            ("FULL", Profile::Full),
+            ("Full", Profile::Full),
+            ("fUlL", Profile::Full),
+            ("fast", Profile::Fast),
+            ("Fast", Profile::Fast),
+            ("nonsense", Profile::Fast),
+        ] {
+            assert_eq!(
+                Profile::parse(Some(value)),
+                expected,
+                "SPARSENN_PROFILE={value}"
+            );
+        }
+        assert_eq!(
+            Profile::parse(None),
+            Profile::Fast,
+            "unset defaults to fast"
+        );
     }
 }

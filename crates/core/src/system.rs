@@ -1,7 +1,9 @@
 //! The end-to-end experiment pipeline.
 
+use crate::engine::{CycleAccurateBackend, InferenceBackend, Session};
+use crate::error::SparseNnError;
 use sparsenn_datasets::{DatasetKind, DatasetSpec, SplitDataset};
-use sparsenn_energy::{PowerModel, PowerReport};
+use sparsenn_energy::PowerReport;
 use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
 use sparsenn_model::stats::{predicted_sparsity, test_error_rate, EvalMode};
 use sparsenn_model::PredictedNetwork;
@@ -147,8 +149,7 @@ impl SystemBuilder {
                 // Attach SVD predictors so the hardware path stays runnable;
                 // NO-UV evaluation ignores them.
                 let mut rng = sparsenn_linalg::init::seeded_rng(self.config.seed);
-                let mut net =
-                    PredictedNetwork::with_random_predictors(mlp, self.rank, &mut rng);
+                let mut net = PredictedNetwork::with_random_predictors(mlp, self.rank, &mut rng);
                 svd_baseline::refresh_predictors(&mut net, self.rank, self.config.seed);
                 net
             }
@@ -247,50 +248,51 @@ impl TrainedSystem {
         predicted_sparsity(&self.net, &self.split.test)
     }
 
-    /// Simulates test sample `i` through the accelerator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range of the test set.
-    pub fn simulate_sample(&self, i: usize, mode: UvMode) -> NetworkRun {
-        let x = self.fixed.quantize_input(self.split.test.image(i));
-        self.machine.run_network(&self.fixed, &x, mode)
+    /// Opens a serving [`Session`] over the cycle-accurate machine.
+    pub fn session(&self) -> Session<'_> {
+        self.session_with(Box::new(CycleAccurateBackend::new(self.machine.clone())))
     }
 
-    /// Simulates the first `samples` test images and aggregates per-layer
-    /// cycles, events and power — the measurement behind Fig. 7.
-    pub fn simulate_batch(&self, samples: usize, mode: UvMode) -> SimulationSummary {
-        let samples = samples.min(self.split.test.len());
-        let num_layers = self.fixed.num_layers();
-        let mut cycles = vec![0u64; num_layers];
-        let mut vu_cycles = vec![0u64; num_layers];
-        let mut events = vec![MachineEvents::default(); num_layers];
-        let mut correct = 0usize;
-        for i in 0..samples {
-            let run = self.simulate_sample(i, mode);
-            if run.classify() == self.split.test.label(i) as usize {
-                correct += 1;
-            }
-            for (l, layer) in run.layers.iter().enumerate() {
-                cycles[l] += layer.cycles;
-                vu_cycles[l] += layer.vu_cycles;
-                events[l].merge(&layer.events);
-            }
+    /// Opens a serving [`Session`] over any execution substrate.
+    pub fn session_with(&self, backend: Box<dyn InferenceBackend>) -> Session<'_> {
+        Session::new(self, backend)
+    }
+
+    /// Simulates test sample `i` through the cycle-accurate accelerator,
+    /// returning the full machine-level run (per-PE work distribution
+    /// included). For backend-agnostic records use
+    /// [`session`](TrainedSystem::session) + [`Session::run_sample`].
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::SampleOutOfRange`] if `i` is not in the test set;
+    /// machine shape errors for networks the hardware cannot hold.
+    pub fn simulate_sample(&self, i: usize, mode: UvMode) -> Result<NetworkRun, SparseNnError> {
+        if i >= self.split.test.len() {
+            return Err(SparseNnError::SampleOutOfRange {
+                index: i,
+                len: self.split.test.len(),
+            });
         }
-        let model = PowerModel::new(self.machine.config());
-        let layers = (0..num_layers)
-            .map(|l| LayerSummary {
-                cycles: cycles[l] as f64 / samples.max(1) as f64,
-                vu_cycles: vu_cycles[l] as f64 / samples.max(1) as f64,
-                events: events[l],
-                power: model.estimate(&events[l]),
-            })
-            .collect();
-        SimulationSummary {
-            layers,
-            samples,
-            fixed_accuracy: if samples == 0 { 0.0 } else { correct as f32 / samples as f32 },
-        }
+        let x = self.fixed.quantize_input(self.split.test.image(i));
+        Ok(self.machine.try_run_network(&self.fixed, &x, mode)?)
+    }
+
+    /// Simulates the first `samples` test images (clamped to the test-set
+    /// size) and aggregates per-layer cycles, events and power — the
+    /// measurement behind Fig. 7. Runs on a worker pool sized by
+    /// `std::thread::available_parallelism`; the summary is bit-identical
+    /// to the serial path's.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing sample, if any.
+    pub fn simulate_batch(
+        &self,
+        samples: usize,
+        mode: UvMode,
+    ) -> Result<SimulationSummary, SparseNnError> {
+        self.session().simulate_batch(samples, mode)
     }
 }
 
@@ -320,8 +322,11 @@ mod tests {
 
     #[test]
     fn all_algorithms_build_and_evaluate() {
-        for alg in [TrainingAlgorithm::EndToEnd, TrainingAlgorithm::Svd, TrainingAlgorithm::NoUv]
-        {
+        for alg in [
+            TrainingAlgorithm::EndToEnd,
+            TrainingAlgorithm::Svd,
+            TrainingAlgorithm::NoUv,
+        ] {
             let sys = tiny(alg);
             let ter = sys.test_error_rate();
             assert!((0.0..=100.0).contains(&ter), "{alg}: TER {ter}");
@@ -332,11 +337,14 @@ mod tests {
     #[test]
     fn batch_simulation_aggregates_layers() {
         let sys = tiny(TrainingAlgorithm::EndToEnd);
-        let summary = sys.simulate_batch(3, UvMode::On);
+        let summary = sys.simulate_batch(3, UvMode::On).unwrap();
         assert_eq!(summary.samples, 3);
         assert_eq!(summary.layers.len(), 2);
         assert!(summary.layers[0].cycles > 0.0);
-        assert!(summary.layers[0].vu_cycles > 0.0, "hidden layer runs the predictor");
+        assert!(
+            summary.layers[0].vu_cycles > 0.0,
+            "hidden layer runs the predictor"
+        );
         assert_eq!(summary.layers[1].vu_cycles, 0.0, "classifier does not");
         assert!(summary.layers[0].power.total_mw > 0.0);
     }
@@ -344,8 +352,28 @@ mod tests {
     #[test]
     fn uv_on_reduces_w_memory_traffic() {
         let sys = tiny(TrainingAlgorithm::EndToEnd);
-        let on = sys.simulate_batch(2, UvMode::On);
-        let off = sys.simulate_batch(2, UvMode::Off);
+        let on = sys.simulate_batch(2, UvMode::On).unwrap();
+        let off = sys.simulate_batch(2, UvMode::Off).unwrap();
         assert!(on.layers[0].events.w_reads < off.layers[0].events.w_reads);
+    }
+
+    #[test]
+    fn out_of_range_sample_is_an_error() {
+        let sys = tiny(TrainingAlgorithm::EndToEnd);
+        assert_eq!(
+            sys.simulate_sample(30, UvMode::On).unwrap_err(),
+            SparseNnError::SampleOutOfRange { index: 30, len: 30 }
+        );
+        assert!(sys.simulate_sample(29, UvMode::On).is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let sys = tiny(TrainingAlgorithm::EndToEnd);
+        let summary = sys.simulate_batch(0, UvMode::On).unwrap();
+        assert_eq!(summary.samples, 0);
+        assert_eq!(summary.fixed_accuracy, 0.0);
+        assert_eq!(summary.layers.len(), 2);
+        assert_eq!(summary.layers[0].cycles, 0.0);
     }
 }

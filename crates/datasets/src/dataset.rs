@@ -21,9 +21,19 @@ impl Dataset {
     /// or a label is ≥ 10.
     pub fn new(kind: DatasetKind, images: Vec<Vec<f32>>, labels: Vec<u8>) -> Self {
         assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
-        assert!(images.iter().all(|i| i.len() == IMAGE_PIXELS), "image size mismatch");
-        assert!(labels.iter().all(|&l| (l as usize) < NUM_CLASSES), "label out of range");
-        Self { kind, images, labels }
+        assert!(
+            images.iter().all(|i| i.len() == IMAGE_PIXELS),
+            "image size mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| (l as usize) < NUM_CLASSES),
+            "label out of range"
+        );
+        Self {
+            kind,
+            images,
+            labels,
+        }
     }
 
     /// Which variant generated this dataset.
@@ -61,7 +71,10 @@ impl Dataset {
 
     /// Iterator over `(image, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f32], u8)> + '_ {
-        self.images.iter().map(|i| i.as_slice()).zip(self.labels.iter().copied())
+        self.images
+            .iter()
+            .map(|i| i.as_slice())
+            .zip(self.labels.iter().copied())
     }
 
     /// Mean fraction of exactly-zero pixels — the *input activation
@@ -71,8 +84,11 @@ impl Dataset {
         if self.images.is_empty() {
             return 0.0;
         }
-        let zeros: usize =
-            self.images.iter().map(|img| img.iter().filter(|&&p| p == 0.0).count()).sum();
+        let zeros: usize = self
+            .images
+            .iter()
+            .map(|img| img.iter().filter(|&&p| p == 0.0).count())
+            .sum();
         zeros as f32 / (self.images.len() * IMAGE_PIXELS) as f32
     }
 
@@ -146,7 +162,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
-        Dataset::new(DatasetKind::Basic, vec![vec![0.0; IMAGE_PIXELS]], vec![1, 2]);
+        Dataset::new(
+            DatasetKind::Basic,
+            vec![vec![0.0; IMAGE_PIXELS]],
+            vec![1, 2],
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub struct ParseDatasetKindError(String);
 
 impl fmt::Display for ParseDatasetKindError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown dataset kind `{}` (expected basic, rot or bg_rand)", self.0)
+        write!(
+            f,
+            "unknown dataset kind `{}` (expected basic, rot or bg_rand)",
+            self.0
+        )
     }
 }
 
@@ -150,7 +154,12 @@ mod tests {
     use super::*;
 
     fn spec(kind: DatasetKind) -> DatasetSpec {
-        DatasetSpec { kind, train: 60, test: 30, seed: 7 }
+        DatasetSpec {
+            kind,
+            train: 60,
+            test: 30,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -163,7 +172,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = spec(DatasetKind::Basic).generate();
-        let b = DatasetSpec { seed: 8, ..spec(DatasetKind::Basic) }.generate();
+        let b = DatasetSpec {
+            seed: 8,
+            ..spec(DatasetKind::Basic)
+        }
+        .generate();
         assert_ne!(a, b);
     }
 
@@ -185,9 +198,21 @@ mod tests {
         let basic = spec(DatasetKind::Basic).generate().train;
         let rot = spec(DatasetKind::Rot).generate().train;
         let bg = spec(DatasetKind::BgRand).generate().train;
-        assert!(basic.input_sparsity() > 0.55, "basic sparsity {}", basic.input_sparsity());
-        assert!(rot.input_sparsity() > 0.55, "rot sparsity {}", rot.input_sparsity());
-        assert!(bg.input_sparsity() < 0.02, "bg_rand sparsity {}", bg.input_sparsity());
+        assert!(
+            basic.input_sparsity() > 0.55,
+            "basic sparsity {}",
+            basic.input_sparsity()
+        );
+        assert!(
+            rot.input_sparsity() > 0.55,
+            "rot sparsity {}",
+            rot.input_sparsity()
+        );
+        assert!(
+            bg.input_sparsity() < 0.02,
+            "bg_rand sparsity {}",
+            bg.input_sparsity()
+        );
     }
 
     #[test]

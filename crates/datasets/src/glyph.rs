@@ -23,7 +23,11 @@ pub struct GlyphStyle {
 
 impl Default for GlyphStyle {
     fn default() -> Self {
-        Self { thickness: 0.045, softness: 0.035, intensity: 1.0 }
+        Self {
+            thickness: 0.045,
+            softness: 0.035,
+            intensity: 1.0,
+        }
     }
 }
 
@@ -64,7 +68,11 @@ fn strokes_for(digit: u8) -> Vec<Stroke> {
             arc(0.48, 0.32, 0.22, 0.19, -PI * 0.9, PI * 0.5, 14),
             arc(0.48, 0.68, 0.24, 0.20, -PI * 0.5, PI * 0.9, 14),
         ],
-        4 => vec![seg(0.62, 0.12, 0.24, 0.62), seg(0.24, 0.62, 0.80, 0.62), seg(0.62, 0.12, 0.62, 0.88)],
+        4 => vec![
+            seg(0.62, 0.12, 0.24, 0.62),
+            seg(0.24, 0.62, 0.80, 0.62),
+            seg(0.62, 0.12, 0.62, 0.88),
+        ],
         5 => vec![
             seg(0.72, 0.14, 0.32, 0.14),
             seg(0.32, 0.14, 0.30, 0.46),
@@ -95,7 +103,11 @@ fn dist2_to_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
     let (bx, by) = b;
     let (dx, dy) = (bx - ax, by - ay);
     let len2 = dx * dx + dy * dy;
-    let t = if len2 > 0.0 { ((px - ax) * dx + (py - ay) * dy) / len2 } else { 0.0 };
+    let t = if len2 > 0.0 {
+        ((px - ax) * dx + (py - ay) * dy) / len2
+    } else {
+        0.0
+    };
     let t = t.clamp(0.0, 1.0);
     let (cx, cy) = (ax + t * dx, ay + t * dy);
     (px - cx) * (px - cx) + (py - cy) * (py - cy)
@@ -121,8 +133,10 @@ fn dist2_to_segment(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
 /// assert!(img.iter().filter(|&&p| p == 0.0).count() > 400); // mostly background
 /// ```
 pub fn render_digit(digit: u8, xf: &Affine, style: &GlyphStyle) -> Vec<f32> {
-    let strokes: Vec<Stroke> =
-        strokes_for(digit).into_iter().map(|s| s.iter().map(|&p| xf.apply(p)).collect()).collect();
+    let strokes: Vec<Stroke> = strokes_for(digit)
+        .into_iter()
+        .map(|s| s.iter().map(|&p| xf.apply(p)).collect())
+        .collect();
 
     let mut img = vec![0.0f32; IMAGE_PIXELS];
     // Distance beyond which a pixel cannot receive ink.
@@ -172,8 +186,9 @@ mod tests {
 
     #[test]
     fn digits_are_mutually_distinct() {
-        let imgs: Vec<Vec<f32>> =
-            (0..10u8).map(|d| render_digit(d, &Affine::identity(), &GlyphStyle::default())).collect();
+        let imgs: Vec<Vec<f32>> = (0..10u8)
+            .map(|d| render_digit(d, &Affine::identity(), &GlyphStyle::default()))
+            .collect();
         for i in 0..10 {
             for j in (i + 1)..10 {
                 let dist: f32 = imgs[i]
@@ -182,15 +197,24 @@ mod tests {
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum::<f32>()
                     .sqrt();
-                assert!(dist > 1.0, "digits {i} and {j} are too similar (L2 = {dist})");
+                assert!(
+                    dist > 1.0,
+                    "digits {i} and {j} are too similar (L2 = {dist})"
+                );
             }
         }
     }
 
     #[test]
     fn thicker_style_means_more_ink() {
-        let thin = GlyphStyle { thickness: 0.03, ..GlyphStyle::default() };
-        let thick = GlyphStyle { thickness: 0.07, ..GlyphStyle::default() };
+        let thin = GlyphStyle {
+            thickness: 0.03,
+            ..GlyphStyle::default()
+        };
+        let thick = GlyphStyle {
+            thickness: 0.07,
+            ..GlyphStyle::default()
+        };
         let a = ink_fraction(&render_digit(0, &Affine::identity(), &thin));
         let b = ink_fraction(&render_digit(0, &Affine::identity(), &thick));
         assert!(b > a);
@@ -204,7 +228,10 @@ mod tests {
 
     #[test]
     fn intensity_scales_peak() {
-        let dim = GlyphStyle { intensity: 0.5, ..GlyphStyle::default() };
+        let dim = GlyphStyle {
+            intensity: 0.5,
+            ..GlyphStyle::default()
+        };
         let img = render_digit(1, &Affine::identity(), &dim);
         let max = img.iter().cloned().fold(0.0f32, f32::max);
         assert!((max - 0.5).abs() < 1e-6);

@@ -47,7 +47,10 @@ pub fn to_ascii(img: &[f32]) -> String {
 pub fn to_pgm(img: &[f32]) -> Vec<u8> {
     assert_eq!(img.len(), IMAGE_PIXELS, "expected a 28x28 image");
     let mut out = format!("P5\n{IMAGE_SIDE} {IMAGE_SIDE}\n255\n").into_bytes();
-    out.extend(img.iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8));
+    out.extend(
+        img.iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
+    );
     out
 }
 
@@ -65,7 +68,10 @@ mod tests {
         let art = to_ascii(&digit());
         assert_eq!(art.lines().count(), IMAGE_SIDE);
         assert!(art.lines().all(|l| l.chars().count() == IMAGE_SIDE));
-        assert!(art.contains(' ') && art.contains('@'), "needs background and ink");
+        assert!(
+            art.contains(' ') && art.contains('@'),
+            "needs background and ink"
+        );
     }
 
     #[test]

@@ -19,7 +19,14 @@ pub struct Affine {
 impl Affine {
     /// The identity transform.
     pub fn identity() -> Self {
-        Self { a00: 1.0, a01: 0.0, a10: 0.0, a11: 1.0, tx: 0.0, ty: 0.0 }
+        Self {
+            a00: 1.0,
+            a01: 0.0,
+            a10: 0.0,
+            a11: 1.0,
+            tx: 0.0,
+            ty: 0.0,
+        }
     }
 
     /// Builds a jitter transform: rotate by `theta`, scale by
@@ -32,7 +39,14 @@ impl Affine {
         let (m10, m11) = (sin, cos);
         // Shear in x by k: [[1, k], [0, 1]]
         let (s00, s01, s10, s11) = (m00, m00 * k + m01, m10, m10 * k + m11);
-        Self { a00: s00 * sx, a01: s01 * sy, a10: s10 * sx, a11: s11 * sy, tx, ty }
+        Self {
+            a00: s00 * sx,
+            a01: s01 * sy,
+            a10: s10 * sx,
+            a11: s11 * sy,
+            tx,
+            ty,
+        }
     }
 
     /// Pure rotation by `theta` about the box center.
@@ -43,7 +57,10 @@ impl Affine {
     /// Applies the transform to a point in unit-box coordinates.
     pub fn apply(&self, p: (f32, f32)) -> (f32, f32) {
         let (x, y) = (p.0 - 0.5, p.1 - 0.5);
-        (self.a00 * x + self.a01 * y + 0.5 + self.tx, self.a10 * x + self.a11 * y + 0.5 + self.ty)
+        (
+            self.a00 * x + self.a01 * y + 0.5 + self.tx,
+            self.a10 * x + self.a11 * y + 0.5 + self.ty,
+        )
     }
 
     /// Composes `self ∘ other` (apply `other` first).
@@ -57,7 +74,14 @@ impl Affine {
         // other: q = B(x−c)+c+u ; self: A(q−c)+c+t = A·B(x−c) + A·u + c + t
         let tx = self.a00 * other.tx + self.a01 * other.ty + self.tx;
         let ty = self.a10 * other.tx + self.a11 * other.ty + self.ty;
-        Affine { a00, a01, a10, a11, tx, ty }
+        Affine {
+            a00,
+            a01,
+            a10,
+            a11,
+            tx,
+            ty,
+        }
     }
 }
 

@@ -132,9 +132,21 @@ mod tests {
         let r = area_report(&MachineConfig::default());
         // Paper: 78.4 mm² total, 94.8 % macro, < 1 % routing,
         // PE = 1.216 mm² × 64 = 99.2 %.
-        assert!((r.total_mm2 - 78.4).abs() < 6.0, "total {:.1} mm²", r.total_mm2);
-        assert!((r.macro_fraction() - 0.948).abs() < 0.02, "macro {:.3}", r.macro_fraction());
-        assert!(r.routing_fraction() < 0.01, "routing {:.4}", r.routing_fraction());
+        assert!(
+            (r.total_mm2 - 78.4).abs() < 6.0,
+            "total {:.1} mm²",
+            r.total_mm2
+        );
+        assert!(
+            (r.macro_fraction() - 0.948).abs() < 0.02,
+            "macro {:.3}",
+            r.macro_fraction()
+        );
+        assert!(
+            r.routing_fraction() < 0.01,
+            "routing {:.4}",
+            r.routing_fraction()
+        );
         assert!((r.pe_mm2 - 1.216).abs() < 0.1, "PE {:.3} mm²", r.pe_mm2);
     }
 

@@ -89,7 +89,10 @@ mod tests {
     fn sram_read_dominates_logic_ops() {
         let e = LogicEnergies::at(TechNode::n65());
         let w = SramMacro::new(128 * 1024, 16, TechNode::n65());
-        assert!(w.read_energy_pj() > 10.0 * e.mac_pj, "W read must dominate the MAC");
+        assert!(
+            w.read_energy_pj() > 10.0 * e.mac_pj,
+            "W read must dominate the MAC"
+        );
         assert!(w.read_energy_pj() > 5.0 * e.router_hop_pj);
     }
 

@@ -39,7 +39,11 @@ pub struct PowerReport {
 
 impl fmt::Display for PowerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "time {:.2} us, energy {:.2} uJ, power {:.1} mW", self.time_us, self.energy_uj, self.total_mw)?;
+        writeln!(
+            f,
+            "time {:.2} us, energy {:.2} uJ, power {:.1} mW",
+            self.time_us, self.energy_uj, self.total_mw
+        )?;
         write!(
             f,
             "  W-mem {:.1} | U/V-mem {:.1} | datapath {:.1} | RF/queues {:.1} | NoC {:.1} | idle {:.1} | leakage {:.1} (mW)",
@@ -88,14 +92,12 @@ impl PowerModel {
 
         let w_mem_pj = ev.w_reads as f64 * self.w_read_pj;
         let uv_mem_pj = (ev.u_reads + ev.v_reads) as f64 * self.uv_read_pj;
-        let datapath_pj = ev.macs as f64 * e.mac_pj
-            + ev.pe_busy_cycles as f64 * e.busy_overhead_pj;
+        let datapath_pj = ev.macs as f64 * e.mac_pj + ev.pe_busy_cycles as f64 * e.busy_overhead_pj;
         let regfile_pj = (ev.src_reads + ev.dst_writes) as f64 * e.regfile_pj
             + (ev.queue_pushes + ev.queue_pops) as f64 * e.queue_pj
             + ev.pred_writes as f64 * e.pred_write_pj
             + ev.pred_scans as f64 * e.pred_scan_pj;
-        let noc_pj =
-            ev.noc.hops as f64 * e.router_hop_pj + ev.noc.acc_merges as f64 * e.add_pj;
+        let noc_pj = ev.noc.hops as f64 * e.router_hop_pj + ev.noc.acc_merges as f64 * e.add_pj;
         let idle_pj = ev.pe_idle_cycles as f64 * e.idle_clock_pj;
 
         let dynamic_pj = w_mem_pj + uv_mem_pj + datapath_pj + regfile_pj + noc_pj + idle_pj;
@@ -103,8 +105,18 @@ impl PowerModel {
         let energy_uj = dynamic_pj * 1e-6 + leak_uj;
 
         // pJ / µs = µW; ×10⁻³ → mW.
-        let to_mw = |pj: f64| if time_us > 0.0 { pj / time_us * 1e-3 } else { 0.0 };
-        let total_mw = if time_us > 0.0 { energy_uj / time_us * 1e3 } else { 0.0 };
+        let to_mw = |pj: f64| {
+            if time_us > 0.0 {
+                pj / time_us * 1e-3
+            } else {
+                0.0
+            }
+        };
+        let total_mw = if time_us > 0.0 {
+            energy_uj / time_us * 1e3
+        } else {
+            0.0
+        };
         PowerReport {
             time_us,
             w_mem_mw: to_mw(w_mem_pj),
@@ -159,8 +171,13 @@ mod tests {
         ev.noc.hops = 3_000;
         ev.pe_idle_cycles = 10_000;
         let p = model.estimate(&ev);
-        let sum = p.w_mem_mw + p.uv_mem_mw + p.datapath_mw + p.regfile_mw + p.noc_mw
-            + p.idle_mw + p.leakage_mw;
+        let sum = p.w_mem_mw
+            + p.uv_mem_mw
+            + p.datapath_mw
+            + p.regfile_mw
+            + p.noc_mw
+            + p.idle_mw
+            + p.leakage_mw;
         assert!((sum - p.total_mw).abs() < 1e-6 * p.total_mw);
     }
 
@@ -170,7 +187,10 @@ mod tests {
         let a = model.estimate(&busy_events(1_000));
         let b = model.estimate(&busy_events(2_000));
         assert!((b.energy_uj / a.energy_uj - 2.0).abs() < 0.01);
-        assert!((b.total_mw - a.total_mw).abs() < 1.0, "steady-state power is rate-invariant");
+        assert!(
+            (b.total_mw - a.total_mw).abs() < 1.0,
+            "steady-state power is rate-invariant"
+        );
     }
 
     #[test]

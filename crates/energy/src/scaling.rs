@@ -13,10 +13,7 @@ use crate::tech::TechNode;
 
 /// Ratio of per-access read energies between two `(capacity bytes, node)`
 /// memory configurations.
-pub fn per_access_energy_ratio(
-    to: (usize, TechNode),
-    from: (usize, TechNode),
-) -> f64 {
+pub fn per_access_energy_ratio(to: (usize, TechNode), from: (usize, TechNode)) -> f64 {
     let a = SramMacro::new(to.0, 16, to.1);
     let b = SramMacro::new(from.0, 16, from.1);
     a.read_energy_pj() / b.read_energy_pj()
@@ -49,15 +46,15 @@ mod tests {
             (8 * 1024 * 1024, TechNode::n65()),
             (1_000_000, TechNode::n28()),
         );
-        assert!((9.0..13.0).contains(&r), "scaling factor {r}, paper says ≈ 11×");
+        assert!(
+            (9.0..13.0).contains(&r),
+            "scaling factor {r}, paper says ≈ 11×"
+        );
     }
 
     #[test]
     fn identity_scaling_is_one() {
-        let r = per_access_energy_ratio(
-            (1 << 20, TechNode::n65()),
-            (1 << 20, TechNode::n65()),
-        );
+        let r = per_access_energy_ratio((1 << 20, TechNode::n65()), (1 << 20, TechNode::n65()));
         assert!((r - 1.0).abs() < 1e-12);
     }
 

@@ -34,7 +34,11 @@ impl SramMacro {
     pub fn new(capacity_bytes: usize, word_bits: u32, tech: TechNode) -> Self {
         assert!(capacity_bytes > 0, "capacity must be positive");
         assert!(word_bits > 0, "word width must be positive");
-        Self { capacity_bytes, word_bits, tech }
+        Self {
+            capacity_bytes,
+            word_bits,
+            tech,
+        }
     }
 
     /// Capacity in bytes.
@@ -61,8 +65,7 @@ impl SramMacro {
 
     /// Random-access time, nanoseconds (`0.35 · KB^⅓` at 65 nm).
     pub fn access_time_ns(&self) -> f64 {
-        0.35 * (self.capacity_bytes as f64 / 1024.0).cbrt()
-            * (f64::from(self.tech.nm()) / 65.0)
+        0.35 * (self.capacity_bytes as f64 / 1024.0).cbrt() * (f64::from(self.tech.nm()) / 65.0)
     }
 
     /// Macro area, mm² (8.28 mm²/MB at 65 nm).
@@ -109,7 +112,10 @@ mod tests {
         assert!((a / b - 16.0).abs() < 1e-9);
         // One PE's macros (128 + 8 + 8 KB) ≈ Table III's 74.4/64 ≈ 1.16 mm².
         let per_pe = a + 2.0 * b;
-        assert!((per_pe - 1.16).abs() < 0.05, "per-PE macro area {per_pe} mm²");
+        assert!(
+            (per_pe - 1.16).abs() < 0.05,
+            "per-PE macro area {per_pe} mm²"
+        );
     }
 
     #[test]

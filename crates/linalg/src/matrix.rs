@@ -33,7 +33,11 @@ impl Matrix {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("matrix dimensions overflow");
-        Self { rows, cols, data: vec![0.0; len] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a matrix from a generator function `f(row, col)`.
@@ -59,7 +63,11 @@ impl Matrix {
         let cols = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let data = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix that owns `data` in row-major order.
@@ -153,7 +161,9 @@ impl Matrix {
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f32> {
         assert!(j < self.cols, "column out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Matrix–vector product `y = A·x`.
@@ -238,7 +248,11 @@ impl Matrix {
     pub fn sub(&self, b: &Matrix) -> Matrix {
         assert_eq!(self.shape(), b.shape(), "shape mismatch");
         let data = self.data.iter().zip(&b.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Matrix product `self · b` (used only on small predictor factors).
@@ -278,7 +292,11 @@ impl Matrix {
 
     /// Frobenius norm `‖A‖_F`.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|v| f64::from(*v) * f64::from(*v))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Applies `f` to every element, returning a new matrix.

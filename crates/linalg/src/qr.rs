@@ -138,7 +138,13 @@ mod tests {
     #[test]
     fn rank_deficient_input_keeps_shapes() {
         // Two identical columns.
-        let a = Matrix::from_fn(5, 3, |i, j| if j == 2 { (i + 1) as f32 } else { (i + 1) as f32 * (j + 1) as f32 });
+        let a = Matrix::from_fn(5, 3, |i, j| {
+            if j == 2 {
+                (i + 1) as f32
+            } else {
+                (i + 1) as f32 * (j + 1) as f32
+            }
+        });
         let f = qr(&a);
         assert_eq!(f.q.shape(), (5, 3));
         assert_eq!(f.r.shape(), (3, 3));

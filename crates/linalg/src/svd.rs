@@ -78,7 +78,11 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     if m < n {
         // Work on the transpose and swap factors.
         let t = jacobi_svd(&a.transpose());
-        return Svd { u: t.v, s: t.s, v: t.u };
+        return Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        };
     }
     let k = n;
 
@@ -150,7 +154,11 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
             v_out.set(t, out_j, v[j][t] as f32);
         }
     }
-    Svd { u, s: s_out, v: v_out }
+    Svd {
+        u,
+        s: s_out,
+        v: v_out,
+    }
 }
 
 /// Borrow two distinct columns mutably.
@@ -243,8 +251,13 @@ mod tests {
         let svd = jacobi_svd(&a);
         let r = 4;
         let tail: f32 = svd.s[r..].iter().map(|s| s * s).sum::<f32>().sqrt();
-        let err = a.sub(&svd.truncate(r).reconstruct_truncated()).frobenius_norm();
-        assert!((err - tail).abs() < 1e-2 * tail.max(1.0), "err {err} vs tail {tail}");
+        let err = a
+            .sub(&svd.truncate(r).reconstruct_truncated())
+            .frobenius_norm();
+        assert!(
+            (err - tail).abs() < 1e-2 * tail.max(1.0),
+            "err {err} vs tail {tail}"
+        );
     }
 
     #[test]

@@ -44,8 +44,12 @@ impl TruncatedSvd {
     /// which matters once they are quantized to 16-bit fixed point.
     pub fn predictor_factors(&self) -> (Matrix, Matrix) {
         let r = self.s.len();
-        let u = Matrix::from_fn(self.u.rows(), r, |i, j| self.u.get(i, j) * self.s[j].max(0.0).sqrt());
-        let v = Matrix::from_fn(r, self.v.rows(), |i, j| self.v.get(j, i) * self.s[i].max(0.0).sqrt());
+        let u = Matrix::from_fn(self.u.rows(), r, |i, j| {
+            self.u.get(i, j) * self.s[j].max(0.0).sqrt()
+        });
+        let v = Matrix::from_fn(r, self.v.rows(), |i, j| {
+            self.v.get(j, i) * self.s[i].max(0.0).sqrt()
+        });
         (u, v)
     }
 }
@@ -131,7 +135,12 @@ mod tests {
         let trunc = truncated_svd(&a, 5, 99);
         for t in 0..5 {
             let rel = (full.s[t] - trunc.s[t]).abs() / full.s[t].max(1e-6);
-            assert!(rel < 0.05, "σ_{t}: full {} vs trunc {}", full.s[t], trunc.s[t]);
+            assert!(
+                rel < 0.05,
+                "σ_{t}: full {} vs trunc {}",
+                full.s[t],
+                trunc.s[t]
+            );
         }
     }
 
@@ -165,9 +174,15 @@ mod tests {
     #[test]
     fn better_rank_means_lower_error() {
         let a = Matrix::from_fn(20, 20, |i, j| ((i * 3 + j * 7) % 23) as f32 - 11.0);
-        let e1 = a.sub(&truncated_svd(&a, 2, 1).reconstruct()).frobenius_norm();
-        let e2 = a.sub(&truncated_svd(&a, 8, 1).reconstruct()).frobenius_norm();
-        let e3 = a.sub(&truncated_svd(&a, 16, 1).reconstruct()).frobenius_norm();
+        let e1 = a
+            .sub(&truncated_svd(&a, 2, 1).reconstruct())
+            .frobenius_norm();
+        let e2 = a
+            .sub(&truncated_svd(&a, 8, 1).reconstruct())
+            .frobenius_norm();
+        let e3 = a
+            .sub(&truncated_svd(&a, 16, 1).reconstruct())
+            .frobenius_norm();
         assert!(e1 >= e2 && e2 >= e3, "errors {e1} {e2} {e3} should descend");
     }
 }

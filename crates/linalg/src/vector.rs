@@ -63,13 +63,25 @@ pub fn relu_mask(x: &[f32]) -> Vec<f32> {
 
 /// `sign(x)` with the convention `sign(0) = 0`, element-wise (Eq. (2)).
 pub fn sign(x: &[f32]) -> Vec<f32> {
-    x.iter().map(|&v| if v > 0.0 { 1.0 } else if v < 0.0 { -1.0 } else { 0.0 }).collect()
+    x.iter()
+        .map(|&v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
 }
 
 /// Straight-through-estimator mask: `1` where `|x| < 1`, else `0`
 /// (the `1_{|U V a| < 1}` factor of Algorithm 1, from Courbariaux et al.).
 pub fn ste_mask(x: &[f32]) -> Vec<f32> {
-    x.iter().map(|&v| if v.abs() < 1.0 { 1.0 } else { 0.0 }).collect()
+    x.iter()
+        .map(|&v| if v.abs() < 1.0 { 1.0 } else { 0.0 })
+        .collect()
 }
 
 /// Index of the maximum element; `None` on an empty slice. Ties resolve to
@@ -89,7 +101,10 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 
 /// Euclidean norm.
 pub fn norm2(x: &[f32]) -> f32 {
-    x.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt() as f32
+    x.iter()
+        .map(|v| f64::from(*v) * f64::from(*v))
+        .sum::<f64>()
+        .sqrt() as f32
 }
 
 /// Fraction of exactly-zero entries — the *activation sparsity* the whole
@@ -105,7 +120,11 @@ pub fn sparsity(x: &[f32]) -> f32 {
 /// analogue of what the leading-nonzero detector (LNZD) scans out of the
 /// activation register file.
 pub fn nonzeros(x: &[f32]) -> Vec<(usize, f32)> {
-    x.iter().enumerate().filter(|(_, v)| **v != 0.0).map(|(i, &v)| (i, v)).collect()
+    x.iter()
+        .enumerate()
+        .filter(|(_, v)| **v != 0.0)
+        .map(|(i, &v)| (i, v))
+        .collect()
 }
 
 /// Numerically-stable softmax.
@@ -152,7 +171,10 @@ mod tests {
 
     #[test]
     fn ste_mask_is_hardtanh_derivative() {
-        assert_eq!(ste_mask(&[-1.5, -0.5, 0.0, 0.99, 1.0]), vec![0.0, 1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(
+            ste_mask(&[-1.5, -0.5, 0.0, 0.99, 1.0]),
+            vec![0.0, 1.0, 1.0, 1.0, 0.0]
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct FixedMatrix {
 impl FixedMatrix {
     /// Quantizes a float matrix.
     pub fn from_float(m: &sparsenn_linalg::Matrix) -> Self {
-        Self { rows: m.rows(), cols: m.cols(), data: quantize::quantize_slice(m.as_slice()) }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: quantize::quantize_slice(m.as_slice()),
+        }
     }
 
     /// Number of rows.
@@ -87,7 +91,10 @@ pub struct FixedPredictor {
 impl FixedPredictor {
     /// Quantizes a float predictor.
     pub fn from_float(p: &Predictor) -> Self {
-        Self { u: FixedMatrix::from_float(p.u()), v: FixedMatrix::from_float(p.v()) }
+        Self {
+            u: FixedMatrix::from_float(p.u()),
+            v: FixedMatrix::from_float(p.v()),
+        }
     }
 
     /// V phase: `V·a` accumulated at full precision, then quantized to
@@ -95,14 +102,18 @@ impl FixedPredictor {
     /// (partial sums merge losslessly in i64; the root quantizes the final
     /// value before broadcasting it as a 16-bit activation).
     pub fn v_phase(&self, a: &[Q6_10]) -> Vec<Q6_10> {
-        (0..self.v.rows()).map(|t| self.v.row_dot(t, a).to_fixed()).collect()
+        (0..self.v.rows())
+            .map(|t| self.v.row_dot(t, a).to_fixed())
+            .collect()
     }
 
     /// U phase: signs of `U·(V·a)`. Only the sign bit is kept (the
     /// hardware stores it in the 1-bit predictor register bank), so no
     /// writeback quantization happens here.
     pub fn u_phase(&self, v_result: &[Q6_10]) -> Vec<bool> {
-        (0..self.u.rows()).map(|i| self.u.row_dot(i, v_result).is_positive()).collect()
+        (0..self.u.rows())
+            .map(|i| self.u.row_dot(i, v_result).is_positive())
+            .collect()
     }
 
     /// Complete prediction for one input vector.
@@ -148,8 +159,17 @@ impl FixedNetwork {
     /// Quantizes a trained float network.
     pub fn from_float(net: &PredictedNetwork) -> Self {
         Self {
-            layers: net.mlp().layers().iter().map(|l| FixedMatrix::from_float(l.w())).collect(),
-            predictors: net.predictors().iter().map(FixedPredictor::from_float).collect(),
+            layers: net
+                .mlp()
+                .layers()
+                .iter()
+                .map(|l| FixedMatrix::from_float(l.w()))
+                .collect(),
+            predictors: net
+                .predictors()
+                .iter()
+                .map(FixedPredictor::from_float)
+                .collect(),
         }
     }
 
@@ -157,7 +177,11 @@ impl FixedNetwork {
     /// sense then).
     pub fn from_mlp(mlp: &Mlp) -> Self {
         Self {
-            layers: mlp.layers().iter().map(|l| FixedMatrix::from_float(l.w())).collect(),
+            layers: mlp
+                .layers()
+                .iter()
+                .map(|l| FixedMatrix::from_float(l.w()))
+                .collect(),
             predictors: Vec::new(),
         }
     }
@@ -195,8 +219,11 @@ impl FixedNetwork {
         assert!(layer < self.layers.len(), "layer out of range");
         let w = &self.layers[layer];
         let is_hidden = layer + 1 < self.layers.len();
-        let predictor =
-            if mode == UvMode::On && is_hidden { self.predictors.get(layer) } else { None };
+        let predictor = if mode == UvMode::On && is_hidden {
+            self.predictors.get(layer)
+        } else {
+            None
+        };
 
         let (mask, v_result) = match predictor {
             Some(p) => {
@@ -218,7 +245,11 @@ impl FixedNetwork {
             let val: Q6_10 = acc.to_fixed();
             *out = if is_hidden { val.relu() } else { val };
         }
-        GoldenLayer { output, mask, v_result }
+        GoldenLayer {
+            output,
+            mask,
+            v_result,
+        }
     }
 
     /// Golden forward pass through the whole network.
@@ -237,13 +268,7 @@ impl FixedNetwork {
     pub fn classify(&self, x: &[Q6_10], mode: UvMode) -> usize {
         let layers = self.forward(x, mode);
         let logits = &layers.last().expect("at least one layer").output;
-        let mut best = 0;
-        for (i, v) in logits.iter().enumerate() {
-            if v.raw() > logits[best].raw() {
-                best = i;
-            }
-        }
-        best
+        sparsenn_numeric::argmax(logits)
     }
 }
 
@@ -282,7 +307,9 @@ mod tests {
         let (_, fixed) = quantized_net(2, &[6, 12, 4], 3);
         let x = fixed.quantize_input(&[0.5; 6]);
         let layers = fixed.forward(&x, UvMode::Off);
-        assert!(layers.iter().all(|l| l.mask.is_none() && l.v_result.is_none()));
+        assert!(layers
+            .iter()
+            .all(|l| l.mask.is_none() && l.v_result.is_none()));
     }
 
     #[test]
@@ -292,7 +319,10 @@ mod tests {
         let layers = fixed.forward(&x, UvMode::On);
         assert!(layers[0].mask.is_some());
         assert!(layers[1].mask.is_some());
-        assert!(layers[2].mask.is_none(), "classifier layer must not be masked");
+        assert!(
+            layers[2].mask.is_none(),
+            "classifier layer must not be masked"
+        );
     }
 
     #[test]
@@ -330,8 +360,8 @@ mod tests {
             .collect();
         for i in 0..3 {
             let mut dense = Accumulator::new();
-            for j in 0..5 {
-                dense.mac(m.get(i, j), a[j]);
+            for (j, &aj) in a.iter().enumerate() {
+                dense.mac(m.get(i, j), aj);
             }
             assert_eq!(m.row_dot(i, &a), dense);
         }

@@ -49,7 +49,7 @@ pub mod serialize;
 pub mod stats;
 
 pub use mlp::{DenseLayer, Mlp};
-pub use predictor::{PredictedNetwork, Predictor, PredictedForward};
+pub use predictor::{PredictedForward, PredictedNetwork, Predictor};
 
 /// Number of classes of the digit benchmarks (kept crate-local so `model`
 /// does not depend on the datasets crate's constant).

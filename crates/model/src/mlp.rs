@@ -18,7 +18,9 @@ impl DenseLayer {
 
     /// He-normal initialized layer `outputs × inputs`.
     pub fn random(outputs: usize, inputs: usize, rng: &mut StdRng) -> Self {
-        Self { w: init::he_normal(outputs, inputs, rng) }
+        Self {
+            w: init::he_normal(outputs, inputs, rng),
+        }
     }
 
     /// The weight matrix.
@@ -90,7 +92,11 @@ impl Mlp {
     pub fn new(layers: Vec<DenseLayer>) -> Self {
         assert!(!layers.is_empty(), "an MLP needs at least one layer");
         for pair in layers.windows(2) {
-            assert_eq!(pair[0].outputs(), pair[1].inputs(), "layer dimension mismatch");
+            assert_eq!(
+                pair[0].outputs(),
+                pair[1].inputs(),
+                "layer dimension mismatch"
+            );
         }
         Self { layers }
     }
@@ -102,8 +108,10 @@ impl Mlp {
     /// Panics if `dims.len() < 2`.
     pub fn random(dims: &[usize], rng: &mut StdRng) -> Self {
         assert!(dims.len() >= 2, "need at least input and output dims");
-        let layers =
-            dims.windows(2).map(|d| DenseLayer::random(d[1], d[0], rng)).collect::<Vec<_>>();
+        let layers = dims
+            .windows(2)
+            .map(|d| DenseLayer::random(d[1], d[0], rng))
+            .collect::<Vec<_>>();
         Self::new(layers)
     }
 
@@ -146,7 +154,11 @@ impl Mlp {
         post.push(x.to_vec());
         for (l, layer) in self.layers.iter().enumerate() {
             let z = layer.preact(post.last().expect("post never empty"));
-            let a = if l + 1 < self.layers.len() { vector::relu(&z) } else { z.clone() };
+            let a = if l + 1 < self.layers.len() {
+                vector::relu(&z)
+            } else {
+                z.clone()
+            };
             pre.push(z);
             post.push(a);
         }

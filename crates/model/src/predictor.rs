@@ -32,7 +32,10 @@ impl Predictor {
     /// rows and `inputs` columns (the starting point for end-to-end
     /// training).
     pub fn random(outputs: usize, inputs: usize, r: usize, rng: &mut StdRng) -> Self {
-        Self { u: init::xavier_uniform(outputs, r, rng), v: init::xavier_uniform(r, inputs, rng) }
+        Self {
+            u: init::xavier_uniform(outputs, r, rng),
+            v: init::xavier_uniform(r, inputs, rng),
+        }
     }
 
     /// The `m × r` left factor.
@@ -119,10 +122,22 @@ impl PredictedNetwork {
     /// Panics if the number of predictors differs from `mlp.num_hidden()`
     /// or any predictor's shape does not match its layer.
     pub fn new(mlp: Mlp, predictors: Vec<Predictor>) -> Self {
-        assert_eq!(predictors.len(), mlp.num_hidden(), "one predictor per hidden layer");
+        assert_eq!(
+            predictors.len(),
+            mlp.num_hidden(),
+            "one predictor per hidden layer"
+        );
         for (l, p) in predictors.iter().enumerate() {
-            assert_eq!(p.u().rows(), mlp.layers()[l].outputs(), "predictor U rows mismatch");
-            assert_eq!(p.v().cols(), mlp.layers()[l].inputs(), "predictor V cols mismatch");
+            assert_eq!(
+                p.u().rows(),
+                mlp.layers()[l].outputs(),
+                "predictor U rows mismatch"
+            );
+            assert_eq!(
+                p.v().cols(),
+                mlp.layers()[l].inputs(),
+                "predictor V cols mismatch"
+            );
         }
         Self { mlp, predictors }
     }
@@ -130,9 +145,7 @@ impl PredictedNetwork {
     /// Attaches fresh random rank-`r` predictors to every hidden layer.
     pub fn with_random_predictors(mlp: Mlp, r: usize, rng: &mut StdRng) -> Self {
         let predictors = (0..mlp.num_hidden())
-            .map(|l| {
-                Predictor::random(mlp.layers()[l].outputs(), mlp.layers()[l].inputs(), r, rng)
-            })
+            .map(|l| Predictor::random(mlp.layers()[l].outputs(), mlp.layers()[l].inputs(), r, rng))
             .collect();
         Self::new(mlp, predictors)
     }
@@ -252,7 +265,11 @@ mod tests {
         for (l, mask) in out.masks.iter().enumerate() {
             for (i, &active) in mask.iter().enumerate() {
                 if !active {
-                    assert_eq!(out.post[l + 1][i], 0.0, "layer {l} row {i} should be bypassed");
+                    assert_eq!(
+                        out.post[l + 1][i],
+                        0.0,
+                        "layer {l} row {i} should be bypassed"
+                    );
                 }
             }
         }

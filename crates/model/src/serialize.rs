@@ -37,7 +37,10 @@ impl std::fmt::Display for ParseModelError {
 impl std::error::Error for ParseModelError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseModelError {
-    ParseModelError { line, message: message.into() }
+    ParseModelError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serializes a network (weights + predictors) to the text format.
@@ -61,7 +64,10 @@ pub fn to_string(net: &PredictedNetwork) -> String {
     let _ = writeln!(
         out,
         "dims {}",
-        dims.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+        dims.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     let rank = net.predictors().first().map_or(0, Predictor::rank);
     let _ = writeln!(out, "rank {rank}");
@@ -78,7 +84,11 @@ pub fn to_string(net: &PredictedNetwork) -> String {
 fn write_matrix(out: &mut String, tag: &str, m: &Matrix) {
     let _ = writeln!(out, "{tag} {} {}", m.rows(), m.cols());
     for i in 0..m.rows() {
-        let row: Vec<String> = m.row(i).iter().map(|v| format!("{:08x}", v.to_bits())).collect();
+        let row: Vec<String> = m
+            .row(i)
+            .iter()
+            .map(|v| format!("{:08x}", v.to_bits()))
+            .collect();
         let _ = writeln!(out, "{}", row.join(" "));
     }
 }
@@ -113,14 +123,18 @@ pub fn from_str(text: &str) -> Result<PredictedNetwork, ParseModelError> {
         .map_err(|_| err(n + 1, "bad rank"))?;
 
     let mut read_matrix = |tag: String| -> Result<Matrix, ParseModelError> {
-        let (n, head) =
-            lines.next().ok_or_else(|| err(usize::MAX, format!("missing `{tag}` header")))?;
+        let (n, head) = lines
+            .next()
+            .ok_or_else(|| err(usize::MAX, format!("missing `{tag}` header")))?;
         let rest = head
             .strip_prefix(&tag)
             .ok_or_else(|| err(n + 1, format!("expected `{tag}`, found `{head}`")))?;
         let shape: Vec<usize> = rest
             .split_whitespace()
-            .map(|t| t.parse().map_err(|_| err(n + 1, format!("bad shape token `{t}`"))))
+            .map(|t| {
+                t.parse()
+                    .map_err(|_| err(n + 1, format!("bad shape token `{t}`")))
+            })
             .collect::<Result<_, _>>()?;
         if shape.len() != 2 {
             return Err(err(n + 1, "matrix header needs rows and cols"));
@@ -128,7 +142,9 @@ pub fn from_str(text: &str) -> Result<PredictedNetwork, ParseModelError> {
         let (rows, cols) = (shape[0], shape[1]);
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows {
-            let (n, row) = lines.next().ok_or_else(|| err(usize::MAX, "missing matrix row"))?;
+            let (n, row) = lines
+                .next()
+                .ok_or_else(|| err(usize::MAX, "missing matrix row"))?;
             for tok in row.split_whitespace() {
                 let bits = u32::from_str_radix(tok, 16)
                     .map_err(|_| err(n + 1, format!("bad hex value `{tok}`")))?;
@@ -197,7 +213,9 @@ mod tests {
 
     #[test]
     fn corrupt_hex_is_rejected() {
-        let text = to_string(&sample()).replace(' ', " zz ").replacen(" zz ", " ", 3);
+        let text = to_string(&sample())
+            .replace(' ', " zz ")
+            .replacen(" zz ", " ", 3);
         assert!(from_str(&text).is_err());
     }
 
@@ -211,7 +229,10 @@ mod tests {
         let v = Matrix::from_vec(1, 3, vec![0.1, 0.2, 0.3]);
         let net = PredictedNetwork::new(mlp, vec![Predictor::new(u, v)]);
         let back = from_str(&to_string(&net)).unwrap();
-        assert_eq!(net.mlp().layers()[0].w().as_slice()[0].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(
+            net.mlp().layers()[0].w().as_slice()[0].to_bits(),
+            (-0.0f32).to_bits()
+        );
         assert_eq!(net, back);
     }
 }

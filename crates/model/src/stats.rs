@@ -4,7 +4,7 @@
 //! error rate, %) and **ρ⁽ˡ⁾** (predicted output sparsity per hidden layer,
 //! %).
 
-use crate::{PredictedNetwork, Mlp};
+use crate::{Mlp, PredictedNetwork};
 use sparsenn_datasets::Dataset;
 use sparsenn_linalg::vector;
 
@@ -65,7 +65,9 @@ pub fn predicted_sparsity(net: &PredictedNetwork, data: &Dataset) -> Vec<f32> {
             *s += f64::from(fwd.predicted_sparsity(l));
         }
     }
-    sums.iter().map(|&s| (100.0 * s / data.len() as f64) as f32).collect()
+    sums.iter()
+        .map(|&s| (100.0 * s / data.len() as f64) as f32)
+        .collect()
 }
 
 /// Mean *natural* output sparsity per hidden layer (fraction of exact
@@ -83,7 +85,9 @@ pub fn natural_sparsity(mlp: &Mlp, data: &Dataset) -> Vec<f32> {
             *s += f64::from(vector::sparsity(&acts.post[l + 1]));
         }
     }
-    sums.iter().map(|&s| (100.0 * s / data.len() as f64) as f32).collect()
+    sums.iter()
+        .map(|&s| (100.0 * s / data.len() as f64) as f32)
+        .collect()
 }
 
 /// A 10×10 confusion matrix (`rows` = true label, `cols` = prediction).
@@ -108,7 +112,9 @@ impl ConfusionMatrix {
         if self.total == 0 {
             return 0.0;
         }
-        let correct: usize = (0..crate::NUM_CLASSES_INTERNAL).map(|c| self.counts[c][c]).sum();
+        let correct: usize = (0..crate::NUM_CLASSES_INTERNAL)
+            .map(|c| self.counts[c][c])
+            .sum();
         correct as f32 / self.total as f32
     }
 
@@ -140,11 +146,7 @@ impl ConfusionMatrix {
 }
 
 /// Builds the confusion matrix of a network over a dataset.
-pub fn confusion_matrix(
-    net: &PredictedNetwork,
-    data: &Dataset,
-    mode: EvalMode,
-) -> ConfusionMatrix {
+pub fn confusion_matrix(net: &PredictedNetwork, data: &Dataset, mode: EvalMode) -> ConfusionMatrix {
     let mut counts = [[0usize; crate::NUM_CLASSES_INTERNAL]; crate::NUM_CLASSES_INTERNAL];
     for (img, label) in data.iter() {
         let pred = match mode {
@@ -154,7 +156,10 @@ pub fn confusion_matrix(
         .expect("nonempty logits");
         counts[label as usize][pred.min(crate::NUM_CLASSES_INTERNAL - 1)] += 1;
     }
-    ConfusionMatrix { counts, total: data.len() }
+    ConfusionMatrix {
+        counts,
+        total: data.len(),
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +169,14 @@ mod tests {
     use sparsenn_linalg::init::seeded_rng;
 
     fn tiny_data() -> Dataset {
-        DatasetSpec { kind: DatasetKind::Basic, train: 20, test: 10, seed: 1 }.generate().test
+        DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 20,
+            test: 10,
+            seed: 1,
+        }
+        .generate()
+        .test
     }
 
     #[test]
@@ -182,9 +194,14 @@ mod tests {
         let mut rng = seeded_rng(3);
         let mlp = Mlp::random(&[784, 8, 10], &mut rng);
         let net = PredictedNetwork::with_random_predictors(mlp, 2, &mut rng);
-        let empty = DatasetSpec { kind: DatasetKind::Basic, train: 0, test: 0, seed: 1 }
-            .generate()
-            .test;
+        let empty = DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 0,
+            test: 0,
+            seed: 1,
+        }
+        .generate()
+        .test;
         assert_eq!(test_error_rate(&net, &empty, EvalMode::Predicted), 0.0);
         assert_eq!(predicted_sparsity(&net, &empty), vec![0.0]);
     }
@@ -210,8 +227,9 @@ mod tests {
         let net = PredictedNetwork::with_random_predictors(mlp, 3, &mut rng);
         let data = tiny_data();
         let cm = confusion_matrix(&net, &data, EvalMode::Predicted);
-        let total: usize =
-            (0..10).map(|t| (0..10).map(|p| cm.count(t, p)).sum::<usize>()).sum();
+        let total: usize = (0..10)
+            .map(|t| (0..10).map(|p| cm.count(t, p)).sum::<usize>())
+            .sum();
         assert_eq!(total, data.len());
         let ter = test_error_rate(&net, &data, EvalMode::Predicted);
         assert!((cm.accuracy() * 100.0 - (100.0 - ter)).abs() < 1e-4);
@@ -222,8 +240,14 @@ mod tests {
         let mut rng = seeded_rng(7);
         let mlp = Mlp::random(&[784, 8, 10], &mut rng);
         let net = PredictedNetwork::with_random_predictors(mlp, 2, &mut rng);
-        let empty =
-            DatasetSpec { kind: DatasetKind::Basic, train: 0, test: 0, seed: 1 }.generate().test;
+        let empty = DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 0,
+            test: 0,
+            seed: 1,
+        }
+        .generate()
+        .test;
         let cm = confusion_matrix(&net, &empty, EvalMode::Plain);
         assert_eq!(cm.recall(3), None);
         assert_eq!(cm.accuracy(), 0.0);

@@ -19,7 +19,11 @@ fn input(seed: u64) -> Vec<f32> {
     (0..12)
         .map(|_| {
             use rand::Rng;
-            if rng.gen_bool(0.4) { 0.0 } else { rng.gen_range(-1.5f32..1.5) }
+            if rng.gen_bool(0.4) {
+                0.0
+            } else {
+                rng.gen_range(-1.5f32..1.5)
+            }
         })
         .collect()
 }

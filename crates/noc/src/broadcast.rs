@@ -78,9 +78,20 @@ impl<T: Keyed + Copy> BroadcastTree<T> {
     pub fn new(cfg: &NocConfig) -> Self {
         let levels = cfg.levels();
         let routers = (0..levels)
-            .map(|l| (0..cfg.routers_at_level(l)).map(|_| Router::new(cfg)).collect())
+            .map(|l| {
+                (0..cfg.routers_at_level(l))
+                    .map(|_| Router::new(cfg))
+                    .collect()
+            })
             .collect();
-        Self { cfg: *cfg, levels, routers, down: VecDeque::new(), cycle: 0, stats: NocStats::default() }
+        Self {
+            cfg: *cfg,
+            levels,
+            routers,
+            down: VecDeque::new(),
+            cycle: 0,
+            stats: NocStats::default(),
+        }
     }
 
     /// Attempts to inject a flit from PE `pe`'s network interface into its
@@ -129,7 +140,8 @@ impl<T: Keyed + Copy> BroadcastTree<T> {
         if let Some(port) = root.winner() {
             if sink_ready {
                 let flit = root.ports[port].pop().expect("winner has a head");
-                self.down.push_back((cycle + self.cfg.broadcast_latency(), flit));
+                self.down
+                    .push_back((cycle + self.cfg.broadcast_latency(), flit));
                 self.stats.root_emissions += 1;
                 self.stats.hops += 1;
             } else {
@@ -144,8 +156,7 @@ impl<T: Keyed + Copy> BroadcastTree<T> {
             let parent_level = &mut upper[0];
             for r in 0..this_level.len() {
                 if let Some(port) = this_level[r].winner() {
-                    let parent =
-                        &mut parent_level[r / self.cfg.radix].ports[r % self.cfg.radix];
+                    let parent = &mut parent_level[r / self.cfg.radix].ports[r % self.cfg.radix];
                     if parent.has_credit() {
                         let flit = this_level[r].ports[port].pop().expect("winner has a head");
                         parent.send(cycle, flit);
@@ -200,7 +211,10 @@ mod tests {
     use crate::ActFlit;
 
     fn flit(i: u32) -> ActFlit {
-        ActFlit { index: i, value: i as i16 }
+        ActFlit {
+            index: i,
+            value: i as i16,
+        }
     }
 
     fn drain(tree: &mut BroadcastTree<ActFlit>, max_cycles: usize) -> Vec<u32> {
@@ -271,7 +285,10 @@ mod tests {
         let mut sorted = out.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![5, 50, 100]);
-        assert_ne!(out, sorted, "delivery {out:?} should not be globally index-ordered");
+        assert_ne!(
+            out, sorted,
+            "delivery {out:?} should not be globally index-ordered"
+        );
         let pos = |i: u32| out.iter().position(|&x| x == i).unwrap();
         assert!(pos(100) < pos(5), "{out:?}: 5 was blocked behind 100");
     }
@@ -318,7 +335,10 @@ mod tests {
 
     #[test]
     fn broadcast_latency_matches_config() {
-        let cfg = NocConfig { hop_latency: 2, ..NocConfig::default() };
+        let cfg = NocConfig {
+            hop_latency: 2,
+            ..NocConfig::default()
+        };
         let mut tree = BroadcastTree::new(&cfg);
         assert!(tree.try_inject(0, flit(1)));
         let mut delivered_at = None;
@@ -331,7 +351,10 @@ mod tests {
         // 3 hops up at 2 cycles each (the leaf-injection link counts as the
         // first) + 1 arbitration step per level + 6 cycles down.
         let t = delivered_at.expect("must deliver");
-        assert!(t >= 2 * 3 + 6, "delivery at {t} is faster than physically possible");
+        assert!(
+            t >= 2 * 3 + 6,
+            "delivery at {t} is faster than physically possible"
+        );
         assert!(t <= 30, "delivery at {t} is suspiciously slow");
     }
 }

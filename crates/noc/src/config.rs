@@ -47,7 +47,12 @@ impl NocConfig {
 
 impl Default for NocConfig {
     fn default() -> Self {
-        Self { num_pes: 64, radix: 4, queue_capacity: 4, hop_latency: 1 }
+        Self {
+            num_pes: 64,
+            radix: 4,
+            queue_capacity: 4,
+            hop_latency: 1,
+        }
     }
 }
 
@@ -67,7 +72,10 @@ mod tests {
 
     #[test]
     fn small_tree_levels() {
-        let c = NocConfig { num_pes: 16, ..NocConfig::default() };
+        let c = NocConfig {
+            num_pes: 16,
+            ..NocConfig::default()
+        };
         assert_eq!(c.levels(), 2);
         assert_eq!(c.broadcast_latency(), 2);
     }
@@ -75,6 +83,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of radix")]
     fn non_power_panics() {
-        NocConfig { num_pes: 48, ..NocConfig::default() }.levels();
+        NocConfig {
+            num_pes: 48,
+            ..NocConfig::default()
+        }
+        .levels();
     }
 }

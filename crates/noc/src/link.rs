@@ -21,7 +21,12 @@ impl<T> Port<T> {
     /// Creates an empty port.
     pub fn new(capacity: usize, latency: u64) -> Self {
         assert!(capacity > 0, "port capacity must be positive");
-        Self { queue: VecDeque::new(), capacity, link: VecDeque::new(), latency }
+        Self {
+            queue: VecDeque::new(),
+            capacity,
+            link: VecDeque::new(),
+            latency,
+        }
     }
 
     /// `true` if the sender holds a credit (buffer + in-flight < capacity).
@@ -87,7 +92,10 @@ mod tests {
         p.send(0, 2);
         assert!(!p.has_credit(), "2 in flight with capacity 2 ⇒ no credit");
         p.advance(1);
-        assert!(!p.has_credit(), "arrivals occupy the buffer, still no credit");
+        assert!(
+            !p.has_credit(),
+            "arrivals occupy the buffer, still no credit"
+        );
         assert_eq!(p.pop(), Some(1));
         assert!(p.has_credit(), "pop returns a credit");
     }

@@ -85,7 +85,11 @@ impl ReduceTree {
     ///
     /// Panics if `participants.len() != cfg.num_pes`.
     pub fn new(cfg: &NocConfig, rows: usize, participants: &[bool]) -> Self {
-        assert_eq!(participants.len(), cfg.num_pes, "one participation flag per PE");
+        assert_eq!(
+            participants.len(),
+            cfg.num_pes,
+            "one participation flag per PE"
+        );
         let levels = cfg.levels();
         // A subtree contributes if any of its PEs participate.
         let mut contributing: Vec<bool> = participants.to_vec();
@@ -103,7 +107,11 @@ impl ReduceTree {
             routers.push(level);
             contributing = next_contributing;
         }
-        let participating_rows = if participants.iter().any(|&p| p) { rows as u64 } else { 0 };
+        let participating_rows = if participants.iter().any(|&p| p) {
+            rows as u64
+        } else {
+            0
+        };
         Self {
             cfg: *cfg,
             levels,
@@ -124,7 +132,10 @@ impl ReduceTree {
     /// Panics if `pe` or `row` is out of range.
     pub fn try_inject(&mut self, pe: usize, row: u32, partial: i64) -> bool {
         assert!(pe < self.cfg.num_pes, "PE index out of range");
-        assert!((row as usize) < self.routers[0][0].acc.len(), "row out of range");
+        assert!(
+            (row as usize) < self.routers[0][0].acc.len(),
+            "row out of range"
+        );
         let port = &mut self.routers[0][pe / self.cfg.radix].ports[pe % self.cfg.radix];
         if port.has_credit() {
             port.send(self.cycle, (row, partial));
@@ -155,7 +166,9 @@ impl ReduceTree {
             let (lower, upper) = self.routers.split_at_mut(l + 1);
             let this_level = &mut lower[l];
             for r in 0..this_level.len() {
-                let Some(port) = this_level[r].winner() else { continue };
+                let Some(port) = this_level[r].winner() else {
+                    continue;
+                };
                 let &(row, _) = this_level[r].ports[port].head().expect("winner has head");
                 let completes = this_level[r].cnt[row as usize] + 1 == this_level[r].expected;
                 if completes && !is_root {
@@ -250,10 +263,10 @@ mod tests {
         let mut contributions = Vec::new();
         let mut expect = vec![0i64; rows];
         for pe in 0..64usize {
-            for row in 0..rows {
+            for (row, e) in expect.iter_mut().enumerate() {
                 let v = (pe as i64 + 1) * (row as i64 + 3) - 40;
                 contributions.push((pe, row as u32, v));
-                expect[row] += v;
+                *e += v;
             }
         }
         let out = run_reduction(rows, &contributions, &participants);
@@ -268,8 +281,9 @@ mod tests {
     #[test]
     fn each_row_emitted_exactly_once() {
         let participants = vec![true; 64];
-        let contributions: Vec<(usize, u32, i64)> =
-            (0..64).flat_map(|pe| (0..3u32).map(move |r| (pe, r, 1))).collect();
+        let contributions: Vec<(usize, u32, i64)> = (0..64)
+            .flat_map(|pe| (0..3u32).map(move |r| (pe, r, 1)))
+            .collect();
         let out = run_reduction(3, &contributions, &participants);
         let mut rows: Vec<u32> = out.iter().map(|&(r, _)| r).collect();
         rows.sort_unstable();
@@ -292,15 +306,14 @@ mod tests {
     #[test]
     fn no_participants_is_immediately_done() {
         let cfg = NocConfig::default();
-        let tree = ReduceTree::new(&cfg, 4, &vec![false; 64]);
+        let tree = ReduceTree::new(&cfg, 4, &[false; 64]);
         assert!(tree.is_done());
     }
 
     #[test]
     fn merge_count_matches_total_contributions() {
         let participants = vec![true; 64];
-        let contributions: Vec<(usize, u32, i64)> =
-            (0..64).map(|pe| (pe, 0u32, 1i64)).collect();
+        let contributions: Vec<(usize, u32, i64)> = (0..64).map(|pe| (pe, 0u32, 1i64)).collect();
         let cfg = NocConfig::default();
         let mut tree = ReduceTree::new(&cfg, 1, &participants);
         let mut pending = contributions;
@@ -320,7 +333,7 @@ mod tests {
     #[should_panic(expected = "row out of range")]
     fn row_out_of_range_panics() {
         let cfg = NocConfig::default();
-        let mut tree = ReduceTree::new(&cfg, 2, &vec![true; 64]);
+        let mut tree = ReduceTree::new(&cfg, 2, &[true; 64]);
         tree.try_inject(0, 7, 1);
     }
 }

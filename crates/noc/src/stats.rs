@@ -42,8 +42,18 @@ mod tests {
 
     #[test]
     fn merge_adds_counts_and_maxes_peaks() {
-        let mut a = NocStats { cycles: 10, hops: 5, peak_occupancy: 2, ..NocStats::default() };
-        let b = NocStats { cycles: 3, hops: 7, peak_occupancy: 4, ..NocStats::default() };
+        let mut a = NocStats {
+            cycles: 10,
+            hops: 5,
+            peak_occupancy: 2,
+            ..NocStats::default()
+        };
+        let b = NocStats {
+            cycles: 3,
+            hops: 7,
+            peak_occupancy: 4,
+            ..NocStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 13);
         assert_eq!(a.hops, 12);

@@ -66,14 +66,14 @@ proptest! {
         let mut tree = ReduceTree::new(&cfg, rows, &participants);
         let mut pending = Vec::new();
         let mut expect = vec![0i64; rows];
-        for pe in 0..64usize {
-            if !participants[pe] {
+        for (pe, &participates) in participants.iter().enumerate() {
+            if !participates {
                 continue;
             }
-            for row in 0..rows {
+            for (row, e) in expect.iter_mut().enumerate() {
                 let v = (pe as i64 - 31) * (row as i64 + 1) * scale;
                 pending.push((pe, row as u32, v));
-                expect[row] += v;
+                *e += v;
             }
         }
         let mut got = vec![None::<i64>; rows];

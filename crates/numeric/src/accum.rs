@@ -139,10 +139,30 @@ mod tests {
     fn writeback_rounds_ties_to_even() {
         // raw Q20 value exactly halfway between two Q10 codes.
         let half = 1i64 << 9; // 0.5 ulp at FRAC=10
-        assert_eq!(Accumulator::from_raw((4 << 10) + half).to_fixed::<10>().raw(), 4);
-        assert_eq!(Accumulator::from_raw((5 << 10) + half).to_fixed::<10>().raw(), 6);
-        assert_eq!(Accumulator::from_raw(-((5i64 << 10) + half)).to_fixed::<10>().raw(), -6,);
-        assert_eq!(Accumulator::from_raw((4 << 10) + half + 1).to_fixed::<10>().raw(), 5);
+        assert_eq!(
+            Accumulator::from_raw((4 << 10) + half)
+                .to_fixed::<10>()
+                .raw(),
+            4
+        );
+        assert_eq!(
+            Accumulator::from_raw((5 << 10) + half)
+                .to_fixed::<10>()
+                .raw(),
+            6
+        );
+        assert_eq!(
+            Accumulator::from_raw(-((5i64 << 10) + half))
+                .to_fixed::<10>()
+                .raw(),
+            -6,
+        );
+        assert_eq!(
+            Accumulator::from_raw((4 << 10) + half + 1)
+                .to_fixed::<10>()
+                .raw(),
+            5
+        );
     }
 
     #[test]

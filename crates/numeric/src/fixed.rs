@@ -68,7 +68,9 @@ impl<const FRAC: u32> Fixed<FRAC> {
         let scaled = (x as f64) * f64::from(1u32 << FRAC);
         let rounded = round_ties_even(scaled);
         let clamped = rounded.clamp(i16::MIN as f64, i16::MAX as f64);
-        Self { raw: clamped as i16 }
+        Self {
+            raw: clamped as i16,
+        }
     }
 
     /// Converts back to `f32`. Exact: every `i16 / 2^FRAC` fits in an `f32`
@@ -81,13 +83,17 @@ impl<const FRAC: u32> Fixed<FRAC> {
     /// Saturating addition (the behaviour of the PE writeback stage).
     #[inline]
     pub fn saturating_add(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_add(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_add(rhs.raw),
+        }
     }
 
     /// Saturating subtraction.
     #[inline]
     pub fn saturating_sub(self, rhs: Self) -> Self {
-        Self { raw: self.raw.saturating_sub(rhs.raw) }
+        Self {
+            raw: self.raw.saturating_sub(rhs.raw),
+        }
     }
 
     /// Full-precision product: `Q(FRAC) × Q(FRAC) → Q(2·FRAC)` in an `i32`.
@@ -122,7 +128,11 @@ impl<const FRAC: u32> Fixed<FRAC> {
     /// Rectified linear unit: `max(0, self)`, a single mux in hardware.
     #[inline]
     pub fn relu(self) -> Self {
-        if self.raw < 0 { Self::ZERO } else { self }
+        if self.raw < 0 {
+            Self::ZERO
+        } else {
+            self
+        }
     }
 }
 
@@ -145,6 +155,20 @@ fn round_ties_even(x: f64) -> f64 {
     }
 }
 
+/// Index of the largest value, first occurrence winning ties (the
+/// classifier argmax — every layer of the stack must break ties the same
+/// way for fixed-point accuracies to agree across backends). Returns 0 for
+/// an empty slice.
+pub fn argmax<const FRAC: u32>(xs: &[Fixed<FRAC>]) -> usize {
+    let mut best = 0;
+    for (i, v) in xs.iter().enumerate() {
+        if v.raw() > xs[best].raw() {
+            best = i;
+        }
+    }
+    best
+}
+
 impl<const FRAC: u32> std::ops::Add for Fixed<FRAC> {
     type Output = Self;
     #[inline]
@@ -165,7 +189,9 @@ impl<const FRAC: u32> Neg for Fixed<FRAC> {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { raw: self.raw.saturating_neg() }
+        Self {
+            raw: self.raw.saturating_neg(),
+        }
     }
 }
 
@@ -203,6 +229,15 @@ impl<const FRAC: u32> From<Fixed<FRAC>> for f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn argmax_breaks_ties_on_first_occurrence() {
+        let xs: Vec<Q6_10> = [1, 7, 7, -3].iter().map(|&r| Q6_10::from_raw(r)).collect();
+        assert_eq!(argmax(&xs), 1, "ties go to the first occurrence");
+        assert_eq!(argmax::<10>(&[]), 0, "empty slice maps to 0");
+        let neg: Vec<Q6_10> = [-5, -2, -9].iter().map(|&r| Q6_10::from_raw(r)).collect();
+        assert_eq!(argmax(&neg), 1);
+    }
 
     #[test]
     fn constants_are_consistent() {

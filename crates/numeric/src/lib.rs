@@ -43,7 +43,7 @@ mod fixed;
 pub mod quantize;
 
 pub use accum::Accumulator;
-pub use fixed::{Fixed, Q6_10};
+pub use fixed::{argmax, Fixed, Q6_10};
 
 /// Number of fraction bits used by the SparseNN datapath (Q6.10).
 pub const FRAC_BITS: u32 = 10;

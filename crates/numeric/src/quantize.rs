@@ -52,7 +52,10 @@ pub struct QuantStats {
 /// assert_eq!(q.len(), 2);
 /// ```
 pub fn quantize_with_stats<const FRAC: u32>(xs: &[f32]) -> (Vec<Fixed<FRAC>>, QuantStats) {
-    let mut stats = QuantStats { len: xs.len(), ..QuantStats::default() };
+    let mut stats = QuantStats {
+        len: xs.len(),
+        ..QuantStats::default()
+    };
     let mut sum_err = 0.0f64;
     let q: Vec<Fixed<FRAC>> = xs
         .iter()

@@ -141,6 +141,9 @@ mod tests {
         let c = MachineConfig::default();
         assert!(c.validate_layer(5000, 1000).is_err());
         assert!(c.validate_layer(1000, 5000).is_err());
-        assert!(c.validate_layer(4096, 4096).is_err(), "4K×4K needs 128K words/PE");
+        assert!(
+            c.validate_layer(4096, 4096).is_err(),
+            "4K×4K needs 128K words/PE"
+        );
     }
 }

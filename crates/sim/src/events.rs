@@ -82,8 +82,16 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = MachineEvents { cycles: 10, macs: 100, ..MachineEvents::default() };
-        let b = MachineEvents { cycles: 5, macs: 50, ..MachineEvents::default() };
+        let mut a = MachineEvents {
+            cycles: 10,
+            macs: 100,
+            ..MachineEvents::default()
+        };
+        let b = MachineEvents {
+            cycles: 5,
+            macs: 50,
+            ..MachineEvents::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.macs, 150);
@@ -91,7 +99,11 @@ mod tests {
 
     #[test]
     fn utilization_bounds() {
-        let e = MachineEvents { pe_busy_cycles: 3, pe_idle_cycles: 1, ..MachineEvents::default() };
+        let e = MachineEvents {
+            pe_busy_cycles: 3,
+            pe_idle_cycles: 1,
+            ..MachineEvents::default()
+        };
         assert!((e.utilization() - 0.75).abs() < 1e-12);
         assert_eq!(MachineEvents::default().utilization(), 0.0);
     }

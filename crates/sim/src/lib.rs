@@ -53,4 +53,4 @@ pub mod simd;
 
 pub use config::MachineConfig;
 pub use events::MachineEvents;
-pub use machine::{LayerRun, Machine, NetworkRun, Phase};
+pub use machine::{LayerRun, Machine, MachineError, NetworkRun, Phase};

@@ -8,6 +8,49 @@ use sparsenn_noc::{ActFlit, BroadcastTree, ReduceTree};
 use sparsenn_numeric::{Accumulator, Q6_10};
 use std::collections::VecDeque;
 
+/// Why a simulation request could not run (the fallible counterpart of the
+/// panics documented on [`Machine::run_layer`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// The layer's shape exceeds a machine limit
+    /// ([`MachineConfig::validate_layer`]).
+    LayerDoesNotFit {
+        /// Index of the offending layer within the network (0 for a
+        /// stand-alone layer run).
+        layer: usize,
+        /// Human-readable description of the violated limit.
+        reason: String,
+    },
+    /// The activation vector's width does not match the layer's columns.
+    InputWidthMismatch {
+        /// Columns the layer expects.
+        expected: usize,
+        /// Activations supplied.
+        got: usize,
+    },
+    /// The network has no layers.
+    EmptyNetwork,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::LayerDoesNotFit { layer, reason } => {
+                write!(f, "layer {layer} does not fit the machine: {reason}")
+            }
+            MachineError::InputWidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input width mismatch: layer expects {expected} activations, got {got}"
+                )
+            }
+            MachineError::EmptyNetwork => f.write_str("network has no layers"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
 /// Which phase a cycle belonged to (reporting granularity of Fig. 7).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
@@ -69,14 +112,7 @@ impl NetworkRun {
 
     /// Argmax classification of the final layer.
     pub fn classify(&self) -> usize {
-        let out = self.output();
-        let mut best = 0;
-        for (i, v) in out.iter().enumerate() {
-            if v.raw() > out[best].raw() {
-                best = i;
-            }
-        }
-        best
+        sparsenn_numeric::argmax(self.output())
     }
 
     /// Sum of per-layer cycle counts.
@@ -136,10 +172,35 @@ impl Machine {
         is_hidden: bool,
         mode: UvMode,
     ) -> LayerRun {
+        self.try_run_layer(w, predictor, input, is_hidden, mode)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`run_layer`](Machine::run_layer): shape
+    /// violations surface as [`MachineError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::LayerDoesNotFit`] if the layer exceeds a machine
+    /// limit, [`MachineError::InputWidthMismatch`] if `input.len()` differs
+    /// from the layer's column count.
+    pub fn try_run_layer(
+        &self,
+        w: &FixedMatrix,
+        predictor: Option<&FixedPredictor>,
+        input: &[Q6_10],
+        is_hidden: bool,
+        mode: UvMode,
+    ) -> Result<LayerRun, MachineError> {
         self.cfg
             .validate_layer(w.rows(), w.cols())
-            .unwrap_or_else(|e| panic!("layer does not fit the machine: {e}"));
-        assert_eq!(input.len(), w.cols(), "input width mismatch");
+            .map_err(|reason| MachineError::LayerDoesNotFit { layer: 0, reason })?;
+        if input.len() != w.cols() {
+            return Err(MachineError::InputWidthMismatch {
+                expected: w.cols(),
+                got: input.len(),
+            });
+        }
 
         let n_pes = self.cfg.num_pes();
         let mut ev = MachineEvents::default();
@@ -179,7 +240,7 @@ impl Machine {
         ev.vu_cycles = vu_cycles;
         ev.w_cycles = w_cycles;
         ev.cycles = vu_cycles + w_cycles;
-        LayerRun {
+        Ok(LayerRun {
             output,
             mask,
             cycles: vu_cycles + w_cycles,
@@ -187,22 +248,68 @@ impl Machine {
             w_cycles,
             events: ev,
             pe_busy,
-        }
+        })
     }
 
     /// Simulates the whole network, feeding each layer's (already
     /// quantized) outputs to the next — the ping-pong register files.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`try_run_network`](Machine::try_run_network)
+    /// reports as errors.
     pub fn run_network(&self, net: &FixedNetwork, input: &[Q6_10], mode: UvMode) -> NetworkRun {
+        self.try_run_network(net, input, mode)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`run_network`](Machine::run_network).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::EmptyNetwork`] for a zero-layer network, otherwise
+    /// the first per-layer error with its layer index filled in.
+    pub fn try_run_network(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+    ) -> Result<NetworkRun, MachineError> {
+        if net.num_layers() == 0 {
+            return Err(MachineError::EmptyNetwork);
+        }
         let mut acts = input.to_vec();
         let mut layers = Vec::with_capacity(net.num_layers());
         for l in 0..net.num_layers() {
             let is_hidden = l + 1 < net.num_layers();
-            let predictor = if is_hidden { net.predictors().get(l) } else { None };
-            let run = self.run_layer(&net.layers()[l], predictor, &acts, is_hidden, mode);
+            let predictor = if is_hidden {
+                net.predictors().get(l)
+            } else {
+                None
+            };
+            let run = self
+                .try_run_layer(&net.layers()[l], predictor, &acts, is_hidden, mode)
+                .map_err(|e| match e {
+                    MachineError::LayerDoesNotFit { reason, .. } => {
+                        MachineError::LayerDoesNotFit { layer: l, reason }
+                    }
+                    // Past layer 0 a width mismatch is a malformed layer
+                    // chain, not a bad caller input — report it as such (and
+                    // identically to the functional backends).
+                    MachineError::InputWidthMismatch { expected, got } if l > 0 => {
+                        MachineError::LayerDoesNotFit {
+                            layer: l,
+                            reason: format!(
+                                "layer expects {expected} inputs but the previous layer produces {got}"
+                            ),
+                        }
+                    }
+                    other => other,
+                })?;
             acts = run.output.clone();
             layers.push(run);
         }
-        NetworkRun { layers }
+        Ok(NetworkRun { layers })
     }
 
     /// The overlapped V/U predictor phases. Returns the cycle count.
@@ -244,7 +351,10 @@ impl Machine {
             if let Some((row, total)) = reduce.tick() {
                 let q: Q6_10 = Accumulator::from_raw(total).to_fixed();
                 if !q.is_zero() {
-                    pending.push_back(ActFlit { index: row, value: q.raw() });
+                    pending.push_back(ActFlit {
+                        index: row,
+                        value: q.raw(),
+                    });
                 }
             }
 
@@ -335,8 +445,8 @@ impl Machine {
                 }
             }
 
-            let done = tree.is_idle()
-                && pes.iter().all(|pe| pe.peek_src().is_none() && pe.drained());
+            let done =
+                tree.is_idle() && pes.iter().all(|pe| pe.peek_src().is_none() && pe.drained());
             if done {
                 break;
             }
@@ -357,8 +467,15 @@ mod tests {
         let mlp = Mlp::random(dims, &mut rng);
         let net = PredictedNetwork::with_random_predictors(mlp, rank, &mut rng);
         let fixed = FixedNetwork::from_float(&net);
-        let x: Vec<f32> =
-            (0..dims[0]).map(|i| if i % 3 == 0 { 0.0 } else { ((i as f32) * 0.41).sin().abs() }).collect();
+        let x: Vec<f32> = (0..dims[0])
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    ((i as f32) * 0.41).sin().abs()
+                }
+            })
+            .collect();
         let xq = fixed.quantize_input(&x);
         (fixed, xq)
     }
@@ -381,7 +498,10 @@ mod tests {
         let run = machine.run_network(&net, &x, UvMode::On);
         let golden = net.forward(&x, UvMode::On);
         for (l, (run_l, gold_l)) in run.layers.iter().zip(&golden).enumerate() {
-            assert_eq!(run_l.output, gold_l.output, "layer {l} output mismatch (uv_on)");
+            assert_eq!(
+                run_l.output, gold_l.output,
+                "layer {l} output mismatch (uv_on)"
+            );
             assert_eq!(run_l.mask, gold_l.mask, "layer {l} mask mismatch");
         }
     }
@@ -402,8 +522,20 @@ mod tests {
     fn predicted_layer_reads_less_w_memory() {
         let (net, x) = build(4, &[48, 256, 10], 4);
         let machine = Machine::new(MachineConfig::default());
-        let off = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
-        let on = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+        let off = machine.run_layer(
+            &net.layers()[0],
+            net.predictors().first(),
+            &x,
+            true,
+            UvMode::Off,
+        );
+        let on = machine.run_layer(
+            &net.layers()[0],
+            net.predictors().first(),
+            &x,
+            true,
+            UvMode::On,
+        );
         // A random predictor predicts ~half inactive, so W traffic drops.
         assert!(
             on.events.w_reads < off.events.w_reads,
@@ -440,8 +572,15 @@ mod tests {
         });
         let a = fast.run_network(&net, &x, UvMode::Off);
         let b = tiny.run_network(&net, &x, UvMode::Off);
-        assert_eq!(a.output(), b.output(), "queue depth must not change results");
-        assert!(b.total_cycles() >= a.total_cycles(), "backpressure can only slow things");
+        assert_eq!(
+            a.output(),
+            b.output(),
+            "queue depth must not change results"
+        );
+        assert!(
+            b.total_cycles() >= a.total_cycles(),
+            "backpressure can only slow things"
+        );
     }
 
     #[test]
@@ -460,9 +599,18 @@ mod tests {
         assert_eq!(off.pe_busy.len(), 64);
         // uv_off: every PE has 4 rows and does identical work per
         // activation — perfectly balanced.
-        assert!((off.work_imbalance() - 1.0).abs() < 0.05, "{}", off.work_imbalance());
-        let on =
-            machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+        assert!(
+            (off.work_imbalance() - 1.0).abs() < 0.05,
+            "{}",
+            off.work_imbalance()
+        );
+        let on = machine.run_layer(
+            &net.layers()[0],
+            net.predictors().first(),
+            &x,
+            true,
+            UvMode::On,
+        );
         // uv_on: the random predictor spreads active rows unevenly.
         assert!(on.work_imbalance() > 1.05, "{}", on.work_imbalance());
         // Busy cycles recorded per PE must sum to the global counter.

@@ -147,7 +147,10 @@ impl Pe {
     pub fn peek_src(&self) -> Option<ActFlit> {
         self.src
             .get(self.src_cursor)
-            .map(|&(index, value)| ActFlit { index, value: value.raw() })
+            .map(|&(index, value)| ActFlit {
+                index,
+                value: value.raw(),
+            })
     }
 
     /// Marks the current source activation as injected.
@@ -167,7 +170,11 @@ impl Pe {
     /// Panics if the queue is full — the machine's sink gating must prevent
     /// that, exactly like the credit-based broadcast in hardware.
     pub fn push_act(&mut self, flit: ActFlit, ev: &mut MachineEvents) {
-        assert!(self.queue.len() < self.queue_cap, "activation queue overflow (PE {})", self.id);
+        assert!(
+            self.queue.len() < self.queue_cap,
+            "activation queue overflow (PE {})",
+            self.id
+        );
         self.queue.push_back(flit);
         ev.queue_pushes += 1;
     }
@@ -321,7 +328,11 @@ impl Pe {
             .map(|((&row, acc), &active)| {
                 let val = if active {
                     let q: Q6_10 = acc.to_fixed();
-                    if is_hidden { q.relu() } else { q }
+                    if is_hidden {
+                        q.relu()
+                    } else {
+                        q
+                    }
                 } else {
                     Q6_10::ZERO
                 };
@@ -369,7 +380,13 @@ mod tests {
         input[0] = q(1.0);
         let mut pe = Pe::new(0, 64, 8, &input, 128); // rows 0 and 64
         let mut ev = MachineEvents::default();
-        pe.push_act(ActFlit { index: 0, value: q(1.0).raw() }, &mut ev);
+        pe.push_act(
+            ActFlit {
+                index: 0,
+                value: q(1.0).raw(),
+            },
+            &mut ev,
+        );
         // Cycle 1: pop + first MAC; cycle 2: second MAC; cycle 3: idle.
         assert_eq!(pe.step_w(&w, false, &mut ev), StepOutcome::Busy);
         assert_eq!(pe.step_w(&w, false, &mut ev), StepOutcome::Busy);
@@ -386,7 +403,13 @@ mod tests {
         // Force both local rows inactive.
         pe.pred = vec![false, false];
         let mut ev = MachineEvents::default();
-        pe.push_act(ActFlit { index: 0, value: q(1.0).raw() }, &mut ev);
+        pe.push_act(
+            ActFlit {
+                index: 0,
+                value: q(1.0).raw(),
+            },
+            &mut ev,
+        );
         // Pop + scan consume the cycle but do no datapath work.
         assert_eq!(pe.step_w(&w, true, &mut ev), StepOutcome::Idle);
         assert_eq!(ev.macs, 0);
@@ -426,8 +449,7 @@ mod tests {
         assert_eq!(emitted.len(), 3);
         // Partial for row t must equal V[t, 5] · 2.0 at full precision.
         for (t, raw) in emitted {
-            let expect =
-                i64::from(v.get(t as usize, 5).wide_mul(q(2.0)));
+            let expect = i64::from(v.get(t as usize, 5).wide_mul(q(2.0)));
             assert_eq!(raw, expect, "row {t}");
         }
         assert_eq!(ev.v_reads, 3);

@@ -64,9 +64,14 @@ proptest! {
         let net = build_net(seed, 48, 4);
         let x = net.quantize_input(&build_input(seed, 24, 40));
         let reference = Machine::new(MachineConfig::default());
-        let mut cfg = MachineConfig::default();
-        cfg.act_queue_depth = queue_depth;
-        cfg.noc.queue_capacity = noc_cap;
+        let cfg = MachineConfig {
+            act_queue_depth: queue_depth,
+            noc: sparsenn_noc::NocConfig {
+                queue_capacity: noc_cap,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
         let tweaked = Machine::new(cfg);
         let a = reference.run_network(&net, &x, UvMode::On);
         let b = tweaked.run_network(&net, &x, UvMode::On);

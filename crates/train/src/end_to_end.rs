@@ -69,9 +69,10 @@ pub enum PredictorActivation {
 
 fn apply_activation(xs: &[f32], act: PredictorActivation) -> Vec<f32> {
     match act {
-        PredictorActivation::Indicator => {
-            xs.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect()
-        }
+        PredictorActivation::Indicator => xs
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+            .collect(),
         PredictorActivation::Sign => vector::sign(xs),
         PredictorActivation::HardTanh => xs.iter().map(|&v| v.clamp(-1.0, 1.0)).collect(),
     }
@@ -139,7 +140,10 @@ pub fn sample_loss(
 /// The activeness-ℓ1 regularizer `Σ_l Σ_i max(p⁽ˡ⁾_i, 0)` (see the module
 /// docs for why the positive part is the right reading of Eq. (4)).
 fn active_l1(p_layers: &[Vec<f32>]) -> f32 {
-    p_layers.iter().map(|p| p.iter().map(|v| v.max(0.0)).sum::<f32>()).sum()
+    p_layers
+        .iter()
+        .map(|p| p.iter().map(|v| v.max(0.0)).sum::<f32>())
+        .sum()
 }
 
 /// Per-layer gradients of [`sample_loss`].
@@ -184,7 +188,10 @@ fn backward_terms(
         let a_ori = vector::relu(&tape.z[l]);
         // ∂ℓ/∂p = δ ∘ a_ori + λ·1_{p>0} (activeness reading of Eq. (4)).
         let mut dp = vector::hadamard(&delta, &a_ori);
-        let active: Vec<f32> = tape.p[l].iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+        let active: Vec<f32> = tape.p[l]
+            .iter()
+            .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         vector::axpy(lambda, &active, &mut dp);
         // ∂ℓ/∂a_ori = δ ∘ p
         let da_ori = vector::hadamard(&delta, &tape.p[l]);
@@ -198,7 +205,12 @@ fn backward_terms(
         gamma[l] = gm;
         theta[l] = th;
     }
-    BackwardTerms { gamma, theta, ut_theta, delta_out }
+    BackwardTerms {
+        gamma,
+        theta,
+        ut_theta,
+        delta_out,
+    }
 }
 
 /// Computes the full gradient set for one sample (used by the gradient
@@ -257,7 +269,9 @@ pub fn sgd_step(
 
     let hidden = net.predictors().len();
     for l in 0..hidden {
-        net.mlp_mut().layers_mut()[l].w_mut().add_scaled_outer(-lr, &terms.gamma[l], &tape.a[l]);
+        net.mlp_mut().layers_mut()[l]
+            .w_mut()
+            .add_scaled_outer(-lr, &terms.gamma[l], &tape.a[l]);
         let (u, v) = net.predictors_mut()[l].factors_mut();
         u.add_scaled_outer(-lr, &terms.theta[l], &tape.va[l]);
         v.add_scaled_outer(-lr, &terms.ut_theta[l], &tape.a[l]);
@@ -301,7 +315,14 @@ pub fn train(
     // there; only the starting point comes from the SVD.
     crate::svd_baseline::refresh_predictors(&mut net, rank, config.seed);
     let history = run_epochs(&split.train, config, |x, label, lr| {
-        sgd_step(&mut net, x, label, lr, config.lambda, PredictorActivation::Indicator)
+        sgd_step(
+            &mut net,
+            x,
+            label,
+            lr,
+            config.lambda,
+            PredictorActivation::Indicator,
+        )
     });
     (net, history)
 }
@@ -424,9 +445,18 @@ mod tests {
 
     #[test]
     fn training_beats_chance_on_tiny_dataset() {
-        let split =
-            DatasetSpec { kind: DatasetKind::Basic, train: 200, test: 100, seed: 3 }.generate();
-        let cfg = TrainConfig { epochs: 6, lr: 0.05, ..TrainConfig::default() };
+        let split = DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 200,
+            test: 100,
+            seed: 3,
+        }
+        .generate();
+        let cfg = TrainConfig {
+            epochs: 6,
+            lr: 0.05,
+            ..TrainConfig::default()
+        };
         let (net, history) = train(&[784, 32, 10], 4, &split, &cfg);
         let ter = test_error_rate(&net, &split.test, EvalMode::Predicted);
         assert!(ter < 55.0, "TER {ter}% is no better than chance (90%)");
@@ -435,10 +465,23 @@ mod tests {
 
     #[test]
     fn larger_lambda_increases_predicted_sparsity() {
-        let split =
-            DatasetSpec { kind: DatasetKind::Basic, train: 150, test: 50, seed: 4 }.generate();
-        let low = TrainConfig { epochs: 6, lambda: 0.0, ..TrainConfig::default() };
-        let high = TrainConfig { epochs: 6, lambda: 2e-2, ..TrainConfig::default() };
+        let split = DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 150,
+            test: 50,
+            seed: 4,
+        }
+        .generate();
+        let low = TrainConfig {
+            epochs: 6,
+            lambda: 0.0,
+            ..TrainConfig::default()
+        };
+        let high = TrainConfig {
+            epochs: 6,
+            lambda: 2e-2,
+            ..TrainConfig::default()
+        };
         let (net_low, _) = train(&[784, 24, 10], 4, &split, &low);
         let (net_high, _) = train(&[784, 24, 10], 4, &split, &high);
         let s_low = sparsenn_model::stats::predicted_sparsity(&net_low, &split.test)[0];

@@ -62,7 +62,11 @@ mod tests {
             let mut minus = logits;
             minus[k] -= eps;
             let num = (cross_entropy(&plus, label) - cross_entropy(&minus, label)) / (2.0 * eps);
-            assert!((num - g[k]).abs() < 1e-3, "dim {k}: analytic {} vs numeric {num}", g[k]);
+            assert!(
+                (num - g[k]).abs() < 1e-3,
+                "dim {k}: analytic {} vs numeric {num}",
+                g[k]
+            );
         }
     }
 

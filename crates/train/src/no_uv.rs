@@ -18,7 +18,9 @@ pub fn sgd_step(mlp: &mut Mlp, x: &[f32], label: usize, lr: f32) -> f32 {
     for l in (0..mlp.num_layers()).rev() {
         // δ for the layer below, before this layer's weights change.
         let delta = mlp.layers()[l].w().matvec_t(&gamma);
-        mlp.layers_mut()[l].w_mut().add_scaled_outer(-lr, &gamma, &acts.post[l]);
+        mlp.layers_mut()[l]
+            .w_mut()
+            .add_scaled_outer(-lr, &gamma, &acts.post[l]);
         if l > 0 {
             gamma = vector::hadamard(&delta, &vector::relu_mask(&acts.pre[l - 1]));
         }
@@ -40,8 +42,9 @@ pub fn sgd_step(mlp: &mut Mlp, x: &[f32], label: usize, lr: f32) -> f32 {
 pub fn train(dims: &[usize], split: &SplitDataset, config: &TrainConfig) -> (Mlp, History) {
     let mut rng = seeded_rng(config.seed);
     let mut mlp = Mlp::random(dims, &mut rng);
-    let history =
-        run_epochs(&split.train, config, |x, label, lr| sgd_step(&mut mlp, x, label, lr));
+    let history = run_epochs(&split.train, config, |x, label, lr| {
+        sgd_step(&mut mlp, x, label, lr)
+    });
     (mlp, history)
 }
 
@@ -67,9 +70,18 @@ mod tests {
 
     #[test]
     fn learns_tiny_dataset_beyond_chance() {
-        let split =
-            DatasetSpec { kind: DatasetKind::Basic, train: 200, test: 100, seed: 9 }.generate();
-        let cfg = TrainConfig { epochs: 6, lr: 0.05, ..TrainConfig::default() };
+        let split = DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 200,
+            test: 100,
+            seed: 9,
+        }
+        .generate();
+        let cfg = TrainConfig {
+            epochs: 6,
+            lr: 0.05,
+            ..TrainConfig::default()
+        };
         let (mlp, _) = train(&[784, 32, 10], &split, &cfg);
         let ter = test_error_rate_plain(&mlp, &split.test);
         assert!(ter < 55.0, "TER {ter}%");
@@ -91,10 +103,7 @@ mod tests {
         // any positive entry.
         let u = sparsenn_linalg::Matrix::from_fn(8, 1, |_, _| 1.0);
         let v = sparsenn_linalg::Matrix::from_fn(1, 5, |_, _| 1.0);
-        let net = PredictedNetwork::new(
-            mlp.clone(),
-            vec![sparsenn_model::Predictor::new(u, v)],
-        );
+        let net = PredictedNetwork::new(mlp.clone(), vec![sparsenn_model::Predictor::new(u, v)]);
         let x = vec![0.3f32, 0.9, 0.2, 0.5, 0.4]; // all positive ⇒ p = +1 everywhere
         let label = 2;
 

@@ -64,7 +64,9 @@ pub fn sgd_step_w_only(net: &mut PredictedNetwork, x: &[f32], label: usize, lr: 
     let mut gamma = cross_entropy_grad(&logits, label);
     for l in (0..net.mlp().num_layers()).rev() {
         let delta = net.mlp().layers()[l].w().matvec_t(&gamma);
-        net.mlp_mut().layers_mut()[l].w_mut().add_scaled_outer(-lr, &gamma, &a_list[l]);
+        net.mlp_mut().layers_mut()[l]
+            .w_mut()
+            .add_scaled_outer(-lr, &gamma, &a_list[l]);
         if l > 0 {
             let da_ori = vector::hadamard(&delta, &p_list[l - 1]);
             gamma = vector::hadamard(&da_ori, &vector::relu_mask(&z_list[l - 1]));
@@ -109,14 +111,29 @@ pub fn train(
         indices.shuffle(&mut shuffle_rng);
         let mut loss_sum = 0.0f64;
         for &i in &indices {
-            loss_sum +=
-                f64::from(sgd_step_w_only(&mut net, split.train.image(i), split.train.label(i) as usize, lr));
+            loss_sum += f64::from(sgd_step_w_only(
+                &mut net,
+                split.train.image(i),
+                split.train.label(i) as usize,
+                lr,
+            ));
         }
-        let mean = if indices.is_empty() { 0.0 } else { (loss_sum / indices.len() as f64) as f32 };
-        history.epochs.push(crate::trainer::EpochStats { train_loss: mean, lr });
+        let mean = if indices.is_empty() {
+            0.0
+        } else {
+            (loss_sum / indices.len() as f64) as f32
+        };
+        history.epochs.push(crate::trainer::EpochStats {
+            train_loss: mean,
+            lr,
+        });
         lr *= config.lr_decay;
     }
-    refresh_predictors(&mut net, rank, config.seed.wrapping_add(config.epochs as u64));
+    refresh_predictors(
+        &mut net,
+        rank,
+        config.seed.wrapping_add(config.epochs as u64),
+    );
     (net, history)
 }
 
@@ -156,9 +173,18 @@ mod tests {
 
     #[test]
     fn training_beats_chance() {
-        let split =
-            DatasetSpec { kind: DatasetKind::Basic, train: 200, test: 100, seed: 5 }.generate();
-        let cfg = TrainConfig { epochs: 6, lr: 0.05, ..TrainConfig::default() };
+        let split = DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 200,
+            test: 100,
+            seed: 5,
+        }
+        .generate();
+        let cfg = TrainConfig {
+            epochs: 6,
+            lr: 0.05,
+            ..TrainConfig::default()
+        };
         let (net, _) = train(&[784, 32, 10], 16, &split, &cfg);
         let ter = test_error_rate(&net, &split.test, EvalMode::Predicted);
         assert!(ter < 60.0, "TER {ter}%");

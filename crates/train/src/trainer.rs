@@ -1,8 +1,8 @@
 //! Shared SGD driver: epochs, shuffling, learning-rate decay, history.
 
+use rand::seq::SliceRandom;
 use sparsenn_datasets::Dataset;
 use sparsenn_linalg::init::seeded_rng;
-use rand::seq::SliceRandom;
 
 /// Hyperparameters shared by all three training algorithms.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -22,7 +22,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, lr: 0.02, lr_decay: 0.95, lambda: 2e-4, seed: 0x5ba2_5e44 }
+        Self {
+            epochs: 10,
+            lr: 0.02,
+            lr_decay: 0.95,
+            lambda: 2e-4,
+            seed: 0x5ba2_5e44,
+        }
     }
 }
 
@@ -69,8 +75,15 @@ pub fn run_epochs(
         for &i in &indices {
             loss_sum += f64::from(step(data.image(i), data.label(i) as usize, lr));
         }
-        let mean = if data.is_empty() { 0.0 } else { (loss_sum / data.len() as f64) as f32 };
-        history.epochs.push(EpochStats { train_loss: mean, lr });
+        let mean = if data.is_empty() {
+            0.0
+        } else {
+            (loss_sum / data.len() as f64) as f32
+        };
+        history.epochs.push(EpochStats {
+            train_loss: mean,
+            lr,
+        });
         lr *= config.lr_decay;
     }
     history
@@ -82,14 +95,24 @@ mod tests {
     use sparsenn_datasets::{DatasetKind, DatasetSpec};
 
     fn data() -> Dataset {
-        DatasetSpec { kind: DatasetKind::Basic, train: 12, test: 0, seed: 5 }.generate().train
+        DatasetSpec {
+            kind: DatasetKind::Basic,
+            train: 12,
+            test: 0,
+            seed: 5,
+        }
+        .generate()
+        .train
     }
 
     #[test]
     fn runs_expected_number_of_steps() {
         let d = data();
         let mut steps = 0usize;
-        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
         let h = run_epochs(&d, &cfg, |_, _, _| {
             steps += 1;
             1.0
@@ -102,7 +125,12 @@ mod tests {
     #[test]
     fn lr_decays_per_epoch() {
         let d = data();
-        let cfg = TrainConfig { epochs: 2, lr: 1.0, lr_decay: 0.5, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            lr: 1.0,
+            lr_decay: 0.5,
+            ..TrainConfig::default()
+        };
         let h = run_epochs(&d, &cfg, |_, _, _| 0.0);
         assert_eq!(h.epochs[0].lr, 1.0);
         assert_eq!(h.epochs[1].lr, 0.5);
@@ -113,9 +141,15 @@ mod tests {
         let d = data();
         let order = |seed| {
             let mut seen = Vec::new();
-            let cfg = TrainConfig { epochs: 1, seed, ..TrainConfig::default() };
+            let cfg = TrainConfig {
+                epochs: 1,
+                seed,
+                ..TrainConfig::default()
+            };
             run_epochs(&d, &cfg, |img, _, _| {
-                seen.push(img[200].to_bits());
+                // Whole-image signature: any single pixel can be blank in
+                // every sample of a tiny synthetic set.
+                seen.push(img.iter().map(|p| u64::from(p.to_bits())).sum::<u64>());
                 0.0
             });
             seen

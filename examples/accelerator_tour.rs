@@ -16,13 +16,18 @@ fn main() {
     // predictors, random weights (training is not the point here).
     let mut rng = seeded_rng(42);
     let mlp = Mlp::random(&[784, 1024, 1024, 10], &mut rng);
-    let net = FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(
-        mlp, 15, &mut rng,
-    ));
+    let net =
+        FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(mlp, 15, &mut rng));
 
     // A 75 %-sparse input vector, like a MNIST digit.
     let x: Vec<f32> = (0..784)
-        .map(|i| if i % 4 == 0 { ((i as f32) * 0.13).sin().abs() } else { 0.0 })
+        .map(|i| {
+            if i % 4 == 0 {
+                ((i as f32) * 0.13).sin().abs()
+            } else {
+                0.0
+            }
+        })
         .collect();
     let xq = net.quantize_input(&x);
 

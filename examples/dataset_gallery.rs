@@ -10,7 +10,13 @@ use sparsenn::datasets::{to_ascii, DatasetKind, DatasetSpec};
 
 fn main() {
     for kind in DatasetKind::ALL {
-        let split = DatasetSpec { kind, train: 12, test: 0, seed: 2026 }.generate();
+        let split = DatasetSpec {
+            kind,
+            train: 12,
+            test: 0,
+            seed: 2026,
+        }
+        .generate();
         let data = split.train;
         println!(
             "=== {kind} — input sparsity {:.1}% ===",
@@ -27,8 +33,8 @@ fn main() {
             format!("label {}", labels[1]),
             format!("label {}", labels[2])
         );
-        for row in 0..28 {
-            println!("{}  {}  {}", arts[0][row], arts[1][row], arts[2][row]);
+        for ((a, b), c) in arts[0].iter().zip(&arts[1]).zip(&arts[2]) {
+            println!("{a}  {b}  {c}");
         }
         println!();
     }

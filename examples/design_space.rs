@@ -16,11 +16,16 @@ use sparsenn::sim::{Machine, MachineConfig};
 fn main() {
     let mut rng = seeded_rng(7);
     let mlp = Mlp::random(&[784, 1024, 10], &mut rng);
-    let net = FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(
-        mlp, 15, &mut rng,
-    ));
+    let net =
+        FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(mlp, 15, &mut rng));
     let x: Vec<f32> = (0..784)
-        .map(|i| if i % 3 == 0 { ((i as f32) * 0.29).sin().abs() } else { 0.0 })
+        .map(|i| {
+            if i % 3 == 0 {
+                ((i as f32) * 0.29).sin().abs()
+            } else {
+                0.0
+            }
+        })
         .collect();
     let xq = net.quantize_input(&x);
 
@@ -32,7 +37,10 @@ fn main() {
     for num_pes in [16usize, 64, 256] {
         for queue in [4usize, 16] {
             let cfg = MachineConfig {
-                noc: NocConfig { num_pes, ..NocConfig::default() },
+                noc: NocConfig {
+                    num_pes,
+                    ..NocConfig::default()
+                },
                 act_queue_depth: queue,
                 ..MachineConfig::default()
             };
@@ -62,7 +70,10 @@ fn main() {
                 true,
                 UvMode::Off,
             );
-            assert_eq!(off.output, reference.output, "results must be machine-independent");
+            assert_eq!(
+                off.output, reference.output,
+                "results must be machine-independent"
+            );
         }
     }
 

@@ -9,7 +9,7 @@ use sparsenn::datasets::DatasetKind;
 use sparsenn::energy::area::area_report;
 use sparsenn::energy::scaling::normalize_energy_to_sparsenn;
 use sparsenn::energy::sram::SramMacro;
-use sparsenn::energy::{PowerModel, TechNode};
+use sparsenn::energy::TechNode;
 use sparsenn::model::fixedpoint::UvMode;
 use sparsenn::sim::simd::SimdPlatform;
 use sparsenn::sim::MachineConfig;
@@ -38,18 +38,23 @@ fn main() {
         .test_samples(100)
         .epochs(4)
         .build();
-    let model = PowerModel::new(&cfg);
     for mode in [UvMode::Off, UvMode::On] {
-        let summary = sys.simulate_batch(4, mode);
+        let summary = sys
+            .simulate_batch(4, mode)
+            .expect("network fits the default machine");
         let hidden = &summary.layers[0];
-        println!("  {:?}: hidden layer: {:.0} cycles, {}", mode, hidden.cycles, hidden.power);
+        println!(
+            "  {:?}: hidden layer: {:.0} cycles, {}",
+            mode, hidden.cycles, hidden.power
+        );
     }
 
     // --- Table IV scaling argument ---------------------------------------
     let engine = SimdPlatform::dnn_engine();
     let cycles = engine.layer_cycles(1000, 785, 785, 1000);
     let energy = engine.energy_uj(cycles);
-    let (factor, scaled) = normalize_energy_to_sparsenn(energy, engine.w_mem_bytes, TechNode::n28());
+    let (factor, scaled) =
+        normalize_energy_to_sparsenn(energy, engine.w_mem_bytes, TechNode::n28());
     println!(
         "\nDNN-Engine (28 nm, 1 MB): {cycles} cycles ≈ {energy:.1} uJ on a dense 1000×784 layer;"
     );

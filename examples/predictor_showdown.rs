@@ -22,8 +22,11 @@ fn main() {
     );
 
     for &rank in &[32usize, 6] {
-        for alg in [TrainingAlgorithm::NoUv, TrainingAlgorithm::Svd, TrainingAlgorithm::EndToEnd]
-        {
+        for alg in [
+            TrainingAlgorithm::NoUv,
+            TrainingAlgorithm::Svd,
+            TrainingAlgorithm::EndToEnd,
+        ] {
             let sys = SystemBuilder::new(kind)
                 .dims(&[784, 256, 10])
                 .rank(rank)

@@ -23,17 +23,23 @@ fn main() {
         .epochs(5)
         .build();
 
-    println!("  test error rate:        {:.2} %", system.test_error_rate());
+    println!(
+        "  test error rate:        {:.2} %",
+        system.test_error_rate()
+    );
     println!(
         "  predicted output sparsity (hidden layer): {:.1} %",
         system.predicted_sparsity()[0]
     );
 
-    // 2. Run one test image through the cycle-level accelerator, with the
-    //    predictor disabled (EIE baseline) and enabled (SparseNN).
+    // 2. Open a serving session on the cycle-accurate backend and run one
+    //    test image with the predictor disabled (EIE baseline) and enabled
+    //    (SparseNN). Sessions serve any InferenceBackend — swap in
+    //    `GoldenBackend` or a `SimdBackend` with one line.
+    let session = system.session();
     let model = PowerModel::new(system.machine().config());
     for mode in [UvMode::Off, UvMode::On] {
-        let run = system.simulate_sample(0, mode);
+        let run = session.run_sample(0, mode).expect("sample 0 exists");
         let events = run.total_events();
         let power = model.estimate(&events);
         println!(
@@ -51,6 +57,18 @@ fn main() {
             run.classify()
         );
     }
+
+    // 3. Batch inference fans out over all cores and folds into the same
+    //    summary the serial path produces.
+    let batch = session
+        .simulate_batch(16, UvMode::On)
+        .expect("batch simulation on the default machine");
+    println!(
+        "\n  batch of {}: {:.1}% fixed-point accuracy, {:.0} mean cycles on the hidden layer",
+        batch.samples,
+        batch.fixed_accuracy * 100.0,
+        batch.layers[0].cycles
+    );
 
     println!(
         "\nThe UV predictor trades a short V/U prediction phase for skipping most of \

@@ -1,0 +1,243 @@
+//! The engine contract: every substrate behind [`InferenceBackend`] is
+//! interchangeable, batches parallelize without changing results, and no
+//! input reaches a panic through the public inference API.
+
+use proptest::prelude::*;
+use sparsenn::datasets::DatasetKind;
+use sparsenn::engine::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
+use sparsenn::model::fixedpoint::UvMode;
+use sparsenn::sim::simd::SimdPlatform;
+use sparsenn::{SparseNnError, SystemBuilder, TrainedSystem, TrainingAlgorithm};
+
+fn small_system() -> TrainedSystem {
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, 48, 10])
+        .rank(5)
+        .algorithm(TrainingAlgorithm::EndToEnd)
+        .train_samples(120)
+        .test_samples(40)
+        .epochs(2)
+        .build()
+}
+
+#[test]
+fn out_of_range_sample_returns_err_on_every_backend() {
+    let sys = small_system();
+    let backends: Vec<Box<dyn InferenceBackend>> = vec![
+        Box::new(CycleAccurateBackend::default()),
+        Box::new(GoldenBackend::new()),
+        Box::new(SimdBackend::new(SimdPlatform::dnn_engine())),
+    ];
+    for backend in backends {
+        let session = sys.session_with(backend);
+        let name = session.backend_name().to_string();
+        assert_eq!(
+            session.run_sample(40, UvMode::On).unwrap_err(),
+            SparseNnError::SampleOutOfRange { index: 40, len: 40 },
+            "{name}"
+        );
+        assert!(session.run_sample(39, UvMode::On).is_ok(), "{name}");
+    }
+    // And through the TrainedSystem facade.
+    assert!(matches!(
+        sys.simulate_sample(usize::MAX, UvMode::On),
+        Err(SparseNnError::SampleOutOfRange { .. })
+    ));
+}
+
+#[test]
+fn wrong_width_input_returns_err_not_panic() {
+    let sys = small_system();
+    let session = sys.session();
+    assert_eq!(
+        session.run_input(&[0.5; 10], UvMode::On).unwrap_err(),
+        SparseNnError::InputWidthMismatch {
+            expected: 784,
+            got: 10
+        }
+    );
+}
+
+#[test]
+fn empty_batch_yields_well_defined_summary() {
+    let sys = small_system();
+    for backend in [
+        Box::new(GoldenBackend::new()) as Box<dyn InferenceBackend>,
+        Box::new(CycleAccurateBackend::default()),
+    ] {
+        let summary = sys
+            .session_with(backend)
+            .simulate_batch(0, UvMode::On)
+            .unwrap();
+        assert_eq!(summary.samples, 0);
+        assert_eq!(summary.fixed_accuracy, 0.0);
+        assert_eq!(
+            summary.layers.len(),
+            2,
+            "one entry per layer even when empty"
+        );
+        for layer in &summary.layers {
+            assert_eq!(layer.cycles, 0.0);
+            assert_eq!(layer.events.macs, 0);
+        }
+    }
+}
+
+#[test]
+fn parallel_batch_matches_serial_batch_exactly() {
+    let sys = small_system();
+    // Pin 4 workers so the multi-threaded path runs even on a 1-core host.
+    let session = sys.session().with_workers(4);
+    for mode in [UvMode::Off, UvMode::On] {
+        let serial = session.simulate_batch_serial(24, mode).unwrap();
+        let parallel = session.simulate_batch(24, mode).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "{mode:?}: parallel summary must be bit-identical"
+        );
+    }
+    // Oversized requests clamp identically too.
+    let serial = session.simulate_batch_serial(10_000, UvMode::On).unwrap();
+    let parallel = session.simulate_batch(10_000, UvMode::On).unwrap();
+    assert_eq!(serial.samples, 40);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn streaming_delivers_every_sample_in_order() {
+    let sys = small_system();
+    let session = sys.session().with_workers(3);
+    let mut seen = Vec::new();
+    let summary = session
+        .stream_batch(12, UvMode::On, |i, record| {
+            assert!(!record.layers.is_empty());
+            seen.push(i);
+        })
+        .unwrap();
+    assert_eq!(seen, (0..12).collect::<Vec<_>>());
+    assert_eq!(summary.samples, 12);
+}
+
+/// A substrate that refuses every request — exercises the parallel
+/// collector's early-exit path.
+struct AlwaysFailingBackend;
+
+impl InferenceBackend for AlwaysFailingBackend {
+    fn name(&self) -> &str {
+        "always-failing"
+    }
+    fn run(
+        &self,
+        _net: &sparsenn::model::fixedpoint::FixedNetwork,
+        _input: &[sparsenn::numeric::Q6_10],
+        _mode: UvMode,
+    ) -> Result<sparsenn::engine::RunRecord, SparseNnError> {
+        Err(SparseNnError::EmptyNetwork)
+    }
+}
+
+#[test]
+fn failing_backend_surfaces_first_error_without_hanging() {
+    let sys = small_system();
+    let session = sys
+        .session_with(Box::new(AlwaysFailingBackend))
+        .with_workers(4);
+    // Workers race ahead; the collector must return the lowest-indexed
+    // failure and wind the pool down cleanly.
+    assert_eq!(
+        session.simulate_batch(16, UvMode::On).unwrap_err(),
+        SparseNnError::EmptyNetwork
+    );
+    // The serial oracle agrees.
+    assert_eq!(
+        session.simulate_batch_serial(16, UvMode::On).unwrap_err(),
+        SparseNnError::EmptyNetwork
+    );
+}
+
+/// A substrate that panics — the engine must contain the unwind instead of
+/// deadlocking the pool or re-raising through `thread::scope`.
+struct PanickingBackend;
+
+impl InferenceBackend for PanickingBackend {
+    fn name(&self) -> &str {
+        "panicking"
+    }
+    fn run(
+        &self,
+        _net: &sparsenn::model::fixedpoint::FixedNetwork,
+        _input: &[sparsenn::numeric::Q6_10],
+        _mode: UvMode,
+    ) -> Result<sparsenn::engine::RunRecord, SparseNnError> {
+        panic!("backend blew up");
+    }
+}
+
+#[test]
+fn panicking_backend_becomes_worker_panicked_error() {
+    let sys = small_system();
+    let session = sys.session_with(Box::new(PanickingBackend)).with_workers(4);
+    // Batch larger than the permit window: without panic containment this
+    // deadlocks (the unwinding worker keeps its permit forever).
+    assert_eq!(
+        session.simulate_batch(40, UvMode::On).unwrap_err(),
+        SparseNnError::WorkerPanicked
+    );
+}
+
+#[test]
+fn batch_through_the_facade_matches_the_session() {
+    let sys = small_system();
+    let facade = sys.simulate_batch(8, UvMode::On).unwrap();
+    let session = sys.session().simulate_batch(8, UvMode::On).unwrap();
+    assert_eq!(facade, session);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The cycle-accurate backend stays bit-exact with the golden
+    /// fixed-point backend *through the trait*, for random networks,
+    /// inputs and both UV modes — the contract that makes substrates
+    /// interchangeable.
+    #[test]
+    fn cycle_accurate_equals_golden_through_the_trait(
+        seed in 0u64..10_000,
+        hidden in 8usize..80,
+        rank in 1usize..5,
+        sparsity in 0u8..100,
+        uv_on in any::<bool>(),
+    ) {
+        use sparsenn::linalg::init::seeded_rng;
+        use sparsenn::model::fixedpoint::FixedNetwork;
+        use sparsenn::model::{Mlp, PredictedNetwork};
+        use rand::Rng;
+
+        let mut rng = seeded_rng(seed);
+        let mlp = Mlp::random(&[24, hidden, 10], &mut rng);
+        let net = FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(
+            mlp, rank, &mut rng,
+        ));
+        let x: Vec<f32> = (0..24)
+            .map(|_| {
+                if rng.gen_range(0u8..100) < sparsity {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect();
+        let xq = net.quantize_input(&x);
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+
+        let cycle: Box<dyn InferenceBackend> = Box::new(CycleAccurateBackend::default());
+        let golden: Box<dyn InferenceBackend> = Box::new(GoldenBackend::new());
+        let a = cycle.run(&net, &xq, mode).unwrap();
+        let b = golden.run(&net, &xq, mode).unwrap();
+        prop_assert_eq!(a.layers.len(), b.layers.len());
+        for (l, (ca, gb)) in a.layers.iter().zip(&b.layers).enumerate() {
+            prop_assert_eq!(&ca.output, &gb.output, "layer {} output differs", l);
+            prop_assert_eq!(&ca.mask, &gb.mask, "layer {} mask differs", l);
+        }
+    }
+}

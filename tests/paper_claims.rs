@@ -20,18 +20,29 @@ use sparsenn::sim::{Machine, MachineConfig};
 fn engineered_network(active_fraction: f64) -> (FixedNetwork, Vec<Q6_10>) {
     let n = 784usize;
     let m = 1024usize;
-    let w = Matrix::from_fn(m, n, |i, j| (((i * 31 + j * 17) % 97) as f32 - 48.0) / 120.0);
+    let w = Matrix::from_fn(m, n, |i, j| {
+        (((i * 31 + j * 17) % 97) as f32 - 48.0) / 120.0
+    });
     let out = Matrix::from_fn(10, m, |i, j| (((i + j * 13) % 29) as f32 - 14.0) / 60.0);
     let mlp = Mlp::new(vec![DenseLayer::new(w), DenseLayer::new(out)]);
-    let mut rng = sparsenn::linalg::init::seeded_rng(0xC1A1_35);
-    let mask: Vec<bool> = (0..m).map(|_| rand::Rng::gen::<f64>(&mut rng) < active_fraction).collect();
+    let mut rng = sparsenn::linalg::init::seeded_rng(0x00C1_A135);
+    let mask: Vec<bool> = (0..m)
+        .map(|_| rand::Rng::gen::<f64>(&mut rng) < active_fraction)
+        .collect();
     let u = Matrix::from_fn(m, 1, |i, _| if mask[i] { 1.0 } else { -1.0 });
     let v = Matrix::from_fn(1, n, |_, _| 1.0);
     let net = PredictedNetwork::new(mlp, vec![Predictor::new(u, v)]);
     let fixed = FixedNetwork::from_float(&net);
     // 60 %-sparse, strictly positive input (so Σa > 0 as required).
-    let x: Vec<f32> =
-        (0..n).map(|j| if j % 5 < 2 { 0.2 + ((j % 13) as f32) * 0.05 } else { 0.0 }).collect();
+    let x: Vec<f32> = (0..n)
+        .map(|j| {
+            if j % 5 < 2 {
+                0.2 + ((j % 13) as f32) * 0.05
+            } else {
+                0.0
+            }
+        })
+        .collect();
     let xq = fixed.quantize_input(&x);
     (fixed, xq)
 }
@@ -41,8 +52,20 @@ fn throughput_gain_lands_in_the_papers_10_to_70_percent_band() {
     // ρ = 0.5: the paper's typical first-hidden-layer operating point.
     let (net, x) = engineered_network(0.5);
     let machine = Machine::new(MachineConfig::default());
-    let off = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
-    let on = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+    let off = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::Off,
+    );
+    let on = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::On,
+    );
     let reduction = 1.0 - on.cycles as f64 / off.cycles as f64;
     assert!(
         (0.10..=0.70).contains(&reduction),
@@ -59,10 +82,20 @@ fn deeper_sparsity_gives_deeper_reductions() {
     let mut last_reduction = 0.0f64;
     for rho in [0.5f64, 0.75, 0.95] {
         let (net, x) = engineered_network(1.0 - rho);
-        let off =
-            machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
-        let on =
-            machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+        let off = machine.run_layer(
+            &net.layers()[0],
+            net.predictors().first(),
+            &x,
+            true,
+            UvMode::Off,
+        );
+        let on = machine.run_layer(
+            &net.layers()[0],
+            net.predictors().first(),
+            &x,
+            true,
+            UvMode::On,
+        );
         let reduction = 1.0 - on.cycles as f64 / off.cycles as f64;
         assert!(
             reduction > last_reduction,
@@ -71,7 +104,10 @@ fn deeper_sparsity_gives_deeper_reductions() {
         );
         last_reduction = reduction;
     }
-    assert!(last_reduction > 0.5, "ρ=0.9 should cut cycles by well over half");
+    assert!(
+        last_reduction > 0.5,
+        "ρ=0.9 should cut cycles by well over half"
+    );
 }
 
 #[test]
@@ -80,8 +116,20 @@ fn power_reduction_is_substantial() {
     let cfg = MachineConfig::default();
     let machine = Machine::new(cfg);
     let model = PowerModel::new(&cfg);
-    let off = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
-    let on = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+    let off = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::Off,
+    );
+    let on = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::On,
+    );
     let p_off = model.estimate(&off.events).total_mw;
     let p_on = model.estimate(&on.events).total_mw;
     let reduction = 1.0 - p_on / p_off;
@@ -101,8 +149,20 @@ fn energy_reduction_exceeds_cycle_reduction() {
     let cfg = MachineConfig::default();
     let machine = Machine::new(cfg);
     let model = PowerModel::new(&cfg);
-    let off = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
-    let on = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::On);
+    let off = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::Off,
+    );
+    let on = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::On,
+    );
     let e_off = model.estimate(&off.events).energy_uj;
     let e_on = model.estimate(&on.events).energy_uj;
     let cycle_ratio = on.cycles as f64 / off.cycles as f64;
@@ -119,8 +179,13 @@ fn uv_off_is_the_eie_baseline_predictor_agnostic() {
     // whether or not a predictor is even attached — it *is* EIE then.
     let (net, x) = engineered_network(0.5);
     let machine = Machine::new(MachineConfig::default());
-    let with =
-        machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, UvMode::Off);
+    let with = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &x,
+        true,
+        UvMode::Off,
+    );
     let without = machine.run_layer(&net.layers()[0], None, &x, true, UvMode::Off);
     assert_eq!(with.output, without.output);
     assert_eq!(with.cycles, without.cycles);
@@ -141,16 +206,19 @@ fn v_phase_keeps_pes_busy_at_rank_16() {
     let mlp = Mlp::new(vec![DenseLayer::new(w), DenseLayer::new(out)]);
     let u = Matrix::from_fn(m, r, |i, t| if (i + t) % 3 == 0 { 0.05 } else { -0.02 });
     let v = Matrix::from_fn(r, n, |t, j| ((t + j) % 11) as f32 * 0.01 - 0.04);
-    let net = FixedNetwork::from_float(&PredictedNetwork::new(
-        mlp,
-        vec![Predictor::new(u, v)],
-    ));
+    let net = FixedNetwork::from_float(&PredictedNetwork::new(mlp, vec![Predictor::new(u, v)]));
     let x: Vec<f32> = (0..n).map(|j| if j % 2 == 0 { 0.3 } else { 0.0 }).collect();
     let xq = net.quantize_input(&x);
     let nnz = xq.iter().filter(|v| !v.is_zero()).count();
 
     let machine = Machine::new(MachineConfig::default());
-    let run = machine.run_layer(&net.layers()[0], net.predictors().first(), &xq, true, UvMode::On);
+    let run = machine.run_layer(
+        &net.layers()[0],
+        net.predictors().first(),
+        &xq,
+        true,
+        UvMode::On,
+    );
     // Lower bound: V MACs r×⌈nnz/64⌉ plus U MACs r×(m/64), perfectly
     // overlapped. Allow 2× for reduction/broadcast latency.
     let v_bound = r as u64 * (nnz as u64).div_ceil(64);

@@ -41,21 +41,29 @@ fn trained_system_beats_chance_and_simulates_exactly() {
 fn pipeline_is_deterministic_end_to_end() {
     let a = small_system(TrainingAlgorithm::EndToEnd);
     let b = small_system(TrainingAlgorithm::EndToEnd);
-    assert_eq!(a.network(), b.network(), "training must be bit-reproducible");
-    let run_a = a.simulate_sample(0, UvMode::On);
-    let run_b = b.simulate_sample(0, UvMode::On);
+    assert_eq!(
+        a.network(),
+        b.network(),
+        "training must be bit-reproducible"
+    );
+    let run_a = a.simulate_sample(0, UvMode::On).unwrap();
+    let run_b = b.simulate_sample(0, UvMode::On).unwrap();
     assert_eq!(run_a.total_cycles(), run_b.total_cycles());
     assert_eq!(run_a.total_events(), run_b.total_events());
 }
 
 #[test]
 fn all_three_algorithms_flow_through_the_whole_stack() {
-    for alg in [TrainingAlgorithm::EndToEnd, TrainingAlgorithm::Svd, TrainingAlgorithm::NoUv] {
+    for alg in [
+        TrainingAlgorithm::EndToEnd,
+        TrainingAlgorithm::Svd,
+        TrainingAlgorithm::NoUv,
+    ] {
         let sys = small_system(alg);
-        let run = sys.simulate_sample(0, UvMode::On);
+        let run = sys.simulate_sample(0, UvMode::On).unwrap();
         assert_eq!(run.layers.len(), 2, "{alg}: two weight layers");
         assert!(run.total_cycles() > 0, "{alg}");
-        let batch = sys.simulate_batch(2, UvMode::On);
+        let batch = sys.simulate_batch(2, UvMode::On).unwrap();
         assert!(batch.layers[0].power.total_mw > 0.0, "{alg}");
     }
 }
@@ -69,10 +77,9 @@ fn quantized_accuracy_tracks_float_accuracy() {
     for i in 0..n {
         let img = sys.split().test.image(i);
         let label = sys.split().test.label(i) as usize;
-        let float_pred = sparsenn::linalg::vector::argmax(
-            sys.network().forward_predicted(img).logits(),
-        )
-        .unwrap();
+        let float_pred =
+            sparsenn::linalg::vector::argmax(sys.network().forward_predicted(img).logits())
+                .unwrap();
         let xq = sys.fixed().quantize_input(img);
         let fixed_pred = sys.fixed().classify(&xq, UvMode::On);
         float_correct += usize::from(float_pred == label);
@@ -88,8 +95,8 @@ fn quantized_accuracy_tracks_float_accuracy() {
 #[test]
 fn predictor_gating_reduces_work_on_every_hidden_layer() {
     let sys = small_system(TrainingAlgorithm::EndToEnd);
-    let off = sys.simulate_batch(3, UvMode::Off);
-    let on = sys.simulate_batch(3, UvMode::On);
+    let off = sys.simulate_batch(3, UvMode::Off).unwrap();
+    let on = sys.simulate_batch(3, UvMode::On).unwrap();
     // Hidden layer: fewer W reads with the predictor on; some U/V reads paid.
     assert!(on.layers[0].events.w_reads < off.layers[0].events.w_reads);
     assert!(on.layers[0].events.u_reads > 0);

@@ -11,7 +11,10 @@ use sparsenn::sim::{Machine, MachineConfig};
 
 fn machine_with(num_pes: usize) -> Machine {
     Machine::new(MachineConfig {
-        noc: NocConfig { num_pes, ..NocConfig::default() },
+        noc: NocConfig {
+            num_pes,
+            ..NocConfig::default()
+        },
         ..MachineConfig::default()
     })
 }
@@ -19,11 +22,16 @@ fn machine_with(num_pes: usize) -> Machine {
 fn workload() -> (FixedNetwork, Vec<sparsenn::numeric::Q6_10>) {
     let mut rng = seeded_rng(0x5CA1E);
     let mlp = Mlp::random(&[256, 512, 10], &mut rng);
-    let net = FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(
-        mlp, 12, &mut rng,
-    ));
+    let net =
+        FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(mlp, 12, &mut rng));
     let x: Vec<f32> = (0..256)
-        .map(|i| if i % 3 == 0 { ((i as f32) * 0.37).sin().abs() } else { 0.0 })
+        .map(|i| {
+            if i % 3 == 0 {
+                ((i as f32) * 0.37).sin().abs()
+            } else {
+                0.0
+            }
+        })
         .collect();
     let xq = net.quantize_input(&x);
     (net, xq)
@@ -45,14 +53,27 @@ fn results_are_identical_across_machine_sizes() {
 #[test]
 fn throughput_scales_with_pe_count() {
     let (net, x) = workload();
-    let c16 = machine_with(16).run_network(&net, &x, UvMode::Off).total_cycles();
-    let c64 = machine_with(64).run_network(&net, &x, UvMode::Off).total_cycles();
-    let c256 = machine_with(256).run_network(&net, &x, UvMode::Off).total_cycles();
-    assert!(c16 > c64 && c64 > c256, "cycles must fall with PEs: {c16} {c64} {c256}");
+    let c16 = machine_with(16)
+        .run_network(&net, &x, UvMode::Off)
+        .total_cycles();
+    let c64 = machine_with(64)
+        .run_network(&net, &x, UvMode::Off)
+        .total_cycles();
+    let c256 = machine_with(256)
+        .run_network(&net, &x, UvMode::Off)
+        .total_cycles();
+    assert!(
+        c16 > c64 && c64 > c256,
+        "cycles must fall with PEs: {c16} {c64} {c256}"
+    );
     // 4× the PEs should recover at least 2× throughput on this
     // compute-bound layer (perfect scaling is 4×; broadcast floors and
     // tree latency eat some of it).
-    assert!(c16 as f64 / c64 as f64 > 2.0, "16→64 speedup {:.2}", c16 as f64 / c64 as f64);
+    assert!(
+        c16 as f64 / c64 as f64 > 2.0,
+        "16→64 speedup {:.2}",
+        c16 as f64 / c64 as f64
+    );
 }
 
 #[test]
@@ -68,5 +89,8 @@ fn per_pe_memory_traffic_shrinks_with_more_pes() {
     assert_eq!(large.pe_busy.len(), 256);
     let max_small = small.pe_busy.iter().max().unwrap();
     let max_large = large.pe_busy.iter().max().unwrap();
-    assert!(max_small / max_large >= 8, "per-PE work {max_small} vs {max_large}");
+    assert!(
+        max_small / max_large >= 8,
+        "per-PE work {max_small} vs {max_large}"
+    );
 }
