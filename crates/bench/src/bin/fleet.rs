@@ -1,0 +1,7 @@
+//! Fleet serving scaling study: throughput/latency across simulated
+//! accelerator shards (beyond the paper — the "heavy traffic" north star).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::fleet::run(p));
+}

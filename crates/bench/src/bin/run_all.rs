@@ -27,6 +27,19 @@ fn main() {
         println!("{report}");
     }
 
+    // The fleet study also yields modelled serving metrics (per-sample
+    // latency, throughput per shard count) for the JSON trajectory.
+    let mut fleet_metrics = Vec::new();
+    let report = results.run("fleet", || {
+        let r = e::fleet::measure(p);
+        fleet_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in fleet_metrics {
+        results.add_metric(name, value);
+    }
+
     let path =
         std::env::var("SPARSENN_BENCH_JSON").unwrap_or_else(|_| "BENCH_results.json".to_string());
     match results.write_json(&path) {

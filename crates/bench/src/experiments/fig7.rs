@@ -57,20 +57,17 @@ pub fn measure(sys: &TrainedSystem, p: Profile) -> Fig7Series {
     let on = sys
         .simulate_batch(p.sim_samples(), UvMode::On)
         .expect("the paper-shaped network fits the default machine");
-    let point = |s: &sparsenn_core::LayerSummary, samples: usize| LayerPoint {
+    // `LayerSummary` reports per-sample means directly (`energy_uj` is
+    // already `power.energy_uj / samples`).
+    let point = |s: &sparsenn_core::LayerSummary| LayerPoint {
         cycles: s.cycles,
         power_mw: s.power.total_mw,
-        energy_uj: s.power.energy_uj / samples.max(1) as f64,
+        energy_uj: s.energy_uj,
     };
     Fig7Series {
         kind: sys.kind(),
         layers: (0..hidden)
-            .map(|l| {
-                (
-                    point(&off.layers[l], off.samples),
-                    point(&on.layers[l], on.samples),
-                )
-            })
+            .map(|l| (point(&off.layers[l]), point(&on.layers[l])))
             .collect(),
     }
 }

@@ -1,0 +1,147 @@
+//! Fleet serving: throughput/latency scaling across simulated accelerator
+//! shards (beyond the paper — the "heavy traffic" north star).
+//!
+//! One request queue, N cycle-accurate shards: per-sample modelled latency
+//! is a property of one chip and must stay constant as the fleet grows,
+//! while modelled fleet throughput (`shards / latency`) and host wall time
+//! scale with the shard count. The experiment also re-checks the
+//! bit-identical guarantee: every fleet size folds the exact same
+//! [`SimulationSummary`](sparsenn_core::SimulationSummary) the serial
+//! single-machine path produces.
+
+use crate::{fmt_f, markdown_table};
+use sparsenn_core::datasets::DatasetKind;
+use sparsenn_core::model::fixedpoint::UvMode;
+use sparsenn_core::{Profile, SystemBuilder, TrainingAlgorithm};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured fleet configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetPoint {
+    /// Shards in the fleet.
+    pub shards: usize,
+    /// Mean modelled per-sample latency, microseconds (shard clock model).
+    pub latency_us: f64,
+    /// Modelled fleet throughput, samples/s (`shards / latency`).
+    pub throughput_sps: f64,
+    /// Host wall-clock seconds for the batch (simulation speed, not a
+    /// modelled quantity).
+    pub wall_s: f64,
+}
+
+/// Measured fleet scaling plus named metrics for `BENCH_results.json`.
+pub struct FleetReport {
+    /// The rendered markdown report.
+    pub markdown: String,
+    /// Flat `(name, value)` metrics for the machine-readable results.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Runs the fleet scaling study.
+pub fn measure(p: Profile) -> FleetReport {
+    // A 3-layer system keeps the study quick; the serving path is the
+    // same one the 5-layer hardware experiments use.
+    let dims = [784, p.hidden().min(512), 10];
+    let sys = SystemBuilder::new(DatasetKind::Basic)
+        .dims(&dims)
+        .rank(p.table_rank().min(8))
+        .algorithm(TrainingAlgorithm::EndToEnd)
+        .train_samples(p.hw_train_samples() / 2)
+        .test_samples(p.test_samples())
+        .epochs(2)
+        .build();
+    let batch = (p.sim_samples() * 4).min(sys.split().test.len());
+
+    let serial = sys
+        .session()
+        .simulate_batch_serial(batch, UvMode::On)
+        .expect("the study network fits the default machine");
+
+    let mut points = Vec::new();
+    let mut identical = true;
+    for shards in [1usize, 2, 4, 8] {
+        let session = sys
+            .fleet_session(shards)
+            .expect("shard counts are positive");
+        let t = Instant::now();
+        let summary = session
+            .simulate_batch(batch, UvMode::On)
+            .expect("the study network fits the default machine");
+        let wall_s = t.elapsed().as_secs_f64();
+        identical &= summary == serial;
+        let latency_us = summary.time_us();
+        points.push(FleetPoint {
+            shards,
+            latency_us,
+            throughput_sps: if latency_us > 0.0 {
+                shards as f64 / (latency_us * 1e-6)
+            } else {
+                0.0
+            },
+            wall_s,
+        });
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Fleet serving — throughput/latency scaling across shards (profile: {p})\n"
+    );
+    let _ = writeln!(
+        out,
+        "{batch} samples, 3-layer [{}, {}, {}] network, one worker per shard. \
+         Per-sample latency is one chip's clock model and must not change with \
+         the fleet size; modelled throughput is `shards / latency`.\n",
+        dims[0], dims[1], dims[2]
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|pt| {
+            vec![
+                pt.shards.to_string(),
+                fmt_f(pt.latency_us, 2),
+                fmt_f(pt.throughput_sps, 0),
+                fmt_f(pt.wall_s, 3),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &[
+            "shards",
+            "latency/sample (us)",
+            "modelled throughput (samples/s)",
+            "host wall time (s)",
+        ],
+        &rows,
+    ));
+    let _ = writeln!(
+        out,
+        "\nAll fleet summaries bit-identical to the serial single-machine path: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
+
+    let mut metrics = vec![(
+        "fleet.latency_us_per_sample".to_string(),
+        points[0].latency_us,
+    )];
+    for pt in &points {
+        metrics.push((
+            format!("fleet.throughput_sps_{}shards", pt.shards),
+            pt.throughput_sps,
+        ));
+    }
+    metrics.push((
+        "fleet.bit_identical".to_string(),
+        if identical { 1.0 } else { 0.0 },
+    ));
+    FleetReport {
+        markdown: out,
+        metrics,
+    }
+}
+
+/// Renders the fleet report (markdown only — the `fleet` bin entry point).
+pub fn run(p: Profile) -> String {
+    measure(p).markdown
+}

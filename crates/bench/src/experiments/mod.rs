@@ -1,8 +1,10 @@
-//! One module per paper table/figure, plus the ablations of DESIGN.md §6.
+//! One module per paper table/figure, plus the ablations of DESIGN.md §6
+//! and the fleet-serving scaling study (beyond the paper).
 
 pub mod ablations;
 pub mod fig6;
 pub mod fig7;
+pub mod fleet;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -17,7 +17,9 @@
 //! | `… --bin ablation_noc` | §V.B buffered-flow-control ablation |
 //! | `… --bin ablation_sched` | §V.C column- vs row-based V scheduling |
 //! | `… --bin ablation_lambda` | Eq. (4) λ sweep |
+//! | `… --bin fleet` | fleet serving: throughput/latency vs shard count |
 //! | `… --bin run_all` | everything above, in order |
+//! | `… --bin bench_diff` | compare two `BENCH_results.json` files |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,21 +1,29 @@
 //! Machine-readable benchmark results.
 //!
 //! `run_all` writes a `BENCH_results.json` next to its markdown output so
-//! the perf trajectory (wall time per experiment, profile, parallelism)
-//! can be tracked across PRs without parsing markdown. The JSON is
-//! hand-emitted — the workspace has no serde — and deliberately flat:
+//! the perf trajectory (wall time per experiment, profile, parallelism,
+//! modelled serving metrics) can be tracked across PRs without parsing
+//! markdown. The JSON is hand-emitted and re-parsed by [`BenchSnapshot`]
+//! (the workspace has no serde) and deliberately flat:
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "profile": "fast",
 //!   "workers": 8,
 //!   "total_seconds": 123.4,
 //!   "experiments": [
 //!     { "name": "table2", "seconds": 0.001, "report_chars": 512 }
+//!   ],
+//!   "metrics": [
+//!     { "name": "fleet.latency_us_per_sample", "value": 12.5 }
 //!   ]
 //! }
 //! ```
+//!
+//! Schema 2 adds `metrics` — named modelled quantities (fleet latency,
+//! throughput) alongside host wall times. The `bench_diff` bin compares
+//! two such files and flags wall-time regressions past a threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -38,6 +46,8 @@ pub struct BenchResults {
     pub profile: String,
     /// Per-experiment timings, in execution order.
     pub experiments: Vec<ExperimentResult>,
+    /// Named modelled metrics (e.g. fleet latency/throughput), flat.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl BenchResults {
@@ -46,7 +56,13 @@ impl BenchResults {
         Self {
             profile: profile.into(),
             experiments: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Records a named modelled metric for the JSON output.
+    pub fn add_metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
     }
 
     /// Runs one experiment, printing its markdown report and recording its
@@ -73,7 +89,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"schema\": 2,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -92,6 +108,15 @@ impl BenchResults {
                 e.report_chars,
             );
         }
+        out.push_str("  ],\n  \"metrics\": [\n");
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": \"{}\", \"value\": {value:.6} }}{comma}",
+                escape(name),
+            );
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -103,6 +128,381 @@ impl BenchResults {
     /// Propagates the underlying I/O error.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
+    }
+}
+
+/// A parsed `BENCH_results.json` — the read side of [`BenchResults`],
+/// consumed by the `bench_diff` bin to compare two runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchSnapshot {
+    /// Profile the run used.
+    pub profile: String,
+    /// Worker-pool size recorded by the run.
+    pub workers: f64,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+    /// `(name, seconds)` per experiment, in file order.
+    pub experiments: Vec<(String, f64)>,
+    /// `(name, value)` modelled metrics (empty for schema-1 files).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchSnapshot {
+    /// Parses a `BENCH_results.json` document (schema 1 or 2).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax or shape problem.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let value = json::parse(json)?;
+        let root = value.as_object().ok_or("top level must be an object")?;
+        let get = |key: &str| json::lookup(root, key);
+        let mut snap = BenchSnapshot {
+            profile: get("profile")
+                .and_then(json::JsonValue::as_str)
+                .unwrap_or("")
+                .to_string(),
+            workers: get("workers")
+                .and_then(json::JsonValue::as_f64)
+                .unwrap_or(0.0),
+            total_seconds: get("total_seconds")
+                .and_then(json::JsonValue::as_f64)
+                .unwrap_or(0.0),
+            ..BenchSnapshot::default()
+        };
+        let named = |entry: &json::JsonValue, value_key: &str| -> Option<(String, f64)> {
+            let obj = entry.as_object()?;
+            Some((
+                json::lookup(obj, "name")?.as_str()?.to_string(),
+                json::lookup(obj, value_key)?.as_f64()?,
+            ))
+        };
+        if let Some(json::JsonValue::Arr(entries)) = get("experiments") {
+            snap.experiments = entries.iter().filter_map(|e| named(e, "seconds")).collect();
+        }
+        if let Some(json::JsonValue::Arr(entries)) = get("metrics") {
+            snap.metrics = entries.iter().filter_map(|e| named(e, "value")).collect();
+        }
+        if snap.experiments.is_empty() {
+            return Err("no experiments in file".into());
+        }
+        Ok(snap)
+    }
+}
+
+/// Result of diffing two benchmark snapshots.
+#[derive(Clone, Debug)]
+pub struct BenchDiff {
+    /// Rendered markdown comparison.
+    pub markdown: String,
+    /// Experiments whose wall time grew past the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Compares two snapshots: per-experiment wall-time delta plus metric
+/// deltas, flagging experiments slower than `threshold_pct` percent.
+/// Sub-50 ms baselines are never flagged (pure timer noise).
+pub fn diff_snapshots(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f64) -> BenchDiff {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## bench-diff — old: profile {}, {:.1}s | new: profile {}, {:.1}s\n",
+        old.profile, old.total_seconds, new.profile, new.total_seconds
+    );
+    if old.profile != new.profile {
+        let _ = writeln!(
+            out,
+            "**Warning:** profiles differ; wall-time deltas are not comparable.\n"
+        );
+    }
+    let mut regressions = Vec::new();
+    let mut rows = Vec::new();
+    for (name, new_s) in &new.experiments {
+        let old_s = old
+            .experiments
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s);
+        let (old_col, delta_col, flag) = match old_s {
+            Some(o) => {
+                let delta = crate::pct_change(o, *new_s);
+                let regressed = o >= 0.05 && delta > threshold_pct;
+                if regressed {
+                    regressions.push(name.clone());
+                }
+                (
+                    crate::fmt_f(o, 3),
+                    format!("{delta:+.1}%"),
+                    if regressed { "REGRESSED" } else { "" }.to_string(),
+                )
+            }
+            None => ("-".into(), "new".into(), String::new()),
+        };
+        rows.push(vec![
+            name.clone(),
+            old_col,
+            crate::fmt_f(*new_s, 3),
+            delta_col,
+            flag,
+        ]);
+    }
+    for (name, _) in &old.experiments {
+        if !new.experiments.iter().any(|(n, _)| n == name) {
+            rows.push(vec![
+                name.clone(),
+                "-".into(),
+                "-".into(),
+                "removed".into(),
+                String::new(),
+            ]);
+        }
+    }
+    out.push_str(&crate::markdown_table(
+        &["experiment", "old (s)", "new (s)", "delta", ""],
+        &rows,
+    ));
+    if !new.metrics.is_empty() || !old.metrics.is_empty() {
+        let _ = writeln!(out, "\n### Modelled metrics\n");
+        let mut rows = Vec::new();
+        for (name, new_v) in &new.metrics {
+            let old_v = old.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+            rows.push(vec![
+                name.clone(),
+                old_v.map_or("-".into(), |v| crate::fmt_f(v, 3)),
+                crate::fmt_f(*new_v, 3),
+                old_v.map_or("new".into(), |v| {
+                    format!("{:+.1}%", crate::pct_change(v, *new_v))
+                }),
+            ]);
+        }
+        out.push_str(&crate::markdown_table(
+            &["metric", "old", "new", "delta"],
+            &rows,
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "\n{} regression(s) past the {threshold_pct:.0}% wall-time threshold.",
+        regressions.len()
+    );
+    BenchDiff {
+        markdown: out,
+        regressions,
+    }
+}
+
+/// A minimal JSON reader — just enough to re-read the documents this
+/// module emits (objects, arrays, strings, numbers, booleans, null; no
+/// serde in the offline workspace).
+mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum JsonValue {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (always read as `f64`).
+        Num(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<JsonValue>),
+        /// An object, in source order.
+        Obj(Vec<(String, JsonValue)>),
+    }
+
+    impl JsonValue {
+        /// The object's fields, when this is an object.
+        pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+            match self {
+                JsonValue::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// The string payload, when this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                JsonValue::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric payload, when this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                JsonValue::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// First value for `key` in an object's fields.
+    pub fn lookup<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(src: &str) -> Result<JsonValue, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            // Surrogate pairs are not emitted by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b.get(*pos..*pos + len).ok_or("truncated utf-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos += len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            expect(b, pos, b':')?;
+            fields.push((key, parse_value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
     }
 }
 
@@ -135,13 +535,74 @@ mod tests {
         let report = r.run("table2", || "## Table II\n".to_string());
         assert!(report.starts_with("## Table II"));
         r.run("fig6", || "x".repeat(100));
+        r.add_metric("fleet.latency_us_per_sample", 12.5);
         let json = r.to_json();
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 1"));
-        // Exactly one trailing comma structure: the list parses crudely.
-        assert_eq!(json.matches("{ \"name\"").count(), 2);
+        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"value\": 12.500000"));
+        assert_eq!(json.matches("{ \"name\"").count(), 3);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_the_emitted_json() {
+        let mut r = BenchResults::new("fast");
+        r.experiments.push(ExperimentResult {
+            name: "table2".into(),
+            seconds: 0.25,
+            report_chars: 10,
+        });
+        r.experiments.push(ExperimentResult {
+            name: "fig\"6\\".into(), // escaping survives the round trip
+            seconds: 1.5,
+            report_chars: 20,
+        });
+        r.add_metric("fleet.throughput_sps_4shards", 1234.5);
+        let snap = BenchSnapshot::parse(&r.to_json()).unwrap();
+        assert_eq!(snap.profile, "fast");
+        assert_eq!(snap.experiments.len(), 2);
+        assert_eq!(snap.experiments[0], ("table2".to_string(), 0.25));
+        assert_eq!(snap.experiments[1].0, "fig\"6\\");
+        assert_eq!(snap.metrics.len(), 1);
+        assert!((snap.metrics[0].1 - 1234.5).abs() < 1e-9);
+        assert!((snap.total_seconds - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(BenchSnapshot::parse("not json").is_err());
+        assert!(BenchSnapshot::parse("[1, 2]").is_err());
+        assert!(
+            BenchSnapshot::parse("{\"schema\": 2}").is_err(),
+            "no experiments"
+        );
+        assert!(BenchSnapshot::parse("{} trailing").is_err());
+    }
+
+    fn snap(pairs: &[(&str, f64)]) -> BenchSnapshot {
+        BenchSnapshot {
+            profile: "fast".into(),
+            experiments: pairs.iter().map(|&(n, s)| (n.to_string(), s)).collect(),
+            total_seconds: pairs.iter().map(|&(_, s)| s).sum(),
+            ..BenchSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn diff_flags_only_real_regressions() {
+        let old = snap(&[("fig6", 1.0), ("table2", 0.001), ("gone", 1.0)]);
+        let new = snap(&[("fig6", 1.5), ("table2", 0.01), ("fresh", 2.0)]);
+        let diff = diff_snapshots(&old, &new, 20.0);
+        // fig6 +50% regressed; table2 is 10× slower but under the 50 ms
+        // noise floor; "fresh" and "gone" are informational.
+        assert_eq!(diff.regressions, vec!["fig6".to_string()]);
+        assert!(diff.markdown.contains("REGRESSED"));
+        assert!(diff.markdown.contains("new"));
+        assert!(diff.markdown.contains("removed"));
+        // Within threshold: no flags.
+        let calm = diff_snapshots(&old, &old, 20.0);
+        assert!(calm.regressions.is_empty());
     }
 
     #[test]

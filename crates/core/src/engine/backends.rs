@@ -2,6 +2,7 @@
 
 use crate::engine::record::{LayerRecord, RunRecord};
 use crate::error::SparseNnError;
+use sparsenn_energy::TechNode;
 use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
 use sparsenn_numeric::Q6_10;
 use sparsenn_sim::simd::SimdPlatform;
@@ -23,6 +24,14 @@ pub trait InferenceBackend: Send + Sync {
     /// executing this activity".
     fn machine_config(&self) -> Option<&MachineConfig> {
         None
+    }
+
+    /// The CMOS technology node this backend's silicon is modelled at.
+    /// Batch summaries price the backend's events at this node (via
+    /// [`PowerModel::at_node`](sparsenn_energy::PowerModel::at_node)), so a
+    /// 28 nm platform's energy is not silently billed at the paper's 65 nm.
+    fn tech_node(&self) -> TechNode {
+        TechNode::n65()
     }
 
     /// Runs one quantized input through the network.
@@ -122,7 +131,11 @@ impl InferenceBackend for CycleAccurateBackend {
         mode: UvMode,
     ) -> Result<RunRecord, SparseNnError> {
         let run = self.machine.try_run_network(net, input, mode)?;
-        Ok(RunRecord::from_network_run(self.name(), run))
+        Ok(RunRecord::from_network_run(
+            self.name(),
+            run,
+            self.machine.config(),
+        ))
     }
 }
 
@@ -186,6 +199,7 @@ impl InferenceBackend for GoldenBackend {
                 cycles: 0,
                 vu_cycles: 0,
                 w_cycles: 0,
+                time_us: 0.0,
                 events: ev,
                 output: golden.output.clone(),
             });
@@ -226,6 +240,10 @@ impl SimdBackend {
 impl InferenceBackend for SimdBackend {
     fn name(&self) -> &str {
         self.platform.name
+    }
+
+    fn tech_node(&self) -> TechNode {
+        TechNode::new(self.platform.tech_nm)
     }
 
     fn run(
@@ -289,6 +307,7 @@ impl InferenceBackend for SimdBackend {
                 cycles,
                 vu_cycles,
                 w_cycles: cycles - vu_cycles,
+                time_us: self.platform.time_us(cycles),
                 events: ev,
                 output: golden.output.clone(),
             });
@@ -400,6 +419,47 @@ mod tests {
         assert_eq!(golden.layers[0].events.macs, machine.layers[0].events.macs);
         assert_eq!(golden.total_cycles(), 0, "golden backend is timing-free");
         assert!(machine.total_cycles() > 0);
+    }
+
+    #[test]
+    fn latency_follows_each_backends_own_clock_model() {
+        let (net, x) = net_and_input(&[36, 72, 10], 4);
+        let machine = CycleAccurateBackend::default();
+        let run = machine.run(&net, &x, UvMode::On).unwrap();
+        let want: f64 = run
+            .layers
+            .iter()
+            .map(|l| machine.machine().config().time_us(l.cycles))
+            .sum();
+        assert!(run.time_us() > 0.0);
+        assert!((run.time_us() - want).abs() < 1e-12);
+
+        let golden = GoldenBackend::new().run(&net, &x, UvMode::On).unwrap();
+        assert_eq!(golden.time_us(), 0.0, "golden backend is timing-free");
+
+        let engine = SimdBackend::new(SimdPlatform::dnn_engine());
+        let run = engine.run(&net, &x, UvMode::On).unwrap();
+        let want: f64 = run
+            .layers
+            .iter()
+            .map(|l| engine.platform().time_us(l.cycles))
+            .sum();
+        assert!(run.time_us() > 0.0);
+        assert!((run.time_us() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backends_report_their_own_technology_node() {
+        assert_eq!(CycleAccurateBackend::default().tech_node(), TechNode::n65());
+        assert_eq!(GoldenBackend::new().tech_node(), TechNode::n65());
+        assert_eq!(
+            SimdBackend::new(SimdPlatform::dnn_engine()).tech_node(),
+            TechNode::n28()
+        );
+        assert_eq!(
+            SimdBackend::new(SimdPlatform::lradnn(4)).tech_node(),
+            TechNode::n65()
+        );
     }
 
     #[test]

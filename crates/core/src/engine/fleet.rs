@@ -1,0 +1,323 @@
+//! Sharded serving: one request queue, N simulated accelerators.
+//!
+//! The paper's north-star workload is heavy traffic — far more requests
+//! than one simulated chip can absorb. A [`Fleet`] scales the serving
+//! layer the way a datacenter does: it owns several independent
+//! accelerator instances (*shards*, each any [`InferenceBackend`]) and
+//! exposes them as a single backend. Every [`run`](InferenceBackend::run)
+//! call checks out the first idle shard, executes on it, and returns it to
+//! the idle pool; when all shards are busy the caller blocks until one
+//! frees up. Plugged into a [`Session`](super::Session), the session's
+//! worker pool becomes the shared request queue and the fleet becomes the
+//! dispatch layer.
+//!
+//! Because every substrate produces bit-exact outputs and deterministic
+//! per-sample records, a fleet of *identical* shards preserves the
+//! session's bit-identical-to-serial guarantee: whichever shard serves a
+//! sample, its [`RunRecord`](super::RunRecord) is the same, and the session
+//! folds records in sample order. (Heterogeneous fleets still classify
+//! identically — outputs are bit-exact across substrates — but their
+//! cycle/latency aggregates depend on which shard served which sample,
+//! and batch *energy* is priced at shard 0's machine configuration and
+//! technology node regardless of which shard did the work. Keep fleets
+//! homogeneous when timing or power numbers matter.)
+
+use crate::engine::backends::{CycleAccurateBackend, InferenceBackend};
+use crate::engine::record::RunRecord;
+use crate::error::SparseNnError;
+use sparsenn_energy::TechNode;
+use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_numeric::Q6_10;
+use sparsenn_sim::MachineConfig;
+use std::sync::{Condvar, Mutex};
+
+/// Serving statistics for one shard of a [`Fleet`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Samples this shard has served.
+    pub samples: u64,
+    /// Modelled accelerator-busy time, microseconds (the sum of the served
+    /// records' [`time_us`](super::RunRecord::time_us); 0 for timing-free
+    /// shards such as the golden model).
+    pub busy_us: f64,
+}
+
+/// Book-keeping behind the fleet's dispatch lock: which shards are idle,
+/// plus per-shard serving stats.
+struct Dispatch {
+    /// Indices of currently-idle shards.
+    idle: Vec<usize>,
+    stats: Vec<ShardStats>,
+}
+
+/// N independent simulated accelerators serving one request queue.
+///
+/// See the [module docs](self) for the dispatch and determinism story.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_core::engine::{Fleet, InferenceBackend};
+/// use sparsenn_core::datasets::DatasetKind;
+/// use sparsenn_core::model::fixedpoint::UvMode;
+/// use sparsenn_core::SystemBuilder;
+///
+/// let system = SystemBuilder::new(DatasetKind::Basic)
+///     .dims(&[784, 24, 10])
+///     .rank(4)
+///     .train_samples(60)
+///     .test_samples(20)
+///     .epochs(1)
+///     .build();
+///
+/// // Four cycle-accurate shards behind one queue; one worker per shard.
+/// let fleet = Fleet::of_machines(4, *system.machine().config()).unwrap();
+/// let session = system.session_with(Box::new(fleet)).with_workers(4);
+/// let summary = session.simulate_batch(16, UvMode::On).unwrap();
+/// assert_eq!(summary.samples, 16);
+/// ```
+pub struct Fleet {
+    shards: Vec<Box<dyn InferenceBackend>>,
+    dispatch: Mutex<Dispatch>,
+    /// Signalled whenever a shard returns to the idle pool.
+    freed: Condvar,
+    name: String,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("name", &self.name)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Builds a fleet over the given shards.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::EmptyFleet`] when `shards` is empty.
+    pub fn new(shards: Vec<Box<dyn InferenceBackend>>) -> Result<Self, SparseNnError> {
+        if shards.is_empty() {
+            return Err(SparseNnError::EmptyFleet);
+        }
+        let n = shards.len();
+        let homogeneous = shards.iter().all(|s| s.name() == shards[0].name());
+        let name = if homogeneous {
+            format!("fleet({}x {})", n, shards[0].name())
+        } else {
+            format!("fleet({n} shards)")
+        };
+        Ok(Self {
+            shards,
+            dispatch: Mutex::new(Dispatch {
+                // Lowest index on top, so dispatch prefers shard 0 first.
+                idle: (0..n).rev().collect(),
+                stats: vec![ShardStats::default(); n],
+            }),
+            freed: Condvar::new(),
+            name,
+        })
+    }
+
+    /// A homogeneous fleet of `n` cycle-accurate machines, each configured
+    /// identically — the sharded-datacenter setup whose batch summaries are
+    /// bit-identical to a single machine's.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::EmptyFleet`] when `n == 0`.
+    pub fn of_machines(n: usize, cfg: MachineConfig) -> Result<Self, SparseNnError> {
+        Self::new(
+            (0..n)
+                .map(|_| {
+                    Box::new(CycleAccurateBackend::with_config(cfg)) as Box<dyn InferenceBackend>
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard serving statistics accumulated so far.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
+            .clone()
+    }
+
+    /// Checks out the first idle shard, blocking until one is free.
+    fn acquire(&self) -> usize {
+        let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(i) = d.idle.pop() {
+                return i;
+            }
+            d = self.freed.wait(d).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Returns a shard to the idle pool.
+    fn release(&self, shard: usize) {
+        let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        d.idle.push(shard);
+        // Keep the pool ordered so "first idle" means the lowest index.
+        d.idle.sort_unstable_by(|a, b| b.cmp(a));
+        drop(d);
+        self.freed.notify_one();
+    }
+
+    /// Credits a successfully served sample to a shard's statistics.
+    fn note_served(&self, shard: usize, record: &RunRecord) {
+        let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        d.stats[shard].samples += 1;
+        d.stats[shard].busy_us += record.time_us();
+    }
+}
+
+/// Returns the shard on drop, so neither an error return nor a panicking
+/// shard backend can leak serving capacity (the session converts the panic
+/// into [`SparseNnError::WorkerPanicked`], and the fleet stays whole).
+struct ShardGuard<'a> {
+    fleet: &'a Fleet,
+    shard: usize,
+}
+
+impl Drop for ShardGuard<'_> {
+    fn drop(&mut self) {
+        self.fleet.release(self.shard);
+    }
+}
+
+impl InferenceBackend for Fleet {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The first shard's machine configuration (for a homogeneous fleet,
+    /// every shard's). In a *mixed* fleet the other shards' events are
+    /// priced on this configuration too — see
+    /// [`tech_node`](Self::tech_node) for the caveat.
+    fn machine_config(&self) -> Option<&MachineConfig> {
+        self.shards[0].machine_config()
+    }
+
+    /// The first shard's technology node. Batch summaries price the whole
+    /// fleet's events at this node, which is only physically meaningful
+    /// when every shard models the same silicon — for a fleet mixing
+    /// nodes (say DNN-Engine at 28 nm beside the 65 nm machine), outputs
+    /// and accuracy stay exact but the energy aggregate follows whichever
+    /// shard is listed first. Keep fleets homogeneous
+    /// ([`Fleet::of_machines`]) when the power numbers matter.
+    fn tech_node(&self) -> TechNode {
+        self.shards[0].tech_node()
+    }
+
+    fn run(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+    ) -> Result<RunRecord, SparseNnError> {
+        let guard = ShardGuard {
+            fleet: self,
+            shard: self.acquire(),
+        };
+        let record = self.shards[guard.shard].run(net, input, mode)?;
+        self.note_served(guard.shard, &record);
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::backends::GoldenBackend;
+    use sparsenn_linalg::init::seeded_rng;
+    use sparsenn_model::{Mlp, PredictedNetwork};
+
+    fn net_and_input() -> (FixedNetwork, Vec<Q6_10>) {
+        let mut rng = seeded_rng(7);
+        let mlp = Mlp::random(&[24, 48, 10], &mut rng);
+        let net = PredictedNetwork::with_random_predictors(mlp, 3, &mut rng);
+        let fixed = FixedNetwork::from_float(&net);
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.17).sin()).collect();
+        let xq = fixed.quantize_input(&x);
+        (fixed, xq)
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert_eq!(
+            Fleet::new(Vec::new()).unwrap_err(),
+            SparseNnError::EmptyFleet
+        );
+        assert_eq!(
+            Fleet::of_machines(0, MachineConfig::default()).unwrap_err(),
+            SparseNnError::EmptyFleet
+        );
+    }
+
+    #[test]
+    fn fleet_matches_a_single_machine_bit_for_bit() {
+        let (net, x) = net_and_input();
+        let single = CycleAccurateBackend::default();
+        let fleet = Fleet::of_machines(3, MachineConfig::default()).unwrap();
+        for mode in [UvMode::Off, UvMode::On] {
+            let a = single.run(&net, &x, mode).unwrap();
+            let b = fleet.run(&net, &x, mode).unwrap();
+            assert_eq!(a.layers, b.layers, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn names_and_config_reflect_the_shards() {
+        let fleet = Fleet::of_machines(2, MachineConfig::default()).unwrap();
+        assert_eq!(fleet.name(), "fleet(2x cycle-accurate)");
+        assert_eq!(fleet.shard_count(), 2);
+        assert!(fleet.machine_config().is_some());
+        assert_eq!(fleet.tech_node(), TechNode::n65());
+
+        let mixed = Fleet::new(vec![
+            Box::new(GoldenBackend::new()) as Box<dyn InferenceBackend>,
+            Box::new(CycleAccurateBackend::default()),
+        ])
+        .unwrap();
+        assert_eq!(mixed.name(), "fleet(2 shards)");
+    }
+
+    #[test]
+    fn stats_account_for_every_served_sample() {
+        let (net, x) = net_and_input();
+        let fleet = Fleet::of_machines(2, MachineConfig::default()).unwrap();
+        for _ in 0..5 {
+            fleet.run(&net, &x, UvMode::On).unwrap();
+        }
+        let stats = fleet.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.samples).sum::<u64>(), 5);
+        // Serial callers always find shard 0 idle first.
+        assert_eq!(stats[0].samples, 5);
+        assert!(stats[0].busy_us > 0.0);
+        assert_eq!(stats[1], ShardStats::default());
+    }
+
+    #[test]
+    fn failed_runs_do_not_count_as_served() {
+        let (net, _) = net_and_input();
+        let fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        let short = vec![Q6_10::ZERO; 3];
+        assert!(fleet.run(&net, &short, UvMode::On).is_err());
+        assert_eq!(fleet.shard_stats()[0], ShardStats::default());
+        // And the shard went back to the pool: a good run still succeeds.
+        let (net, x) = net_and_input();
+        assert!(fleet.run(&net, &x, UvMode::On).is_ok());
+        assert_eq!(fleet.shard_stats()[0].samples, 1);
+    }
+}

@@ -20,6 +20,18 @@
 //!   `std::thread::available_parallelism`. Batch results fold into the
 //!   same [`SimulationSummary`](crate::SimulationSummary) the serial path
 //!   produces — bit for bit.
+//! * [`Fleet`] — sharded serving: N independent accelerator instances
+//!   (each an [`InferenceBackend`]) behind one backend, dispatching every
+//!   request to the first idle shard. Plugged into a [`Session`], the
+//!   session's worker pool becomes the shared request queue; a fleet of
+//!   identical shards keeps batch summaries bit-identical to a single
+//!   machine's.
+//!
+//! Every backend also stamps its records with a modelled wall-clock
+//! latency ([`RunRecord::time_us`]) from its own clock model — the
+//! machine's 2 ns cycle, a SIMD platform's published frequency, or zero
+//! for the timing-free golden model — so Table IV can compare latency, not
+//! just cycles, across substrates.
 //!
 //! All entry points return `Result<_, `[`SparseNnError`]`>`; no input can
 //! panic the engine.
@@ -51,9 +63,11 @@
 //! [`SparseNnError`]: crate::SparseNnError
 
 mod backends;
+mod fleet;
 mod record;
 mod session;
 
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
+pub use fleet::{Fleet, ShardStats};
 pub use record::{LayerRecord, RunRecord};
 pub use session::{default_worker_count, Session};

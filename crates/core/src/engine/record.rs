@@ -16,14 +16,23 @@ pub struct LayerRecord {
     pub vu_cycles: u64,
     /// Cycles attributed to the W feedforward phase.
     pub w_cycles: u64,
+    /// Modelled wall-clock latency of the layer on the producing backend,
+    /// microseconds — the backend's own clock model applied to
+    /// [`cycles`](Self::cycles) (`clock_ns × cycles` for the machine,
+    /// [`SimdPlatform::time_us`](sparsenn_sim::simd::SimdPlatform::time_us)
+    /// for the analytic platforms, 0 for timing-free backends).
+    pub time_us: f64,
     /// Activity counters (exact for the cycle-accurate backend, functional
     /// estimates for analytic backends).
     pub events: MachineEvents,
 }
 
-impl From<LayerRun> for LayerRecord {
-    fn from(l: LayerRun) -> Self {
+impl LayerRecord {
+    /// Converts a cycle-level layer run, stamping latency with the given
+    /// clock model (microseconds per cycle count).
+    fn from_layer_run(l: LayerRun, clock: impl Fn(u64) -> f64) -> Self {
         Self {
+            time_us: clock(l.cycles),
             output: l.output,
             mask: l.mask,
             cycles: l.cycles,
@@ -47,11 +56,22 @@ pub struct RunRecord {
 }
 
 impl RunRecord {
-    /// Converts a cycle-level machine run.
-    pub fn from_network_run(backend: impl Into<String>, run: NetworkRun) -> Self {
+    /// Converts a cycle-level machine run, pricing latency with the
+    /// machine's clock model ([`MachineConfig::time_us`]).
+    ///
+    /// [`MachineConfig::time_us`]: sparsenn_sim::MachineConfig::time_us
+    pub fn from_network_run(
+        backend: impl Into<String>,
+        run: NetworkRun,
+        cfg: &sparsenn_sim::MachineConfig,
+    ) -> Self {
         Self {
             backend: backend.into(),
-            layers: run.layers.into_iter().map(LayerRecord::from).collect(),
+            layers: run
+                .layers
+                .into_iter()
+                .map(|l| LayerRecord::from_layer_run(l, |c| cfg.time_us(c)))
+                .collect(),
         }
     }
 
@@ -69,6 +89,13 @@ impl RunRecord {
     /// Sum of per-layer cycle counts.
     pub fn total_cycles(&self) -> u64 {
         self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// End-to-end modelled latency of the run, microseconds: the sum of
+    /// per-layer [`LayerRecord::time_us`] (layers execute back to back).
+    /// 0 for timing-free backends such as the golden model.
+    pub fn time_us(&self) -> f64 {
+        self.layers.iter().map(|l| l.time_us).sum()
     }
 
     /// Merged activity counters over all layers.
@@ -96,6 +123,7 @@ mod tests {
                     cycles: c,
                     vu_cycles: 0,
                     w_cycles: c,
+                    time_us: c as f64 * 0.002,
                     events: MachineEvents {
                         cycles: c,
                         ..MachineEvents::default()
@@ -112,6 +140,7 @@ mod tests {
         assert_eq!(r.total_events().cycles, 42);
         assert_eq!(r.classify(), 1);
         assert_eq!(r.output().len(), 2);
+        assert!((r.time_us() - 42.0 * 0.002).abs() < 1e-12);
     }
 
     #[test]
@@ -123,5 +152,6 @@ mod tests {
         assert_eq!(r.output(), &[]);
         assert_eq!(r.classify(), 0);
         assert_eq!(r.total_cycles(), 0);
+        assert_eq!(r.time_us(), 0.0);
     }
 }

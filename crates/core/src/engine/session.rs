@@ -6,7 +6,7 @@ use crate::error::SparseNnError;
 use crate::system::{LayerSummary, SimulationSummary, TrainedSystem};
 use sparsenn_energy::PowerModel;
 use sparsenn_model::fixedpoint::UvMode;
-use sparsenn_sim::{MachineConfig, MachineEvents};
+use sparsenn_sim::MachineEvents;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -139,9 +139,9 @@ impl<'a> Session<'a> {
         let mut acc = BatchAccumulator::new(self.system.fixed().num_layers());
         for i in 0..samples {
             let record = self.run_sample(i, mode)?;
-            acc.fold(&record, self.is_correct(i, &record));
+            acc.fold(&record, self.is_correct(i, &record))?;
         }
-        Ok(acc.finish(self.power_config(), samples))
+        Ok(acc.finish(&self.power_model(), samples))
     }
 
     /// Like [`simulate_batch`](Session::simulate_batch), additionally
@@ -165,10 +165,10 @@ impl<'a> Session<'a> {
             let mut acc = BatchAccumulator::new(self.system.fixed().num_layers());
             for i in 0..samples {
                 let record = self.run_sample(i, mode)?;
-                acc.fold(&record, self.is_correct(i, &record));
+                acc.fold(&record, self.is_correct(i, &record))?;
                 on_sample(i, &record);
             }
-            return Ok(acc.finish(self.power_config(), samples));
+            return Ok(acc.finish(&self.power_model(), samples));
         }
 
         let next = AtomicUsize::new(0);
@@ -234,7 +234,7 @@ impl<'a> Session<'a> {
                         pending.insert(i, result);
                         while let Some(result) = pending.remove(&expected) {
                             let record = result?;
-                            acc.fold(&record, self.is_correct(expected, &record));
+                            acc.fold(&record, self.is_correct(expected, &record))?;
                             on_sample(expected, &record);
                             expected += 1;
                             // Return the permit so a worker may claim the
@@ -248,16 +248,20 @@ impl<'a> Session<'a> {
                     Err(mpsc::RecvError) => return Err(SparseNnError::WorkerPanicked),
                 }
             }
-            Ok(acc.finish(self.power_config(), samples))
+            Ok(acc.finish(&self.power_model(), samples))
         })
     }
 
-    /// Configuration pricing this session's events: the backend's own when
-    /// it has one, else the serving system's machine.
-    fn power_config(&self) -> &MachineConfig {
-        self.backend
+    /// The power model pricing this session's events: the backend's own
+    /// machine configuration when it has one (else the serving system's
+    /// machine), at the backend's own technology node — so a 28 nm
+    /// substrate's events are not billed at the paper's 65 nm.
+    fn power_model(&self) -> PowerModel {
+        let cfg = self
+            .backend
             .machine_config()
-            .unwrap_or_else(|| self.system.machine().config())
+            .unwrap_or_else(|| self.system.machine().config());
+        PowerModel::at_node(cfg, self.backend.tech_node())
     }
 
     fn worker_count(&self, samples: usize) -> usize {
@@ -272,11 +276,13 @@ impl<'a> Session<'a> {
 }
 
 /// Order-insensitive per-layer aggregation shared by the serial and
-/// parallel batch paths (all counters are `u64` sums, so folding in sample
-/// order gives bit-identical summaries on both).
+/// parallel batch paths (cycle/event counters are `u64` sums and the
+/// latency sum folds in sample order, so both paths produce bit-identical
+/// summaries).
 struct BatchAccumulator {
     cycles: Vec<u64>,
     vu_cycles: Vec<u64>,
+    time_us: Vec<f64>,
     events: Vec<MachineEvents>,
     correct: usize,
 }
@@ -286,34 +292,61 @@ impl BatchAccumulator {
         Self {
             cycles: vec![0; num_layers],
             vu_cycles: vec![0; num_layers],
+            time_us: vec![0.0; num_layers],
             events: vec![MachineEvents::default(); num_layers],
             correct: 0,
         }
     }
 
-    fn fold(&mut self, record: &RunRecord, correct: bool) {
+    /// Folds one sample's record into the per-layer sums.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::LayerCountMismatch`] when the record does not carry
+    /// exactly one entry per accumulated layer — a silently truncated fold
+    /// would under-report cycles and energy for the extra layers.
+    fn fold(&mut self, record: &RunRecord, correct: bool) -> Result<(), SparseNnError> {
+        if record.layers.len() != self.events.len() {
+            return Err(SparseNnError::LayerCountMismatch {
+                expected: self.events.len(),
+                got: record.layers.len(),
+            });
+        }
         if correct {
             self.correct += 1;
         }
-        for (l, layer) in record.layers.iter().enumerate().take(self.events.len()) {
+        for (l, layer) in record.layers.iter().enumerate() {
             self.cycles[l] += layer.cycles;
             self.vu_cycles[l] += layer.vu_cycles;
+            self.time_us[l] += layer.time_us;
             self.events[l].merge(&layer.events);
         }
+        Ok(())
     }
 
-    fn finish(self, cfg: &MachineConfig, samples: usize) -> SimulationSummary {
-        let model = PowerModel::new(cfg);
+    /// Produces the summary. Units are stated per field on
+    /// [`LayerSummary`]: `cycles`, `vu_cycles`, `time_us` and `energy_uj`
+    /// are per-sample means; `events` and `power` cover the whole batch
+    /// (power *rates* in `power` are batch-size invariant, but
+    /// `power.time_us` / `power.energy_uj` are batch totals).
+    fn finish(self, model: &PowerModel, samples: usize) -> SimulationSummary {
+        let per_sample = samples.max(1) as f64;
         let layers = self
             .cycles
             .iter()
             .zip(&self.vu_cycles)
+            .zip(&self.time_us)
             .zip(&self.events)
-            .map(|((&cycles, &vu_cycles), events)| LayerSummary {
-                cycles: cycles as f64 / samples.max(1) as f64,
-                vu_cycles: vu_cycles as f64 / samples.max(1) as f64,
-                events: *events,
-                power: model.estimate(events),
+            .map(|(((&cycles, &vu_cycles), &time_us), events)| {
+                let power = model.estimate(events);
+                LayerSummary {
+                    cycles: cycles as f64 / per_sample,
+                    vu_cycles: vu_cycles as f64 / per_sample,
+                    time_us: time_us / per_sample,
+                    energy_uj: power.energy_uj / per_sample,
+                    events: *events,
+                    power,
+                }
             })
             .collect();
         SimulationSummary {

@@ -39,6 +39,16 @@ pub enum SparseNnError {
     EmptyNetwork,
     /// A worker thread of a parallel batch run terminated abnormally.
     WorkerPanicked,
+    /// A backend returned a record with a different layer count than the
+    /// network being served — the per-layer counters cannot be aggregated.
+    LayerCountMismatch {
+        /// Layers the serving session aggregates over.
+        expected: usize,
+        /// Layers the backend's record carried.
+        got: usize,
+    },
+    /// A [`Fleet`](crate::engine::Fleet) was constructed with no shards.
+    EmptyFleet,
 }
 
 impl std::fmt::Display for SparseNnError {
@@ -63,6 +73,13 @@ impl std::fmt::Display for SparseNnError {
             SparseNnError::WorkerPanicked => {
                 f.write_str("a batch-simulation worker thread panicked")
             }
+            SparseNnError::LayerCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "backend returned {got} layer records for a {expected}-layer network"
+                )
+            }
+            SparseNnError::EmptyFleet => f.write_str("a fleet needs at least one shard"),
         }
     }
 }
@@ -96,6 +113,12 @@ mod tests {
             got: 10,
         };
         assert!(e.to_string().contains("784"));
+        let e = SparseNnError::LayerCountMismatch {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("3") && e.to_string().contains("2"));
+        assert!(SparseNnError::EmptyFleet.to_string().contains("shard"));
     }
 
     #[test]

@@ -178,15 +178,29 @@ pub struct TrainedSystem {
 }
 
 /// Per-hidden-layer aggregate of a batch simulation (the unit of Fig. 7).
+///
+/// Units are deliberately explicit, because Table IV prices energy from
+/// them: `cycles`, `vu_cycles`, `time_us` and `energy_uj` are **per-sample
+/// means**; `events` is the **batch total**, and `power` is estimated over
+/// that batch total (its `time_us`/`energy_uj` are batch totals too, while
+/// its power rates in mW are batch-size invariant).
 #[derive(Clone, Debug, PartialEq)]
 pub struct LayerSummary {
     /// Mean total cycles per sample.
     pub cycles: f64,
     /// Mean predictor-phase cycles per sample.
     pub vu_cycles: f64,
-    /// Merged event counters over all samples.
+    /// Mean modelled latency per sample, microseconds, on the backend's
+    /// own clock model (0 for timing-free backends).
+    pub time_us: f64,
+    /// Mean energy per sample, microjoules (`power.energy_uj / samples`),
+    /// priced at the backend's own technology node.
+    pub energy_uj: f64,
+    /// Event counters summed over the whole batch.
     pub events: MachineEvents,
-    /// Power/energy estimate over the merged events.
+    /// Power/energy estimate over the batch-total `events`, priced at the
+    /// backend's technology node. `power.time_us` and `power.energy_uj`
+    /// are batch totals; the mW rates are per-sample invariant.
     pub power: PowerReport,
 }
 
@@ -199,6 +213,20 @@ pub struct SimulationSummary {
     pub samples: usize,
     /// Fraction of simulated samples classified correctly.
     pub fixed_accuracy: f32,
+}
+
+impl SimulationSummary {
+    /// Mean end-to-end modelled latency per sample, microseconds (layers
+    /// execute back to back, so per-layer latencies sum). 0 for
+    /// timing-free backends.
+    pub fn time_us(&self) -> f64 {
+        self.layers.iter().map(|l| l.time_us).sum()
+    }
+
+    /// Mean energy per sample over all layers, microjoules.
+    pub fn energy_uj(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_uj).sum()
+    }
 }
 
 impl TrainedSystem {
@@ -256,6 +284,21 @@ impl TrainedSystem {
     /// Opens a serving [`Session`] over any execution substrate.
     pub fn session_with(&self, backend: Box<dyn InferenceBackend>) -> Session<'_> {
         Session::new(self, backend)
+    }
+
+    /// Opens a serving [`Session`] over a [`Fleet`](crate::engine::Fleet)
+    /// of `shards` identically-configured cycle-accurate machines, with
+    /// one batch worker per shard — the sharded-datacenter setup. Batch
+    /// summaries are bit-identical to a single machine's (and to the
+    /// serial path's): every shard produces the same deterministic record
+    /// for a given sample.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::EmptyFleet`] when `shards == 0`.
+    pub fn fleet_session(&self, shards: usize) -> Result<Session<'_>, SparseNnError> {
+        let fleet = crate::engine::Fleet::of_machines(shards, *self.machine.config())?;
+        Ok(self.session_with(Box::new(fleet)).with_workers(shards))
     }
 
     /// Simulates test sample `i` through the cycle-accurate accelerator,

@@ -54,6 +54,13 @@ impl MachineConfig {
         self.num_pes() as f64 * 2.0 / self.clock_ns
     }
 
+    /// The clock model: wall-clock time for a cycle count, microseconds
+    /// (2 ns × cycles for the default machine). This is the latency number
+    /// Table IV compares against the SIMD platforms' own clock models.
+    pub fn time_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.clock_ns * 1e-3
+    }
+
     /// Total on-chip W memory (8 MB for the default machine).
     pub fn total_w_mem_bytes(&self) -> usize {
         self.w_mem_bytes * self.num_pes()
@@ -126,6 +133,18 @@ mod tests {
         assert_eq!(c.total_w_mem_bytes(), 8 * 1024 * 1024); // 8 MB
         assert_eq!(c.max_activations(), 4096); // 4 K
         assert_eq!(c.peak_gops(), 64.0); // Table IV
+    }
+
+    #[test]
+    fn clock_model_converts_cycles_to_microseconds() {
+        let c = MachineConfig::default(); // 2 ns clock
+        assert_eq!(c.time_us(0), 0.0);
+        assert!((c.time_us(500) - 1.0).abs() < 1e-12);
+        let fast = MachineConfig {
+            clock_ns: 1.0,
+            ..MachineConfig::default()
+        };
+        assert!((fast.time_us(500) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -193,6 +193,228 @@ fn batch_through_the_facade_matches_the_session() {
     assert_eq!(facade, session);
 }
 
+/// A substrate that replays one fixed record for every input — makes batch
+/// unit arithmetic exactly predictable.
+struct ConstantBackend(sparsenn::engine::RunRecord);
+
+impl InferenceBackend for ConstantBackend {
+    fn name(&self) -> &str {
+        "constant"
+    }
+    fn run(
+        &self,
+        _net: &sparsenn::model::fixedpoint::FixedNetwork,
+        _input: &[sparsenn::numeric::Q6_10],
+        _mode: UvMode,
+    ) -> Result<sparsenn::engine::RunRecord, SparseNnError> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Unit-consistency regression (the Table IV pricing bug): a 2-sample
+/// batch must report exactly 2× the 1-sample batch-total energy, while the
+/// per-sample means — cycles, latency, energy — stay identical.
+#[test]
+fn batch_summary_units_are_consistent() {
+    let sys = small_system();
+    let template = sys.session().run_sample(0, UvMode::On).unwrap();
+    assert!(template.total_cycles() > 0 && template.time_us() > 0.0);
+    let session = sys.session_with(Box::new(ConstantBackend(template)));
+
+    let one = session.simulate_batch(1, UvMode::On).unwrap();
+    let two = session.simulate_batch(2, UvMode::On).unwrap();
+    assert_eq!(one.layers.len(), two.layers.len());
+    for (a, b) in one.layers.iter().zip(&two.layers) {
+        // Batch totals double with the batch…
+        assert_eq!(b.power.energy_uj, 2.0 * a.power.energy_uj);
+        assert_eq!(b.power.time_us, 2.0 * a.power.time_us);
+        assert_eq!(b.events.cycles, 2 * a.events.cycles);
+        assert_eq!(b.events.w_reads, 2 * a.events.w_reads);
+        // …while per-sample means do not move.
+        assert_eq!(b.cycles, a.cycles);
+        assert_eq!(b.vu_cycles, a.vu_cycles);
+        assert_eq!(b.time_us, a.time_us);
+        assert_eq!(b.energy_uj, a.energy_uj);
+        // And the per-sample energy is exactly the batch total averaged.
+        assert_eq!(b.energy_uj, b.power.energy_uj / 2.0);
+        // Power is a rate: invariant to batch size.
+        assert_eq!(b.power.total_mw, a.power.total_mw);
+    }
+    assert_eq!(two.time_us(), one.time_us());
+    assert_eq!(two.energy_uj(), one.energy_uj());
+}
+
+/// Technology-node regression: a 28 nm backend's summary must be priced at
+/// its own node, not the paper's hardcoded 65 nm.
+#[test]
+fn non_65nm_backend_is_priced_at_its_own_node() {
+    use sparsenn::energy::{PowerModel, TechNode};
+
+    let sys = small_system();
+    let session = sys.session_with(Box::new(SimdBackend::new(SimdPlatform::dnn_engine())));
+    let summary = session.simulate_batch(4, UvMode::On).unwrap();
+
+    // The SIMD backend carries no machine config, so events are priced on
+    // the serving machine's SRAM geometry — but at DNN-Engine's 28 nm.
+    let cfg = sys.machine().config();
+    let at_28 = PowerModel::at_node(cfg, TechNode::n28());
+    let at_65 = PowerModel::new(cfg);
+    for layer in &summary.layers {
+        assert_eq!(layer.power, at_28.estimate(&layer.events));
+        assert_ne!(
+            layer.power,
+            at_65.estimate(&layer.events),
+            "28 nm events must not be billed at 65 nm"
+        );
+    }
+}
+
+/// A substrate that reports one layer too many — the accumulator must
+/// refuse instead of silently dropping the extra layer's counters.
+struct ExtraLayerBackend;
+
+impl InferenceBackend for ExtraLayerBackend {
+    fn name(&self) -> &str {
+        "extra-layer"
+    }
+    fn run(
+        &self,
+        net: &sparsenn::model::fixedpoint::FixedNetwork,
+        input: &[sparsenn::numeric::Q6_10],
+        mode: UvMode,
+    ) -> Result<sparsenn::engine::RunRecord, SparseNnError> {
+        let mut record = GoldenBackend::new().run(net, input, mode)?;
+        let last = record.layers.last().expect("non-empty").clone();
+        record.layers.push(last);
+        Ok(record)
+    }
+}
+
+#[test]
+fn layer_count_mismatch_is_an_error_not_a_silent_truncation() {
+    let sys = small_system();
+    let expected_err = SparseNnError::LayerCountMismatch {
+        expected: 2,
+        got: 3,
+    };
+    let session = sys
+        .session_with(Box::new(ExtraLayerBackend))
+        .with_workers(3);
+    assert_eq!(
+        session.simulate_batch(6, UvMode::On).unwrap_err(),
+        expected_err
+    );
+    assert_eq!(
+        session.simulate_batch_serial(6, UvMode::On).unwrap_err(),
+        expected_err
+    );
+}
+
+/// A substrate with per-sample injected failures and delays (the sample is
+/// identified by its quantized input). Forces out-of-order completion to
+/// exercise the parallel collector's reorder/first-error logic.
+struct FlakyBackend {
+    inputs: Vec<Vec<sparsenn::numeric::Q6_10>>,
+    fail: Vec<bool>,
+    delay_us: Vec<u64>,
+}
+
+impl InferenceBackend for FlakyBackend {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+    fn run(
+        &self,
+        net: &sparsenn::model::fixedpoint::FixedNetwork,
+        input: &[sparsenn::numeric::Q6_10],
+        mode: UvMode,
+    ) -> Result<sparsenn::engine::RunRecord, SparseNnError> {
+        let i = self
+            .inputs
+            .iter()
+            .position(|x| x.as_slice() == input)
+            .expect("input belongs to the prepared test set");
+        std::thread::sleep(std::time::Duration::from_micros(self.delay_us[i]));
+        if self.fail[i] {
+            return Err(SparseNnError::LayerDoesNotFit {
+                layer: i,
+                reason: "injected failure".into(),
+            });
+        }
+        GoldenBackend::new().run(net, input, mode)
+    }
+}
+
+fn shared_system() -> &'static TrainedSystem {
+    static SYS: std::sync::OnceLock<TrainedSystem> = std::sync::OnceLock::new();
+    SYS.get_or_init(small_system)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The documented `stream_batch` contract under contention: whatever
+    /// order workers finish in, the returned error is the *lowest-indexed*
+    /// failing sample's, and `on_sample` has fired exactly for every
+    /// earlier index — no more, no fewer, in order.
+    #[test]
+    fn stream_batch_reports_lowest_failing_index_under_contention(
+        seed in 0u64..10_000,
+        workers in 2usize..6,
+        fail_pct in 5u8..40,
+    ) {
+        use rand::Rng;
+        use sparsenn::linalg::init::seeded_rng;
+
+        let sys = shared_system();
+        let n = 16usize;
+        let inputs: Vec<Vec<sparsenn::numeric::Q6_10>> = (0..n)
+            .map(|i| sys.fixed().quantize_input(sys.split().test.image(i)))
+            .collect();
+        // Index lookup by input requires distinct inputs; the synthetic
+        // test images are.
+        for a in 0..n {
+            for b in a + 1..n {
+                prop_assert!(inputs[a] != inputs[b], "samples {a} and {b} collide");
+            }
+        }
+        let mut rng = seeded_rng(seed);
+        let fail: Vec<bool> = (0..n).map(|_| rng.gen_range(0u8..100) < fail_pct).collect();
+        // Early samples sleep longer, so later samples routinely complete
+        // first — the reorder buffer and first-error race both engage.
+        let delay_us: Vec<u64> = (0..n)
+            .map(|i| rng.gen_range(0u64..200) + if i < n / 2 { 300 } else { 0 })
+            .collect();
+        let first_fail = fail.iter().position(|&f| f);
+
+        let session = sys
+            .session_with(Box::new(FlakyBackend {
+                inputs,
+                fail: fail.clone(),
+                delay_us,
+            }))
+            .with_workers(workers);
+        let mut seen = Vec::new();
+        let result = session.stream_batch(n, UvMode::On, |i, _| seen.push(i));
+        match first_fail {
+            None => {
+                prop_assert!(result.is_ok());
+                prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+            }
+            Some(k) => {
+                prop_assert_eq!(
+                    result.unwrap_err(),
+                    SparseNnError::LayerDoesNotFit {
+                        layer: k,
+                        reason: "injected failure".into(),
+                    }
+                );
+                prop_assert_eq!(seen, (0..k).collect::<Vec<_>>());
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -1,0 +1,141 @@
+//! Fleet serving contract: N simulated accelerators behind one queue
+//! produce summaries bit-identical to a single serial machine, account for
+//! every sample they serve, and carry per-backend latency through the
+//! summary.
+
+use sparsenn::datasets::DatasetKind;
+use sparsenn::engine::{CycleAccurateBackend, Fleet, GoldenBackend, InferenceBackend, SimdBackend};
+use sparsenn::model::fixedpoint::UvMode;
+use sparsenn::sim::simd::SimdPlatform;
+use sparsenn::{SparseNnError, SystemBuilder, TrainedSystem, TrainingAlgorithm};
+
+fn small_system() -> TrainedSystem {
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, 48, 10])
+        .rank(5)
+        .algorithm(TrainingAlgorithm::EndToEnd)
+        .train_samples(120)
+        .test_samples(40)
+        .epochs(2)
+        .build()
+}
+
+/// The acceptance criterion: a fleet of N machine shards folds the exact
+/// `SimulationSummary` the serial single-machine path produces.
+#[test]
+fn fleet_batches_are_bit_identical_to_serial_single_machine() {
+    let sys = small_system();
+    for mode in [UvMode::Off, UvMode::On] {
+        let serial = sys
+            .session()
+            .simulate_batch_serial(24, mode)
+            .expect("serial oracle");
+        for shards in [1usize, 3, 4] {
+            let fleet = sys.fleet_session(shards).unwrap();
+            let parallel = fleet.simulate_batch(24, mode).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "{shards}-shard fleet, {mode:?}: summary must be bit-identical"
+            );
+            // And the fleet session's own serial path agrees too.
+            let fleet_serial = sys
+                .fleet_session(shards)
+                .unwrap()
+                .simulate_batch_serial(24, mode)
+                .unwrap();
+            assert_eq!(serial, fleet_serial, "{shards}-shard serial fold");
+        }
+    }
+}
+
+#[test]
+fn more_workers_than_shards_blocks_instead_of_failing() {
+    let sys = small_system();
+    let fleet = Fleet::of_machines(2, *sys.machine().config()).unwrap();
+    // 6 workers contend for 2 shards: callers queue on the dispatch lock.
+    let session = sys.session_with(Box::new(fleet)).with_workers(6);
+    let serial = sys.session().simulate_batch_serial(24, UvMode::On).unwrap();
+    let parallel = session.simulate_batch(24, UvMode::On).unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn shard_stats_account_for_served_samples() {
+    let sys = small_system();
+    let fleet = Fleet::of_machines(4, *sys.machine().config()).unwrap();
+    assert!(fleet.shard_stats().iter().all(|s| s.samples == 0));
+
+    // What one sample costs on a lone machine, for comparison below.
+    let per_sample_us = {
+        let session = sys.session_with(Box::new(CycleAccurateBackend::new(sys.machine().clone())));
+        session.run_sample(0, UvMode::On).unwrap().time_us()
+    };
+    assert!(per_sample_us > 0.0);
+
+    let record = fleet
+        .run(
+            sys.fixed(),
+            &sys.fixed().quantize_input(sys.split().test.image(0)),
+            UvMode::On,
+        )
+        .unwrap();
+    assert!((record.time_us() - per_sample_us).abs() < 1e-12);
+    let stats = fleet.shard_stats();
+    assert_eq!(stats.iter().map(|s| s.samples).sum::<u64>(), 1);
+    assert!((stats[0].busy_us - per_sample_us).abs() < 1e-12);
+}
+
+#[test]
+fn fleet_session_latency_flows_into_the_summary() {
+    let sys = small_system();
+    let summary = sys
+        .fleet_session(3)
+        .unwrap()
+        .simulate_batch(12, UvMode::On)
+        .unwrap();
+    // Per-sample latency must match the machine clock model applied to the
+    // per-sample mean cycles (both are means over the same records).
+    let cfg = sys.machine().config();
+    for layer in &summary.layers {
+        assert!(layer.time_us > 0.0);
+        assert!(
+            (layer.time_us - cfg.time_us(1) * layer.cycles).abs() < 1e-9,
+            "layer latency {} vs clock model {}",
+            layer.time_us,
+            cfg.time_us(1) * layer.cycles
+        );
+    }
+    assert!(summary.time_us() > 0.0);
+    assert!(summary.energy_uj() > 0.0);
+}
+
+#[test]
+fn heterogeneous_fleet_still_classifies_bit_exactly() {
+    let sys = small_system();
+    // Outputs are bit-exact across substrates, so accuracy (a pure
+    // function of outputs) is fleet-composition independent — even though
+    // cycle aggregates would depend on dispatch order.
+    let mixed = Fleet::new(vec![
+        Box::new(CycleAccurateBackend::new(sys.machine().clone())) as Box<dyn InferenceBackend>,
+        Box::new(GoldenBackend::new()),
+        Box::new(SimdBackend::new(SimdPlatform::dnn_engine())),
+    ])
+    .unwrap();
+    let mixed_summary = sys
+        .session_with(Box::new(mixed))
+        .with_workers(3)
+        .simulate_batch(20, UvMode::On)
+        .unwrap();
+    let reference = sys.session().simulate_batch(20, UvMode::On).unwrap();
+    assert_eq!(mixed_summary.fixed_accuracy, reference.fixed_accuracy);
+    assert_eq!(mixed_summary.samples, reference.samples);
+}
+
+#[test]
+fn zero_shard_fleet_session_is_an_error() {
+    let sys = small_system();
+    assert!(matches!(
+        sys.fleet_session(0),
+        Err(SparseNnError::EmptyFleet)
+    ));
+}
