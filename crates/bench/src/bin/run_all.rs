@@ -27,16 +27,37 @@ fn main() {
         println!("{report}");
     }
 
-    // The fleet study also yields modelled serving metrics (per-sample
-    // latency, throughput per shard count) for the JSON trajectory.
+    // The serving studies (fleet scaling + virtual-time simulation) share
+    // one trained system — training is the expensive part, so it is built
+    // once and recorded as its own line. Both also yield modelled metrics
+    // (per-sample latency, latency-vs-load percentiles) for the JSON
+    // trajectory.
+    let mut study = None;
+    results.run("serving_train", || {
+        study = Some(e::fleet::study_system(p));
+        String::new()
+    });
+    let study = study.expect("the serving_train experiment builds the system");
+
     let mut fleet_metrics = Vec::new();
     let report = results.run("fleet", || {
-        let r = e::fleet::measure(p);
+        let r = e::fleet::measure_with(p, &study);
         fleet_metrics = r.metrics;
         r.markdown
     });
     println!("{report}");
     for (name, value) in fleet_metrics {
+        results.add_metric(name, value);
+    }
+
+    let mut serve_metrics = Vec::new();
+    let report = results.run("serve", || {
+        let r = e::serve::measure_with(p, &study);
+        serve_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in serve_metrics {
         results.add_metric(name, value);
     }
 

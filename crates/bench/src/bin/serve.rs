@@ -1,0 +1,7 @@
+//! Virtual-time serving study: latency vs offered load per scheduler
+//! over homogeneous and heterogeneous fleets (beyond the paper).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::serve::run(p));
+}

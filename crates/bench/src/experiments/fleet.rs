@@ -1,20 +1,42 @@
-//! Fleet serving: throughput/latency scaling across simulated accelerator
-//! shards (beyond the paper — the "heavy traffic" north star).
+//! Fleet serving: wall-time scaling across simulated accelerator shards
+//! (beyond the paper — the "heavy traffic" north star).
 //!
 //! One request queue, N cycle-accurate shards: per-sample modelled latency
 //! is a property of one chip and must stay constant as the fleet grows,
-//! while modelled fleet throughput (`shards / latency`) and host wall time
-//! scale with the shard count. The experiment also re-checks the
-//! bit-identical guarantee: every fleet size folds the exact same
-//! [`SimulationSummary`](sparsenn_core::SimulationSummary) the serial
-//! single-machine path produces.
+//! while host wall time scales with the shard count. The experiment also
+//! re-checks the bit-identical guarantee: every fleet size folds the
+//! exact same [`SimulationSummary`](sparsenn_core::SimulationSummary) the
+//! serial single-machine path produces.
+//!
+//! Modelled *throughput* is no longer reported here: the old
+//! `shards / latency` expression is degenerate (no queueing, no
+//! burstiness, no dispatch policy) and is superseded by the `serve`
+//! experiment's virtual-time simulation
+//! ([`experiments::serve`](super::serve)).
 
 use crate::{fmt_f, markdown_table};
 use sparsenn_core::datasets::DatasetKind;
 use sparsenn_core::model::fixedpoint::UvMode;
-use sparsenn_core::{Profile, SystemBuilder, TrainingAlgorithm};
+use sparsenn_core::{Profile, SystemBuilder, TrainedSystem, TrainingAlgorithm};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// The small 3-layer system both serving studies (`fleet` and `serve`)
+/// measure — training is the expensive part, so `run_all` builds it once
+/// and passes it to both [`measure_with`] and
+/// [`serve::measure_with`](super::serve::measure_with).
+pub fn study_system(p: Profile) -> TrainedSystem {
+    // A 3-layer system keeps the studies quick; the serving path is the
+    // same one the 5-layer hardware experiments use.
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, p.hidden().min(512), 10])
+        .rank(p.table_rank().min(8))
+        .algorithm(TrainingAlgorithm::EndToEnd)
+        .train_samples(p.hw_train_samples() / 2)
+        .test_samples(p.test_samples())
+        .epochs(2)
+        .build()
+}
 
 /// One measured fleet configuration.
 #[derive(Clone, Copy, Debug)]
@@ -23,8 +45,6 @@ pub struct FleetPoint {
     pub shards: usize,
     /// Mean modelled per-sample latency, microseconds (shard clock model).
     pub latency_us: f64,
-    /// Modelled fleet throughput, samples/s (`shards / latency`).
-    pub throughput_sps: f64,
     /// Host wall-clock seconds for the batch (simulation speed, not a
     /// modelled quantity).
     pub wall_s: f64,
@@ -38,19 +58,14 @@ pub struct FleetReport {
     pub metrics: Vec<(String, f64)>,
 }
 
-/// Runs the fleet scaling study.
+/// Runs the fleet scaling study, training its own [`study_system`].
 pub fn measure(p: Profile) -> FleetReport {
-    // A 3-layer system keeps the study quick; the serving path is the
-    // same one the 5-layer hardware experiments use.
-    let dims = [784, p.hidden().min(512), 10];
-    let sys = SystemBuilder::new(DatasetKind::Basic)
-        .dims(&dims)
-        .rank(p.table_rank().min(8))
-        .algorithm(TrainingAlgorithm::EndToEnd)
-        .train_samples(p.hw_train_samples() / 2)
-        .test_samples(p.test_samples())
-        .epochs(2)
-        .build();
+    measure_with(p, &study_system(p))
+}
+
+/// Runs the fleet scaling study on an already-trained system.
+pub fn measure_with(p: Profile, sys: &TrainedSystem) -> FleetReport {
+    let dims = sys.network().mlp().dims();
     let batch = (p.sim_samples() * 4).min(sys.split().test.len());
 
     let serial = sys
@@ -70,15 +85,9 @@ pub fn measure(p: Profile) -> FleetReport {
             .expect("the study network fits the default machine");
         let wall_s = t.elapsed().as_secs_f64();
         identical &= summary == serial;
-        let latency_us = summary.time_us();
         points.push(FleetPoint {
             shards,
-            latency_us,
-            throughput_sps: if latency_us > 0.0 {
-                shards as f64 / (latency_us * 1e-6)
-            } else {
-                0.0
-            },
+            latency_us: summary.time_us(),
             wall_s,
         });
     }
@@ -92,7 +101,9 @@ pub fn measure(p: Profile) -> FleetReport {
         out,
         "{batch} samples, 3-layer [{}, {}, {}] network, one worker per shard. \
          Per-sample latency is one chip's clock model and must not change with \
-         the fleet size; modelled throughput is `shards / latency`.\n",
+         the fleet size. (Modelled serving throughput lives in the `serve` \
+         experiment's virtual-time simulation, which supersedes the old \
+         `shards / latency` figure.)\n",
         dims[0], dims[1], dims[2]
     );
     let rows: Vec<Vec<String>> = points
@@ -101,18 +112,12 @@ pub fn measure(p: Profile) -> FleetReport {
             vec![
                 pt.shards.to_string(),
                 fmt_f(pt.latency_us, 2),
-                fmt_f(pt.throughput_sps, 0),
                 fmt_f(pt.wall_s, 3),
             ]
         })
         .collect();
     out.push_str(&markdown_table(
-        &[
-            "shards",
-            "latency/sample (us)",
-            "modelled throughput (samples/s)",
-            "host wall time (s)",
-        ],
+        &["shards", "latency/sample (us)", "host wall time (s)"],
         &rows,
     ));
     let _ = writeln!(
@@ -121,20 +126,16 @@ pub fn measure(p: Profile) -> FleetReport {
         if identical { "yes" } else { "NO — BUG" }
     );
 
-    let mut metrics = vec![(
-        "fleet.latency_us_per_sample".to_string(),
-        points[0].latency_us,
-    )];
-    for pt in &points {
-        metrics.push((
-            format!("fleet.throughput_sps_{}shards", pt.shards),
-            pt.throughput_sps,
-        ));
-    }
-    metrics.push((
-        "fleet.bit_identical".to_string(),
-        if identical { 1.0 } else { 0.0 },
-    ));
+    let metrics = vec![
+        (
+            "fleet.latency_us_per_sample".to_string(),
+            points[0].latency_us,
+        ),
+        (
+            "fleet.bit_identical".to_string(),
+            if identical { 1.0 } else { 0.0 },
+        ),
+    ];
     FleetReport {
         markdown: out,
         metrics,

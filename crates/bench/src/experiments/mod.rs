@@ -1,10 +1,12 @@
 //! One module per paper table/figure, plus the ablations of DESIGN.md §6
-//! and the fleet-serving scaling study (beyond the paper).
+//! and the serving studies (beyond the paper): fleet scaling and the
+//! virtual-time latency-vs-load simulation.
 
 pub mod ablations;
 pub mod fig6;
 pub mod fig7;
 pub mod fleet;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -17,7 +17,8 @@
 //! | `… --bin ablation_noc` | §V.B buffered-flow-control ablation |
 //! | `… --bin ablation_sched` | §V.C column- vs row-based V scheduling |
 //! | `… --bin ablation_lambda` | Eq. (4) λ sweep |
-//! | `… --bin fleet` | fleet serving: throughput/latency vs shard count |
+//! | `… --bin fleet` | fleet serving: latency & wall time vs shard count |
+//! | `… --bin serve` | virtual-time serving: latency vs offered load per scheduler |
 //! | `… --bin run_all` | everything above, in order |
 //! | `… --bin bench_diff` | compare two `BENCH_results.json` files |
 

@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
 //!   "profile": "fast",
 //!   "workers": 8,
 //!   "total_seconds": 123.4,
@@ -16,14 +16,18 @@
 //!     { "name": "table2", "seconds": 0.001, "report_chars": 512 }
 //!   ],
 //!   "metrics": [
-//!     { "name": "fleet.latency_us_per_sample", "value": 12.5 }
+//!     { "name": "serve.hetero.p95_us.first-idle@75pct", "value": 12.5 }
 //!   ]
 //! }
 //! ```
 //!
-//! Schema 2 adds `metrics` — named modelled quantities (fleet latency,
-//! throughput) alongside host wall times. The `bench_diff` bin compares
-//! two such files and flags wall-time regressions past a threshold.
+//! Schema 2 added `metrics` — named modelled quantities alongside host
+//! wall times. Schema 3 replaces the fleet study's degenerate
+//! `shards / latency` throughput metrics with the `serve` experiment's
+//! virtual-time serving metrics (capacity, latency percentiles per
+//! scheduler and offered load, closed-loop validation). The `bench_diff`
+//! bin compares two such files (any schema) and flags wall-time
+//! regressions past a threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -89,7 +93,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 2,");
+        let _ = writeln!(out, "  \"schema\": 3,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -148,7 +152,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 or 2).
+    /// Parses a `BENCH_results.json` document (schema 1, 2 or 3).
     ///
     /// # Errors
     ///
@@ -540,7 +544,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 2"));
+        assert!(json.contains("\"schema\": 3"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }

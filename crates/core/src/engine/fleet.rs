@@ -5,9 +5,13 @@
 //! layer the way a datacenter does: it owns several independent
 //! accelerator instances (*shards*, each any [`InferenceBackend`]) and
 //! exposes them as a single backend. Every [`run`](InferenceBackend::run)
-//! call checks out the first idle shard, executes on it, and returns it to
-//! the idle pool; when all shards are busy the caller blocks until one
-//! frees up. Plugged into a [`Session`](super::Session), the session's
+//! call asks the fleet's [`Scheduler`] which idle shard to check out
+//! ([`FirstIdle`](super::FirstIdle) by default — the lowest-indexed idle
+//! shard), executes on it, and returns it to the idle pool; when no shard
+//! is usable the caller blocks until one frees up. The scheduler trait is
+//! shared with the `sparsenn-serve` virtual-time simulator, so dispatch
+//! policies validated against simulated latency curves serve live traffic
+//! unchanged. Plugged into a [`Session`](super::Session), the session's
 //! worker pool becomes the shared request queue and the fleet becomes the
 //! dispatch layer.
 //!
@@ -24,6 +28,7 @@
 
 use crate::engine::backends::{CycleAccurateBackend, InferenceBackend};
 use crate::engine::record::RunRecord;
+use crate::engine::scheduler::{FirstIdle, Scheduler, ShardView};
 use crate::error::SparseNnError;
 use sparsenn_energy::TechNode;
 use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
@@ -81,6 +86,7 @@ pub struct Fleet {
     dispatch: Mutex<Dispatch>,
     /// Signalled whenever a shard returns to the idle pool.
     freed: Condvar,
+    scheduler: Box<dyn Scheduler>,
     name: String,
 }
 
@@ -104,7 +110,12 @@ impl Fleet {
             return Err(SparseNnError::EmptyFleet);
         }
         let n = shards.len();
-        let homogeneous = shards.iter().all(|s| s.name() == shards[0].name());
+        // Homogeneity means "same modelled silicon", not "same label": two
+        // cycle-accurate shards with different clocks or technology nodes
+        // share a name() but not timing or energy behaviour, so compare a
+        // full configuration fingerprint.
+        let fp = config_fingerprint(shards[0].as_ref());
+        let homogeneous = shards.iter().all(|s| config_fingerprint(s.as_ref()) == fp);
         let name = if homogeneous {
             format!("fleet({}x {})", n, shards[0].name())
         } else {
@@ -113,13 +124,30 @@ impl Fleet {
         Ok(Self {
             shards,
             dispatch: Mutex::new(Dispatch {
-                // Lowest index on top, so dispatch prefers shard 0 first.
-                idle: (0..n).rev().collect(),
+                idle: (0..n).collect(),
                 stats: vec![ShardStats::default(); n],
             }),
             freed: Condvar::new(),
+            scheduler: Box::new(FirstIdle),
             name,
         })
+    }
+
+    /// Replaces the dispatch policy (default: [`FirstIdle`]). The same
+    /// [`Scheduler`] implementations drive the `sparsenn-serve` simulator,
+    /// so a policy can be tuned on simulated latency curves and then
+    /// dropped in here. Because every shard produces bit-exact outputs,
+    /// the policy never changes results — only which shard serves which
+    /// request (i.e. [`shard_stats`](Self::shard_stats) and, for
+    /// heterogeneous fleets, timing aggregates).
+    pub fn with_scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The dispatch policy's name (`first-idle` unless replaced).
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
     }
 
     /// A homogeneous fleet of `n` cycle-accurate machines, each configured
@@ -153,14 +181,62 @@ impl Fleet {
             .clone()
     }
 
-    /// Checks out the first idle shard, blocking until one is free.
+    /// Checks out the shard the scheduler picks, blocking until one is
+    /// usable.
+    ///
+    /// The live fleet has no per-shard queues — blocked callers *are* the
+    /// central queue — so only an idle shard can be checked out. A pick of
+    /// a busy shard (e.g. [`FastestCompletion`](super::FastestCompletion)
+    /// preferring a loaded fast machine over an idle slow one) makes the
+    /// caller wait for the next release and ask again; once the preferred
+    /// shard frees it is idle and the pick lands. If the policy declines
+    /// every shard while *nothing* is running, the lowest-indexed idle
+    /// shard is used instead — no release would ever arrive, so waiting
+    /// would deadlock the caller.
     fn acquire(&self) -> usize {
         let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(i) = d.idle.pop() {
+            if let Some(i) = self.pick_idle(&d) {
+                d.idle.retain(|&j| j != i);
                 return i;
             }
             d = self.freed.wait(d).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Asks the scheduler for a shard and validates the pick against the
+    /// idle set. `None` means "wait and re-ask after the next release".
+    fn pick_idle(&self, d: &Dispatch) -> Option<usize> {
+        if d.idle.is_empty() {
+            return None;
+        }
+        let views: Vec<ShardView> = (0..self.shards.len())
+            .map(|i| {
+                let idle = d.idle.contains(&i);
+                let s = &d.stats[i];
+                // Best live estimate of this shard's service time: the
+                // mean over what it has served (0 before the first run).
+                let mean_us = if s.samples > 0 {
+                    s.busy_us / s.samples as f64
+                } else {
+                    0.0
+                };
+                ShardView {
+                    idle,
+                    depth: usize::from(!idle),
+                    backlog_us: if idle { 0.0 } else { mean_us },
+                    service_us: mean_us,
+                }
+            })
+            .collect();
+        match self.scheduler.pick(&views) {
+            Some(i) if views.get(i).is_some_and(|v| v.idle) => Some(i),
+            // The pick is busy or invalid. Legitimate to wait while some
+            // shard is running (its release re-triggers the pick); with
+            // every shard idle nothing will ever be released, so fall
+            // back to the first idle shard to guarantee progress.
+            _ if d.idle.len() == self.shards.len() => d.idle.iter().min().copied(),
+            _ => None,
         }
     }
 
@@ -168,10 +244,11 @@ impl Fleet {
     fn release(&self, shard: usize) {
         let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
         d.idle.push(shard);
-        // Keep the pool ordered so "first idle" means the lowest index.
-        d.idle.sort_unstable_by(|a, b| b.cmp(a));
         drop(d);
-        self.freed.notify_one();
+        // All waiters re-run the pick: a selective scheduler may have a
+        // waiter declining this shard while another would take it, so a
+        // single wake-up could stall behind the wrong waiter.
+        self.freed.notify_all();
     }
 
     /// Credits a successfully served sample to a shard's statistics.
@@ -180,6 +257,19 @@ impl Fleet {
         d.stats[shard].samples += 1;
         d.stats[shard].busy_us += record.time_us();
     }
+}
+
+/// The identity a [`Fleet`] considers for homogeneity: substrate name,
+/// technology node and (when present) the full machine configuration —
+/// two shards agreeing on all three are interchangeable for timing and
+/// energy, not just for outputs.
+fn config_fingerprint(shard: &dyn InferenceBackend) -> String {
+    format!(
+        "{}|{}nm|{:?}",
+        shard.name(),
+        shard.tech_node().nm(),
+        shard.machine_config()
+    )
 }
 
 /// Returns the shard on drop, so neither an error return nor a panicking
@@ -291,6 +381,66 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(mixed.name(), "fleet(2 shards)");
+    }
+
+    /// Regression: two machine shards sharing a name but not a clock (or
+    /// any other config field) are *not* homogeneous — comparing `name()`
+    /// alone used to misclassify them.
+    #[test]
+    fn same_name_different_config_is_not_homogeneous() {
+        let slow = MachineConfig {
+            clock_ns: 10.0,
+            ..MachineConfig::default()
+        };
+        let mixed_clock = Fleet::new(vec![
+            Box::new(CycleAccurateBackend::default()) as Box<dyn InferenceBackend>,
+            Box::new(CycleAccurateBackend::with_config(slow)),
+        ])
+        .unwrap();
+        assert_eq!(
+            mixed_clock.name(),
+            "fleet(2 shards)",
+            "differing clocks must not be labelled homogeneous"
+        );
+        // Identical configs still collapse to the homogeneous label.
+        let twins = Fleet::of_machines(2, slow).unwrap();
+        assert_eq!(twins.name(), "fleet(2x cycle-accurate)");
+    }
+
+    #[test]
+    fn scheduler_is_pluggable_and_default_is_first_idle() {
+        let fleet = Fleet::of_machines(2, MachineConfig::default()).unwrap();
+        assert_eq!(fleet.scheduler_name(), "first-idle");
+        let fleet = fleet.with_scheduler(Box::new(crate::engine::FastestCompletion));
+        assert_eq!(fleet.scheduler_name(), "fastest-completion");
+    }
+
+    /// With fastest-expected-completion, serial callers spread over the
+    /// fleet by modelled speed: once shard 0 has a measured mean service
+    /// time, the still-unmeasured (estimate 0) shard 1 looks faster, and
+    /// once both are measured the genuinely faster shard wins.
+    #[test]
+    fn fastest_completion_routes_to_the_faster_shard() {
+        let (net, x) = net_and_input();
+        let slow = MachineConfig {
+            clock_ns: 20.0,
+            ..MachineConfig::default()
+        };
+        let fleet = Fleet::new(vec![
+            Box::new(CycleAccurateBackend::with_config(slow)) as Box<dyn InferenceBackend>,
+            Box::new(CycleAccurateBackend::default()),
+        ])
+        .unwrap()
+        .with_scheduler(Box::new(crate::engine::FastestCompletion));
+        for _ in 0..6 {
+            fleet.run(&net, &x, UvMode::On).unwrap();
+        }
+        let stats = fleet.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.samples).sum::<u64>(), 6);
+        // Warm-up probes each shard once; every later call lands on the
+        // 2 ns shard, never again on the 20 ns one.
+        assert_eq!(stats[0].samples, 1, "slow shard serves only its probe");
+        assert_eq!(stats[1].samples, 5);
     }
 
     #[test]

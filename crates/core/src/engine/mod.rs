@@ -21,11 +21,14 @@
 //!   same [`SimulationSummary`](crate::SimulationSummary) the serial path
 //!   produces — bit for bit.
 //! * [`Fleet`] — sharded serving: N independent accelerator instances
-//!   (each an [`InferenceBackend`]) behind one backend, dispatching every
-//!   request to the first idle shard. Plugged into a [`Session`], the
-//!   session's worker pool becomes the shared request queue; a fleet of
-//!   identical shards keeps batch summaries bit-identical to a single
-//!   machine's.
+//!   (each an [`InferenceBackend`]) behind one backend. Dispatch is a
+//!   pluggable [`Scheduler`] ([`FirstIdle`] by default; [`LeastQueued`]
+//!   and [`FastestCompletion`] ship too) — the same trait the
+//!   `sparsenn-serve` virtual-time simulator drives, so a policy tuned
+//!   against simulated latency-vs-load curves drops into real serving
+//!   unchanged. Plugged into a [`Session`], the session's worker pool
+//!   becomes the shared request queue; a fleet of identical shards keeps
+//!   batch summaries bit-identical to a single machine's.
 //!
 //! Every backend also stamps its records with a modelled wall-clock
 //! latency ([`RunRecord::time_us`]) from its own clock model — the
@@ -65,9 +68,11 @@
 mod backends;
 mod fleet;
 mod record;
+mod scheduler;
 mod session;
 
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
 pub use fleet::{Fleet, ShardStats};
 pub use record::{LayerRecord, RunRecord};
+pub use scheduler::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
 pub use session::{default_worker_count, Session};

@@ -49,6 +49,12 @@ pub enum SparseNnError {
     },
     /// A [`Fleet`](crate::engine::Fleet) was constructed with no shards.
     EmptyFleet,
+    /// Saving or loading a [`TrainedSystem`](crate::TrainedSystem)
+    /// checkpoint failed (I/O error or malformed checkpoint text).
+    Checkpoint {
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SparseNnError {
@@ -80,6 +86,9 @@ impl std::fmt::Display for SparseNnError {
                 )
             }
             SparseNnError::EmptyFleet => f.write_str("a fleet needs at least one shard"),
+            SparseNnError::Checkpoint { message } => {
+                write!(f, "system checkpoint failed: {message}")
+            }
         }
     }
 }
@@ -119,6 +128,10 @@ mod tests {
         };
         assert!(e.to_string().contains("3") && e.to_string().contains("2"));
         assert!(SparseNnError::EmptyFleet.to_string().contains("shard"));
+        let e = SparseNnError::Checkpoint {
+            message: "bad header".into(),
+        };
+        assert!(e.to_string().contains("bad header"));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! The virtual-time event queue.
+//!
+//! A discrete-event simulation advances by popping the earliest pending
+//! event; everything downstream (metrics, scheduler decisions, replay
+//! determinism) depends on two properties this queue guarantees:
+//!
+//! 1. **Monotonicity** — pops never go backwards in virtual time;
+//! 2. **Deterministic tie-breaking** — events at the *same* virtual time
+//!    pop in the order they were pushed (a strictly increasing sequence
+//!    number is the secondary key), so simultaneous completions and
+//!    arrivals replay identically on every run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: a payload due at a virtual time.
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    time_us: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // (time, seq) on top. total_cmp gives f64 a total order (the queue
+        // never stores NaN, but a total order keeps Ord lawful regardless).
+        other
+            .time_us
+            .total_cmp(&self.time_us)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-queue of `T` keyed by virtual time (µs), FIFO among equal times.
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time_us`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a NaN time — a NaN deadline would never pop in a defined
+    /// position.
+    pub fn push(&mut self, time_us: f64, payload: T) {
+        assert!(!time_us.is_nan(), "event scheduled at NaN virtual time");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time_us,
+            seq,
+            payload,
+        });
+    }
+
+    /// Pops the earliest event: smallest time, then earliest push.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time_us, e.payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.push(5.0, i);
+        }
+        for i in 0..16 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_stay_deterministic() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "late-first-pushed");
+        q.push(0.0, "early");
+        assert_eq!(q.pop(), Some((0.0, "early")));
+        q.push(2.0, "late-second-pushed");
+        q.push(1.0, "middle");
+        assert_eq!(q.pop(), Some((1.0, "middle")));
+        assert_eq!(q.pop(), Some((2.0, "late-first-pushed")));
+        assert_eq!(q.pop(), Some((2.0, "late-second-pushed")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_deadline_is_rejected() {
+        EventQueue::new().push(f64::NAN, ());
+    }
+}

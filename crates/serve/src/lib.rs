@@ -1,0 +1,57 @@
+//! Virtual-time serving simulator for SparseNN fleets.
+//!
+//! The live [`Fleet`](sparsenn_core::engine::Fleet) serves real requests
+//! on host threads; this crate answers the questions a load test cannot:
+//! what do latency percentiles, queueing delay and shard utilization look
+//! like at offered loads, burst patterns and fleet mixes you choose —
+//! on a single global virtual timeline, in milliseconds of host time,
+//! deterministically.
+//!
+//! * [`EventQueue`] — the discrete-event core: pops in nondecreasing
+//!   virtual time, FIFO among equal times, so every run replays exactly;
+//! * [`Workload`] — open-loop Poisson, bursty on/off, and closed-loop
+//!   fixed-concurrency arrival generators (seeded, deterministic);
+//! * [`Scheduler`] — **the same trait the live fleet dispatches with**
+//!   (re-exported from `sparsenn_core::engine`), with the same policies:
+//!   [`FirstIdle`], [`LeastQueued`], [`FastestCompletion`];
+//! * [`simulate`] — drives a [`ShardSpec`] fleet (each shard's modelled
+//!   per-request `time_us` table) and folds a [`ServeSummary`]: latency
+//!   p50/p95/p99, time-in-queue vs time-in-service, queue-depth
+//!   trajectory, per-shard utilization.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsenn_serve::{
+//!     simulate, FastestCompletion, FirstIdle, ShardSpec, Workload,
+//! };
+//!
+//! // A fast cycle-accurate machine next to a slow SIMD platform.
+//! let shards = vec![
+//!     ShardSpec::uniform("machine", 10.0),   // 10 µs / request
+//!     ShardSpec::uniform("simd", 80.0),      // 80 µs / request
+//! ];
+//! let workload = Workload::Poisson {
+//!     rate_rps: 70_000.0,
+//!     requests: 2_000,
+//!     seed: 1,
+//! };
+//! let naive = simulate(&shards, &FirstIdle, &workload).unwrap();
+//! let aware = simulate(&shards, &FastestCompletion, &workload).unwrap();
+//! // Latency-aware dispatch keeps the tail off the slow shard.
+//! assert!(aware.latency.p95_us < naive.latency.p95_us);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod metrics;
+mod sim;
+mod workload;
+
+pub use events::EventQueue;
+pub use metrics::{LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage};
+pub use sim::{fleet_capacity_rps, simulate, ServeError, ShardSpec};
+pub use sparsenn_core::engine::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
+pub use workload::Workload;

@@ -1,0 +1,660 @@
+//! The discrete-event fleet simulator.
+//!
+//! One global virtual timeline, N shards, a pluggable
+//! [`Scheduler`](sparsenn_core::engine::Scheduler) — the same trait the
+//! live [`Fleet`](sparsenn_core::engine::Fleet) dispatches with. Two
+//! event kinds drive the run:
+//!
+//! * **Arrival** — a request is issued (by the open-loop generator, or by
+//!   a closed-loop client finishing its previous request). The scheduler
+//!   sees a [`ShardView`] snapshot per shard and places the request: on
+//!   an idle shard (service starts immediately), behind a busy shard (it
+//!   joins that shard's FIFO queue), or — returning `None` — in the
+//!   central queue, to be claimed by the first shard that frees up
+//!   (exactly the live fleet's blocked-caller semantics).
+//! * **Completion** — a shard finishes its request, records the metric,
+//!   and pulls its next request from its own queue first, then from the
+//!   central queue.
+//!
+//! Ties on the timeline break by push order ([`EventQueue`]), so a run is
+//! a pure function of `(shards, scheduler, workload)` — every replay is
+//! identical, which is what lets scheduler A-vs-B comparisons attribute
+//! every microsecond of difference to policy.
+
+use crate::events::EventQueue;
+use crate::metrics::{LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage};
+use crate::workload::Workload;
+use sparsenn_core::engine::{Scheduler, ShardView};
+use std::collections::VecDeque;
+
+/// One simulated shard: a name and its modelled per-request service times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSpec {
+    /// Shard name (e.g. the backend's `name()`).
+    pub name: String,
+    /// Modelled service times, microseconds. Request `i` costs
+    /// `service_us[i % len]` on this shard — feed each backend's
+    /// per-sample [`time_us`](sparsenn_core::engine::RunRecord::time_us)
+    /// table for realistic variance, or a single mean.
+    pub service_us: Vec<f64>,
+}
+
+impl ShardSpec {
+    /// A shard with one constant service time.
+    pub fn uniform(name: impl Into<String>, service_us: f64) -> Self {
+        Self {
+            name: name.into(),
+            service_us: vec![service_us],
+        }
+    }
+
+    /// A shard serving request `i` in `service_us[i % len]` µs.
+    pub fn with_table(name: impl Into<String>, service_us: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            service_us,
+        }
+    }
+
+    fn service_for(&self, request: usize) -> f64 {
+        self.service_us[request % self.service_us.len()]
+    }
+
+    /// Mean modelled service time, µs.
+    pub fn mean_service_us(&self) -> f64 {
+        self.service_us.iter().sum::<f64>() / self.service_us.len() as f64
+    }
+}
+
+/// Offered load that would keep every shard exactly busy: the fleet's
+/// modelled capacity, requests per second.
+pub fn fleet_capacity_rps(shards: &[ShardSpec]) -> f64 {
+    shards
+        .iter()
+        .map(|s| {
+            let mean = s.mean_service_us();
+            if mean > 0.0 {
+                1e6 / mean
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Why a simulation could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The fleet has no shards.
+    NoShards,
+    /// A shard's service table is empty or contains a non-finite or
+    /// negative time.
+    BadServiceTable {
+        /// Offending shard index.
+        shard: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The workload parameters are invalid.
+    InvalidWorkload(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoShards => f.write_str("a simulated fleet needs at least one shard"),
+            ServeError::BadServiceTable { shard, reason } => {
+                write!(f, "shard {shard} service table: {reason}")
+            }
+            ServeError::InvalidWorkload(reason) => write!(f, "invalid workload: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Arrival,
+    Completion { shard: usize },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    id: usize,
+    arrival_us: f64,
+}
+
+struct ShardState {
+    /// FIFO queue of requests placed behind this shard.
+    queue: VecDeque<Request>,
+    /// The in-service request and its start time.
+    current: Option<(Request, f64)>,
+    /// Virtual time the in-service request completes.
+    busy_until: f64,
+    /// Sum of modelled service of everything in `queue`.
+    queued_work_us: f64,
+    served: usize,
+    busy_us: f64,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            current: None,
+            busy_until: 0.0,
+            queued_work_us: 0.0,
+            served: 0,
+            busy_us: 0.0,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    fn backlog_us(&self, now_us: f64) -> f64 {
+        let in_service = match self.current {
+            Some(_) => (self.busy_until - now_us).max(0.0),
+            None => 0.0,
+        };
+        in_service + self.queued_work_us
+    }
+}
+
+/// Runs one simulation to completion.
+///
+/// Deterministic: the summary is a pure function of the arguments.
+///
+/// # Errors
+///
+/// [`ServeError`] when the fleet is empty, a service table is unusable,
+/// or the workload parameters are invalid.
+pub fn simulate(
+    shards: &[ShardSpec],
+    scheduler: &dyn Scheduler,
+    workload: &Workload,
+) -> Result<ServeSummary, ServeError> {
+    if shards.is_empty() {
+        return Err(ServeError::NoShards);
+    }
+    for (i, s) in shards.iter().enumerate() {
+        if s.service_us.is_empty() {
+            return Err(ServeError::BadServiceTable {
+                shard: i,
+                reason: "empty".into(),
+            });
+        }
+        if let Some(bad) = s.service_us.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(ServeError::BadServiceTable {
+                shard: i,
+                reason: format!("service time {bad} is not finite and non-negative"),
+            });
+        }
+    }
+    workload.validate().map_err(ServeError::InvalidWorkload)?;
+
+    let total_requests = workload.requests();
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut open_arrivals = workload.open_arrivals();
+    let (closed_think_us, mut to_issue) = match *workload {
+        Workload::ClosedLoop {
+            concurrency,
+            requests,
+            think_us,
+        } => {
+            // Every client issues its first request at t = 0; the rest
+            // are completion-driven.
+            for _ in 0..concurrency.min(requests) {
+                events.push(0.0, Event::Arrival);
+            }
+            (think_us, requests - concurrency.min(requests))
+        }
+        _ => {
+            let stream = open_arrivals.as_mut().expect("open workload has a stream");
+            if let Some(t) = stream.next() {
+                events.push(t, Event::Arrival);
+            }
+            (0.0, 0)
+        }
+    };
+
+    let mut state: Vec<ShardState> = shards.iter().map(|_| ShardState::new()).collect();
+    let mut central: VecDeque<Request> = VecDeque::new();
+    let mut next_id = 0usize;
+    let mut completed: Vec<RequestMetric> = Vec::with_capacity(total_requests);
+    let mut makespan_us = 0.0f64;
+
+    // Queue-depth trajectory (waiting requests, central + per-shard) with
+    // a time-weighted integral for the mean.
+    let mut trajectory: Vec<(f64, usize)> = vec![(0.0, 0)];
+    let mut depth_area = 0.0f64; // ∫ depth dt
+    let mut last_t = 0.0f64;
+    let mut last_depth = 0usize;
+    let mut max_depth = 0usize;
+
+    let start_service =
+        |i: usize, req: Request, now: f64, state: &mut [ShardState], ev: &mut EventQueue<Event>| {
+            let service = shards[i].service_for(req.id);
+            state[i].current = Some((req, now));
+            state[i].busy_until = now + service;
+            ev.push(now + service, Event::Completion { shard: i });
+        };
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrival => {
+                // For open workloads, pull the next arrival lazily so the
+                // event queue stays O(in-flight), not O(total requests).
+                if let Some(stream) = open_arrivals.as_mut() {
+                    if let Some(t) = stream.next() {
+                        events.push(t, Event::Arrival);
+                    }
+                }
+                let req = Request {
+                    id: next_id,
+                    arrival_us: now,
+                };
+                next_id += 1;
+                let views: Vec<ShardView> = state
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| ShardView {
+                        idle: s.idle(),
+                        depth: s.depth(),
+                        backlog_us: s.backlog_us(now),
+                        service_us: shards[i].service_for(req.id),
+                    })
+                    .collect();
+                match scheduler.pick(&views) {
+                    Some(i) if i < state.len() => {
+                        if state[i].idle() {
+                            start_service(i, req, now, &mut state, &mut events);
+                        } else {
+                            state[i].queued_work_us += shards[i].service_for(req.id);
+                            state[i].queue.push_back(req);
+                        }
+                    }
+                    // No usable pick: hold centrally until a shard frees
+                    // — blocked-caller semantics, exactly what the live
+                    // fleet does with a waiting caller. A busy shard's
+                    // completion drains the central queue, so this
+                    // terminates whenever anything is running; only with
+                    // *every* shard idle (central queue necessarily empty
+                    // — the last busy shard never goes idle while it can
+                    // pull central work) would no completion ever come,
+                    // so that case falls back to the first idle shard,
+                    // mirroring the live fleet's progress guarantee.
+                    _ => {
+                        if state.iter().all(ShardState::idle) {
+                            start_service(0, req, now, &mut state, &mut events);
+                        } else {
+                            central.push_back(req);
+                        }
+                    }
+                }
+            }
+            Event::Completion { shard } => {
+                let (req, start_us) = state[shard]
+                    .current
+                    .take()
+                    .expect("completion fired for an idle shard");
+                state[shard].served += 1;
+                state[shard].busy_us += now - start_us;
+                makespan_us = makespan_us.max(now);
+                completed.push(RequestMetric {
+                    id: req.id,
+                    shard,
+                    arrival_us: req.arrival_us,
+                    start_us,
+                    completion_us: now,
+                });
+                // A closed-loop client re-issues after its think time.
+                if to_issue > 0 {
+                    to_issue -= 1;
+                    events.push(now + closed_think_us, Event::Arrival);
+                }
+                // Own queue first (FIFO), then the central queue (FIFO).
+                if let Some(next) = state[shard].queue.pop_front() {
+                    state[shard].queued_work_us -= shards[shard].service_for(next.id);
+                    start_service(shard, next, now, &mut state, &mut events);
+                } else if let Some(next) = central.pop_front() {
+                    start_service(shard, next, now, &mut state, &mut events);
+                }
+            }
+        }
+        // Track the waiting population after every event.
+        let depth = central.len() + state.iter().map(|s| s.queue.len()).sum::<usize>();
+        if depth != last_depth {
+            depth_area += last_depth as f64 * (now - last_t);
+            trajectory.push((now, depth));
+            last_t = now;
+            last_depth = depth;
+            max_depth = max_depth.max(depth);
+        }
+    }
+    depth_area += last_depth as f64 * (makespan_us - last_t).max(0.0);
+
+    debug_assert_eq!(completed.len(), total_requests, "every request completes");
+    let latencies: Vec<f64> = completed.iter().map(RequestMetric::latency_us).collect();
+    let n = completed.len().max(1) as f64;
+    let queue_us_mean = completed.iter().map(RequestMetric::queue_us).sum::<f64>() / n;
+    let service_us_mean = completed.iter().map(RequestMetric::service_us).sum::<f64>() / n;
+    let shard_usage = shards
+        .iter()
+        .zip(&state)
+        .map(|(spec, s)| ShardUsage {
+            name: spec.name.clone(),
+            served: s.served,
+            busy_us: s.busy_us,
+            utilization: if makespan_us > 0.0 {
+                s.busy_us / makespan_us
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    Ok(ServeSummary {
+        scheduler: scheduler.name().to_string(),
+        workload: workload.to_string(),
+        requests: completed.len(),
+        makespan_us,
+        throughput_rps: if makespan_us > 0.0 {
+            completed.len() as f64 / (makespan_us * 1e-6)
+        } else {
+            0.0
+        },
+        latency: LatencyStats::of(&latencies),
+        queue_us_mean,
+        service_us_mean,
+        shards: shard_usage,
+        queue: QueueStats {
+            max_depth,
+            mean_depth: if makespan_us > 0.0 {
+                depth_area / makespan_us
+            } else {
+                0.0
+            },
+            trajectory,
+        },
+        per_request: completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsenn_core::engine::{FastestCompletion, FirstIdle, LeastQueued};
+
+    fn homogeneous(n: usize, service_us: f64) -> Vec<ShardSpec> {
+        (0..n)
+            .map(|i| ShardSpec::uniform(format!("machine-{i}"), service_us))
+            .collect()
+    }
+
+    /// The acceptance criterion: closed-loop with concurrency == shards on
+    /// a homogeneous fleet has zero queueing — mean latency is exactly the
+    /// backend's modelled per-sample service time.
+    #[test]
+    fn closed_loop_at_fleet_concurrency_has_no_queueing() {
+        // Per-sample service table (as a real backend would produce) —
+        // request count a multiple of the table, so means match exactly.
+        let table = vec![10.0, 14.0, 12.0, 8.0];
+        let shards: Vec<ShardSpec> = (0..4)
+            .map(|i| ShardSpec::with_table(format!("m{i}"), table.clone()))
+            .collect();
+        let workload = Workload::ClosedLoop {
+            concurrency: 4,
+            requests: 64,
+            think_us: 0.0,
+        };
+        for scheduler in [
+            &FirstIdle as &dyn crate::Scheduler,
+            &LeastQueued,
+            &FastestCompletion,
+        ] {
+            let s = simulate(&shards, scheduler, &workload).unwrap();
+            assert_eq!(s.requests, 64);
+            assert_eq!(s.queue_us_mean, 0.0, "{}: no request waits", s.scheduler);
+            assert_eq!(s.queue.max_depth, 0, "{}", s.scheduler);
+            let modelled_mean = shards[0].mean_service_us();
+            assert!(
+                (s.latency.mean_us - modelled_mean).abs() < 1e-9,
+                "{}: mean latency {} vs modelled per-sample time {}",
+                s.scheduler,
+                s.latency.mean_us,
+                modelled_mean
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_fifo_and_conservation() {
+        let shards = vec![ShardSpec::uniform("only", 10.0)];
+        let s = simulate(
+            &shards,
+            &FirstIdle,
+            &Workload::Poisson {
+                rate_rps: 200_000.0, // 2 requests per service time: overload
+                requests: 200,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.requests, 200);
+        assert_eq!(s.shards[0].served, 200);
+        // Single server: completions come in request order (FIFO).
+        let ids: Vec<usize> = s.per_request.iter().map(|r| r.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        // Overloaded: queueing dominates and the queue gets deep.
+        assert!(s.queue_us_mean > s.service_us_mean);
+        assert!(s.queue.max_depth > 10);
+        // The busy time is exactly requests × service.
+        assert!((s.shards[0].busy_us - 2000.0).abs() < 1e-9);
+        assert!(s.shards[0].utilization <= 1.0 + 1e-12);
+    }
+
+    /// The other acceptance half: on a heterogeneous fleet (fast machine
+    /// beside slow SIMD platforms) fastest-expected-completion beats
+    /// first-idle on p95 latency.
+    #[test]
+    fn fastest_completion_beats_first_idle_on_hetero_p95() {
+        let shards = vec![
+            ShardSpec::uniform("machine", 10.0),
+            ShardSpec::uniform("simd-slow", 100.0),
+        ];
+        // ~73% of fleet capacity (capacity = 110k rps).
+        let workload = Workload::Poisson {
+            rate_rps: 80_000.0,
+            requests: 3000,
+            seed: 42,
+        };
+        let first = simulate(&shards, &FirstIdle, &workload).unwrap();
+        let fec = simulate(&shards, &FastestCompletion, &workload).unwrap();
+        assert!(
+            fec.latency.p95_us < first.latency.p95_us,
+            "fec p95 {} must beat first-idle p95 {}",
+            fec.latency.p95_us,
+            first.latency.p95_us
+        );
+        assert!(fec.latency.mean_us < first.latency.mean_us);
+        // Both served everything; the policies differ in placement only.
+        assert_eq!(first.requests, 3000);
+        assert_eq!(fec.requests, 3000);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let shards = vec![
+            ShardSpec::with_table("a", vec![5.0, 9.0]),
+            ShardSpec::uniform("b", 20.0),
+        ];
+        let w = Workload::Bursty {
+            low_rps: 20_000.0,
+            high_rps: 200_000.0,
+            period_us: 500.0,
+            duty: 0.3,
+            requests: 800,
+            seed: 9,
+        };
+        let a = simulate(&shards, &LeastQueued, &w).unwrap();
+        let b = simulate(&shards, &LeastQueued, &w).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bursty_load_builds_queues_that_drain() {
+        let shards = homogeneous(2, 10.0); // 200k rps capacity
+        let s = simulate(
+            &shards,
+            &LeastQueued,
+            &Workload::Bursty {
+                low_rps: 10_000.0,
+                high_rps: 600_000.0, // 3× capacity during bursts
+                period_us: 2_000.0,
+                duty: 0.25,
+                requests: 2000,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert!(s.queue.max_depth >= 5, "bursts must pile a queue up");
+        assert_eq!(
+            s.queue.trajectory.last().map(|&(_, d)| d),
+            Some(0),
+            "the queue drains by the end"
+        );
+        // Mean arrival rate ≈ 0.25·600k + 0.75·10k = 157.5k < capacity,
+        // so mean depth stays well below the burst peak.
+        assert!(s.queue.mean_depth < s.queue.max_depth as f64);
+    }
+
+    #[test]
+    fn closed_loop_throughput_saturates_at_fleet_capacity() {
+        let shards = homogeneous(3, 10.0); // 300k rps capacity
+        let s = simulate(
+            &shards,
+            &FirstIdle,
+            &Workload::ClosedLoop {
+                concurrency: 12, // 4 clients per shard: saturated
+                requests: 600,
+                think_us: 0.0,
+            },
+        )
+        .unwrap();
+        assert!((s.throughput_rps - fleet_capacity_rps(&shards)).abs() < 1000.0);
+        for shard in &s.shards {
+            assert!(shard.utilization > 0.99, "{shard:?}");
+        }
+        // Little's law sanity: N = X · R (12 clients, R in seconds).
+        let n = s.throughput_rps * s.latency.mean_us * 1e-6;
+        assert!((n - 12.0).abs() < 0.5, "Little's law: N ≈ {n}, want 12");
+    }
+
+    /// A policy that never places a request mirrors the live fleet's
+    /// blocked-caller semantics: requests hold centrally while anything
+    /// runs, and the all-idle fallback (shard 0, like the live fleet's
+    /// lowest-index idle pick) keeps the system live — so every request
+    /// funnels through shard 0 and still completes.
+    #[test]
+    fn none_picks_match_the_live_fleets_blocked_caller_semantics() {
+        struct AlwaysWait;
+        impl crate::Scheduler for AlwaysWait {
+            fn name(&self) -> &str {
+                "always-wait"
+            }
+            fn pick(&self, _: &[sparsenn_core::engine::ShardView]) -> Option<usize> {
+                None
+            }
+        }
+        let shards = homogeneous(3, 10.0);
+        let s = simulate(
+            &shards,
+            &AlwaysWait,
+            &Workload::Poisson {
+                rate_rps: 50_000.0,
+                requests: 120,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.requests, 120, "progress despite a never-placing policy");
+        assert_eq!(s.shards[0].served, 120, "only the fallback shard works");
+        assert_eq!(s.shards[1].served + s.shards[2].served, 0);
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        assert_eq!(
+            simulate(
+                &[],
+                &FirstIdle,
+                &Workload::ClosedLoop {
+                    concurrency: 1,
+                    requests: 1,
+                    think_us: 0.0
+                }
+            )
+            .unwrap_err(),
+            ServeError::NoShards
+        );
+        let empty_table = vec![ShardSpec {
+            name: "x".into(),
+            service_us: vec![],
+        }];
+        assert!(matches!(
+            simulate(
+                &empty_table,
+                &FirstIdle,
+                &Workload::ClosedLoop {
+                    concurrency: 1,
+                    requests: 1,
+                    think_us: 0.0
+                }
+            )
+            .unwrap_err(),
+            ServeError::BadServiceTable { shard: 0, .. }
+        ));
+        let nan_table = vec![ShardSpec::uniform("x", f64::NAN)];
+        assert!(matches!(
+            simulate(
+                &nan_table,
+                &FirstIdle,
+                &Workload::ClosedLoop {
+                    concurrency: 1,
+                    requests: 1,
+                    think_us: 0.0
+                }
+            )
+            .unwrap_err(),
+            ServeError::BadServiceTable { shard: 0, .. }
+        ));
+        assert!(matches!(
+            simulate(
+                &homogeneous(1, 10.0),
+                &FirstIdle,
+                &Workload::Poisson {
+                    rate_rps: -5.0,
+                    requests: 10,
+                    seed: 0
+                }
+            )
+            .unwrap_err(),
+            ServeError::InvalidWorkload(_)
+        ));
+    }
+
+    #[test]
+    fn capacity_model_sums_shard_rates() {
+        let shards = vec![
+            ShardSpec::uniform("a", 10.0),  // 100k rps
+            ShardSpec::uniform("b", 100.0), // 10k rps
+        ];
+        assert!((fleet_capacity_rps(&shards) - 110_000.0).abs() < 1e-6);
+    }
+}

@@ -25,3 +25,8 @@
 //! ```
 
 pub use sparsenn_core::*;
+
+/// Virtual-time serving simulator (re-export of `sparsenn-serve`):
+/// workload generators, queueing metrics, and the same [`engine::Scheduler`]
+/// policies the live [`engine::Fleet`] dispatches with.
+pub use sparsenn_serve as serve;

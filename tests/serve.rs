@@ -1,0 +1,145 @@
+//! Acceptance tests for the virtual-time serving simulator: the simulator
+//! and the live `engine::Fleet` share one `Scheduler` trait; a homogeneous
+//! fleet under closed-loop load at fleet concurrency shows no queueing
+//! (simulated mean latency == the backend's modelled per-sample time_us);
+//! and fastest-expected-completion beats first-idle on p95 latency over a
+//! heterogeneous machine + SIMD fleet.
+
+use sparsenn::datasets::DatasetKind;
+use sparsenn::engine::{
+    CycleAccurateBackend, FastestCompletion, FirstIdle, Fleet, InferenceBackend, Scheduler,
+    SimdBackend,
+};
+use sparsenn::model::fixedpoint::UvMode;
+use sparsenn::serve::{fleet_capacity_rps, simulate, ShardSpec, Workload};
+use sparsenn::sim::simd::SimdPlatform;
+use sparsenn::{SystemBuilder, TrainedSystem, TrainingAlgorithm};
+
+fn small_system() -> TrainedSystem {
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, 48, 10])
+        .rank(5)
+        .algorithm(TrainingAlgorithm::EndToEnd)
+        .train_samples(120)
+        .test_samples(40)
+        .epochs(2)
+        .build()
+}
+
+/// The backend's modelled per-sample service times on the first `n` test
+/// samples — the simulator's input.
+fn service_table(sys: &TrainedSystem, backend: Box<dyn InferenceBackend>, n: usize) -> Vec<f64> {
+    let mut table = Vec::new();
+    sys.session_with(backend)
+        .stream_batch(n, UvMode::On, |_, record| table.push(record.time_us()))
+        .expect("network fits the backend");
+    table
+}
+
+/// Acceptance: closed-loop, concurrency == shards, homogeneous machine
+/// fleet → zero queueing, and the simulated mean latency equals the
+/// backend's modelled per-sample `time_us` mean exactly.
+#[test]
+fn closed_loop_mean_latency_matches_the_backend_clock_model() {
+    let sys = small_system();
+    let table = service_table(
+        &sys,
+        Box::new(CycleAccurateBackend::new(sys.machine().clone())),
+        16,
+    );
+    let modelled_mean = table.iter().sum::<f64>() / table.len() as f64;
+    assert!(modelled_mean > 0.0);
+    let shards: Vec<ShardSpec> = (0..4)
+        .map(|i| ShardSpec::with_table(format!("machine-{i}"), table.clone()))
+        .collect();
+    let summary = simulate(
+        &shards,
+        &FirstIdle,
+        &Workload::ClosedLoop {
+            concurrency: 4,
+            // A multiple of the table length so the request mix covers the
+            // sample mix exactly.
+            requests: table.len() * 12,
+            think_us: 0.0,
+        },
+    )
+    .unwrap();
+    assert_eq!(summary.queue_us_mean, 0.0, "no request ever waits");
+    assert!(
+        (summary.latency.mean_us - modelled_mean).abs() < 1e-9 * modelled_mean,
+        "simulated mean {} vs modelled per-sample time {}",
+        summary.latency.mean_us,
+        modelled_mean
+    );
+}
+
+/// Acceptance: on a heterogeneous fleet (cycle-accurate machine beside
+/// the slower Table IV SIMD platforms), latency-aware dispatch beats
+/// first-idle on p95.
+#[test]
+fn fastest_completion_beats_first_idle_on_heterogeneous_p95() {
+    let sys = small_system();
+    let machine = service_table(
+        &sys,
+        Box::new(CycleAccurateBackend::new(sys.machine().clone())),
+        16,
+    );
+    let lradnn = service_table(
+        &sys,
+        Box::new(SimdBackend::new(SimdPlatform::lradnn(5))),
+        16,
+    );
+    let shards = vec![
+        ShardSpec::with_table("machine", machine),
+        ShardSpec::with_table("LRADNN", lradnn),
+    ];
+    let workload = Workload::Poisson {
+        rate_rps: fleet_capacity_rps(&shards) * 0.75,
+        requests: 3000,
+        seed: 2018,
+    };
+    let naive = simulate(&shards, &FirstIdle, &workload).unwrap();
+    let aware = simulate(&shards, &FastestCompletion, &workload).unwrap();
+    assert!(
+        aware.latency.p95_us < naive.latency.p95_us,
+        "fastest-completion p95 {} must beat first-idle p95 {}",
+        aware.latency.p95_us,
+        naive.latency.p95_us
+    );
+}
+
+/// The same `Scheduler` trait object drives both the simulator and the
+/// live fleet — and the live fleet still folds bit-identical summaries
+/// whatever the policy, because outputs are bit-exact on every shard.
+#[test]
+fn one_scheduler_drives_simulator_and_live_fleet() {
+    let policy: &'static dyn Scheduler = &FastestCompletion;
+
+    // Simulator side.
+    let sim = simulate(
+        &[ShardSpec::uniform("a", 5.0), ShardSpec::uniform("b", 50.0)],
+        policy,
+        &Workload::ClosedLoop {
+            concurrency: 2,
+            requests: 40,
+            think_us: 0.0,
+        },
+    )
+    .unwrap();
+    assert_eq!(sim.scheduler, "fastest-completion");
+    assert_eq!(sim.requests, 40);
+
+    // Live side: the same policy dispatches a real batch.
+    let sys = small_system();
+    let fleet = Fleet::of_machines(3, *sys.machine().config())
+        .unwrap()
+        .with_scheduler(Box::new(FastestCompletion));
+    assert_eq!(fleet.scheduler_name(), sim.scheduler);
+    let serial = sys.session().simulate_batch_serial(24, UvMode::On).unwrap();
+    let live = sys
+        .session_with(Box::new(fleet))
+        .with_workers(3)
+        .simulate_batch(24, UvMode::On)
+        .unwrap();
+    assert_eq!(serial, live, "policy changes placement, never results");
+}
