@@ -1,0 +1,7 @@
+//! Model-parallelism study: an MLP too big for one chip's W memory,
+//! served on 2/4/8 NoC-connected chips.
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    println!("{}", sparsenn_bench::experiments::partition::run(p));
+}

@@ -61,6 +61,19 @@ fn main() {
         results.add_metric(name, value);
     }
 
+    // Model parallelism trains its own system: its study network must
+    // *overflow* its (shrunken) chip, unlike the serving studies'.
+    let mut partition_metrics = Vec::new();
+    let report = results.run("partition", || {
+        let r = e::partition::measure(p);
+        partition_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in partition_metrics {
+        results.add_metric(name, value);
+    }
+
     let path =
         std::env::var("SPARSENN_BENCH_JSON").unwrap_or_else(|_| "BENCH_results.json".to_string());
     match results.write_json(&path) {

@@ -1,11 +1,13 @@
 //! One module per paper table/figure, plus the ablations of DESIGN.md §6
-//! and the serving studies (beyond the paper): fleet scaling and the
-//! virtual-time latency-vs-load simulation.
+//! and the serving studies (beyond the paper): fleet scaling, the
+//! virtual-time latency-vs-load simulation, and model-parallel
+//! partitioning of oversized networks.
 
 pub mod ablations;
 pub mod fig6;
 pub mod fig7;
 pub mod fleet;
+pub mod partition;
 pub mod serve;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,190 @@
+//! Model parallelism: serving an MLP too big for one chip's W memory
+//! (beyond the paper — the ROADMAP's weight-sharding gap).
+//!
+//! The study shrinks the per-chip W memory until the 3-layer study
+//! network's first layer overflows a single chip (`Machine` rejects it
+//! with the typed `WMemoryOverflow`), then serves the same network
+//! through [`PartitionedMachine`](sparsenn_core::engine::PartitionedMachine)
+//! on 2/4/8 chips, reporting comm-inclusive latency and energy plus the
+//! communication overhead isolated by an
+//! [`InterChipConfig::free`](sparsenn_core::partition::InterChipConfig::free)
+//! ablation. The bit-identity oracle — partitioned outputs/masks equal
+//! the single big chip's — is re-checked on a full-size chip and
+//! reported as a metric CI asserts on.
+
+use crate::{fmt_f, markdown_table};
+use sparsenn_core::datasets::DatasetKind;
+use sparsenn_core::engine::{CycleAccurateBackend, InferenceBackend, PartitionedMachine};
+use sparsenn_core::model::fixedpoint::UvMode;
+use sparsenn_core::partition::InterChipConfig;
+use sparsenn_core::sim::MachineConfig;
+use sparsenn_core::{Profile, SparseNnError, SystemBuilder, TrainedSystem, TrainingAlgorithm};
+use std::fmt::Write as _;
+
+/// Measured multi-chip scaling plus named metrics for
+/// `BENCH_results.json` (schema 4).
+pub struct PartitionReport {
+    /// The rendered markdown report.
+    pub markdown: String,
+    /// Flat `(name, value)` metrics for the machine-readable results.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A chip whose W memory holds exactly the 2-chip tile of a
+/// `hidden × 784` first layer — so one chip rejects the network and two
+/// carry it with no slack.
+fn undersized_chip(hidden: usize) -> MachineConfig {
+    let cfg = MachineConfig::default();
+    let two_chip_tile_words = hidden.div_ceil(2).div_ceil(cfg.num_pes()) * 784;
+    MachineConfig {
+        w_mem_bytes: two_chip_tile_words * 2,
+        ..cfg
+    }
+}
+
+/// Trains the study system on the undersized chip.
+pub fn study_system(p: Profile) -> TrainedSystem {
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, p.hidden(), 10])
+        .rank(p.table_rank().min(8))
+        .algorithm(TrainingAlgorithm::EndToEnd)
+        .train_samples(p.hw_train_samples() / 2)
+        .test_samples(p.test_samples())
+        .epochs(2)
+        .machine(undersized_chip(p.hidden()))
+        .build()
+}
+
+/// Runs the partition study, training its own [`study_system`].
+pub fn measure(p: Profile) -> PartitionReport {
+    measure_with(p, &study_system(p))
+}
+
+/// Runs the partition study on an already-trained (oversized) system.
+pub fn measure_with(p: Profile, sys: &TrainedSystem) -> PartitionReport {
+    let chip = *sys.machine().config();
+    let dims = sys.network().mlp().dims();
+    let batch = p.sim_samples().min(sys.split().test.len());
+    let mut metrics = Vec::new();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## Model parallelism — an MLP bigger than one chip's W memory (profile: {p})\n"
+    );
+
+    // 1. One chip must reject the network with the typed overflow.
+    let rejected = matches!(
+        sys.session().simulate_batch(batch, UvMode::On),
+        Err(SparseNnError::WMemoryOverflow { layer: 0, .. })
+    );
+    let cap = chip.w_capacity_words_per_pe();
+    let need = dims[1].div_ceil(chip.num_pes()) * dims[0];
+    let _ = writeln!(
+        out,
+        "[{}, {}, {}] network on a chip with {} W words per PE (layer 0 needs {need}): \
+         single-chip serving rejected with `WMemoryOverflow`: {}.\n",
+        dims[0],
+        dims[1],
+        dims[2],
+        cap,
+        if rejected { "yes" } else { "NO — BUG" }
+    );
+    metrics.push((
+        "partition.single_chip_rejected".to_string(),
+        f64::from(u8::from(rejected)),
+    ));
+
+    // 2. The 2/4/8-chip sweep, comm overhead isolated by the free-link
+    //    ablation (identical bits, zero transfer cost).
+    let mut rows = Vec::new();
+    for chips in [2usize, 4, 8] {
+        let serve = |icc: InterChipConfig| {
+            let backend = PartitionedMachine::new(sys.fixed(), chip, chips, icc)
+                .expect("the sweep sizes are plannable");
+            sys.session_with(Box::new(backend))
+                .simulate_batch(batch, UvMode::On)
+                .expect("partitioned serving must complete")
+        };
+        let costed = serve(InterChipConfig::default());
+        let free = serve(InterChipConfig::free());
+        let comm_us = costed.time_us() - free.time_us();
+        let comm_pct = if costed.time_us() > 0.0 {
+            100.0 * comm_us / costed.time_us()
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            chips.to_string(),
+            fmt_f(costed.time_us(), 2),
+            fmt_f(costed.energy_uj(), 2),
+            fmt_f(comm_us, 2),
+            fmt_f(comm_pct, 1),
+        ]);
+        metrics.push((
+            format!("partition.latency_us.{chips}chips"),
+            costed.time_us(),
+        ));
+        metrics.push((
+            format!("partition.energy_uj.{chips}chips"),
+            costed.energy_uj(),
+        ));
+        metrics.push((
+            format!("partition.comm_overhead_pct.{chips}chips"),
+            comm_pct,
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "{batch} samples, uv_on; latency/energy are comm-inclusive per-sample means \
+         (critical path = broadcast + slowest chip + gather; energy sums every chip's \
+         events plus inter-chip flit-hops).\n"
+    );
+    out.push_str(&markdown_table(
+        &[
+            "chips",
+            "latency/sample (us)",
+            "energy/sample (uJ)",
+            "comm (us)",
+            "comm overhead (%)",
+        ],
+        &rows,
+    ));
+
+    // 3. Bit-identity oracle on a full-size chip (where a single machine
+    //    can also hold the network).
+    let big = MachineConfig::default();
+    let single = CycleAccurateBackend::with_config(big);
+    let partitioned = PartitionedMachine::new(sys.fixed(), big, 4, InterChipConfig::default())
+        .expect("the default chip holds the study network");
+    let mut identical = true;
+    for i in 0..batch {
+        let x = sys.fixed().quantize_input(sys.split().test.image(i));
+        let a = single.run(sys.fixed(), &x, UvMode::On).expect("fits");
+        let b = partitioned.run(sys.fixed(), &x, UvMode::On).expect("fits");
+        identical &= a
+            .layers
+            .iter()
+            .zip(&b.layers)
+            .all(|(l, r)| l.output == r.output && l.mask == r.mask);
+    }
+    let _ = writeln!(
+        out,
+        "\nOn a full-size chip, 4-chip partitioned outputs and masks bit-identical to the \
+         single machine over {batch} samples: {}",
+        if identical { "yes" } else { "NO — BUG" }
+    );
+    metrics.push((
+        "partition.bit_identical".to_string(),
+        f64::from(u8::from(identical)),
+    ));
+
+    PartitionReport {
+        markdown: out,
+        metrics,
+    }
+}
+
+/// Renders the partition report (markdown only — the `partition` bin).
+pub fn run(p: Profile) -> String {
+    measure(p).markdown
+}

@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "profile": "fast",
 //!   "workers": 8,
 //!   "total_seconds": 123.4,
@@ -25,8 +25,13 @@
 //! wall times. Schema 3 replaces the fleet study's degenerate
 //! `shards / latency` throughput metrics with the `serve` experiment's
 //! virtual-time serving metrics (capacity, latency percentiles per
-//! scheduler and offered load, closed-loop validation). The `bench_diff`
-//! bin compares two such files (any schema) and flags wall-time
+//! scheduler and offered load, closed-loop validation). Schema 4 adds
+//! the `partition` experiment's model-parallel metrics
+//! (`partition.latency_us.*` / `partition.energy_uj.*` /
+//! `partition.comm_overhead_pct.*` per chip count, plus the
+//! `partition.bit_identical` and `partition.single_chip_rejected`
+//! oracle flags). The `bench_diff` bin compares two such files (any
+//! schema — metrics diff generically by name) and flags wall-time
 //! regressions past a threshold.
 
 use std::fmt::Write as _;
@@ -93,7 +98,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 3,");
+        let _ = writeln!(out, "  \"schema\": 4,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -152,7 +157,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1, 2 or 3).
+    /// Parses a `BENCH_results.json` document (schema 1 through 4).
     ///
     /// # Errors
     ///
@@ -544,7 +549,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }

@@ -56,8 +56,9 @@ pub trait InferenceBackend: Send + Sync {
 }
 
 /// Checks the layer chain is non-empty and consistent with the input, so
-/// the golden model's internal asserts are unreachable.
-fn validate_shapes(net: &FixedNetwork, input: &[Q6_10]) -> Result<(), SparseNnError> {
+/// the golden model's internal asserts are unreachable. Shared with the
+/// partitioned backend.
+pub(crate) fn validate_shapes(net: &FixedNetwork, input: &[Q6_10]) -> Result<(), SparseNnError> {
     if net.num_layers() == 0 {
         return Err(SparseNnError::EmptyNetwork);
     }

@@ -45,6 +45,12 @@ pub struct ShardStats {
     /// records' [`time_us`](super::RunRecord::time_us); 0 for timing-free
     /// shards such as the golden model).
     pub busy_us: f64,
+    /// The live service-time estimate schedulers see as
+    /// [`ShardView::service_us`]: the plain observed mean by default, or
+    /// an EWMA when the fleet was built with
+    /// [`Fleet::with_service_alpha`]. 0 before the shard has served
+    /// anything.
+    pub service_estimate_us: f64,
 }
 
 /// Book-keeping behind the fleet's dispatch lock: which shards are idle,
@@ -87,6 +93,9 @@ pub struct Fleet {
     /// Signalled whenever a shard returns to the idle pool.
     freed: Condvar,
     scheduler: Box<dyn Scheduler>,
+    /// EWMA weight for the live service-time estimate; `None` keeps the
+    /// plain observed mean (equivalent to a per-sample weight of `1/n`).
+    service_alpha: Option<f64>,
     name: String,
 }
 
@@ -129,8 +138,24 @@ impl Fleet {
             }),
             freed: Condvar::new(),
             scheduler: Box::new(FirstIdle),
+            service_alpha: None,
             name,
         })
+    }
+
+    /// Switches the live service-time estimate from the plain observed
+    /// mean to an exponentially-weighted moving average with weight
+    /// `alpha` (clamped to `(0, 1]`): each served sample updates the
+    /// estimate by `est += alpha × (sample − est)`. The default (no
+    /// call) keeps the plain mean — exactly an EWMA whose weight decays
+    /// as `1/n` — which converges on stationary workloads but lags when
+    /// a shard's service distribution *shifts* (a new network, a
+    /// noisy neighbour): a fixed alpha forgets old samples at a constant
+    /// rate, so [`FastestCompletion`](super::FastestCompletion) re-ranks
+    /// shards within `~1/alpha` samples of a shift instead of `~n`.
+    pub fn with_service_alpha(mut self, alpha: f64) -> Self {
+        self.service_alpha = Some(alpha.clamp(f64::MIN_POSITIVE, 1.0));
+        self
     }
 
     /// Replaces the dispatch policy (default: [`FirstIdle`]). The same
@@ -215,17 +240,15 @@ impl Fleet {
                 let idle = d.idle.contains(&i);
                 let s = &d.stats[i];
                 // Best live estimate of this shard's service time: the
-                // mean over what it has served (0 before the first run).
-                let mean_us = if s.samples > 0 {
-                    s.busy_us / s.samples as f64
-                } else {
-                    0.0
-                };
+                // running estimate maintained by note_served — the plain
+                // mean by default, an EWMA under with_service_alpha
+                // (0 before the first run).
+                let est_us = s.service_estimate_us;
                 ShardView {
                     idle,
                     depth: usize::from(!idle),
-                    backlog_us: if idle { 0.0 } else { mean_us },
-                    service_us: mean_us,
+                    backlog_us: if idle { 0.0 } else { est_us },
+                    service_us: est_us,
                 }
             })
             .collect();
@@ -251,11 +274,21 @@ impl Fleet {
         self.freed.notify_all();
     }
 
-    /// Credits a successfully served sample to a shard's statistics.
+    /// Credits a successfully served sample to a shard's statistics and
+    /// folds its service time into the live estimate (plain mean, or
+    /// EWMA under [`with_service_alpha`](Self::with_service_alpha)).
     fn note_served(&self, shard: usize, record: &RunRecord) {
         let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
-        d.stats[shard].samples += 1;
-        d.stats[shard].busy_us += record.time_us();
+        let s = &mut d.stats[shard];
+        let x = record.time_us();
+        s.samples += 1;
+        s.busy_us += x;
+        let alpha = if s.samples == 1 {
+            1.0 // seed the estimate with the first observation
+        } else {
+            self.service_alpha.unwrap_or(1.0 / s.samples as f64)
+        };
+        s.service_estimate_us += alpha * (x - s.service_estimate_us);
     }
 }
 
@@ -441,6 +474,66 @@ mod tests {
         // 2 ns shard, never again on the 20 ns one.
         assert_eq!(stats[0].samples, 1, "slow shard serves only its probe");
         assert_eq!(stats[1].samples, 5);
+    }
+
+    /// A record whose only layer models `us` microseconds of service.
+    fn timed_record(us: f64) -> RunRecord {
+        RunRecord {
+            backend: "test".into(),
+            layers: vec![crate::engine::LayerRecord {
+                output: vec![Q6_10::ZERO],
+                mask: None,
+                cycles: 0,
+                vu_cycles: 0,
+                w_cycles: 0,
+                time_us: us,
+                events: sparsenn_sim::MachineEvents::default(),
+            }],
+        }
+    }
+
+    /// The ROADMAP follow-up: under a *shifted* service distribution the
+    /// plain observed mean lags for as many samples as it has history,
+    /// while a fixed-alpha EWMA re-converges at a constant rate — so
+    /// FastestCompletion re-ranks shards promptly after the shift.
+    #[test]
+    fn ewma_tracks_a_shifted_service_distribution_where_the_mean_lags() {
+        let mean_fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        let ewma_fleet = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_service_alpha(0.3);
+        // 50 samples at 10 µs, then the distribution shifts to 100 µs.
+        for fleet in [&mean_fleet, &ewma_fleet] {
+            for _ in 0..50 {
+                fleet.note_served(0, &timed_record(10.0));
+            }
+            for _ in 0..10 {
+                fleet.note_served(0, &timed_record(100.0));
+            }
+        }
+        let mean_est = mean_fleet.shard_stats()[0].service_estimate_us;
+        let ewma_est = ewma_fleet.shard_stats()[0].service_estimate_us;
+        // After 10 post-shift samples the EWMA is nearly converged…
+        assert!(
+            ewma_est > 90.0,
+            "EWMA estimate {ewma_est:.1} should track the shift"
+        );
+        // …while the plain mean is still dominated by stale history.
+        assert!(mean_est < 30.0, "plain mean {mean_est:.1} should lag");
+        // And without a shift the default estimate equals the mean.
+        assert!(
+            (mean_fleet.shard_stats()[0].busy_us / 60.0 - mean_est).abs() < 1e-9,
+            "default estimate is the plain observed mean"
+        );
+    }
+
+    #[test]
+    fn first_sample_seeds_the_ewma_estimate() {
+        let fleet = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_service_alpha(0.1);
+        fleet.note_served(0, &timed_record(40.0));
+        assert_eq!(fleet.shard_stats()[0].service_estimate_us, 40.0);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   `std::thread::available_parallelism`. Batch results fold into the
 //!   same [`SimulationSummary`](crate::SimulationSummary) the serial path
 //!   produces — bit for bit.
+//! * [`PartitionedMachine`] — model parallelism: one network tiled row-wise
+//!   across several chips under a `sparsenn_partition::PartitionPlan`,
+//!   with input broadcast / output gather costed by a chip-level
+//!   interconnect. Serves networks bigger than one chip's W memory;
+//!   bit-identical to a single chip whenever the network fits one.
 //! * [`Fleet`] — sharded serving: N independent accelerator instances
 //!   (each an [`InferenceBackend`]) behind one backend. Dispatch is a
 //!   pluggable [`Scheduler`] ([`FirstIdle`] by default; [`LeastQueued`]
@@ -67,12 +72,14 @@
 
 mod backends;
 mod fleet;
+mod partitioned;
 mod record;
 mod scheduler;
 mod session;
 
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
 pub use fleet::{Fleet, ShardStats};
+pub use partitioned::PartitionedMachine;
 pub use record::{LayerRecord, RunRecord};
 pub use scheduler::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
 pub use session::{default_worker_count, Session};

@@ -1,0 +1,518 @@
+//! Model-parallel execution: one network served by several
+//! NoC-connected cycle-accurate chips.
+//!
+//! A [`PartitionedMachine`] is the execution side of
+//! [`sparsenn_partition`]: given a [`PartitionPlan`] that tiles each
+//! layer's output rows across chips, it runs every tile on an unmodified
+//! cycle-accurate [`Machine`], broadcasts the (sparse) input activations
+//! to all chips and gathers the per-chip output slices over a chip-level
+//! interconnect costed by [`InterChipConfig`]. This is how the serving
+//! stack holds networks bigger than one chip's 8 MB W memory.
+//!
+//! **Determinism and bit-exactness.** Row arithmetic is row-local: a
+//! chip computing row `r` of a layer performs exactly the operand-level
+//! work the single big machine would (same zero-skipping, same
+//! full-precision accumulate, same round-to-nearest-even writeback), and
+//! a tiled predictor carries the whole V factor, so the quantized `V·a`
+//! — and hence every predictor bit — matches too. The gathered outputs
+//! and masks are therefore **bit-identical** to a single-chip
+//! [`Machine`] run for any network that fits one chip (the oracle the
+//! integration tests enforce).
+//!
+//! **Time and energy accounting.** Per layer:
+//!
+//! * `time_us` is the modelled critical path — the input broadcast, plus
+//!   the *slowest* chip's tile (chips run in parallel), plus the output
+//!   gather, each term on its own clock (chip cycles at the machine's
+//!   clock, transfer cycles at the interconnect's link clock);
+//! * `cycles`/`vu_cycles` carry the slowest chip's counts (the latency
+//!   view), while [`LayerRecord::events`] *sums* every chip's activity
+//!   and the interconnect's flit-hops (the energy view: all silicon
+//!   toggles, wherever it is), so batch power estimates price total
+//!   multi-chip activity.
+//!
+//! Only nonzero activations cross chips — the interconnect extends the
+//! machine's input-sparsity skipping to the fabric, so UV-predicted
+//! output sparsity also cuts inter-chip traffic.
+
+use crate::engine::backends::{validate_shapes, InferenceBackend};
+use crate::engine::record::{LayerRecord, RunRecord};
+use crate::error::SparseNnError;
+use sparsenn_model::fixedpoint::{FixedMatrix, FixedNetwork, FixedPredictor, UvMode};
+use sparsenn_numeric::Q6_10;
+use sparsenn_partition::{plan as plan_network, InterChipConfig, PartitionPlan};
+use sparsenn_sim::{Machine, MachineConfig, MachineEvents};
+use std::sync::{Arc, Mutex};
+
+/// One chip's share of one layer: its global row indices, its weight
+/// tile, and (for predicted layers) its predictor tile.
+struct ChipTile {
+    rows: Vec<usize>,
+    w: FixedMatrix,
+    predictor: Option<FixedPredictor>,
+}
+
+/// Tiles cut for a network other than the planned one (same shapes,
+/// different weights) — cached so serving a batch re-cuts once, not
+/// once per sample. Single entry: alternating between several foreign
+/// networks re-cuts on each switch.
+struct ForeignTiles {
+    net: FixedNetwork,
+    tiles: Arc<Vec<Vec<ChipTile>>>,
+}
+
+/// Several cycle-accurate chips serving one (possibly oversized) network
+/// under a [`PartitionPlan`]. See the [module docs](self) for the
+/// execution, determinism and accounting model.
+///
+/// # Example
+///
+/// ```
+/// use sparsenn_core::engine::{InferenceBackend, PartitionedMachine};
+/// use sparsenn_core::model::fixedpoint::{FixedNetwork, UvMode};
+/// use sparsenn_core::model::Mlp;
+/// use sparsenn_core::linalg::init::seeded_rng;
+/// use sparsenn_core::partition::InterChipConfig;
+/// use sparsenn_core::sim::MachineConfig;
+///
+/// let net = FixedNetwork::from_mlp(&Mlp::random(&[32, 64, 10], &mut seeded_rng(3)));
+/// let chip = MachineConfig::default();
+/// let pm = PartitionedMachine::new(&net, chip, 2, InterChipConfig::default()).unwrap();
+/// let x = net.quantize_input(&vec![0.25f32; 32]);
+/// let record = pm.run(&net, &x, UvMode::Off).unwrap();
+/// assert_eq!(record.layers.len(), 2);
+/// ```
+pub struct PartitionedMachine {
+    chip: Machine,
+    interchip: InterChipConfig,
+    plan: PartitionPlan,
+    /// The network the tiles were cut from; `run` uses the precomputed
+    /// tiles only when the served network is this exact network.
+    planned: FixedNetwork,
+    tiles: Vec<Vec<ChipTile>>,
+    /// Lazily-cut tiles for a *different* same-shape network being
+    /// served through this backend.
+    foreign: Mutex<Option<ForeignTiles>>,
+    name: String,
+}
+
+impl std::fmt::Debug for PartitionedMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedMachine")
+            .field("name", &self.name)
+            .field("chips", &self.plan.chips())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartitionedMachine {
+    /// Plans `net` over `chips` chips of configuration `chip` and builds
+    /// the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::WMemoryOverflow`] when even a best split of some
+    /// layer overflows one chip, [`SparseNnError::LayerDoesNotFit`] when
+    /// a layer's input width exceeds one chip's register files, and
+    /// [`SparseNnError::Partition`] for zero chips.
+    pub fn new(
+        net: &FixedNetwork,
+        chip: MachineConfig,
+        chips: usize,
+        interchip: InterChipConfig,
+    ) -> Result<Self, SparseNnError> {
+        let plan = plan_network(net, &chip, chips)?;
+        Self::from_plan(net, chip, plan, interchip)
+    }
+
+    /// Builds the backend from an existing plan (e.g. one reloaded from
+    /// a plan file next to a checkpoint). The plan is re-validated
+    /// against the chip configuration and matched against the network.
+    ///
+    /// # Errors
+    ///
+    /// The plan's validation errors (see
+    /// [`PartitionPlan::validate`]), or [`SparseNnError::Partition`]
+    /// when the plan's layer shapes do not match `net`.
+    pub fn from_plan(
+        net: &FixedNetwork,
+        chip: MachineConfig,
+        plan: PartitionPlan,
+        interchip: InterChipConfig,
+    ) -> Result<Self, SparseNnError> {
+        plan.validate(&chip)?;
+        if !plan.matches(net) {
+            return Err(SparseNnError::Partition {
+                message: "partition plan layer shapes do not match the network".into(),
+            });
+        }
+        let tiles = cut_tiles(net, &plan);
+        let name = format!("partitioned({} chips x cycle-accurate)", plan.chips());
+        Ok(Self {
+            chip: Machine::new(chip),
+            interchip,
+            plan,
+            planned: net.clone(),
+            tiles,
+            foreign: Mutex::new(None),
+            name,
+        })
+    }
+
+    /// The plan this backend executes.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// The chip-level interconnect cost model.
+    pub fn interchip(&self) -> &InterChipConfig {
+        &self.interchip
+    }
+
+    /// Number of chips.
+    pub fn chips(&self) -> usize {
+        self.plan.chips()
+    }
+
+    /// Runs the layers of `net` over `tiles`, folding per-chip runs into
+    /// per-layer records (critical-path latency, summed events).
+    fn run_tiled(
+        &self,
+        net: &FixedNetwork,
+        tiles: &[Vec<ChipTile>],
+        input: &[Q6_10],
+        mode: UvMode,
+    ) -> Result<Vec<LayerRecord>, SparseNnError> {
+        let chips = self.plan.chips();
+        let cfg = self.chip.config();
+        let mut acts = input.to_vec();
+        let mut layers = Vec::with_capacity(net.num_layers());
+        for (l, layer_tiles) in tiles.iter().enumerate() {
+            let is_hidden = l + 1 < net.num_layers();
+            let rows = net.layers()[l].rows();
+            let nnz_in = acts.iter().filter(|v| !v.is_zero()).count();
+            let broadcast_cycles = self.interchip.broadcast_cycles(chips, nnz_in);
+            let mut flit_hops = self.interchip.broadcast_flit_hops(chips, nnz_in);
+
+            let predicted = mode == UvMode::On && is_hidden && l < net.predictors().len();
+            let mut output = vec![Q6_10::ZERO; rows];
+            let mut mask = predicted.then(|| vec![false; rows]);
+            let mut events = MachineEvents::default();
+            // The whole layer is paced by the slowest chip; the phase
+            // breakdown is that chip's own vu/w split (mixing maxima
+            // from different chips would describe no chip at all).
+            let (mut max_cycles, mut crit_vu) = (0u64, 0u64);
+            for tile in layer_tiles {
+                if tile.rows.is_empty() {
+                    continue;
+                }
+                let run = self
+                    .chip
+                    .try_run_layer(&tile.w, tile.predictor.as_ref(), &acts, is_hidden, mode)
+                    .map_err(|e| relabel_layer(e.into(), l))?;
+                for (local, &global) in tile.rows.iter().enumerate() {
+                    output[global] = run.output[local];
+                }
+                if let (Some(mask), Some(tile_mask)) = (&mut mask, &run.mask) {
+                    for (local, &global) in tile.rows.iter().enumerate() {
+                        mask[global] = tile_mask[local];
+                    }
+                }
+                if run.cycles > max_cycles {
+                    max_cycles = run.cycles;
+                    crit_vu = run.vu_cycles;
+                }
+                events.merge(&run.events);
+            }
+
+            let nnz_out = output.iter().filter(|v| !v.is_zero()).count();
+            let gather_cycles = self.interchip.gather_cycles(chips, nnz_out);
+            flit_hops += self.interchip.gather_flit_hops(chips, nnz_out);
+            events.interchip_flit_hops += flit_hops;
+
+            let time_us =
+                cfg.time_us(max_cycles) + self.interchip.time_us(broadcast_cycles + gather_cycles);
+            layers.push(LayerRecord {
+                output: output.clone(),
+                mask,
+                cycles: max_cycles,
+                vu_cycles: crit_vu,
+                w_cycles: max_cycles - crit_vu,
+                time_us,
+                events,
+            });
+            acts = output;
+        }
+        Ok(layers)
+    }
+}
+
+/// Re-labels a per-tile error (reported as layer 0 by the stand-alone
+/// layer run) with the network-level layer index.
+fn relabel_layer(e: SparseNnError, l: usize) -> SparseNnError {
+    match e {
+        SparseNnError::LayerDoesNotFit { reason, .. } => {
+            SparseNnError::LayerDoesNotFit { layer: l, reason }
+        }
+        SparseNnError::WMemoryOverflow {
+            words, capacity, ..
+        } => SparseNnError::WMemoryOverflow {
+            layer: l,
+            words,
+            capacity,
+        },
+        other => other,
+    }
+}
+
+/// Cuts per-chip weight and predictor tiles for every layer of `net`
+/// under `plan` (which must match the network's shapes).
+fn cut_tiles(net: &FixedNetwork, plan: &PartitionPlan) -> Vec<Vec<ChipTile>> {
+    plan.layers()
+        .iter()
+        .enumerate()
+        .map(|(l, layer)| {
+            let w = &net.layers()[l];
+            let is_hidden = l + 1 < net.num_layers();
+            let predictor = if is_hidden {
+                net.predictors().get(l)
+            } else {
+                None
+            };
+            layer
+                .tiles
+                .iter()
+                .map(|rows| ChipTile {
+                    rows: rows.clone(),
+                    w: w.select_rows(rows),
+                    predictor: predictor.map(|p| p.select_rows(rows)),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl InferenceBackend for PartitionedMachine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The per-chip machine configuration (every chip is identical).
+    /// Batch summaries price events on it; because a partitioned
+    /// record's events *sum* all chips' activity plus the interconnect's
+    /// flit-hops, the energy estimate covers the whole multi-chip
+    /// system.
+    fn machine_config(&self) -> Option<&MachineConfig> {
+        Some(self.chip.config())
+    }
+
+    fn run(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+    ) -> Result<RunRecord, SparseNnError> {
+        validate_shapes(net, input)?;
+        let layers = if *net == self.planned {
+            self.run_tiled(net, &self.tiles, input, mode)?
+        } else {
+            // A different network than the one planned for: the plan
+            // still applies if the shapes agree (capacity depends only
+            // on shape), so cut tiles from the network actually being
+            // served — never silently compute with stale weights. The
+            // cut is cached, so a batch over a foreign network pays it
+            // once, not once per sample.
+            if !self.plan.matches(net) {
+                return Err(SparseNnError::Partition {
+                    message: "served network does not match the partition plan's layer shapes"
+                        .into(),
+                });
+            }
+            let tiles = {
+                let mut cache = self.foreign.lock().unwrap_or_else(|e| e.into_inner());
+                match &*cache {
+                    Some(f) if f.net == *net => Arc::clone(&f.tiles),
+                    _ => {
+                        let tiles = Arc::new(cut_tiles(net, &self.plan));
+                        *cache = Some(ForeignTiles {
+                            net: net.clone(),
+                            tiles: Arc::clone(&tiles),
+                        });
+                        tiles
+                    }
+                }
+            };
+            self.run_tiled(net, &tiles, input, mode)?
+        };
+        Ok(RunRecord {
+            backend: self.name.clone(),
+            layers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::backends::CycleAccurateBackend;
+    use sparsenn_linalg::init::seeded_rng;
+    use sparsenn_model::{Mlp, PredictedNetwork};
+
+    fn net_and_input(dims: &[usize], rank: usize, seed: u64) -> (FixedNetwork, Vec<Q6_10>) {
+        let mut rng = seeded_rng(seed);
+        let mlp = Mlp::random(dims, &mut rng);
+        let net = PredictedNetwork::with_random_predictors(mlp, rank, &mut rng);
+        let fixed = FixedNetwork::from_float(&net);
+        let x: Vec<f32> = (0..dims[0])
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    ((i as f32) * 0.29).sin().abs()
+                }
+            })
+            .collect();
+        let xq = fixed.quantize_input(&x);
+        (fixed, xq)
+    }
+
+    #[test]
+    fn oracle_bit_identical_to_single_chip_machine() {
+        let (net, x) = net_and_input(&[36, 96, 48, 10], 4, 11);
+        let cfg = MachineConfig::default();
+        let single = CycleAccurateBackend::with_config(cfg);
+        for chips in [1usize, 2, 4] {
+            let pm = PartitionedMachine::new(&net, cfg, chips, InterChipConfig::default())
+                .expect("plannable");
+            for mode in [UvMode::Off, UvMode::On] {
+                let want = single.run(&net, &x, mode).unwrap();
+                let got = pm.run(&net, &x, mode).unwrap();
+                assert_eq!(got.layers.len(), want.layers.len());
+                for (l, (g, w)) in got.layers.iter().zip(&want.layers).enumerate() {
+                    assert_eq!(g.output, w.output, "{chips} chips, layer {l}, {mode:?}");
+                    assert_eq!(g.mask, w.mask, "{chips} chips, layer {l} mask, {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_chip_with_free_links_reproduces_the_machine_record_exactly() {
+        let (net, x) = net_and_input(&[32, 64, 10], 3, 5);
+        let cfg = MachineConfig::default();
+        let pm = PartitionedMachine::new(&net, cfg, 1, InterChipConfig::free()).unwrap();
+        let single = CycleAccurateBackend::with_config(cfg);
+        let a = pm.run(&net, &x, UvMode::On).unwrap();
+        let b = single.run(&net, &x, UvMode::On).unwrap();
+        // One chip holds every row: same cycles, same time, same events.
+        for (g, w) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(g.cycles, w.cycles);
+            assert_eq!(g.events, w.events);
+            assert!((g.time_us - w.time_us).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oversized_network_runs_on_two_chips_with_comm_in_the_record() {
+        // 512×784 needs 6272 words/PE against a 4096-word chip.
+        let chip = MachineConfig {
+            w_mem_bytes: 8 * 1024,
+            ..MachineConfig::default()
+        };
+        let (net, x) = net_and_input(&[784, 512, 10], 4, 7);
+        assert!(matches!(
+            CycleAccurateBackend::with_config(chip).run(&net, &x, UvMode::On),
+            Err(SparseNnError::WMemoryOverflow { layer: 0, .. })
+        ));
+        assert!(matches!(
+            PartitionedMachine::new(&net, chip, 1, InterChipConfig::default()),
+            Err(SparseNnError::WMemoryOverflow { layer: 0, .. })
+        ));
+        let pm = PartitionedMachine::new(&net, chip, 2, InterChipConfig::default()).unwrap();
+        let record = pm.run(&net, &x, UvMode::On).unwrap();
+        assert!(record.time_us() > 0.0);
+        assert!(record.total_events().interchip_flit_hops > 0);
+        // Communication is part of the modelled latency: free links are
+        // strictly faster.
+        let free = PartitionedMachine::new(&net, chip, 2, InterChipConfig::free()).unwrap();
+        let free_record = free.run(&net, &x, UvMode::On).unwrap();
+        assert_eq!(
+            free_record.output(),
+            record.output(),
+            "comm never changes bits"
+        );
+        assert!(free_record.time_us() < record.time_us());
+        assert_eq!(free_record.total_events().interchip_flit_hops, 0);
+    }
+
+    #[test]
+    fn serving_a_different_same_shape_network_uses_its_weights() {
+        let (net_a, x) = net_and_input(&[24, 48, 10], 3, 1);
+        let (net_b, _) = net_and_input(&[24, 48, 10], 3, 2);
+        let cfg = MachineConfig::default();
+        let pm = PartitionedMachine::new(&net_a, cfg, 2, InterChipConfig::default()).unwrap();
+        let single = CycleAccurateBackend::with_config(cfg);
+        let got = pm.run(&net_b, &x, UvMode::Off).unwrap();
+        let want = single.run(&net_b, &x, UvMode::Off).unwrap();
+        assert_eq!(got.output(), want.output(), "must serve the passed network");
+        // Repeat runs hit the foreign-tile cache and stay correct, as
+        // does switching back to the planned network and out again.
+        assert_eq!(
+            pm.run(&net_b, &x, UvMode::Off).unwrap().output(),
+            want.output()
+        );
+        assert_eq!(
+            pm.run(&net_a, &x, UvMode::Off).unwrap().output(),
+            single.run(&net_a, &x, UvMode::Off).unwrap().output()
+        );
+        assert_eq!(
+            pm.run(&net_b, &x, UvMode::Off).unwrap().output(),
+            want.output()
+        );
+        // A different *shape* is rejected, not mis-served.
+        let (net_c, _) = net_and_input(&[24, 32, 10], 3, 3);
+        assert!(matches!(
+            pm.run(&net_c, &x, UvMode::Off),
+            Err(SparseNnError::Partition { .. })
+        ));
+    }
+
+    #[test]
+    fn events_sum_chips_while_cycles_take_the_critical_path() {
+        let (net, x) = net_and_input(&[48, 128, 10], 4, 9);
+        let cfg = MachineConfig::default();
+        let single = CycleAccurateBackend::with_config(cfg)
+            .run(&net, &x, UvMode::Off)
+            .unwrap();
+        let pm = PartitionedMachine::new(&net, cfg, 4, InterChipConfig::default()).unwrap();
+        let got = pm.run(&net, &x, UvMode::Off).unwrap();
+        // Workload counters are conserved: the same MACs and W reads
+        // happen, just spread over chips.
+        assert_eq!(
+            got.total_events().w_reads,
+            single.total_events().w_reads,
+            "row tiling conserves W traffic"
+        );
+        assert_eq!(got.total_events().macs, single.total_events().macs);
+        // Each chip computes a quarter of the rows over the same input:
+        // its W phase is shorter than the big machine's.
+        assert!(got.layers[0].cycles <= single.layers[0].cycles);
+    }
+
+    #[test]
+    fn plan_accessors_expose_the_partition() {
+        let (net, _) = net_and_input(&[16, 64, 10], 2, 4);
+        let pm = PartitionedMachine::new(
+            &net,
+            MachineConfig::default(),
+            4,
+            InterChipConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(pm.chips(), 4);
+        assert_eq!(pm.plan().layers().len(), 2);
+        assert_eq!(pm.interchip().radix, 2);
+        assert!(pm.name().starts_with("partitioned(4 chips"));
+        assert!(pm.machine_config().is_some());
+    }
+}

@@ -35,6 +35,19 @@ pub enum SparseNnError {
         /// Human-readable description of the violated limit.
         reason: String,
     },
+    /// A layer's weights exceed a chip's W memory. The typed counterpart
+    /// of the capacity case of [`LayerDoesNotFit`](Self::LayerDoesNotFit):
+    /// it carries the exact per-PE word counts, so callers can tell *how
+    /// far* over budget a layer is — and the multi-chip partition planner
+    /// reports its per-chip capacity diagnostics through the same type.
+    WMemoryOverflow {
+        /// Index of the offending layer.
+        layer: usize,
+        /// Weight words the layer needs per PE.
+        words: usize,
+        /// Words the W memory holds per PE.
+        capacity: usize,
+    },
     /// The network has no layers.
     EmptyNetwork,
     /// A worker thread of a parallel batch run terminated abnormally.
@@ -52,6 +65,15 @@ pub enum SparseNnError {
     /// Saving or loading a [`TrainedSystem`](crate::TrainedSystem)
     /// checkpoint failed (I/O error or malformed checkpoint text).
     Checkpoint {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// Model-parallel partitioning failed for a reason other than
+    /// capacity (capacity overflows surface as
+    /// [`WMemoryOverflow`](Self::WMemoryOverflow)): no chips, an invalid
+    /// or mismatched [`PartitionPlan`](sparsenn_partition::PartitionPlan),
+    /// or a malformed plan file.
+    Partition {
         /// Human-readable description of the failure.
         message: String,
     },
@@ -75,6 +97,17 @@ impl std::fmt::Display for SparseNnError {
             SparseNnError::LayerDoesNotFit { layer, reason } => {
                 write!(f, "layer {layer} does not fit the backend: {reason}")
             }
+            SparseNnError::WMemoryOverflow {
+                layer,
+                words,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "layer {layer} overflows W memory: needs {words} weight words per PE, \
+                     memory holds {capacity} (partition the layer across chips to serve it)"
+                )
+            }
             SparseNnError::EmptyNetwork => f.write_str("network has no layers"),
             SparseNnError::WorkerPanicked => {
                 f.write_str("a batch-simulation worker thread panicked")
@@ -89,11 +122,57 @@ impl std::fmt::Display for SparseNnError {
             SparseNnError::Checkpoint { message } => {
                 write!(f, "system checkpoint failed: {message}")
             }
+            SparseNnError::Partition { message } => {
+                write!(f, "model-parallel partitioning failed: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for SparseNnError {}
+
+impl From<sparsenn_partition::PartitionError> for SparseNnError {
+    fn from(e: sparsenn_partition::PartitionError) -> Self {
+        use sparsenn_partition::PartitionError as Pe;
+        match e {
+            // The planner's capacity diagnostics carry the same per-PE
+            // word sizes as the machine's typed overflow — surface them
+            // through the same variant.
+            Pe::ChipCapacity {
+                layer,
+                words,
+                capacity,
+                ..
+            } => SparseNnError::WMemoryOverflow {
+                layer,
+                words,
+                capacity,
+            },
+            Pe::InputTooWide { layer, cols, max } => SparseNnError::LayerDoesNotFit {
+                layer,
+                reason: format!(
+                    "{cols} input activations exceed one chip's {max}-entry register files"
+                ),
+            },
+            Pe::OutputTooWide {
+                layer,
+                rows,
+                max,
+                chips,
+            } => SparseNnError::LayerDoesNotFit {
+                layer,
+                reason: format!(
+                    "{rows} output rows exceed the {max}-entry register files of all {chips} \
+                     chip(s) combined"
+                ),
+            },
+            Pe::EmptyNetwork => SparseNnError::EmptyNetwork,
+            other => SparseNnError::Partition {
+                message: other.to_string(),
+            },
+        }
+    }
+}
 
 impl From<MachineError> for SparseNnError {
     fn from(e: MachineError) -> Self {
@@ -101,6 +180,15 @@ impl From<MachineError> for SparseNnError {
             MachineError::LayerDoesNotFit { layer, reason } => {
                 SparseNnError::LayerDoesNotFit { layer, reason }
             }
+            MachineError::WMemoryOverflow {
+                layer,
+                words,
+                capacity,
+            } => SparseNnError::WMemoryOverflow {
+                layer,
+                words,
+                capacity,
+            },
             MachineError::InputWidthMismatch { expected, got } => {
                 SparseNnError::InputWidthMismatch { expected, got }
             }
@@ -150,5 +238,21 @@ mod tests {
         );
         let e: SparseNnError = MachineError::EmptyNetwork.into();
         assert_eq!(e, SparseNnError::EmptyNetwork);
+        let e: SparseNnError = MachineError::WMemoryOverflow {
+            layer: 1,
+            words: 6272,
+            capacity: 4096,
+        }
+        .into();
+        assert_eq!(
+            e,
+            SparseNnError::WMemoryOverflow {
+                layer: 1,
+                words: 6272,
+                capacity: 4096
+            }
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("6272") && msg.contains("4096"), "{msg}");
     }
 }

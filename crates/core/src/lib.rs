@@ -63,6 +63,11 @@ pub use sparsenn_sim as sim;
 /// Energy, power and area models (re-export of `sparsenn-energy`).
 pub use sparsenn_energy as energy;
 
+/// Model-parallel partitioning: planner, plans and the chip-level
+/// interconnect cost model (re-export of `sparsenn-partition`). The
+/// execution side is [`engine::PartitionedMachine`].
+pub use sparsenn_partition as partition;
+
 pub mod engine;
 mod error;
 mod profile;

@@ -325,6 +325,52 @@ impl TrainedSystem {
         Ok(self.session_with(Box::new(fleet)).with_workers(shards))
     }
 
+    /// Opens a serving [`Session`] over a
+    /// [`PartitionedMachine`](crate::engine::PartitionedMachine) of
+    /// `chips` cycle-accurate chips (each configured like this system's
+    /// machine, linked by the default
+    /// [`InterChipConfig`](sparsenn_partition::InterChipConfig)) — the
+    /// model-parallel front door for networks bigger than one chip's W
+    /// memory. Outputs are bit-identical to the single-chip session's
+    /// whenever the network fits one chip; latency and energy include
+    /// the inter-chip broadcast/gather.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::WMemoryOverflow`] when even a best split of some
+    /// layer overflows one chip's W memory, plus the planner errors of
+    /// [`PartitionedMachine::new`](crate::engine::PartitionedMachine::new).
+    pub fn partitioned_session(&self, chips: usize) -> Result<Session<'_>, SparseNnError> {
+        let backend = crate::engine::PartitionedMachine::new(
+            &self.fixed,
+            *self.machine.config(),
+            chips,
+            sparsenn_partition::InterChipConfig::default(),
+        )?;
+        Ok(self.session_with(Box::new(backend)))
+    }
+
+    /// Plans the model-parallel partition this system's network needs on
+    /// `chips` copies of its machine — the
+    /// [`PartitionPlan`](sparsenn_partition::PartitionPlan) that
+    /// [`partitioned_session`](Self::partitioned_session) executes. Save
+    /// it (`PartitionPlan::save`) next to the system checkpoint so a
+    /// reload can rebuild the identical multi-chip deployment.
+    ///
+    /// # Errors
+    ///
+    /// As for [`partitioned_session`](Self::partitioned_session).
+    pub fn partition_plan(
+        &self,
+        chips: usize,
+    ) -> Result<sparsenn_partition::PartitionPlan, SparseNnError> {
+        Ok(sparsenn_partition::plan(
+            &self.fixed,
+            self.machine.config(),
+            chips,
+        )?)
+    }
+
     /// Simulates test sample `i` through the cycle-accurate accelerator,
     /// returning the full machine-level run (per-PE work distribution
     /// included). For backend-agnostic records use
@@ -423,9 +469,16 @@ impl TrainedSystem {
         };
         let header = line("header")?;
         if header.trim() != "sparsenn-system v1" {
-            return Err(bad(format!(
-                "bad header `{header}` (expected `sparsenn-system v1`)"
-            )));
+            // Distinguish "right file, wrong version" (a version we may
+            // gain migration support for) from corrupted/foreign magic.
+            return Err(match header.trim().strip_prefix("sparsenn-system ") {
+                Some(version) => bad(format!(
+                    "unsupported checkpoint version `{version}` (this build reads v1)"
+                )),
+                None => bad(format!(
+                    "bad checkpoint magic `{header}` (expected `sparsenn-system v1`)"
+                )),
+            });
         }
         let kind: DatasetKind = line("dataset")?
             .strip_prefix("dataset ")

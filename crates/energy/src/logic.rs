@@ -25,6 +25,12 @@ pub struct LogicEnergies {
     pub pred_scan_pj: f64,
     /// One flit traversing one router (buffer write/read + crossbar).
     pub router_hop_pj: f64,
+    /// One 32-bit flit traversing one chip-to-chip link of a multi-chip
+    /// (model-parallel) system: off-chip SerDes at ~1.25 pJ/bit, more
+    /// than an order of magnitude above an on-chip router hop — which is
+    /// why partition planners must weigh communication against W-memory
+    /// relief.
+    pub interchip_hop_pj: f64,
     /// Pipeline/control overhead of a busy datapath cycle.
     pub busy_overhead_pj: f64,
     /// Clock-tree energy of an idle PE cycle.
@@ -43,6 +49,7 @@ impl LogicEnergies {
             pred_write_pj: 0.02 * s,
             pred_scan_pj: 0.10 * s,
             router_hop_pj: 1.8 * s,
+            interchip_hop_pj: 40.0 * s,
             busy_overhead_pj: 0.7 * s,
             idle_clock_pj: 0.45 * s,
         }
@@ -94,6 +101,10 @@ mod tests {
             "W read must dominate the MAC"
         );
         assert!(w.read_energy_pj() > 5.0 * e.router_hop_pj);
+        assert!(
+            e.interchip_hop_pj > 10.0 * e.router_hop_pj,
+            "going off-chip must dwarf an on-chip hop"
+        );
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub struct PowerReport {
     pub regfile_mw: f64,
     /// NoC power (router hops + ACC merges), mW.
     pub noc_mw: f64,
+    /// Chip-level interconnect power of a multi-chip (model-parallel)
+    /// run, mW. 0 for single-chip simulations.
+    pub interchip_mw: f64,
     /// Idle clocking power, mW.
     pub idle_mw: f64,
     /// Static leakage (all SRAM macros), mW.
@@ -46,9 +49,9 @@ impl fmt::Display for PowerReport {
         )?;
         write!(
             f,
-            "  W-mem {:.1} | U/V-mem {:.1} | datapath {:.1} | RF/queues {:.1} | NoC {:.1} | idle {:.1} | leakage {:.1} (mW)",
+            "  W-mem {:.1} | U/V-mem {:.1} | datapath {:.1} | RF/queues {:.1} | NoC {:.1} | inter-chip {:.1} | idle {:.1} | leakage {:.1} (mW)",
             self.w_mem_mw, self.uv_mem_mw, self.datapath_mw, self.regfile_mw,
-            self.noc_mw, self.idle_mw, self.leakage_mw
+            self.noc_mw, self.interchip_mw, self.idle_mw, self.leakage_mw
         )
     }
 }
@@ -98,9 +101,11 @@ impl PowerModel {
             + ev.pred_writes as f64 * e.pred_write_pj
             + ev.pred_scans as f64 * e.pred_scan_pj;
         let noc_pj = ev.noc.hops as f64 * e.router_hop_pj + ev.noc.acc_merges as f64 * e.add_pj;
+        let interchip_pj = ev.interchip_flit_hops as f64 * e.interchip_hop_pj;
         let idle_pj = ev.pe_idle_cycles as f64 * e.idle_clock_pj;
 
-        let dynamic_pj = w_mem_pj + uv_mem_pj + datapath_pj + regfile_pj + noc_pj + idle_pj;
+        let dynamic_pj =
+            w_mem_pj + uv_mem_pj + datapath_pj + regfile_pj + noc_pj + interchip_pj + idle_pj;
         let leak_uj = self.leakage_mw * time_us * 1e-3;
         let energy_uj = dynamic_pj * 1e-6 + leak_uj;
 
@@ -124,6 +129,7 @@ impl PowerModel {
             datapath_mw: to_mw(datapath_pj),
             regfile_mw: to_mw(regfile_pj),
             noc_mw: to_mw(noc_pj),
+            interchip_mw: to_mw(interchip_pj),
             idle_mw: to_mw(idle_pj),
             leakage_mw: self.leakage_mw,
             total_mw,
@@ -169,13 +175,16 @@ mod tests {
         ev.u_reads = 10_000;
         ev.v_reads = 10_000;
         ev.noc.hops = 3_000;
+        ev.interchip_flit_hops = 1_000;
         ev.pe_idle_cycles = 10_000;
         let p = model.estimate(&ev);
+        assert!(p.interchip_mw > 0.0);
         let sum = p.w_mem_mw
             + p.uv_mem_mw
             + p.datapath_mw
             + p.regfile_mw
             + p.noc_mw
+            + p.interchip_mw
             + p.idle_mw
             + p.leakage_mw;
         assert!((sum - p.total_mw).abs() < 1e-6 * p.total_mw);

@@ -1,5 +1,26 @@
 //! Network-on-chip configuration.
 
+/// Number of levels of a radix-`radix` tree over `nodes` leaves — the
+/// smallest `L` with `radix^L >= nodes` (0 for a single node). Shared by
+/// the PE-level H-tree ([`NocConfig::levels`]) and the chip-level
+/// interconnect of `sparsenn-partition`, which lifts the same tree shape
+/// one level up. Unlike [`NocConfig::levels`] it accepts any node count.
+///
+/// # Panics
+///
+/// Panics if `radix < 2` or `nodes == 0`.
+pub fn tree_levels(nodes: usize, radix: usize) -> usize {
+    assert!(radix >= 2, "tree radix must be at least 2");
+    assert!(nodes > 0, "a tree needs at least one node");
+    let mut n = 1usize;
+    let mut levels = 0usize;
+    while n < nodes {
+        n = n.saturating_mul(radix);
+        levels += 1;
+    }
+    levels
+}
+
 /// Topology and flow-control parameters of the H-tree.
 ///
 /// Defaults reproduce the paper's Table II machine: 64 PEs, radix-4 tree
@@ -24,13 +45,12 @@ impl NocConfig {
     ///
     /// Panics if `num_pes` is not a power of `radix`.
     pub fn levels(&self) -> usize {
-        let mut n = 1usize;
-        let mut levels = 0usize;
-        while n < self.num_pes {
-            n *= self.radix;
-            levels += 1;
-        }
-        assert_eq!(n, self.num_pes, "num_pes must be a power of radix");
+        let levels = tree_levels(self.num_pes, self.radix);
+        assert_eq!(
+            self.radix.pow(levels as u32),
+            self.num_pes,
+            "num_pes must be a power of radix"
+        );
         levels
     }
 
@@ -78,6 +98,16 @@ mod tests {
         };
         assert_eq!(c.levels(), 2);
         assert_eq!(c.broadcast_latency(), 2);
+    }
+
+    #[test]
+    fn tree_levels_rounds_up_for_non_powers() {
+        assert_eq!(tree_levels(1, 2), 0);
+        assert_eq!(tree_levels(2, 2), 1);
+        assert_eq!(tree_levels(3, 2), 2);
+        assert_eq!(tree_levels(8, 2), 3);
+        assert_eq!(tree_levels(64, 4), 3);
+        assert_eq!(tree_levels(5, 4), 2);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod reduce;
 mod stats;
 
 pub use broadcast::BroadcastTree;
-pub use config::NocConfig;
+pub use config::{tree_levels, NocConfig};
 pub use reduce::ReduceTree;
 pub use stats::NocStats;
 

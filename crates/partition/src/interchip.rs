@@ -1,0 +1,180 @@
+//! The chip-level interconnect cost model.
+
+use sparsenn_noc::tree_levels;
+
+/// Link and flit parameters of the chip-to-chip interconnect — the
+/// PE-level H-tree vocabulary of [`sparsenn_noc::NocConfig`] lifted one
+/// level up.
+///
+/// The chips hang off a radix-[`radix`](Self::radix) tree of links; a
+/// root "host" node feeds the downward broadcast and drains the upward
+/// gather. Each link moves one flit per [`link_clock_ns`](Self::link_clock_ns)
+/// cycle and adds [`hop_latency`](Self::hop_latency) cycles of
+/// store-and-forward latency per hop, exactly like the on-chip
+/// [`NocConfig::hop_latency`](sparsenn_noc::NocConfig::hop_latency) —
+/// just with off-chip numbers: a default 1 GHz SerDes lane against the
+/// machine's 500 MHz core, but 8 cycles per hop instead of 1.
+///
+/// An activation crosses the fabric as
+/// [`flits_per_activation`](Self::flits_per_activation) flits (default 1:
+/// a 32-bit flit carrying the 16-bit Q6.10 value plus its global row
+/// index, the same index+value encoding as [`sparsenn_noc::ActFlit`]).
+/// Only *nonzero* activations travel — the fabric extends the machine's
+/// input-sparsity skipping across chips.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterChipConfig {
+    /// Fan-out of the chip-level tree (children per link stage).
+    pub radix: usize,
+    /// Store-and-forward latency per hop, in link cycles.
+    pub hop_latency: u64,
+    /// Flits needed to move one (index, value) activation pair.
+    pub flits_per_activation: u64,
+    /// Link clock period, nanoseconds (1 ns = a 1 GHz SerDes lane).
+    pub link_clock_ns: f64,
+}
+
+impl Default for InterChipConfig {
+    fn default() -> Self {
+        Self {
+            radix: 2,
+            hop_latency: 8,
+            flits_per_activation: 1,
+            link_clock_ns: 1.0,
+        }
+    }
+}
+
+impl InterChipConfig {
+    /// A zero-cost interconnect: every transfer takes 0 cycles and 0
+    /// flit-hops. The ablation baseline that isolates communication
+    /// overhead (`comm = default − free`).
+    pub fn free() -> Self {
+        Self {
+            radix: 2,
+            hop_latency: 0,
+            flits_per_activation: 0,
+            link_clock_ns: 0.0,
+        }
+    }
+
+    /// Tree depth over `chips` leaves (0 for a single chip).
+    pub fn levels(&self, chips: usize) -> u64 {
+        if chips <= 1 {
+            0
+        } else {
+            tree_levels(chips, self.radix) as u64
+        }
+    }
+
+    /// Number of links in the tree over `chips` leaves: each node below
+    /// the root owns one uplink (6 links for 4 chips at radix 2).
+    pub fn link_count(&self, chips: usize) -> u64 {
+        let mut n = chips;
+        let mut links = 0u64;
+        while n > 1 {
+            links += n as u64;
+            n = n.div_ceil(self.radix);
+        }
+        links
+    }
+
+    /// Cycles to broadcast `values` activations from the root to every
+    /// chip: the root serializes one flit per cycle down a pipelined
+    /// tree, so the last flit lands `values × flits + depth × hop`
+    /// cycles in. 0 for a single chip (nothing leaves the die) or an
+    /// empty transfer.
+    pub fn broadcast_cycles(&self, chips: usize, values: usize) -> u64 {
+        if chips <= 1 || values == 0 {
+            return 0;
+        }
+        values as u64 * self.flits_per_activation + self.hop_latency * self.levels(chips)
+    }
+
+    /// Cycles to gather `values` activations from the chips to the root.
+    /// The root link is the serialization bottleneck (one flit per
+    /// cycle), so the formula mirrors [`broadcast_cycles`](Self::broadcast_cycles).
+    pub fn gather_cycles(&self, chips: usize, values: usize) -> u64 {
+        self.broadcast_cycles(chips, values)
+    }
+
+    /// Flit-hops consumed broadcasting `values` activations: each flit is
+    /// replicated down every link of the tree.
+    pub fn broadcast_flit_hops(&self, chips: usize, values: usize) -> u64 {
+        if chips <= 1 {
+            return 0;
+        }
+        values as u64 * self.flits_per_activation * self.link_count(chips)
+    }
+
+    /// Flit-hops consumed gathering `values` activations: each flit
+    /// climbs one path of `levels` links, root-ward.
+    pub fn gather_flit_hops(&self, chips: usize, values: usize) -> u64 {
+        if chips <= 1 {
+            return 0;
+        }
+        values as u64 * self.flits_per_activation * self.levels(chips)
+    }
+
+    /// Wall-clock time for a link-cycle count, microseconds.
+    pub fn time_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.link_clock_ns * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chip_costs_nothing() {
+        let c = InterChipConfig::default();
+        assert_eq!(c.broadcast_cycles(1, 1000), 0);
+        assert_eq!(c.gather_cycles(1, 1000), 0);
+        assert_eq!(c.broadcast_flit_hops(1, 1000), 0);
+        assert_eq!(c.gather_flit_hops(1, 1000), 0);
+        assert_eq!(c.levels(1), 0);
+        assert_eq!(c.link_count(1), 0);
+    }
+
+    #[test]
+    fn tree_shape_matches_the_radix() {
+        let c = InterChipConfig::default(); // radix 2
+        assert_eq!(c.levels(2), 1);
+        assert_eq!(c.levels(4), 2);
+        assert_eq!(c.levels(8), 3);
+        assert_eq!(c.link_count(2), 2);
+        assert_eq!(c.link_count(4), 6);
+        assert_eq!(c.link_count(8), 14);
+    }
+
+    #[test]
+    fn transfer_cost_is_serialization_plus_pipeline_latency() {
+        let c = InterChipConfig::default();
+        // 100 values over 4 chips: 100 flits + 2 hops × 8 cycles.
+        assert_eq!(c.broadcast_cycles(4, 100), 116);
+        assert_eq!(c.gather_cycles(4, 100), 116);
+        // Broadcast replicates down all 6 links; gather climbs 2.
+        assert_eq!(c.broadcast_flit_hops(4, 100), 600);
+        assert_eq!(c.gather_flit_hops(4, 100), 200);
+        // 116 cycles at 1 ns = 0.116 µs.
+        assert!((c.time_us(116) - 0.116).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_interconnect_is_genuinely_free() {
+        let c = InterChipConfig::free();
+        for chips in [2, 4, 8] {
+            assert_eq!(c.broadcast_cycles(chips, 10_000), 0);
+            assert_eq!(c.gather_cycles(chips, 10_000), 0);
+            assert_eq!(c.broadcast_flit_hops(chips, 10_000), 0);
+            assert_eq!(c.gather_flit_hops(chips, 10_000), 0);
+        }
+    }
+
+    #[test]
+    fn more_chips_cost_more_latency_and_hops() {
+        let c = InterChipConfig::default();
+        assert!(c.broadcast_cycles(8, 100) > c.broadcast_cycles(2, 100));
+        assert!(c.broadcast_flit_hops(8, 100) > c.broadcast_flit_hops(2, 100));
+    }
+}

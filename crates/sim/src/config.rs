@@ -2,6 +2,63 @@
 
 use sparsenn_noc::NocConfig;
 
+/// Why an `rows × cols` layer cannot run on a machine — the typed result
+/// of [`MachineConfig::validate_layer`]. The W-memory case carries the
+/// exact sizes so capacity planners (the multi-chip partitioner) can
+/// report how far over budget a layer is instead of parsing a string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerFitError {
+    /// The layer's input width exceeds the activation register files.
+    TooManyInputs {
+        /// Input activations the layer needs.
+        cols: usize,
+        /// Register-file entries available ([`MachineConfig::max_activations`]).
+        max: usize,
+    },
+    /// The layer's output width exceeds the activation register files.
+    TooManyOutputs {
+        /// Output activations the layer produces.
+        rows: usize,
+        /// Register-file entries available ([`MachineConfig::max_activations`]).
+        max: usize,
+    },
+    /// The layer's weights exceed the per-PE W memory.
+    WMemoryOverflow {
+        /// Weight words the layer needs per PE.
+        words: usize,
+        /// Words the W memory holds per PE
+        /// ([`MachineConfig::w_capacity_words_per_pe`]).
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for LayerFitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayerFitError::TooManyInputs { cols, max } => {
+                write!(
+                    f,
+                    "{cols} input activations exceed the {max}-entry register files"
+                )
+            }
+            LayerFitError::TooManyOutputs { rows, max } => {
+                write!(
+                    f,
+                    "{rows} output activations exceed the {max}-entry register files"
+                )
+            }
+            LayerFitError::WMemoryOverflow { words, capacity } => {
+                write!(
+                    f,
+                    "layer needs {words} weight words per PE, W memory holds {capacity}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayerFitError {}
+
 /// Micro-architectural parameters of the simulated accelerator.
 ///
 /// The defaults are the paper's Table II machine:
@@ -76,28 +133,29 @@ impl MachineConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated limit.
-    pub fn validate_layer(&self, rows: usize, cols: usize) -> Result<(), String> {
+    /// The violated limit as a typed [`LayerFitError`] (the W-memory case
+    /// carries the exact word counts).
+    pub fn validate_layer(&self, rows: usize, cols: usize) -> Result<(), LayerFitError> {
         let n = self.num_pes();
         if cols > self.max_activations() {
-            return Err(format!(
-                "{cols} input activations exceed the {}-entry register files",
-                self.max_activations()
-            ));
+            return Err(LayerFitError::TooManyInputs {
+                cols,
+                max: self.max_activations(),
+            });
         }
         if rows > self.max_activations() {
-            return Err(format!(
-                "{rows} output activations exceed the {}-entry register files",
-                self.max_activations()
-            ));
+            return Err(LayerFitError::TooManyOutputs {
+                rows,
+                max: self.max_activations(),
+            });
         }
         let rows_per_pe = rows.div_ceil(n);
         let words = rows_per_pe * cols;
         if words > self.w_capacity_words_per_pe() {
-            return Err(format!(
-                "layer needs {words} weight words per PE, memory holds {}",
-                self.w_capacity_words_per_pe()
-            ));
+            return Err(LayerFitError::WMemoryOverflow {
+                words,
+                capacity: self.w_capacity_words_per_pe(),
+            });
         }
         Ok(())
     }
@@ -158,11 +216,45 @@ mod tests {
     #[test]
     fn oversized_layers_are_rejected() {
         let c = MachineConfig::default();
-        assert!(c.validate_layer(5000, 1000).is_err());
-        assert!(c.validate_layer(1000, 5000).is_err());
-        assert!(
-            c.validate_layer(4096, 4096).is_err(),
-            "4K×4K needs 128K words/PE"
+        assert_eq!(
+            c.validate_layer(5000, 1000),
+            Err(LayerFitError::TooManyOutputs {
+                rows: 5000,
+                max: 4096
+            })
         );
+        assert_eq!(
+            c.validate_layer(1000, 5000),
+            Err(LayerFitError::TooManyInputs {
+                cols: 5000,
+                max: 4096
+            })
+        );
+        // 4K×4K needs 64 rows/PE × 4096 cols = 256K words against 64K.
+        assert_eq!(
+            c.validate_layer(4096, 4096),
+            Err(LayerFitError::WMemoryOverflow {
+                words: 64 * 4096,
+                capacity: 64 * 1024
+            })
+        );
+    }
+
+    #[test]
+    fn w_overflow_error_carries_the_exact_sizes() {
+        let tiny = MachineConfig {
+            w_mem_bytes: 1024,
+            ..MachineConfig::default()
+        };
+        // 512 words per PE; 64 rows over 64 PEs = 1 row/PE × 784 cols.
+        match tiny.validate_layer(64, 784) {
+            Err(LayerFitError::WMemoryOverflow { words, capacity }) => {
+                assert_eq!(words, 784);
+                assert_eq!(capacity, 512);
+            }
+            other => panic!("expected WMemoryOverflow, got {other:?}"),
+        }
+        let msg = tiny.validate_layer(64, 784).unwrap_err().to_string();
+        assert!(msg.contains("784") && msg.contains("512"), "{msg}");
     }
 }

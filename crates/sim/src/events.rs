@@ -43,6 +43,11 @@ pub struct MachineEvents {
     pub pe_idle_cycles: u64,
     /// Combined NoC activity (broadcast tree + reduce tree).
     pub noc: NocStats,
+    /// Flit-hops on the chip-level interconnect of a multi-chip
+    /// (model-parallel) run: one flit traversing one chip-to-chip link.
+    /// Always 0 for a single-chip simulation; priced far above an on-chip
+    /// router hop by the energy model (off-chip SerDes).
+    pub interchip_flit_hops: u64,
 }
 
 impl MachineEvents {
@@ -64,6 +69,7 @@ impl MachineEvents {
         self.pe_busy_cycles += other.pe_busy_cycles;
         self.pe_idle_cycles += other.pe_idle_cycles;
         self.noc.merge(&other.noc);
+        self.interchip_flit_hops += other.interchip_flit_hops;
     }
 
     /// Mean PE datapath utilization in `[0, 1]`.

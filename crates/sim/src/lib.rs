@@ -51,6 +51,6 @@ mod machine;
 pub mod pe;
 pub mod simd;
 
-pub use config::MachineConfig;
+pub use config::{LayerFitError, MachineConfig};
 pub use events::MachineEvents;
 pub use machine::{LayerRun, Machine, MachineError, NetworkRun, Phase};

@@ -21,6 +21,18 @@ pub enum MachineError {
         /// Human-readable description of the violated limit.
         reason: String,
     },
+    /// The layer's weights exceed the per-PE W memory — the typed variant
+    /// of the capacity rejection, carrying the exact sizes so planners
+    /// (the multi-chip partitioner) can reason about the overflow.
+    WMemoryOverflow {
+        /// Index of the offending layer within the network (0 for a
+        /// stand-alone layer run).
+        layer: usize,
+        /// Weight words the layer needs per PE.
+        words: usize,
+        /// Words the W memory holds per PE.
+        capacity: usize,
+    },
     /// The activation vector's width does not match the layer's columns.
     InputWidthMismatch {
         /// Columns the layer expects.
@@ -37,6 +49,17 @@ impl std::fmt::Display for MachineError {
         match self {
             MachineError::LayerDoesNotFit { layer, reason } => {
                 write!(f, "layer {layer} does not fit the machine: {reason}")
+            }
+            MachineError::WMemoryOverflow {
+                layer,
+                words,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "layer {layer} overflows W memory: needs {words} weight words per PE, \
+                     memory holds {capacity}"
+                )
             }
             MachineError::InputWidthMismatch { expected, got } => {
                 write!(
@@ -194,7 +217,19 @@ impl Machine {
     ) -> Result<LayerRun, MachineError> {
         self.cfg
             .validate_layer(w.rows(), w.cols())
-            .map_err(|reason| MachineError::LayerDoesNotFit { layer: 0, reason })?;
+            .map_err(|e| match e {
+                crate::LayerFitError::WMemoryOverflow { words, capacity } => {
+                    MachineError::WMemoryOverflow {
+                        layer: 0,
+                        words,
+                        capacity,
+                    }
+                }
+                other => MachineError::LayerDoesNotFit {
+                    layer: 0,
+                    reason: other.to_string(),
+                },
+            })?;
         if input.len() != w.cols() {
             return Err(MachineError::InputWidthMismatch {
                 expected: w.cols(),
@@ -293,6 +328,13 @@ impl Machine {
                     MachineError::LayerDoesNotFit { reason, .. } => {
                         MachineError::LayerDoesNotFit { layer: l, reason }
                     }
+                    MachineError::WMemoryOverflow {
+                        words, capacity, ..
+                    } => MachineError::WMemoryOverflow {
+                        layer: l,
+                        words,
+                        capacity,
+                    },
                     // Past layer 0 a width mismatch is a malformed layer
                     // chain, not a bad caller input — report it as such (and
                     // identically to the functional backends).

@@ -1,0 +1,130 @@
+//! Checkpoint robustness: every way a `TrainedSystem` checkpoint file
+//! can be damaged — truncation, corrupted magic, a version from another
+//! build — produces a *distinct* `SparseNnError::Checkpoint` message
+//! (never a panic), and a saved `PartitionPlan` reloads bit-identically
+//! next to its checkpoint.
+
+use sparsenn::datasets::DatasetKind;
+use sparsenn::partition::PartitionPlan;
+use sparsenn::{SparseNnError, SystemBuilder, TrainedSystem, TrainingAlgorithm};
+
+fn tiny_system() -> TrainedSystem {
+    SystemBuilder::new(DatasetKind::Basic)
+        .dims(&[784, 24, 10])
+        .rank(4)
+        .algorithm(TrainingAlgorithm::Svd)
+        .train_samples(60)
+        .test_samples(20)
+        .epochs(1)
+        .build()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "sparsenn-checkpoint-{tag}-{}.txt",
+        std::process::id()
+    ))
+}
+
+fn checkpoint_message(result: Result<TrainedSystem, SparseNnError>) -> String {
+    match result {
+        Err(SparseNnError::Checkpoint { message }) => message,
+        Err(other) => panic!("expected Checkpoint error, got {other:?}"),
+        Ok(_) => panic!("damaged checkpoint parsed successfully"),
+    }
+}
+
+/// Truncated file, corrupted magic and a mismatched version each fail
+/// with their own diagnostic — a user can tell *which* damage happened
+/// from the message alone.
+#[test]
+fn damaged_checkpoints_fail_distinctly_without_panicking() {
+    let sys = tiny_system();
+    let good = sys.to_checkpoint_string();
+
+    // 1. Truncated: keep only the first lines, losing the model section.
+    let truncated: String = good.lines().take(4).collect::<Vec<_>>().join("\n");
+    let truncated_msg = checkpoint_message(TrainedSystem::from_checkpoint_str(&truncated));
+
+    // 2. Corrupted header magic: not a sparsenn checkpoint at all.
+    let corrupted = good.replacen("sparsenn-system v1", "sparsexx-system v1", 1);
+    let corrupted_msg = checkpoint_message(TrainedSystem::from_checkpoint_str(&corrupted));
+    assert!(
+        corrupted_msg.contains("magic"),
+        "magic damage should be named: {corrupted_msg}"
+    );
+
+    // 3. Right file format, wrong version.
+    let versioned = good.replacen("sparsenn-system v1", "sparsenn-system v7", 1);
+    let versioned_msg = checkpoint_message(TrainedSystem::from_checkpoint_str(&versioned));
+    assert!(
+        versioned_msg.contains("version") && versioned_msg.contains("v7"),
+        "version mismatch should name the version: {versioned_msg}"
+    );
+
+    // All three diagnostics are pairwise distinct.
+    assert_ne!(truncated_msg, corrupted_msg);
+    assert_ne!(truncated_msg, versioned_msg);
+    assert_ne!(corrupted_msg, versioned_msg);
+
+    // And the undamaged text still parses.
+    assert!(TrainedSystem::from_checkpoint_str(&good).is_ok());
+}
+
+/// The same three damages through the file-based `load` path: still
+/// typed `Checkpoint` errors, still no panics.
+#[test]
+fn damaged_checkpoint_files_load_as_errors() {
+    let sys = tiny_system();
+    let good = sys.to_checkpoint_string();
+    for (tag, text) in [
+        (
+            "truncated",
+            good.lines().take(3).collect::<Vec<_>>().join("\n"),
+        ),
+        ("magic", good.replacen("sparsenn-system", "not-a-system", 1)),
+        (
+            "version",
+            good.replacen("sparsenn-system v1", "sparsenn-system v2", 1),
+        ),
+    ] {
+        let path = temp_path(tag);
+        std::fs::write(&path, &text).unwrap();
+        let result = TrainedSystem::load(&path);
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            matches!(result, Err(SparseNnError::Checkpoint { .. })),
+            "{tag}: expected Checkpoint error"
+        );
+    }
+    // A missing file is a Checkpoint error too.
+    assert!(matches!(
+        TrainedSystem::load(temp_path("missing")),
+        Err(SparseNnError::Checkpoint { .. })
+    ));
+}
+
+/// A saved `PartitionPlan` reloads bit-identically alongside its
+/// checkpoint — the pair (checkpoint, plan) reproduces the deployment.
+#[test]
+fn partition_plan_roundtrips_alongside_the_checkpoint() {
+    let sys = tiny_system();
+    let plan = sys.partition_plan(4).expect("plannable");
+
+    let ckpt_path = temp_path("system");
+    let plan_path = temp_path("plan");
+    sys.save(&ckpt_path).unwrap();
+    plan.save(&plan_path).unwrap();
+
+    let sys_back = TrainedSystem::load(&ckpt_path).unwrap();
+    let plan_back = PartitionPlan::load(&plan_path).unwrap();
+    let _ = std::fs::remove_file(&ckpt_path);
+    let _ = std::fs::remove_file(&plan_path);
+
+    assert_eq!(plan, plan_back, "plan text round-trips bit-identically");
+    assert!(plan_back.matches(sys_back.fixed()));
+    plan_back.validate(sys_back.machine().config()).unwrap();
+    // The reloaded pair re-plans to the identical partition (same
+    // quantized weights → same nnz balance → same greedy assignment).
+    assert_eq!(sys_back.partition_plan(4).unwrap(), plan_back);
+}
