@@ -8,7 +8,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 4,
+//!   "schema": 5,
 //!   "profile": "fast",
 //!   "workers": 8,
 //!   "total_seconds": 123.4,
@@ -30,9 +30,16 @@
 //! (`partition.latency_us.*` / `partition.energy_uj.*` /
 //! `partition.comm_overhead_pct.*` per chip count, plus the
 //! `partition.bit_identical` and `partition.single_chip_rejected`
-//! oracle flags). The `bench_diff` bin compares two such files (any
-//! schema — metrics diff generically by name) and flags wall-time
-//! regressions past a threshold.
+//! oracle flags). Schema 5 adds the wavefront-pipelining metrics
+//! (`partition.pipeline.wavefront_latency_us.*` /
+//! `partition.pipeline.free_latency_us.*` /
+//! `partition.pipeline.speedup.*` /
+//! `partition.pipeline.comm_hidden_pct.*` per chip count, plus the
+//! `partition.pipeline.overlap_sound` flag), so `bench-trend` tracks
+//! the comm/compute-overlap win of the wavefront schedule. The
+//! `bench_diff` bin compares two such files (any schema — metrics diff
+//! generically by name) and flags wall-time regressions past a
+//! threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -98,7 +105,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 4,");
+        let _ = writeln!(out, "  \"schema\": 5,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -157,7 +164,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 through 4).
+    /// Parses a `BENCH_results.json` document (schema 1 through 5).
     ///
     /// # Errors
     ///
@@ -549,7 +556,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 4"));
+        assert!(json.contains("\"schema\": 5"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }

@@ -27,6 +27,7 @@
 //! homogeneous when timing or power numbers matter.)
 
 use crate::engine::backends::{CycleAccurateBackend, InferenceBackend};
+use crate::engine::quantile::P2Quantile;
 use crate::engine::record::RunRecord;
 use crate::engine::scheduler::{FirstIdle, Scheduler, ShardView};
 use crate::error::SparseNnError;
@@ -46,9 +47,10 @@ pub struct ShardStats {
     /// shards such as the golden model).
     pub busy_us: f64,
     /// The live service-time estimate schedulers see as
-    /// [`ShardView::service_us`]: the plain observed mean by default, or
-    /// an EWMA when the fleet was built with
-    /// [`Fleet::with_service_alpha`]. 0 before the shard has served
+    /// [`ShardView::service_us`]: the plain observed mean by default, an
+    /// EWMA when the fleet was built with [`Fleet::with_service_alpha`],
+    /// or an online percentile under
+    /// [`Fleet::with_service_percentile`]. 0 before the shard has served
     /// anything.
     pub service_estimate_us: f64,
 }
@@ -59,6 +61,9 @@ struct Dispatch {
     /// Indices of currently-idle shards.
     idle: Vec<usize>,
     stats: Vec<ShardStats>,
+    /// Per-shard online percentile trackers — populated (and consulted)
+    /// only under [`Fleet::with_service_percentile`].
+    quantiles: Vec<P2Quantile>,
 }
 
 /// N independent simulated accelerators serving one request queue.
@@ -96,6 +101,9 @@ pub struct Fleet {
     /// EWMA weight for the live service-time estimate; `None` keeps the
     /// plain observed mean (equivalent to a per-sample weight of `1/n`).
     service_alpha: Option<f64>,
+    /// When set, the live estimate is this percentile of each shard's
+    /// observed service times (P²) instead of a mean.
+    service_percentile: Option<f64>,
     name: String,
 }
 
@@ -135,10 +143,12 @@ impl Fleet {
             dispatch: Mutex::new(Dispatch {
                 idle: (0..n).collect(),
                 stats: vec![ShardStats::default(); n],
+                quantiles: Vec::new(),
             }),
             freed: Condvar::new(),
             scheduler: Box::new(FirstIdle),
             service_alpha: None,
+            service_percentile: None,
             name,
         })
     }
@@ -153,9 +163,46 @@ impl Fleet {
     /// noisy neighbour): a fixed alpha forgets old samples at a constant
     /// rate, so [`FastestCompletion`](super::FastestCompletion) re-ranks
     /// shards within `~1/alpha` samples of a shift instead of `~n`.
+    ///
+    /// Mutually exclusive with
+    /// [`with_service_percentile`](Self::with_service_percentile) — the
+    /// last builder call wins.
     pub fn with_service_alpha(mut self, alpha: f64) -> Self {
         self.service_alpha = Some(alpha.clamp(f64::MIN_POSITIVE, 1.0));
+        self.service_percentile = None;
+        let d = self.dispatch.get_mut().unwrap_or_else(|e| e.into_inner());
+        d.quantiles = Vec::new();
         self
+    }
+
+    /// Switches the live service-time estimate to an **online
+    /// percentile**: schedulers see each shard's `p`-quantile of
+    /// observed service times (P² streaming estimator —
+    /// [`P2Quantile`](crate::engine::P2Quantile), constant space, no
+    /// samples retained) instead of a mean. `p` is clamped to
+    /// `[0.01, 0.999]`; `0.95` makes
+    /// [`FastestCompletion`](super::FastestCompletion) rank shards by
+    /// tail latency, which is the number serving SLOs are written
+    /// against — a shard whose *mean* looks fast but whose tail is
+    /// heavy (occasional uv_on worst-case samples, a noisy neighbour)
+    /// stops attracting traffic it will serve late. Mutually exclusive
+    /// with [`with_service_alpha`](Self::with_service_alpha) — the last
+    /// builder call wins. The closed ROADMAP "online percentile service
+    /// estimate" item.
+    pub fn with_service_percentile(mut self, p: f64) -> Self {
+        let tracker = P2Quantile::new(p);
+        self.service_percentile = Some(tracker.quantile());
+        self.service_alpha = None;
+        let d = self.dispatch.get_mut().unwrap_or_else(|e| e.into_inner());
+        d.quantiles = vec![tracker; self.shards.len()];
+        self
+    }
+
+    /// The percentile the live service estimate tracks, when
+    /// [`with_service_percentile`](Self::with_service_percentile) is
+    /// active.
+    pub fn service_percentile(&self) -> Option<f64> {
+        self.service_percentile
     }
 
     /// Replaces the dispatch policy (default: [`FirstIdle`]). The same
@@ -275,12 +322,24 @@ impl Fleet {
     }
 
     /// Credits a successfully served sample to a shard's statistics and
-    /// folds its service time into the live estimate (plain mean, or
-    /// EWMA under [`with_service_alpha`](Self::with_service_alpha)).
+    /// folds its service time into the live estimate (plain mean, EWMA
+    /// under [`with_service_alpha`](Self::with_service_alpha), or an
+    /// online percentile under
+    /// [`with_service_percentile`](Self::with_service_percentile)).
     fn note_served(&self, shard: usize, record: &RunRecord) {
         let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
-        let s = &mut d.stats[shard];
         let x = record.time_us();
+        if self.service_percentile.is_some() {
+            let tracker = &mut d.quantiles[shard];
+            tracker.observe(x);
+            let est = tracker.estimate();
+            let s = &mut d.stats[shard];
+            s.samples += 1;
+            s.busy_us += x;
+            s.service_estimate_us = est;
+            return;
+        }
+        let s = &mut d.stats[shard];
         s.samples += 1;
         s.busy_us += x;
         let alpha = if s.samples == 1 {
@@ -524,6 +583,95 @@ mod tests {
         assert!(
             (mean_fleet.shard_stats()[0].busy_us / 60.0 - mean_est).abs() < 1e-9,
             "default estimate is the plain observed mean"
+        );
+    }
+
+    /// The ROADMAP open item: an online *percentile* estimate. A shard
+    /// with a fast mean but a heavy tail must rank by its tail under
+    /// `with_service_percentile` — the mean hides exactly the samples an
+    /// SLO is written against.
+    #[test]
+    fn percentile_estimate_sees_the_tail_the_mean_hides() {
+        let mean_fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        let p95_fleet = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_service_percentile(0.95);
+        assert_eq!(p95_fleet.service_percentile(), Some(0.95));
+        assert_eq!(mean_fleet.service_percentile(), None);
+        // 19 of 20 samples at 10 µs, 1 at 500 µs (uv_on worst case).
+        for fleet in [&mean_fleet, &p95_fleet] {
+            for i in 0..200 {
+                let us = if i % 20 == 19 { 500.0 } else { 10.0 };
+                fleet.note_served(0, &timed_record(us));
+            }
+        }
+        let mean_est = mean_fleet.shard_stats()[0].service_estimate_us;
+        let p95_est = p95_fleet.shard_stats()[0].service_estimate_us;
+        assert!(
+            (mean_est - 34.5).abs() < 1.0,
+            "mean ≈ 34.5 µs, got {mean_est}"
+        );
+        assert!(
+            p95_est > 100.0,
+            "p95 {p95_est} must reflect the 500 µs tail"
+        );
+        // Sample accounting is unchanged by the estimator choice.
+        assert_eq!(p95_fleet.shard_stats()[0].samples, 200);
+        assert!(
+            (p95_fleet.shard_stats()[0].busy_us - mean_fleet.shard_stats()[0].busy_us).abs() < 1e-9
+        );
+    }
+
+    /// The percentile estimate flows into `ShardView::service_us`, so
+    /// FastestCompletion ranks by tail latency.
+    #[test]
+    fn percentile_estimate_drives_dispatch() {
+        let (net, x) = net_and_input();
+        let fleet = Fleet::of_machines(2, MachineConfig::default())
+            .unwrap()
+            .with_service_percentile(0.9)
+            .with_scheduler(Box::new(crate::engine::FastestCompletion));
+        for _ in 0..4 {
+            fleet.run(&net, &x, UvMode::On).unwrap();
+        }
+        let stats = fleet.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.samples).sum::<u64>(), 4);
+        // Identical shards: the estimates agree wherever both served.
+        for s in &stats {
+            if s.samples > 0 {
+                assert!(s.service_estimate_us > 0.0);
+            }
+        }
+    }
+
+    /// The two estimator builders are mutually exclusive: the last call
+    /// decides which estimator `note_served` feeds.
+    #[test]
+    fn estimator_builders_last_call_wins() {
+        let alpha_last = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_service_percentile(0.95)
+            .with_service_alpha(0.5);
+        assert_eq!(alpha_last.service_percentile(), None);
+        for us in [10.0, 10.0, 100.0] {
+            alpha_last.note_served(0, &timed_record(us));
+        }
+        // EWMA(0.5): 10, 10, 55 — a percentile tracker would report a
+        // marker height, never this interpolation.
+        assert!((alpha_last.shard_stats()[0].service_estimate_us - 55.0).abs() < 1e-9);
+
+        let pct_last = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_service_alpha(0.5)
+            .with_service_percentile(0.5);
+        assert_eq!(pct_last.service_percentile(), Some(0.5));
+        for us in [30.0, 10.0, 20.0] {
+            pct_last.note_served(0, &timed_record(us));
+        }
+        assert_eq!(
+            pct_last.shard_stats()[0].service_estimate_us,
+            20.0,
+            "median of the warmup buffer, not an EWMA"
         );
     }
 

@@ -73,6 +73,7 @@
 mod backends;
 mod fleet;
 mod partitioned;
+mod quantile;
 mod record;
 mod scheduler;
 mod session;
@@ -80,6 +81,7 @@ mod session;
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
 pub use fleet::{Fleet, ShardStats};
 pub use partitioned::PartitionedMachine;
+pub use quantile::P2Quantile;
 pub use record::{LayerRecord, RunRecord};
 pub use scheduler::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
 pub use session::{default_worker_count, Session};

@@ -19,7 +19,8 @@
 //! [`Machine`] run for any network that fits one chip (the oracle the
 //! integration tests enforce).
 //!
-//! **Time and energy accounting.** Per layer:
+//! **Time and energy accounting.** Per layer, under the default
+//! [`PipelineMode::Serialized`] schedule:
 //!
 //! * `time_us` is the modelled critical path — the input broadcast, plus
 //!   the *slowest* chip's tile (chips run in parallel), plus the output
@@ -31,6 +32,22 @@
 //!   toggles, wherever it is), so batch power estimates price total
 //!   multi-chip activity.
 //!
+//! **Wavefront pipelining** ([`PipelineMode::Wavefront`]) replaces the
+//! serialized stage chain with a virtual-clock wavefront executor: each
+//! chip's output slice starts crossing the fabric as its rows become
+//! final (the [`LayerRun::row_ready`](sparsenn_sim::LayerRun::row_ready)
+//! availability profile from the staged machine core), the root feeds
+//! each gathered slice straight into the downward broadcast, and every
+//! chip starts layer *l+1* the moment the last slice of layer *l* lands
+//! on it — so inter-chip communication overlaps the compute of slower
+//! chips instead of serializing behind the whole layer. Pipelining
+//! reorders *time only*: outputs, masks and energy/event sums are
+//! bit-identical across both modes (the same tile simulations run; only
+//! the layer `time_us` differs), wavefront latency is never above
+//! serialized latency, and never below the
+//! [`InterChipConfig::free`]-link lower bound — the invariants the
+//! `prop_pipeline` suite pins down.
+//!
 //! Only nonzero activations cross chips — the interconnect extends the
 //! machine's input-sparsity skipping to the fabric, so UV-predicted
 //! output sparsity also cuts inter-chip traffic.
@@ -40,8 +57,10 @@ use crate::engine::record::{LayerRecord, RunRecord};
 use crate::error::SparseNnError;
 use sparsenn_model::fixedpoint::{FixedMatrix, FixedNetwork, FixedPredictor, UvMode};
 use sparsenn_numeric::Q6_10;
-use sparsenn_partition::{plan as plan_network, InterChipConfig, PartitionPlan};
-use sparsenn_sim::{Machine, MachineConfig, MachineEvents};
+use sparsenn_partition::{
+    plan as plan_network, InterChipConfig, PartitionPlan, PipelineMode, SliceTransfer,
+};
+use sparsenn_sim::{LayerRun, Machine, MachineConfig, MachineEvents};
 use std::sync::{Arc, Mutex};
 
 /// One chip's share of one layer: its global row indices, its weight
@@ -85,6 +104,7 @@ struct ForeignTiles {
 pub struct PartitionedMachine {
     chip: Machine,
     interchip: InterChipConfig,
+    pipeline: PipelineMode,
     plan: PartitionPlan,
     /// The network the tiles were cut from; `run` uses the precomputed
     /// tiles only when the served network is this exact network.
@@ -121,13 +141,32 @@ impl PartitionedMachine {
         chips: usize,
         interchip: InterChipConfig,
     ) -> Result<Self, SparseNnError> {
+        Self::with_pipeline(net, chip, chips, interchip, PipelineMode::Serialized)
+    }
+
+    /// Like [`new`](Self::new), with an explicit execution schedule —
+    /// [`PipelineMode::Wavefront`] overlaps inter-chip communication
+    /// with compute (see the [module docs](self)); outputs, masks and
+    /// event sums are bit-identical across modes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Self::new).
+    pub fn with_pipeline(
+        net: &FixedNetwork,
+        chip: MachineConfig,
+        chips: usize,
+        interchip: InterChipConfig,
+        pipeline: PipelineMode,
+    ) -> Result<Self, SparseNnError> {
         let plan = plan_network(net, &chip, chips)?;
-        Self::from_plan(net, chip, plan, interchip)
+        Self::from_plan_pipelined(net, chip, plan, interchip, pipeline)
     }
 
     /// Builds the backend from an existing plan (e.g. one reloaded from
-    /// a plan file next to a checkpoint). The plan is re-validated
-    /// against the chip configuration and matched against the network.
+    /// a plan file next to a checkpoint), on the serialized schedule.
+    /// The plan is re-validated against the chip configuration and
+    /// matched against the network.
     ///
     /// # Errors
     ///
@@ -140,6 +179,22 @@ impl PartitionedMachine {
         plan: PartitionPlan,
         interchip: InterChipConfig,
     ) -> Result<Self, SparseNnError> {
+        Self::from_plan_pipelined(net, chip, plan, interchip, PipelineMode::Serialized)
+    }
+
+    /// [`from_plan`](Self::from_plan) with an explicit execution
+    /// schedule.
+    ///
+    /// # Errors
+    ///
+    /// As for [`from_plan`](Self::from_plan).
+    pub fn from_plan_pipelined(
+        net: &FixedNetwork,
+        chip: MachineConfig,
+        plan: PartitionPlan,
+        interchip: InterChipConfig,
+        pipeline: PipelineMode,
+    ) -> Result<Self, SparseNnError> {
         plan.validate(&chip)?;
         if !plan.matches(net) {
             return Err(SparseNnError::Partition {
@@ -147,10 +202,19 @@ impl PartitionedMachine {
             });
         }
         let tiles = cut_tiles(net, &plan);
-        let name = format!("partitioned({} chips x cycle-accurate)", plan.chips());
+        let name = match pipeline {
+            PipelineMode::Serialized => {
+                format!("partitioned({} chips x cycle-accurate)", plan.chips())
+            }
+            PipelineMode::Wavefront => format!(
+                "partitioned({} chips x cycle-accurate, wavefront)",
+                plan.chips()
+            ),
+        };
         Ok(Self {
             chip: Machine::new(chip),
             interchip,
+            pipeline,
             plan,
             planned: net.clone(),
             tiles,
@@ -169,13 +233,21 @@ impl PartitionedMachine {
         &self.interchip
     }
 
+    /// The execution schedule this backend times layers with.
+    pub fn pipeline(&self) -> PipelineMode {
+        self.pipeline
+    }
+
     /// Number of chips.
     pub fn chips(&self) -> usize {
         self.plan.chips()
     }
 
     /// Runs the layers of `net` over `tiles`, folding per-chip runs into
-    /// per-layer records (critical-path latency, summed events).
+    /// per-layer records (summed events; latency per the configured
+    /// [`PipelineMode`]). Arithmetic is identical in both modes — the
+    /// schedule only decides how the per-chip runs and their transfers
+    /// are placed on the virtual clock.
     fn run_tiled(
         &self,
         net: &FixedNetwork,
@@ -185,14 +257,28 @@ impl PartitionedMachine {
     ) -> Result<Vec<LayerRecord>, SparseNnError> {
         let chips = self.plan.chips();
         let cfg = self.chip.config();
+        let icc = &self.interchip;
         let mut acts = input.to_vec();
         let mut layers = Vec::with_capacity(net.num_layers());
+        // Wavefront virtual clock: when each chip finishes its previous
+        // tile, when the current layer's input has fully landed on the
+        // chips, and the previous layer's gather-complete milestone
+        // (per-layer `time_us` is the span between milestones, so the
+        // layer times sum to the overlapped end-to-end critical path).
+        let mut chip_free_us = vec![0.0f64; chips];
+        let mut input_ready_us = 0.0f64;
+        let mut prev_end_us = 0.0f64;
         for (l, layer_tiles) in tiles.iter().enumerate() {
             let is_hidden = l + 1 < net.num_layers();
             let rows = net.layers()[l].rows();
             let nnz_in = acts.iter().filter(|v| !v.is_zero()).count();
-            let broadcast_cycles = self.interchip.broadcast_cycles(chips, nnz_in);
-            let mut flit_hops = self.interchip.broadcast_flit_hops(chips, nnz_in);
+            let broadcast_cycles = icc.broadcast_cycles(chips, nnz_in);
+            let mut flit_hops = icc.broadcast_flit_hops(chips, nnz_in);
+            if l == 0 {
+                // The host broadcasts the sample input whole before any
+                // chip can start — common to both schedules.
+                input_ready_us = icc.time_us(broadcast_cycles);
+            }
 
             let predicted = mode == UvMode::On && is_hidden && l < net.predictors().len();
             let mut output = vec![Q6_10::ZERO; rows];
@@ -202,8 +288,13 @@ impl PartitionedMachine {
             // breakdown is that chip's own vu/w split (mixing maxima
             // from different chips would describe no chip at all).
             let (mut max_cycles, mut crit_vu) = (0u64, 0u64);
+            // Per-chip runs are retained only for the wavefront clock;
+            // the serialized schedule needs nothing past the fold above.
+            let keep_runs = self.pipeline == PipelineMode::Wavefront;
+            let mut runs: Vec<Option<LayerRun>> = Vec::with_capacity(chips);
             for tile in layer_tiles {
                 if tile.rows.is_empty() {
+                    runs.push(None);
                     continue;
                 }
                 let run = self
@@ -223,15 +314,61 @@ impl PartitionedMachine {
                     crit_vu = run.vu_cycles;
                 }
                 events.merge(&run.events);
+                runs.push(keep_runs.then_some(run));
             }
 
             let nnz_out = output.iter().filter(|v| !v.is_zero()).count();
-            let gather_cycles = self.interchip.gather_cycles(chips, nnz_out);
-            flit_hops += self.interchip.gather_flit_hops(chips, nnz_out);
+            let gather_cycles = icc.gather_cycles(chips, nnz_out);
+            flit_hops += icc.gather_flit_hops(chips, nnz_out);
             events.interchip_flit_hops += flit_hops;
 
-            let time_us =
-                cfg.time_us(max_cycles) + self.interchip.time_us(broadcast_cycles + gather_cycles);
+            let time_us = match self.pipeline {
+                // Stage chain end-to-end: broadcast, slowest chip,
+                // gather — the PR-4 model, untouched.
+                PipelineMode::Serialized => {
+                    cfg.time_us(max_cycles) + icc.time_us(broadcast_cycles + gather_cycles)
+                }
+                PipelineMode::Wavefront => {
+                    // Each chip starts the moment its input landed and
+                    // it is free; its slice enters the fabric value by
+                    // value as rows become final (the row_ready
+                    // profile).
+                    let mut slices = Vec::with_capacity(chips);
+                    for (c, run) in runs.iter().enumerate() {
+                        let Some(run) = run else { continue };
+                        let start = input_ready_us.max(chip_free_us[c]);
+                        chip_free_us[c] = start + cfg.time_us(run.cycles);
+                        slices.push(SliceTransfer {
+                            ready_us: run
+                                .row_ready
+                                .iter()
+                                .zip(&run.output)
+                                .filter(|(_, v)| !v.is_zero())
+                                .map(|(&t, _)| start + cfg.time_us(t))
+                                .collect(),
+                            decided_us: start + cfg.time_us(run.last_ready()),
+                        });
+                    }
+                    let arrivals = icc.gather_schedule(chips, &slices);
+                    // Gather complete = this layer's milestone.
+                    let end = arrivals.iter().copied().fold(prev_end_us, f64::max);
+                    if is_hidden {
+                        // The root streams each gathered slice straight
+                        // into the downward broadcast; the next layer
+                        // starts once the last slice lands.
+                        let down: Vec<SliceTransfer> = slices
+                            .iter()
+                            .zip(&arrivals)
+                            .map(|(s, &a)| SliceTransfer::ready_at(a, s.values()))
+                            .collect();
+                        let lands = icc.broadcast_schedule(chips, &down);
+                        input_ready_us = lands.iter().copied().fold(end, f64::max);
+                    }
+                    let span = end - prev_end_us;
+                    prev_end_us = end;
+                    span
+                }
+            };
             layers.push(LayerRecord {
                 output: output.clone(),
                 mask,
@@ -497,6 +634,80 @@ mod tests {
         // Each chip computes a quarter of the rows over the same input:
         // its W phase is shorter than the big machine's.
         assert!(got.layers[0].cycles <= single.layers[0].cycles);
+    }
+
+    #[test]
+    fn wavefront_reorders_time_never_arithmetic() {
+        // 512×784 overflows the shrunken chip: a genuine multi-chip
+        // serve, where gather/broadcast are worth overlapping.
+        let chip = MachineConfig {
+            w_mem_bytes: 8 * 1024,
+            ..MachineConfig::default()
+        };
+        let (net, x) = net_and_input(&[784, 512, 10], 4, 17);
+        for chips in [2usize, 4] {
+            let serialized =
+                PartitionedMachine::new(&net, chip, chips, InterChipConfig::default()).unwrap();
+            let wavefront = PartitionedMachine::with_pipeline(
+                &net,
+                chip,
+                chips,
+                InterChipConfig::default(),
+                PipelineMode::Wavefront,
+            )
+            .unwrap();
+            for mode in [UvMode::Off, UvMode::On] {
+                let a = serialized.run(&net, &x, mode).unwrap();
+                let b = wavefront.run(&net, &x, mode).unwrap();
+                for (l, (s, w)) in a.layers.iter().zip(&b.layers).enumerate() {
+                    assert_eq!(s.output, w.output, "{chips} chips layer {l} {mode:?}");
+                    assert_eq!(s.mask, w.mask, "{chips} chips layer {l} mask");
+                    assert_eq!(s.events, w.events, "{chips} chips layer {l} events");
+                    assert_eq!(s.cycles, w.cycles, "{chips} chips layer {l} cycles");
+                }
+                // Pipelining hides comm latency; it cannot create time.
+                assert!(
+                    b.time_us() < a.time_us(),
+                    "{chips} chips {mode:?}: wavefront {} vs serialized {}",
+                    b.time_us(),
+                    a.time_us()
+                );
+                // …and never dips below the free-link lower bound.
+                let free = PartitionedMachine::with_pipeline(
+                    &net,
+                    chip,
+                    chips,
+                    InterChipConfig::free(),
+                    PipelineMode::Wavefront,
+                )
+                .unwrap()
+                .run(&net, &x, mode)
+                .unwrap();
+                assert!(b.time_us() >= free.time_us() - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_backend_is_named_and_introspectable() {
+        let (net, _) = net_and_input(&[24, 48, 10], 3, 8);
+        let cfg = MachineConfig::default();
+        let wf = PartitionedMachine::with_pipeline(
+            &net,
+            cfg,
+            2,
+            InterChipConfig::default(),
+            PipelineMode::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(wf.pipeline(), PipelineMode::Wavefront);
+        assert_eq!(
+            wf.name(),
+            "partitioned(2 chips x cycle-accurate, wavefront)"
+        );
+        let serialized = PartitionedMachine::new(&net, cfg, 2, InterChipConfig::default()).unwrap();
+        assert_eq!(serialized.pipeline(), PipelineMode::Serialized);
+        assert_eq!(serialized.name(), "partitioned(2 chips x cycle-accurate)");
     }
 
     #[test]

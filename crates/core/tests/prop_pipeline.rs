@@ -1,0 +1,115 @@
+//! Property tests of the staged timing model — the ISSUE-5 contract:
+//!
+//! 1. wavefront pipelining reorders *time, never arithmetic*: outputs,
+//!    masks and event sums are bit-identical to the serialized schedule
+//!    for random networks and chip counts;
+//! 2. wavefront `time_us` is never above serialized `time_us` (overlap
+//!    can only hide latency) and never below the free-link lower bound
+//!    (overlap cannot beat a zero-cost interconnect).
+
+use proptest::prelude::*;
+use sparsenn_core::engine::{InferenceBackend, PartitionedMachine};
+use sparsenn_core::model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_core::model::{Mlp, PredictedNetwork};
+use sparsenn_core::partition::{InterChipConfig, PipelineMode};
+use sparsenn_core::sim::MachineConfig;
+use sparsenn_linalg::init::seeded_rng;
+use sparsenn_numeric::Q6_10;
+
+fn random_case(seed: u64, dims: &[usize], zero_every: usize) -> (FixedNetwork, Vec<Q6_10>) {
+    let mut rng = seeded_rng(seed);
+    let mlp = Mlp::random(dims, &mut rng);
+    let net = PredictedNetwork::with_random_predictors(mlp, 3, &mut rng);
+    let fixed = FixedNetwork::from_float(&net);
+    let x: Vec<f32> = (0..dims[0])
+        .map(|i| {
+            if i % zero_every == 0 {
+                0.0
+            } else {
+                ((i as f32) * 0.37 + seed as f32 * 0.11).sin()
+            }
+        })
+        .collect();
+    let xq = fixed.quantize_input(&x);
+    (fixed, xq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// (a) Outputs, masks and summed events are bit-identical between
+    /// the serialized and wavefront schedules, for random networks,
+    /// chip counts and both uv modes.
+    #[test]
+    fn wavefront_is_bit_identical_to_serialized(
+        seed in 0u64..1_000,
+        input_dim in 8usize..40,
+        hidden in 16usize..96,
+        out in 4usize..12,
+        chips in 1usize..=6,
+        zero_every in 2usize..5,
+        uv_on in any::<bool>(),
+    ) {
+        let dims = [input_dim, hidden, out];
+        let (net, x) = random_case(seed, &dims, zero_every);
+        let cfg = MachineConfig::default();
+        let icc = InterChipConfig::default();
+        let serialized = PartitionedMachine::new(&net, cfg, chips, icc).unwrap();
+        let wavefront =
+            PartitionedMachine::with_pipeline(&net, cfg, chips, icc, PipelineMode::Wavefront)
+                .unwrap();
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let a = serialized.run(&net, &x, mode).unwrap();
+        let b = wavefront.run(&net, &x, mode).unwrap();
+        prop_assert_eq!(a.layers.len(), b.layers.len());
+        for (l, (s, w)) in a.layers.iter().zip(&b.layers).enumerate() {
+            prop_assert_eq!(&s.output, &w.output, "layer {} output", l);
+            prop_assert_eq!(&s.mask, &w.mask, "layer {} mask", l);
+            prop_assert_eq!(&s.events, &w.events, "layer {} events", l);
+            prop_assert_eq!(s.cycles, w.cycles, "layer {} cycles", l);
+        }
+        prop_assert_eq!(a.total_events(), b.total_events());
+    }
+
+    /// (b) The wavefront schedule is bounded on both sides: never above
+    /// serialized, never below the `InterChipConfig::free()` no-comm
+    /// lower bound.
+    #[test]
+    fn wavefront_time_is_bracketed(
+        seed in 0u64..1_000,
+        input_dim in 8usize..40,
+        hidden in 16usize..96,
+        hidden2 in 8usize..48,
+        chips in 1usize..=6,
+        zero_every in 2usize..5,
+        uv_on in any::<bool>(),
+    ) {
+        let dims = [input_dim, hidden, hidden2, 8];
+        let (net, x) = random_case(seed, &dims, zero_every);
+        let cfg = MachineConfig::default();
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let run = |icc: InterChipConfig, pipeline: PipelineMode| {
+            PartitionedMachine::with_pipeline(&net, cfg, chips, icc, pipeline)
+                .unwrap()
+                .run(&net, &x, mode)
+                .unwrap()
+                .time_us()
+        };
+        let serialized = run(InterChipConfig::default(), PipelineMode::Serialized);
+        let wavefront = run(InterChipConfig::default(), PipelineMode::Wavefront);
+        let free = run(InterChipConfig::free(), PipelineMode::Wavefront);
+        let eps = 1e-9 * serialized.max(1.0);
+        prop_assert!(
+            wavefront <= serialized + eps,
+            "wavefront {} must not exceed serialized {} ({} chips)",
+            wavefront, serialized, chips
+        );
+        prop_assert!(
+            wavefront + eps >= free,
+            "wavefront {} must not beat the free-link bound {} ({} chips)",
+            wavefront, free, chips
+        );
+        // Per-layer spans are non-negative in every schedule.
+        prop_assert!(serialized >= 0.0 && wavefront >= 0.0 && free >= 0.0);
+    }
+}

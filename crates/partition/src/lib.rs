@@ -55,9 +55,11 @@
 
 mod interchip;
 mod plan;
+mod schedule;
 
 pub use interchip::InterChipConfig;
-pub use plan::{plan, LayerPlan, PartitionError, PartitionPlan};
+pub use plan::{plan, plan_with_row_costs, LayerPlan, PartitionError, PartitionPlan};
+pub use schedule::{PipelineMode, SliceTransfer};
 
 // Re-exported so downstream code can name the capacity type the planner
 // diagnostics are phrased in without a direct `sparsenn-sim` dependency.

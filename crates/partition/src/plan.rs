@@ -143,10 +143,13 @@ pub struct PartitionPlan {
 /// Rows are assigned greedily, heaviest first, to the least-loaded chip
 /// that can still take a row — where a row's weight is its count of
 /// nonzero quantized weights (+1, so all-zero rows still spread by
-/// count). This balances the *work* each chip does in the W phase (the
-/// machine skips zero weights' activations at the operand level, but
-/// row nnz is the first-order per-row cost), while the capacity check
-/// guarantees each tile fits [`MachineConfig::w_capacity_words_per_pe`].
+/// count). This balances the *static* work each chip does in the W
+/// phase, while the capacity check guarantees each tile fits
+/// [`MachineConfig::w_capacity_words_per_pe`]. `plan` is exactly
+/// [`plan_with_row_costs`] with a uniform cost of 1.0 per row — use
+/// that variant when per-row expected activity (e.g. predictor mask
+/// frequencies from a calibration batch) is available, so uv_on's
+/// skewed row activity stops making the slowest chip the critical path.
 ///
 /// A plan over one chip admits exactly the networks the single
 /// `Machine` admits — same register-file and W-memory checks.
@@ -165,6 +168,78 @@ pub fn plan(
     net: &FixedNetwork,
     chip: &MachineConfig,
     chips: usize,
+) -> Result<PartitionPlan, PartitionError> {
+    plan_impl(net, chip, chips, None)
+}
+
+/// Plans a row tiling of `net` balancing *expected* per-row activity
+/// instead of static structure alone.
+///
+/// `row_costs` holds, per layer, one weight per output row — the
+/// expected fraction of samples the row is actually computed (a
+/// predictor mask frequency measured on a calibration batch; values are
+/// clamped to `[0, 1]`). A row's greedy weight becomes
+/// `activity × (1 + nnz)`, so a row the predictor almost always
+/// bypasses contributes almost nothing to its chip's expected W-phase
+/// load — this is what evens out per-chip compute time under `uv_on`,
+/// where random mask skew otherwise makes the most-active chip the
+/// critical path of every layer. Capacity checks are unchanged: costs
+/// steer *placement*, never feasibility.
+///
+/// With every cost 1.0 the plan is bit-identical to [`plan`]'s (the
+/// uniform-cost wrapper).
+///
+/// # Errors
+///
+/// As for [`plan`], plus [`PartitionError::Invalid`] when `row_costs`
+/// does not have exactly one finite, non-negative entry per row per
+/// layer.
+pub fn plan_with_row_costs(
+    net: &FixedNetwork,
+    chip: &MachineConfig,
+    chips: usize,
+    row_costs: &[Vec<f64>],
+) -> Result<PartitionPlan, PartitionError> {
+    if row_costs.len() != net.num_layers() {
+        return Err(PartitionError::Invalid {
+            message: format!(
+                "row-cost table has {} layers for a {}-layer network",
+                row_costs.len(),
+                net.num_layers()
+            ),
+        });
+    }
+    for (l, (costs, w)) in row_costs.iter().zip(net.layers()).enumerate() {
+        if costs.len() != w.rows() {
+            return Err(PartitionError::Invalid {
+                message: format!(
+                    "row-cost table layer {l} has {} entries for {} rows",
+                    costs.len(),
+                    w.rows()
+                ),
+            });
+        }
+        if let Some(bad) = costs.iter().find(|c| !c.is_finite() || **c < 0.0) {
+            return Err(PartitionError::Invalid {
+                message: format!(
+                    "row-cost table layer {l} has a non-finite or negative cost {bad}"
+                ),
+            });
+        }
+    }
+    plan_impl(net, chip, chips, Some(row_costs))
+}
+
+/// Fixed-point scale for greedy row weights: activity is resolved to
+/// ~1/1024 before integer load balancing, keeping the assignment fully
+/// deterministic across platforms (no float accumulation).
+const COST_SCALE: f64 = 1024.0;
+
+fn plan_impl(
+    net: &FixedNetwork,
+    chip: &MachineConfig,
+    chips: usize,
+    row_costs: Option<&[Vec<f64>]>,
 ) -> Result<PartitionPlan, PartitionError> {
     if chips == 0 {
         return Err(PartitionError::NoChips);
@@ -218,8 +293,18 @@ pub fn plan(
             });
         }
         // Heaviest rows first; ties keep ascending row order (stable).
+        // Uniform costs scale every weight by the same constant, so the
+        // greedy assignment (and thus `plan`) is unchanged by the
+        // fixed-point resolution.
         let weights: Vec<u64> = (0..rows)
-            .map(|r| 1 + w.row(r).iter().filter(|v| !v.is_zero()).count() as u64)
+            .map(|r| {
+                let base = (1 + w.row(r).iter().filter(|v| !v.is_zero()).count() as u64) as f64;
+                let cost = match row_costs {
+                    None => base,
+                    Some(costs) => costs[l][r].clamp(0.0, 1.0) * base,
+                };
+                ((cost * COST_SCALE).round() as u64).max(1)
+            })
             .collect();
         let mut order: Vec<usize> = (0..rows).collect();
         order.sort_by_key(|&r| std::cmp::Reverse(weights[r]));
@@ -577,6 +662,77 @@ mod tests {
             msg.contains("8192") && msg.contains("register files"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn uniform_row_costs_reproduce_the_plain_plan() {
+        let chip = MachineConfig::default();
+        let net = fixed(&[784, 512, 10], 21);
+        let uniform: Vec<Vec<f64>> = net.layers().iter().map(|w| vec![1.0; w.rows()]).collect();
+        for chips in [1usize, 2, 4] {
+            assert_eq!(
+                plan_with_row_costs(&net, &chip, chips, &uniform).unwrap(),
+                plan(&net, &chip, chips).unwrap(),
+                "{chips} chips"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_activity_balances_expected_work_not_row_count() {
+        let chip = MachineConfig::default();
+        let net = fixed(&[64, 128, 10], 22);
+        // Rows 0..64 almost always computed, rows 64..128 almost never.
+        let activity: Vec<Vec<f64>> = net
+            .layers()
+            .iter()
+            .map(|w| {
+                (0..w.rows())
+                    .map(|r| if r < 64 { 1.0 } else { 0.01 })
+                    .collect()
+            })
+            .collect();
+        let p = plan_with_row_costs(&net, &chip, 2, &activity).unwrap();
+        p.validate(&chip).unwrap();
+        // Expected load per chip (sum of activity over its tile) must be
+        // near-even: each chip takes ~half the *hot* rows, instead of
+        // one chip inheriting all of them by static-nnz balance.
+        let hot_per_chip: Vec<usize> = p.layers()[0]
+            .tiles
+            .iter()
+            .map(|tile| tile.iter().filter(|&&r| r < 64).count())
+            .collect();
+        assert_eq!(hot_per_chip.iter().sum::<usize>(), 64);
+        assert!(
+            hot_per_chip.iter().all(|&h| (28..=36).contains(&h)),
+            "hot rows must split near-evenly: {hot_per_chip:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_row_costs_are_rejected() {
+        let chip = MachineConfig::default();
+        let net = fixed(&[16, 32, 10], 23);
+        let good: Vec<Vec<f64>> = net.layers().iter().map(|w| vec![0.5; w.rows()]).collect();
+        assert!(plan_with_row_costs(&net, &chip, 2, &good).is_ok());
+        for bad in [
+            good[..1].to_vec(),                        // missing a layer
+            vec![vec![0.5; 31], good[1].clone()],      // short row
+            vec![vec![f64::NAN; 32], good[1].clone()], // non-finite
+            vec![
+                {
+                    let mut v = good[0].clone();
+                    v[0] = -1.0;
+                    v
+                },
+                good[1].clone(),
+            ],
+        ] {
+            assert!(matches!(
+                plan_with_row_costs(&net, &chip, 2, &bad),
+                Err(PartitionError::Invalid { .. })
+            ));
+        }
     }
 
     #[test]

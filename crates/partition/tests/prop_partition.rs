@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use sparsenn_linalg::init::seeded_rng;
 use sparsenn_model::fixedpoint::FixedNetwork;
 use sparsenn_model::Mlp;
-use sparsenn_partition::{plan, PartitionPlan};
+use sparsenn_partition::{plan, plan_with_row_costs, PartitionPlan};
 use sparsenn_sim::MachineConfig;
 
 fn chip_with_words(words: usize) -> MachineConfig {
@@ -110,6 +110,68 @@ proptest! {
             // another holds the excess beyond the weight imbalance. The
             // conservative structural bound: max ≤ 2·min + cols.
             prop_assert!(max <= 2 * min + layer.cols + 1, "{:?}", sizes);
+        }
+    }
+
+    /// `plan` is exactly the uniform-cost wrapper of
+    /// `plan_with_row_costs`: a cost table of all 1.0 reproduces the
+    /// plain plan bit for bit, for random networks and chip counts.
+    #[test]
+    fn uniform_costs_reproduce_the_plain_plan(
+        seed in 0u64..1000,
+        hidden in 16usize..200,
+        inputs in 8usize..64,
+        chips in 1usize..9,
+    ) {
+        let net = FixedNetwork::from_mlp(
+            &Mlp::random(&[inputs, hidden, 10], &mut seeded_rng(seed)));
+        let chip = MachineConfig::default();
+        let uniform: Vec<Vec<f64>> =
+            net.layers().iter().map(|w| vec![1.0; w.rows()]).collect();
+        prop_assert_eq!(
+            plan_with_row_costs(&net, &chip, chips, &uniform).unwrap(),
+            plan(&net, &chip, chips).unwrap()
+        );
+    }
+
+    /// Activity-weighted plans stay structurally valid for arbitrary
+    /// cost profiles — costs steer placement, never feasibility.
+    #[test]
+    fn activity_weighted_plans_validate(
+        seed in 0u64..1000,
+        hidden in 16usize..200,
+        chips in 1usize..9,
+        hot_fraction in 0.05f64..1.0,
+    ) {
+        let net = FixedNetwork::from_mlp(
+            &Mlp::random(&[24, hidden, 10], &mut seeded_rng(seed)));
+        let chip = MachineConfig::default();
+        let costs: Vec<Vec<f64>> = net
+            .layers()
+            .iter()
+            .map(|w| {
+                (0..w.rows())
+                    .map(|r| if (r as f64) < hot_fraction * w.rows() as f64 { 1.0 } else { 0.02 })
+                    .collect()
+            })
+            .collect();
+        let p = plan_with_row_costs(&net, &chip, chips, &costs).unwrap();
+        prop_assert!(p.validate(&chip).is_ok());
+        prop_assert!(p.matches(&net));
+        // Expected load (sum of clamped activity) is near-balanced: no
+        // chip holds more than its fair share plus one heaviest row.
+        for (l, layer) in p.layers().iter().enumerate() {
+            let load = |tile: &Vec<usize>| -> f64 {
+                tile.iter().map(|&r| costs[l][r]).sum()
+            };
+            let loads: Vec<f64> = layer.tiles.iter().map(load).collect();
+            let total: f64 = loads.iter().sum();
+            let max = loads.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!(
+                max <= total / chips as f64 + 1.0 + 1e-9,
+                "layer {}: expected-activity loads {:?} exceed fair share",
+                l, loads
+            );
         }
     }
 }

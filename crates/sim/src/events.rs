@@ -48,6 +48,16 @@ pub struct MachineEvents {
     /// Always 0 for a single-chip simulation; priced far above an on-chip
     /// router hop by the energy model (off-chip SerDes).
     pub interchip_flit_hops: u64,
+    /// Row-availability profile: a histogram of output rows by *when*
+    /// their value became final, in eighths of the producing layer's
+    /// total cycle count (`row_ready_hist[0]` counts rows ready within
+    /// the first eighth, …, `[7]` the last). Rows finishing early are
+    /// what wavefront pipelining overlaps with inter-chip transfers;
+    /// a mass concentrated in low buckets means most of a layer's output
+    /// can be in flight long before the layer drains. Merging sums
+    /// counts, so a network (or multi-chip) total reads as "how many
+    /// rows, across all layers, were ready in each relative eighth".
+    pub row_ready_hist: [u64; 8],
 }
 
 impl MachineEvents {
@@ -70,6 +80,9 @@ impl MachineEvents {
         self.pe_idle_cycles += other.pe_idle_cycles;
         self.noc.merge(&other.noc);
         self.interchip_flit_hops += other.interchip_flit_hops;
+        for (h, o) in self.row_ready_hist.iter_mut().zip(&other.row_ready_hist) {
+            *h += o;
+        }
     }
 
     /// Mean PE datapath utilization in `[0, 1]`.
@@ -101,6 +114,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.macs, 150);
+    }
+
+    #[test]
+    fn merge_adds_availability_histograms() {
+        let mut a = MachineEvents {
+            row_ready_hist: [1, 0, 0, 0, 0, 0, 0, 2],
+            ..MachineEvents::default()
+        };
+        let b = MachineEvents {
+            row_ready_hist: [0, 3, 0, 0, 0, 0, 0, 1],
+            ..MachineEvents::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.row_ready_hist, [1, 3, 0, 0, 0, 0, 0, 3]);
     }
 
     #[test]

@@ -103,9 +103,30 @@ pub struct LayerRun {
     /// predicted by the sparsity predictor also varies from PE to PE";
     /// this vector quantifies it.
     pub pe_busy: Vec<u64>,
+    /// The row-availability profile: for each output row, the cycle
+    /// (counted from the start of the layer) at which its value became
+    /// final — the row's last W-phase MAC plus the PE pipeline depth,
+    /// offset past the VU phase. Rows the W phase never touched
+    /// (predictor-bypassed, or an all-zero input) are final as soon as
+    /// the predictor verdict clears the pipeline. Always bounded by
+    /// [`cycles`](Self::cycles); the gap between a row's readiness and
+    /// the layer total is drain time a downstream consumer need not wait
+    /// for — the slack wavefront pipelining converts into comm/compute
+    /// overlap.
+    pub row_ready: Vec<u64>,
 }
 
 impl LayerRun {
+    /// Cycle the earliest output row was final (0 for a zero-row layer).
+    pub fn first_ready(&self) -> u64 {
+        self.row_ready.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Cycle the last output row was final — the earliest moment the
+    /// *whole* output could leave the chip (≤ [`cycles`](Self::cycles)).
+    pub fn last_ready(&self) -> u64 {
+        self.row_ready.iter().copied().max().unwrap_or(0)
+    }
     /// Work imbalance: busiest PE's cycles over the mean. 1.0 = perfectly
     /// balanced; the whole layer's duration is paced by the max, so this is
     /// the factor by which imbalance stretches the W phase (and where the
@@ -215,75 +236,10 @@ impl Machine {
         is_hidden: bool,
         mode: UvMode,
     ) -> Result<LayerRun, MachineError> {
-        self.cfg
-            .validate_layer(w.rows(), w.cols())
-            .map_err(|e| match e {
-                crate::LayerFitError::WMemoryOverflow { words, capacity } => {
-                    MachineError::WMemoryOverflow {
-                        layer: 0,
-                        words,
-                        capacity,
-                    }
-                }
-                other => MachineError::LayerDoesNotFit {
-                    layer: 0,
-                    reason: other.to_string(),
-                },
-            })?;
-        if input.len() != w.cols() {
-            return Err(MachineError::InputWidthMismatch {
-                expected: w.cols(),
-                got: input.len(),
-            });
-        }
-
-        let n_pes = self.cfg.num_pes();
-        let mut ev = MachineEvents::default();
-        let mut pes: Vec<Pe> = (0..n_pes)
-            .map(|id| Pe::new(id, n_pes, self.cfg.act_queue_depth, input, w.rows()))
-            .collect();
-
-        let mut pe_busy = vec![0u64; n_pes];
-        let predicted = mode == UvMode::On && is_hidden && predictor.is_some();
-        let vu_cycles = if predicted {
-            let p = predictor.expect("checked above");
-            self.run_vu_phase(&mut pes, p, &mut ev, &mut pe_busy)
-        } else {
-            pes.iter_mut().for_each(Pe::force_all_active);
-            0
-        };
-
-        let w_cycles = self.run_w_phase(&mut pes, w, predicted, &mut ev, &mut pe_busy);
-
-        // Writeback to the destination register file.
-        let mut output = vec![Q6_10::ZERO; w.rows()];
-        for pe in &pes {
-            for (row, val) in pe.writeback(is_hidden, &mut ev) {
-                output[row as usize] = val;
-            }
-        }
-        let mask = predicted.then(|| {
-            let mut mask = vec![false; w.rows()];
-            for pe in &pes {
-                for (&row, &bit) in pe.rows().iter().zip(pe.predictor_bits()) {
-                    mask[row as usize] = bit;
-                }
-            }
-            mask
-        });
-
-        ev.vu_cycles = vu_cycles;
-        ev.w_cycles = w_cycles;
-        ev.cycles = vu_cycles + w_cycles;
-        Ok(LayerRun {
-            output,
-            mask,
-            cycles: vu_cycles + w_cycles,
-            vu_cycles,
-            w_cycles,
-            events: ev,
-            pe_busy,
-        })
+        let mut stages = LayerStages::begin(&self.cfg, w, predictor, input, is_hidden, mode)?;
+        stages.run_vu();
+        stages.run_w();
+        Ok(stages.writeback())
     }
 
     /// Simulates the whole network, feeding each layer's (already
@@ -354,14 +310,208 @@ impl Machine {
         Ok(NetworkRun { layers })
     }
 
+    /// Stages the layer without running it — the entry point of the
+    /// explicit staged core ([`LayerStages`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`try_run_layer`](Machine::try_run_layer).
+    pub fn stage_layer<'a>(
+        &'a self,
+        w: &'a FixedMatrix,
+        predictor: Option<&'a FixedPredictor>,
+        input: &[Q6_10],
+        is_hidden: bool,
+        mode: UvMode,
+    ) -> Result<LayerStages<'a>, MachineError> {
+        LayerStages::begin(&self.cfg, w, predictor, input, is_hidden, mode)
+    }
+}
+
+/// The staged core of one layer simulation: the machine's three-phase
+/// schedule made explicit, so callers that reason about *time* — not
+/// just totals — can observe each stage boundary.
+///
+/// [`begin`](Self::begin) validates the shapes and loads the PEs;
+/// [`run_vu`](Self::run_vu) executes the overlapped V/U predictor phases
+/// (a no-op outside predicted layers); [`run_w`](Self::run_w) executes
+/// the feedforward W phase, stamping every row's last MAC cycle; and
+/// [`writeback`](Self::writeback) quantizes the accumulators into the
+/// [`LayerRun`], including the per-row availability profile
+/// ([`LayerRun::row_ready`]) the wavefront multi-chip executor schedules
+/// transfers from. [`Machine::try_run_layer`] is exactly
+/// `begin → run_vu → run_w → writeback`.
+pub struct LayerStages<'a> {
+    cfg: &'a MachineConfig,
+    w: &'a FixedMatrix,
+    predictor: Option<&'a FixedPredictor>,
+    is_hidden: bool,
+    predicted: bool,
+    pes: Vec<Pe>,
+    ev: MachineEvents,
+    pe_busy: Vec<u64>,
+    vu_cycles: Option<u64>,
+    w_cycles: Option<u64>,
+}
+
+impl<'a> LayerStages<'a> {
+    /// Validates the layer against the machine limits and loads the PEs'
+    /// source register files — everything up to (but not including) the
+    /// first simulated cycle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_run_layer`].
+    pub fn begin(
+        cfg: &'a MachineConfig,
+        w: &'a FixedMatrix,
+        predictor: Option<&'a FixedPredictor>,
+        input: &[Q6_10],
+        is_hidden: bool,
+        mode: UvMode,
+    ) -> Result<Self, MachineError> {
+        cfg.validate_layer(w.rows(), w.cols())
+            .map_err(|e| match e {
+                crate::LayerFitError::WMemoryOverflow { words, capacity } => {
+                    MachineError::WMemoryOverflow {
+                        layer: 0,
+                        words,
+                        capacity,
+                    }
+                }
+                other => MachineError::LayerDoesNotFit {
+                    layer: 0,
+                    reason: other.to_string(),
+                },
+            })?;
+        if input.len() != w.cols() {
+            return Err(MachineError::InputWidthMismatch {
+                expected: w.cols(),
+                got: input.len(),
+            });
+        }
+        let n_pes = cfg.num_pes();
+        let pes: Vec<Pe> = (0..n_pes)
+            .map(|id| Pe::new(id, n_pes, cfg.act_queue_depth, input, w.rows()))
+            .collect();
+        let predicted = mode == UvMode::On && is_hidden && predictor.is_some();
+        Ok(Self {
+            cfg,
+            w,
+            predictor,
+            is_hidden,
+            predicted,
+            pes,
+            ev: MachineEvents::default(),
+            pe_busy: vec![0u64; n_pes],
+            vu_cycles: None,
+            w_cycles: None,
+        })
+    }
+
+    /// `true` when the layer runs the predictor phases (uv_on, hidden,
+    /// predictor present).
+    pub fn predicted(&self) -> bool {
+        self.predicted
+    }
+
+    /// Runs the overlapped V/U predictor phases and returns their cycle
+    /// count (0 for unpredicted layers, which instead force every
+    /// predictor bit active).
+    pub fn run_vu(&mut self) -> u64 {
+        assert!(self.vu_cycles.is_none(), "run_vu called twice");
+        let cycles = if self.predicted {
+            self.vu_phase()
+        } else {
+            self.pes.iter_mut().for_each(Pe::force_all_active);
+            0
+        };
+        self.vu_cycles = Some(cycles);
+        cycles
+    }
+
+    /// Runs the feedforward W phase and returns its cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`run_vu`](Self::run_vu) has not run first — the phases
+    /// are a hardware schedule, not independent kernels.
+    pub fn run_w(&mut self) -> u64 {
+        assert!(
+            self.vu_cycles.is_some(),
+            "run_w before run_vu (the W phase consumes the predictor verdict)"
+        );
+        assert!(self.w_cycles.is_none(), "run_w called twice");
+        let cycles = self.w_phase();
+        self.w_cycles = Some(cycles);
+        cycles
+    }
+
+    /// Quantizes the accumulators into the [`LayerRun`]: outputs, mask,
+    /// cycle totals, events — and the per-row availability profile
+    /// ([`LayerRun::row_ready`] plus the
+    /// [`row_ready_hist`](MachineEvents::row_ready_hist) summary).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both [`run_vu`](Self::run_vu) and
+    /// [`run_w`](Self::run_w) have run.
+    pub fn writeback(mut self) -> LayerRun {
+        let vu_cycles = self.vu_cycles.expect("run_vu before writeback");
+        let w_cycles = self.w_cycles.expect("run_w before writeback");
+        let total = vu_cycles + w_cycles;
+        let pipe = self.cfg.pe_pipeline_depth;
+        let rows = self.w.rows();
+        let mut output = vec![Q6_10::ZERO; rows];
+        let mut row_ready = vec![0u64; rows];
+        for pe in &self.pes {
+            for (row, val, last_mac) in pe.writeback(self.is_hidden, &mut self.ev) {
+                output[row as usize] = val;
+                // A row is final once its last MAC clears the PE
+                // pipeline; rows the W phase never touched are final as
+                // soon as the predictor verdict does.
+                row_ready[row as usize] = vu_cycles + last_mac + pipe;
+            }
+        }
+        debug_assert!(
+            row_ready.iter().all(|&t| t <= total),
+            "row availability must be bounded by the layer total"
+        );
+        let span = total.max(1);
+        for &t in &row_ready {
+            let bucket = (t.saturating_mul(8) / span).min(7) as usize;
+            self.ev.row_ready_hist[bucket] += 1;
+        }
+        let mask = self.predicted.then(|| {
+            let mut mask = vec![false; rows];
+            for pe in &self.pes {
+                for (&row, &bit) in pe.rows().iter().zip(pe.predictor_bits()) {
+                    mask[row as usize] = bit;
+                }
+            }
+            mask
+        });
+        self.ev.vu_cycles = vu_cycles;
+        self.ev.w_cycles = w_cycles;
+        self.ev.cycles = total;
+        LayerRun {
+            output,
+            mask,
+            cycles: total,
+            vu_cycles,
+            w_cycles,
+            events: self.ev,
+            pe_busy: self.pe_busy,
+            row_ready,
+        }
+    }
+
     /// The overlapped V/U predictor phases. Returns the cycle count.
-    fn run_vu_phase(
-        &self,
-        pes: &mut [Pe],
-        p: &FixedPredictor,
-        ev: &mut MachineEvents,
-        pe_busy: &mut [u64],
-    ) -> u64 {
+    fn vu_phase(&mut self) -> u64 {
+        let p = self.predictor.expect("predicted layers carry a predictor");
+        let pes = &mut self.pes;
+        let ev = &mut self.ev;
+        let pe_busy = &mut self.pe_busy;
         let r = p.v.rows();
         let participants: Vec<bool> = pes.iter().map(Pe::participates).collect();
         for pe in pes.iter_mut() {
@@ -443,14 +593,12 @@ impl Machine {
     }
 
     /// The W feedforward phase. Returns the cycle count.
-    fn run_w_phase(
-        &self,
-        pes: &mut [Pe],
-        w: &FixedMatrix,
-        uv_on: bool,
-        ev: &mut MachineEvents,
-        pe_busy: &mut [u64],
-    ) -> u64 {
+    fn w_phase(&mut self) -> u64 {
+        let w = self.w;
+        let uv_on = self.predicted;
+        let pes = &mut self.pes;
+        let ev = &mut self.ev;
+        let pe_busy = &mut self.pe_busy;
         for pe in pes.iter_mut() {
             pe.rewind_src();
         }
@@ -478,7 +626,7 @@ impl Machine {
             }
 
             for (pe, busy) in pes.iter_mut().zip(pe_busy.iter_mut()) {
-                match pe.step_w(w, uv_on, ev) {
+                match pe.step_w(w, uv_on, cycle, ev) {
                     StepOutcome::Busy => {
                         ev.pe_busy_cycles += 1;
                         *busy += 1;
@@ -658,6 +806,60 @@ mod tests {
         // Busy cycles recorded per PE must sum to the global counter.
         let sum: u64 = on.pe_busy.iter().sum();
         assert_eq!(sum, on.events.pe_busy_cycles);
+    }
+
+    #[test]
+    fn staged_core_equals_the_monolithic_run() {
+        let (net, x) = build(12, &[40, 96, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        for mode in [UvMode::Off, UvMode::On] {
+            let whole =
+                machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, mode);
+            let mut stages = machine
+                .stage_layer(&net.layers()[0], net.predictors().first(), &x, true, mode)
+                .unwrap();
+            let vu = stages.run_vu();
+            let w = stages.run_w();
+            let staged = stages.writeback();
+            assert_eq!(vu, whole.vu_cycles, "{mode:?}");
+            assert_eq!(w, whole.w_cycles, "{mode:?}");
+            assert_eq!(staged.output, whole.output, "{mode:?}");
+            assert_eq!(staged.mask, whole.mask, "{mode:?}");
+            assert_eq!(staged.events, whole.events, "{mode:?}");
+            assert_eq!(staged.row_ready, whole.row_ready, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn row_availability_is_bounded_and_spread() {
+        let (net, x) = build(13, &[48, 256, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        for mode in [UvMode::Off, UvMode::On] {
+            let run = machine.run_layer(&net.layers()[0], net.predictors().first(), &x, true, mode);
+            assert_eq!(run.row_ready.len(), 256);
+            assert!(run.row_ready.iter().all(|&t| t > 0 && t <= run.cycles));
+            assert_eq!(run.last_ready(), *run.row_ready.iter().max().unwrap());
+            // Rows finish over a genuine interval, not all at the drain:
+            // that early slack is what wavefront pipelining overlaps.
+            assert!(
+                run.first_ready() < run.last_ready(),
+                "{mode:?}: rows must not all complete at once"
+            );
+            assert!(run.last_ready() <= run.cycles);
+            // The histogram is over exactly the layer's rows.
+            assert_eq!(run.events.row_ready_hist.iter().sum::<u64>(), 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "run_w before run_vu")]
+    fn stage_order_is_enforced() {
+        let (net, x) = build(14, &[32, 64, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let mut stages = machine
+            .stage_layer(&net.layers()[0], None, &x, true, UvMode::Off)
+            .unwrap();
+        stages.run_w();
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct Pe {
     rows: Vec<u32>,
     /// Wide W-phase accumulators, one per local row.
     acc_w: Vec<Accumulator>,
+    /// W-phase cycle of the last MAC into each local row (0 = the row was
+    /// never touched); feeds the per-row completion profile at writeback.
+    last_w_mac: Vec<u64>,
     /// Wide U-phase accumulators, one per local row.
     acc_u: Vec<Accumulator>,
     /// Predictor register bank (`true` = row predicted active).
@@ -104,6 +107,7 @@ impl Pe {
             queue: VecDeque::new(),
             rows,
             acc_w: vec![Accumulator::new(); n_rows],
+            last_w_mac: vec![0; n_rows],
             acc_u: vec![Accumulator::new(); n_rows],
             pred: vec![true; n_rows],
             mac_list: VecDeque::new(),
@@ -237,16 +241,25 @@ impl Pe {
             return StepOutcome::Busy;
         }
         // U phase: process queued V results against all local U rows.
-        self.step_queue_consumer(ev, u, true, false)
+        self.step_queue_consumer(ev, u, true, false, 0)
     }
 
-    /// Advances the datapath one cycle during the W phase.
+    /// Advances the datapath one cycle during the W phase. `cycle` is the
+    /// current W-phase cycle number; a MAC issued this cycle stamps its
+    /// target row's completion time (reported by
+    /// [`writeback`](Self::writeback)).
     ///
     /// `uv_on` selects output-sparsity skipping: the predictor bank's LNZD
     /// yields only the active rows, so bypassed rows cost neither a W-memory
     /// read nor a MAC.
-    pub fn step_w(&mut self, w: &FixedMatrix, uv_on: bool, ev: &mut MachineEvents) -> StepOutcome {
-        self.step_queue_consumer(ev, w, false, uv_on)
+    pub fn step_w(
+        &mut self,
+        w: &FixedMatrix,
+        uv_on: bool,
+        cycle: u64,
+        ev: &mut MachineEvents,
+    ) -> StepOutcome {
+        self.step_queue_consumer(ev, w, false, uv_on, cycle)
     }
 
     /// Shared queue-pop / MAC-issue logic for the U and W phases.
@@ -259,6 +272,7 @@ impl Pe {
         matrix: &FixedMatrix,
         is_u: bool,
         pred_filter: bool,
+        cycle: u64,
     ) -> StepOutcome {
         if self.mac_list.is_empty() {
             let Some(flit) = self.queue.pop_front() else {
@@ -290,6 +304,7 @@ impl Pe {
             ev.u_reads += 1;
         } else {
             self.acc_w[local].mac(weight, act);
+            self.last_w_mac[local] = cycle;
             ev.w_reads += 1;
         }
         ev.macs += 1;
@@ -317,15 +332,23 @@ impl Pe {
     }
 
     /// Quantizes the W accumulators into output activations
-    /// `(global row, value)`, applying ReLU for hidden layers, and counts
-    /// the destination register file writes.
-    pub fn writeback(&self, is_hidden: bool, ev: &mut MachineEvents) -> Vec<(u32, Q6_10)> {
+    /// `(global row, value, last W-MAC cycle)`, applying ReLU for hidden
+    /// layers, and counts the destination register file writes.
+    ///
+    /// The third element is the W-phase cycle of the last MAC into the
+    /// row — the moment its value became final (0 for rows that saw no
+    /// W MAC: bypassed by the predictor, or an all-zero input). It is the
+    /// raw material of the per-row availability profile
+    /// ([`LayerRun::row_ready`](crate::LayerRun::row_ready)) that lets a
+    /// downstream consumer (the wavefront multi-chip executor) start on
+    /// rows before the whole layer drains.
+    pub fn writeback(&self, is_hidden: bool, ev: &mut MachineEvents) -> Vec<(u32, Q6_10, u64)> {
         ev.dst_writes += self.rows.len() as u64;
         self.rows
             .iter()
             .zip(&self.acc_w)
-            .zip(&self.pred)
-            .map(|((&row, acc), &active)| {
+            .zip(self.pred.iter().zip(&self.last_w_mac))
+            .map(|((&row, acc), (&active, &last_mac))| {
                 let val = if active {
                     let q: Q6_10 = acc.to_fixed();
                     if is_hidden {
@@ -336,7 +359,7 @@ impl Pe {
                 } else {
                     Q6_10::ZERO
                 };
-                (row, val)
+                (row, val, if active { last_mac } else { 0 })
             })
             .collect()
     }
@@ -388,12 +411,16 @@ mod tests {
             &mut ev,
         );
         // Cycle 1: pop + first MAC; cycle 2: second MAC; cycle 3: idle.
-        assert_eq!(pe.step_w(&w, false, &mut ev), StepOutcome::Busy);
-        assert_eq!(pe.step_w(&w, false, &mut ev), StepOutcome::Busy);
-        assert_eq!(pe.step_w(&w, false, &mut ev), StepOutcome::Idle);
+        assert_eq!(pe.step_w(&w, false, 1, &mut ev), StepOutcome::Busy);
+        assert_eq!(pe.step_w(&w, false, 2, &mut ev), StepOutcome::Busy);
+        assert_eq!(pe.step_w(&w, false, 3, &mut ev), StepOutcome::Idle);
         assert_eq!(ev.macs, 2);
         assert_eq!(ev.w_reads, 2);
         assert!(pe.drained());
+        // Each row's completion time is the cycle of its last MAC.
+        let wb = pe.writeback(true, &mut ev);
+        assert_eq!(wb[0].2, 1, "row 0 finished on cycle 1");
+        assert_eq!(wb[1].2, 2, "row 64 finished on cycle 2");
     }
 
     #[test]
@@ -411,11 +438,13 @@ mod tests {
             &mut ev,
         );
         // Pop + scan consume the cycle but do no datapath work.
-        assert_eq!(pe.step_w(&w, true, &mut ev), StepOutcome::Idle);
+        assert_eq!(pe.step_w(&w, true, 1, &mut ev), StepOutcome::Idle);
         assert_eq!(ev.macs, 0);
         assert_eq!(ev.w_reads, 0);
         assert_eq!(ev.pred_scans, 1);
         assert!(pe.drained());
+        // Bypassed rows report no W-MAC completion cycle.
+        assert!(pe.writeback(true, &mut ev).iter().all(|&(_, _, t)| t == 0));
     }
 
     #[test]
@@ -488,8 +517,8 @@ mod tests {
         pe.pred = vec![true, false]; // row 64 bypassed
         let mut ev = MachineEvents::default();
         let out = pe.writeback(true, &mut ev);
-        assert_eq!(out[0], (0, Q6_10::ZERO)); // ReLU clamps
-        assert_eq!(out[1], (64, Q6_10::ZERO)); // bypassed
+        assert_eq!(out[0], (0, Q6_10::ZERO, 0)); // ReLU clamps
+        assert_eq!(out[1], (64, Q6_10::ZERO, 0)); // bypassed
         let out_linear = pe.writeback(false, &mut ev);
         assert_eq!(out_linear[0].1, q(-2.0)); // no ReLU on classifier
     }

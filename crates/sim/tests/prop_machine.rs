@@ -91,6 +91,56 @@ proptest! {
         prop_assert_eq!(a.total_events(), b.total_events());
     }
 
+    /// The row-availability profile is structurally sound for any
+    /// network/input: one entry per row, every completion inside the
+    /// layer (`0 < t ≤ cycles`), the histogram covers exactly the rows,
+    /// and the staged core reproduces the monolithic run bit for bit.
+    #[test]
+    fn row_availability_profile_is_sound(
+        seed in 0u64..10_000,
+        hidden in 8usize..96,
+        sparsity in 0u8..100,
+        uv_on in any::<bool>(),
+    ) {
+        let net = build_net(seed, hidden, 4);
+        let x = net.quantize_input(&build_input(seed, 24, sparsity));
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let machine = Machine::new(MachineConfig::default());
+        let run = machine.run_network(&net, &x, mode);
+        for (l, layer) in run.layers.iter().enumerate() {
+            prop_assert_eq!(layer.row_ready.len(), layer.output.len(), "layer {}", l);
+            prop_assert!(
+                layer.row_ready.iter().all(|&t| t > 0 && t <= layer.cycles),
+                "layer {}: availability must fall inside the layer", l
+            );
+            prop_assert!(layer.first_ready() <= layer.last_ready());
+            prop_assert_eq!(
+                layer.events.row_ready_hist.iter().sum::<u64>(),
+                layer.output.len() as u64,
+                "layer {}: histogram covers every row", l
+            );
+            // Rows the W phase touched become final no earlier than the
+            // VU phase handed over.
+            prop_assert!(layer.row_ready.iter().all(|&t| t >= layer.vu_cycles));
+        }
+        // Staged execution is the same computation, stage by stage.
+        let mut acts = x.clone();
+        for (l, layer) in run.layers.iter().enumerate() {
+            let is_hidden = l + 1 < net.num_layers();
+            let predictor = if is_hidden { net.predictors().get(l) } else { None };
+            let mut stages = machine
+                .stage_layer(&net.layers()[l], predictor, &acts, is_hidden, mode)
+                .unwrap();
+            stages.run_vu();
+            stages.run_w();
+            let staged = stages.writeback();
+            prop_assert_eq!(&staged.output, &layer.output, "layer {}", l);
+            prop_assert_eq!(&staged.row_ready, &layer.row_ready, "layer {}", l);
+            prop_assert_eq!(&staged.events, &layer.events, "layer {}", l);
+            acts = staged.output;
+        }
+    }
+
     /// Predicted-inactive rows never touch the W memory: W reads in uv_on
     /// mode are exactly (nnz inputs) × (active rows)… summed per activation.
     #[test]
