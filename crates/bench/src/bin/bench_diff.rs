@@ -1,5 +1,7 @@
 //! Compares two `BENCH_results.json` files: per-experiment wall-time
-//! delta, modelled-metric delta, and a regression flag.
+//! delta, modelled-metric delta, and regression flags — wall times that
+//! grew, plus metrics that moved in their bad direction (goodput and
+//! friends falling, latencies and shed rates growing).
 //!
 //! ```sh
 //! cargo run --release -p sparsenn-bench --bin bench_diff -- \
@@ -7,8 +9,11 @@
 //! ```
 //!
 //! Exits non-zero when any experiment's wall time grew past the threshold
-//! (default 25%); wire it into CI as a non-blocking step to make perf
-//! trends visible without gating merges on noisy runners.
+//! (default 25%); directional metric moves are flagged `WORSE` in the
+//! table but do not affect the exit code (modelled metrics shift
+//! legitimately when the study network changes). Wire it into CI as a
+//! non-blocking step to make perf trends visible without gating merges
+//! on noisy runners.
 
 use sparsenn_bench::report::{diff_snapshots, BenchSnapshot};
 use std::process::ExitCode;

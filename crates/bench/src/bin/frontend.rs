@@ -1,0 +1,8 @@
+//! Production front end study: admission under overload, hedging against
+//! injected faults, autoscaling, and the SLO policy sweep (beyond the
+//! paper).
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    print!("{}", sparsenn_bench::experiments::frontend::run(p));
+}

@@ -61,6 +61,17 @@ fn main() {
         results.add_metric(name, value);
     }
 
+    let mut frontend_metrics = Vec::new();
+    let report = results.run("frontend", || {
+        let r = e::frontend::measure_with(p, &study);
+        frontend_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in frontend_metrics {
+        results.add_metric(name, value);
+    }
+
     // Model parallelism trains its own system: its study network must
     // *overflow* its (shrunken) chip, unlike the serving studies'.
     let mut partition_metrics = Vec::new();

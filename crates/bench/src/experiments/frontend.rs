@@ -1,0 +1,422 @@
+//! Production-front-end study: admission control under overload, hedged
+//! requests against injected faults, autoscaling, and the SLO policy
+//! sweep (beyond the paper — ROADMAP serving north star).
+//!
+//! The serve experiment measures *scheduling*; this one measures the
+//! control planes above it. Each scenario feeds the cycle-accurate
+//! machine's measured per-sample `time_us` table into
+//! `sparsenn-frontend`'s virtual-time simulator:
+//!
+//! * **Overload** (≥1.5× capacity, mixed priority): unbounded admission
+//!   lets queues grow until *every* class misses its deadline; bounded
+//!   per-class queues shed/degrade low-priority traffic and keep the
+//!   high-priority p99 inside the SLO.
+//! * **Fault tolerance**: one injected fail-stop plus a straggler
+//!   window; hedged requests + retries must strictly beat the unhedged
+//!   baseline on goodput.
+//! * **Autoscaling**: a bursty workload on a min-sized fleet; the
+//!   utilization/P²-p99 autoscaler grows into the burst (paying warm-up)
+//!   and retires shards in the quiet phase.
+//! * **Policy sweep**: the scheduler × admission × hedging cross
+//!   product scored by goodput/shed/SLO-attainment/p99.
+
+use crate::{fmt_f, markdown_table};
+use sparsenn_core::engine::{
+    AdmitAll, BoundedQueues, CycleAccurateBackend, FastestCompletion, InferenceBackend,
+    LeastQueued, Priority,
+};
+use sparsenn_core::model::fixedpoint::UvMode;
+use sparsenn_core::Profile;
+use sparsenn_frontend::{
+    best_goodput, simulate_frontend, sweep_combos, AutoscaleConfig, Fault, FaultPlan,
+    FrontendConfig, FrontendSummary, HedgeConfig, SloPolicy,
+};
+use sparsenn_serve::{fleet_capacity_rps, ShardSpec, Workload};
+use std::fmt::Write as _;
+
+/// Measured front-end scenarios plus named metrics for `BENCH_results.json`.
+pub struct FrontendReport {
+    /// The rendered markdown report.
+    pub markdown: String,
+    /// Flat `(name, value)` metrics for the machine-readable results.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Per-sample modelled service times of the cycle-accurate machine (same
+/// bridge as the serve experiment).
+fn machine_table(sys: &sparsenn_core::TrainedSystem, batch: usize) -> Vec<f64> {
+    let backend: Box<dyn InferenceBackend> =
+        Box::new(CycleAccurateBackend::new(sys.machine().clone()));
+    let mut table = Vec::with_capacity(batch);
+    sys.session_with(backend)
+        .stream_batch(batch, UvMode::On, |_, record| {
+            table.push(record.time_us());
+        })
+        .expect("the study network fits the machine");
+    table
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn class_row(label: &str, s: &FrontendSummary, class: Priority) -> Vec<String> {
+    let c = s.class(class);
+    vec![
+        label.to_string(),
+        format!("{class:?}"),
+        fmt_f(c.offered as f64, 0),
+        fmt_f(c.shed as f64, 0),
+        fmt_f(c.degraded as f64, 0),
+        fmt_f(c.latency.p99_us, 1),
+        fmt_f(c.slo_attainment() * 100.0, 1),
+    ]
+}
+
+/// Runs the front-end study, training its own
+/// [`study_system`](super::fleet::study_system).
+pub fn measure(p: Profile) -> FrontendReport {
+    measure_with(p, &super::fleet::study_system(p))
+}
+
+/// Runs the front-end study on an already-trained system (shared with the
+/// fleet/serve experiments by `run_all`; only the per-sample latency
+/// table is consumed).
+pub fn measure_with(p: Profile, sys: &sparsenn_core::TrainedSystem) -> FrontendReport {
+    let batch = (p.sim_samples() * 4).min(sys.split().test.len());
+    let machine_us = machine_table(sys, batch);
+    let service = mean(&machine_us);
+
+    let fleet: Vec<ShardSpec> = (0..4)
+        .map(|i| ShardSpec::with_table(format!("machine-{i}"), machine_us.clone()))
+        .collect();
+    let capacity = fleet_capacity_rps(&fleet);
+    // Deadlines scaled to the measured service time: tight for High
+    // (queueing past ~a bounded queue's worth busts it), loose for Low.
+    let slo = SloPolicy {
+        high_us: 30.0 * service,
+        low_us: 120.0 * service,
+    };
+    let requests = 4000;
+
+    let mut out = String::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let _ = writeln!(
+        out,
+        "## Production front end — admission, hedging, autoscaling (profile: {p})\n"
+    );
+    let _ = writeln!(
+        out,
+        "4-shard fleet of cycle-accurate machines ({batch}-sample measured \
+         service table, mean {:.1} µs, capacity {:.0} rps). SLO: high \
+         {:.0} µs, low {:.0} µs. All runs share the seeded arrival and \
+         class streams, so every delta below is policy.\n",
+        service, capacity, slo.high_us, slo.low_us,
+    );
+    metrics.push(("frontend.capacity_rps".into(), capacity));
+
+    // — Overload: admit-all vs bounded per-class queues —
+    let overload = FrontendConfig::new(
+        Workload::Poisson {
+            rate_rps: capacity * 1.5,
+            requests,
+            seed: 1711,
+        },
+        slo,
+    )
+    .low_fraction(0.35);
+    let bounded = BoundedQueues::new(12, 6).degrade_low_beyond(2);
+    let admit_all = simulate_frontend(&fleet, &LeastQueued, &AdmitAll, &overload)
+        .expect("valid overload configuration");
+    let shed = simulate_frontend(&fleet, &LeastQueued, &bounded, &overload)
+        .expect("valid overload configuration");
+    let _ = writeln!(
+        out,
+        "### Overload: Poisson at 1.5x capacity, 35% low-priority, {requests} requests\n"
+    );
+    let mut rows = Vec::new();
+    for (label, s) in [("admit-all", &admit_all), ("bounded", &shed)] {
+        for class in [Priority::High, Priority::Low] {
+            rows.push(class_row(label, s, class));
+        }
+    }
+    out.push_str(&markdown_table(
+        &[
+            "admission",
+            "class",
+            "offered",
+            "shed",
+            "degraded",
+            "p99 (µs)",
+            "SLO att. (%)",
+        ],
+        &rows,
+    ));
+    let high_p99 = shed.class(Priority::High).latency.p99_us;
+    let high_ok = high_p99 <= slo.high_us;
+    let low_absorbs =
+        shed.class(Priority::Low).shed_rate() > shed.class(Priority::High).shed_rate();
+    let _ = writeln!(
+        out,
+        "\nBounded admission sheds {:.1}% of offered load (vs {:.1}% \
+         admit-all) and holds the high-priority p99 at {:.1} µs against a \
+         {:.0} µs SLO — {}; low-priority absorbs the overload — {}. \
+         Goodput: {:.0} rps bounded vs {:.0} rps admit-all.\n",
+        shed.shed_rate * 100.0,
+        admit_all.shed_rate * 100.0,
+        high_p99,
+        slo.high_us,
+        if high_ok {
+            "within SLO"
+        } else {
+            "SLO MISS — BUG"
+        },
+        if low_absorbs {
+            "yes"
+        } else {
+            "NO — investigate"
+        },
+        shed.goodput_rps,
+        admit_all.goodput_rps,
+    );
+    for (label, s) in [("admit-all", &admit_all), ("bounded", &shed)] {
+        metrics.push((
+            format!("frontend.overload.goodput_rps.{label}"),
+            s.goodput_rps,
+        ));
+        metrics.push((format!("frontend.overload.shed_rate.{label}"), s.shed_rate));
+        metrics.push((
+            format!("frontend.overload.slo_attainment.{label}"),
+            s.slo_attainment,
+        ));
+        metrics.push((
+            format!("frontend.overload.high_p99_us.{label}"),
+            s.class(Priority::High).latency.p99_us,
+        ));
+    }
+    metrics.push((
+        "frontend.high_p99_within_slo".into(),
+        if high_ok { 1.0 } else { 0.0 },
+    ));
+    metrics.push((
+        "frontend.low_absorbs_overload".into(),
+        if low_absorbs { 1.0 } else { 0.0 },
+    ));
+
+    // — Fault tolerance: hedging + retries vs none —
+    // Moderate load (the fleet survives losing a shard) with two faults
+    // hedging is built for: a fail-stop that kills in-flight work, and a
+    // near-hung shard (60× straggler — service alone busts the SLO).
+    // LeastQueued keeps feeding the straggler (depth says nothing about
+    // speed), so the unhedged run strands every request routed there;
+    // hedges fire well past the normal queue wait and race a duplicate
+    // on a healthy shard.
+    let horizon = requests as f64 / (capacity * 0.65) * 1e6;
+    let faults = FaultPlan::new(vec![
+        Fault::FailStop {
+            shard: 0,
+            at_us: horizon * 0.25,
+            down_us: horizon * 0.15,
+        },
+        Fault::Slowdown {
+            shard: 1,
+            at_us: horizon * 0.55,
+            for_us: horizon * 0.25,
+            factor: 60.0,
+        },
+    ]);
+    let faulty = FrontendConfig::new(
+        Workload::Poisson {
+            rate_rps: capacity * 0.65,
+            requests,
+            seed: 1711,
+        },
+        slo,
+    )
+    .faults(faults);
+    let unhedged = simulate_frontend(&fleet, &LeastQueued, &AdmitAll, &faulty)
+        .expect("valid fault configuration");
+    let hedged_cfg = faulty.clone().hedge(HedgeConfig::hedged(8.0 * service));
+    let hedged = simulate_frontend(&fleet, &LeastQueued, &AdmitAll, &hedged_cfg)
+        .expect("valid fault configuration");
+    let _ = writeln!(
+        out,
+        "### Fault tolerance: 65% load, one fail-stop (15% of the run) + one 60x straggler window\n"
+    );
+    let mut rows = Vec::new();
+    for (label, s) in [("unhedged", &unhedged), ("hedged", &hedged)] {
+        rows.push(vec![
+            label.to_string(),
+            fmt_f(s.goodput_rps, 0),
+            fmt_f(s.class(Priority::High).failed as f64, 0),
+            fmt_f(s.retries as f64, 0),
+            fmt_f(s.hedges_issued as f64, 0),
+            fmt_f(s.hedge_wins as f64, 0),
+            fmt_f(s.class(Priority::High).latency.p99_us, 1),
+            fmt_f(s.slo_attainment * 100.0, 1),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &[
+            "policy",
+            "goodput (rps)",
+            "failed",
+            "retries",
+            "hedges",
+            "hedge wins",
+            "p99 (µs)",
+            "SLO att. (%)",
+        ],
+        &rows,
+    ));
+    let hedged_wins = hedged.goodput_rps > unhedged.goodput_rps;
+    let _ = writeln!(
+        out,
+        "\nHedged goodput {:.0} rps vs unhedged {:.0} rps — hedging {}.\n",
+        hedged.goodput_rps,
+        unhedged.goodput_rps,
+        if hedged_wins {
+            "wins"
+        } else {
+            "DOES NOT WIN — investigate"
+        },
+    );
+    metrics.push((
+        "frontend.fault.goodput_rps.unhedged".into(),
+        unhedged.goodput_rps,
+    ));
+    metrics.push((
+        "frontend.fault.goodput_rps.hedged".into(),
+        hedged.goodput_rps,
+    ));
+    metrics.push((
+        "frontend.fault.slo_attainment.hedged".into(),
+        hedged.slo_attainment,
+    ));
+    metrics.push((
+        "frontend.hedged_beats_unhedged".into(),
+        if hedged_wins { 1.0 } else { 0.0 },
+    ));
+
+    // — Autoscaling into a bursty workload —
+    let scaled_cfg = FrontendConfig::new(
+        Workload::Bursty {
+            low_rps: capacity * 0.1,
+            high_rps: capacity * 0.9,
+            period_us: 80.0 * service,
+            duty: 0.3,
+            requests,
+            seed: 1711,
+        },
+        slo,
+    )
+    .autoscale(AutoscaleConfig::new(1, 4, 20.0 * service, 10.0 * service));
+    let scaled = simulate_frontend(&fleet, &LeastQueued, &AdmitAll, &scaled_cfg)
+        .expect("valid autoscale configuration");
+    let reacts = scaled.scale_outs > 0 && scaled.scale_ins > 0;
+    let _ = writeln!(
+        out,
+        "### Autoscaling: bursty arrivals (0.9x/0.1x capacity, 30% duty), fleet 1..=4 shards\n\n\
+         Starting from 1 shard, the autoscaler took {} scale-outs and {} \
+         scale-ins (peak {} shards active, {} at the end; warm-up {:.0} µs \
+         per shard) — {}. SLO attainment {:.1}%, goodput {:.0} rps.\n",
+        scaled.scale_outs,
+        scaled.scale_ins,
+        scaled.peak_active_shards,
+        scaled.final_active_shards,
+        10.0 * service,
+        if reacts {
+            "grew into the burst and shrank back"
+        } else {
+            "DID NOT REACT — investigate"
+        },
+        scaled.slo_attainment * 100.0,
+        scaled.goodput_rps,
+    );
+    metrics.push((
+        "frontend.autoscale.scale_outs".into(),
+        scaled.scale_outs as f64,
+    ));
+    metrics.push((
+        "frontend.autoscale.scale_ins".into(),
+        scaled.scale_ins as f64,
+    ));
+    metrics.push((
+        "frontend.autoscale.peak_active_shards".into(),
+        scaled.peak_active_shards as f64,
+    ));
+    metrics.push((
+        "frontend.autoscale.slo_attainment".into(),
+        scaled.slo_attainment,
+    ));
+    metrics.push((
+        "frontend.autoscale.reacts".into(),
+        if reacts { 1.0 } else { 0.0 },
+    ));
+
+    // — Policy sweep over the overload + fault scenario —
+    let overload_horizon = requests as f64 / (capacity * 1.5) * 1e6;
+    let sweep_base =
+        overload
+            .clone()
+            .faults(FaultPlan::random(fleet.len(), overload_horizon, 1, 1, 1711));
+    let combos = sweep_combos(
+        &fleet,
+        &sweep_base,
+        &[&LeastQueued, &FastestCompletion],
+        &[&AdmitAll, &bounded],
+        &[HedgeConfig::disabled(), HedgeConfig::hedged(4.0 * service)],
+        &[None],
+    )
+    .expect("valid sweep configuration");
+    let _ = writeln!(
+        out,
+        "### SLO sweep: scheduler x admission x hedging at 1.5x capacity with random faults\n"
+    );
+    let mut rows = Vec::new();
+    for c in &combos {
+        rows.push(vec![
+            c.label(),
+            fmt_f(c.summary.goodput_rps, 0),
+            fmt_f(c.summary.shed_rate * 100.0, 1),
+            fmt_f(c.summary.slo_attainment * 100.0, 1),
+            fmt_f(c.summary.class(Priority::High).latency.p99_us, 1),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &[
+            "combo",
+            "goodput (rps)",
+            "shed (%)",
+            "SLO att. (%)",
+            "high p99 (µs)",
+        ],
+        &rows,
+    ));
+    let best = best_goodput(&combos).expect("sweep is non-empty");
+    let _ = writeln!(
+        out,
+        "\nBest goodput: **{}** at {:.0} rps ({:.1}% SLO attainment).",
+        best.label(),
+        best.summary.goodput_rps,
+        best.summary.slo_attainment * 100.0,
+    );
+    metrics.push((
+        "frontend.sweep.best_goodput_rps".into(),
+        best.summary.goodput_rps,
+    ));
+    metrics.push((
+        "frontend.sweep.best_slo_attainment".into(),
+        best.summary.slo_attainment,
+    ));
+
+    FrontendReport {
+        markdown: out,
+        metrics,
+    }
+}
+
+/// Renders the front-end report (markdown only — the `frontend` bin).
+pub fn run(p: Profile) -> String {
+    measure(p).markdown
+}

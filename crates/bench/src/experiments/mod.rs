@@ -7,6 +7,7 @@ pub mod ablations;
 pub mod fig6;
 pub mod fig7;
 pub mod fleet;
+pub mod frontend;
 pub mod partition;
 pub mod serve;
 pub mod table1;

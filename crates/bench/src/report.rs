@@ -36,10 +36,18 @@
 //! `partition.pipeline.speedup.*` /
 //! `partition.pipeline.comm_hidden_pct.*` per chip count, plus the
 //! `partition.pipeline.overlap_sound` flag), so `bench-trend` tracks
-//! the comm/compute-overlap win of the wavefront schedule. The
-//! `bench_diff` bin compares two such files (any schema — metrics diff
-//! generically by name) and flags wall-time regressions past a
-//! threshold.
+//! the comm/compute-overlap win of the wavefront schedule. Schema 6
+//! adds the production front end's `frontend.*` metrics (overload
+//! goodput/shed-rate/high-p99 per admission policy, hedged-vs-unhedged
+//! fault goodput, autoscaler activity, and the policy-sweep winner,
+//! plus the `frontend.high_p99_within_slo`,
+//! `frontend.low_absorbs_overload` and `frontend.hedged_beats_unhedged`
+//! oracle flags). The `bench_diff` bin compares two such files (any
+//! schema — metrics diff generically by name), flags wall-time
+//! regressions past a threshold, and flags *directional* metric
+//! regressions: quantities named like goodput/throughput/attainment/
+//! speedup must not fall, and latencies (`*_us`), shed rates and error
+//! rates must not grow, each past the same threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -105,7 +113,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 5,");
+        let _ = writeln!(out, "  \"schema\": 6,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -164,7 +172,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 through 5).
+    /// Parses a `BENCH_results.json` document (schema 1 through 6).
     ///
     /// # Errors
     ///
@@ -213,11 +221,45 @@ pub struct BenchDiff {
     pub markdown: String,
     /// Experiments whose wall time grew past the threshold.
     pub regressions: Vec<String>,
+    /// Metrics that moved in their bad direction past the threshold.
+    pub metric_regressions: Vec<String>,
+}
+
+/// Which way a modelled metric is allowed to move, inferred from its
+/// name. Oracle flags (0/1) and counts with no inherent direction return
+/// `None` and are reported without a regression check.
+fn metric_direction(name: &str) -> Option<MetricDirection> {
+    // Higher-better first: "goodput_rps" etc. would otherwise match the
+    // lower-better "rate" family on nothing, but keep the precedence
+    // explicit anyway.
+    const HIGHER: [&str; 6] = [
+        "goodput",
+        "throughput",
+        "attainment",
+        "capacity",
+        "speedup",
+        "comm_hidden",
+    ];
+    const LOWER: [&str; 5] = ["_us", "shed_rate", "error", "overhead", "latency"];
+    if HIGHER.iter().any(|k| name.contains(k)) {
+        Some(MetricDirection::HigherBetter)
+    } else if LOWER.iter().any(|k| name.contains(k)) {
+        Some(MetricDirection::LowerBetter)
+    } else {
+        None
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricDirection {
+    HigherBetter,
+    LowerBetter,
 }
 
 /// Compares two snapshots: per-experiment wall-time delta plus metric
-/// deltas, flagging experiments slower than `threshold_pct` percent.
-/// Sub-50 ms baselines are never flagged (pure timer noise).
+/// deltas, flagging experiments slower than `threshold_pct` percent and
+/// metrics that moved in their bad direction past the same threshold.
+/// Sub-50 ms wall-time baselines are never flagged (pure timer noise).
 pub fn diff_snapshots(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f64) -> BenchDiff {
     let mut out = String::new();
     let _ = writeln!(
@@ -277,11 +319,29 @@ pub fn diff_snapshots(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f
         &["experiment", "old (s)", "new (s)", "delta", ""],
         &rows,
     ));
+    let mut metric_regressions = Vec::new();
     if !new.metrics.is_empty() || !old.metrics.is_empty() {
         let _ = writeln!(out, "\n### Modelled metrics\n");
         let mut rows = Vec::new();
         for (name, new_v) in &new.metrics {
             let old_v = old.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+            let flag = match old_v {
+                Some(o) => {
+                    let delta = crate::pct_change(o, *new_v);
+                    let worse = match metric_direction(name) {
+                        Some(MetricDirection::HigherBetter) => -delta > threshold_pct,
+                        Some(MetricDirection::LowerBetter) => delta > threshold_pct,
+                        None => false,
+                    };
+                    if worse {
+                        metric_regressions.push(name.clone());
+                        "WORSE"
+                    } else {
+                        ""
+                    }
+                }
+                None => "",
+            };
             rows.push(vec![
                 name.clone(),
                 old_v.map_or("-".into(), |v| crate::fmt_f(v, 3)),
@@ -289,21 +349,25 @@ pub fn diff_snapshots(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f
                 old_v.map_or("new".into(), |v| {
                     format!("{:+.1}%", crate::pct_change(v, *new_v))
                 }),
+                flag.to_string(),
             ]);
         }
         out.push_str(&crate::markdown_table(
-            &["metric", "old", "new", "delta"],
+            &["metric", "old", "new", "delta", ""],
             &rows,
         ));
     }
     let _ = writeln!(
         out,
-        "\n{} regression(s) past the {threshold_pct:.0}% wall-time threshold.",
-        regressions.len()
+        "\n{} regression(s) past the {threshold_pct:.0}% wall-time threshold; \
+         {} metric(s) moved the wrong way past the same threshold.",
+        regressions.len(),
+        metric_regressions.len()
     );
     BenchDiff {
         markdown: out,
         regressions,
+        metric_regressions,
     }
 }
 
@@ -556,7 +620,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 5"));
+        assert!(json.contains("\"schema\": 6"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }
@@ -619,6 +683,61 @@ mod tests {
         // Within threshold: no flags.
         let calm = diff_snapshots(&old, &old, 20.0);
         assert!(calm.regressions.is_empty());
+        assert!(calm.metric_regressions.is_empty());
+    }
+
+    #[test]
+    fn diff_flags_directional_metric_regressions() {
+        let mut old = snap(&[("frontend", 1.0)]);
+        old.metrics = vec![
+            ("frontend.overload.goodput_rps.bounded".into(), 1000.0),
+            ("frontend.overload.high_p99_us.bounded".into(), 100.0),
+            ("serve.hetero.p95_us.first-idle@75pct".into(), 50.0),
+            ("frontend.hedged_beats_unhedged".into(), 1.0),
+        ];
+        let mut new = old.clone();
+        new.metrics = vec![
+            // Goodput fell 50%: higher-better, regressed.
+            ("frontend.overload.goodput_rps.bounded".into(), 500.0),
+            // p99 grew 50%: lower-better, regressed.
+            ("frontend.overload.high_p99_us.bounded".into(), 150.0),
+            // p95 *improved*: no flag.
+            ("serve.hetero.p95_us.first-idle@75pct".into(), 25.0),
+            // Oracle flag has no direction keyword: never flagged here.
+            ("frontend.hedged_beats_unhedged".into(), 0.0),
+        ];
+        let diff = diff_snapshots(&old, &new, 20.0);
+        assert_eq!(
+            diff.metric_regressions,
+            vec![
+                "frontend.overload.goodput_rps.bounded".to_string(),
+                "frontend.overload.high_p99_us.bounded".to_string(),
+            ]
+        );
+        assert!(diff.markdown.contains("WORSE"));
+        assert!(diff.regressions.is_empty(), "wall time was unchanged");
+    }
+
+    #[test]
+    fn metric_direction_classifies_by_name() {
+        assert_eq!(
+            metric_direction("frontend.sweep.best_goodput_rps"),
+            Some(MetricDirection::HigherBetter)
+        );
+        assert_eq!(
+            metric_direction("partition.pipeline.speedup.4chips"),
+            Some(MetricDirection::HigherBetter)
+        );
+        assert_eq!(
+            metric_direction("serve.bursty.p99_us.least-queued"),
+            Some(MetricDirection::LowerBetter)
+        );
+        assert_eq!(
+            metric_direction("frontend.overload.shed_rate.bounded"),
+            Some(MetricDirection::LowerBetter)
+        );
+        assert_eq!(metric_direction("frontend.autoscale.scale_outs"), None);
+        assert_eq!(metric_direction("serve.closed_loop_matches_model"), None);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! technology node regardless of which shard did the work. Keep fleets
 //! homogeneous when timing or power numbers matter.)
 
+use crate::engine::admission::{AdmissionDecision, AdmissionGate, Priority};
 use crate::engine::backends::{CycleAccurateBackend, InferenceBackend};
 use crate::engine::quantile::P2Quantile;
 use crate::engine::record::RunRecord;
@@ -55,6 +56,22 @@ pub struct ShardStats {
     pub service_estimate_us: f64,
 }
 
+/// Admission-control outcomes accumulated by a [`Fleet`] built with
+/// [`Fleet::with_admission`], split by [`Priority`] class (index by
+/// [`Priority::index`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests the gate admitted at full fidelity.
+    pub admitted: [u64; 2],
+    /// Requests the gate asked to degrade. The live fleet serves them at
+    /// full fidelity (there is no cheaper live substrate to switch to
+    /// mid-call) but records the intent so operators see the pressure.
+    pub degraded: [u64; 2],
+    /// Requests shed — each surfaced to its caller as
+    /// [`SparseNnError::Overloaded`].
+    pub shed: [u64; 2],
+}
+
 /// Book-keeping behind the fleet's dispatch lock: which shards are idle,
 /// plus per-shard serving stats.
 struct Dispatch {
@@ -64,6 +81,12 @@ struct Dispatch {
     /// Per-shard online percentile trackers — populated (and consulted)
     /// only under [`Fleet::with_service_percentile`].
     quantiles: Vec<P2Quantile>,
+    /// Callers currently blocked waiting for a shard, per priority class
+    /// — the live fleet's "queue depth", which is what the admission gate
+    /// bounds.
+    waiting: [usize; 2],
+    /// Admission outcomes (only advanced when a gate is installed).
+    admission: AdmissionStats,
 }
 
 /// N independent simulated accelerators serving one request queue.
@@ -98,6 +121,8 @@ pub struct Fleet {
     /// Signalled whenever a shard returns to the idle pool.
     freed: Condvar,
     scheduler: Box<dyn Scheduler>,
+    /// Admission gate consulted before every run; `None` admits all.
+    admission: Option<Box<dyn AdmissionGate>>,
     /// EWMA weight for the live service-time estimate; `None` keeps the
     /// plain observed mean (equivalent to a per-sample weight of `1/n`).
     service_alpha: Option<f64>,
@@ -144,9 +169,12 @@ impl Fleet {
                 idle: (0..n).collect(),
                 stats: vec![ShardStats::default(); n],
                 quantiles: Vec::new(),
+                waiting: [0; 2],
+                admission: AdmissionStats::default(),
             }),
             freed: Condvar::new(),
             scheduler: Box::new(FirstIdle),
+            admission: None,
             service_alpha: None,
             service_percentile: None,
             name,
@@ -222,6 +250,74 @@ impl Fleet {
         self.scheduler.name()
     }
 
+    /// Installs an admission gate on the live serving path. Every
+    /// [`run`](InferenceBackend::run) (class [`Priority::High`]) and
+    /// [`run_classified`](Self::run_classified) call consults the gate
+    /// *before* waiting for a shard; a [`AdmissionDecision::Shed`]
+    /// surfaces as [`SparseNnError::Overloaded`] immediately — the
+    /// blocked-caller pool is the live fleet's queue, and the gate is
+    /// what keeps it bounded. The same [`AdmissionGate`] trait drives the
+    /// `sparsenn-frontend` virtual-time simulator, so a gate tuned
+    /// against simulated overload sweeps drops in here unchanged.
+    pub fn with_admission(mut self, gate: Box<dyn AdmissionGate>) -> Self {
+        self.admission = Some(gate);
+        self
+    }
+
+    /// The admission gate's name, when one is installed.
+    pub fn admission_name(&self) -> Option<&str> {
+        self.admission.as_deref().map(AdmissionGate::name)
+    }
+
+    /// Admission outcomes since construction (all zero when no gate is
+    /// installed — ungated requests are not counted as admitted).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .admission
+    }
+
+    /// Runs one request with an explicit [`Priority`] class through the
+    /// admission gate (when installed) and the fleet's scheduler.
+    /// [`InferenceBackend::run`] is exactly
+    /// `run_classified(…, Priority::High)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::Overloaded`] when the gate sheds the request;
+    /// otherwise whatever the serving shard returns.
+    pub fn run_classified(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+        class: Priority,
+    ) -> Result<RunRecord, SparseNnError> {
+        if let Some(gate) = &self.admission {
+            let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+            let views = self.shard_views(&d);
+            let decision = gate.decide(class, d.waiting[class.index()], &views);
+            match decision {
+                AdmissionDecision::Admit => d.admission.admitted[class.index()] += 1,
+                // No cheaper live substrate exists to switch to mid-call:
+                // serve at full fidelity, record the intent.
+                AdmissionDecision::Degrade => d.admission.degraded[class.index()] += 1,
+                AdmissionDecision::Shed => {
+                    d.admission.shed[class.index()] += 1;
+                    return Err(SparseNnError::Overloaded { priority: class });
+                }
+            }
+        }
+        let guard = ShardGuard {
+            fleet: self,
+            shard: self.acquire(class),
+        };
+        let record = self.shards[guard.shard].run(net, input, mode)?;
+        self.note_served(guard.shard, &record);
+        Ok(record)
+    }
+
     /// A homogeneous fleet of `n` cycle-accurate machines, each configured
     /// identically — the sharded-datacenter setup whose batch summaries are
     /// bit-identical to a single machine's.
@@ -265,24 +361,30 @@ impl Fleet {
     /// every shard while *nothing* is running, the lowest-indexed idle
     /// shard is used instead — no release would ever arrive, so waiting
     /// would deadlock the caller.
-    fn acquire(&self) -> usize {
+    fn acquire(&self, class: Priority) -> usize {
         let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(i) = self.pick_idle(&d) {
+            d.idle.retain(|&j| j != i);
+            return i;
+        }
+        // Blocked callers are the live fleet's queue: count this one in
+        // its class so the admission gate sees the true waiting depth.
+        d.waiting[class.index()] += 1;
         loop {
+            d = self.freed.wait(d).unwrap_or_else(|e| e.into_inner());
             if let Some(i) = self.pick_idle(&d) {
                 d.idle.retain(|&j| j != i);
+                d.waiting[class.index()] -= 1;
                 return i;
             }
-            d = self.freed.wait(d).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    /// Asks the scheduler for a shard and validates the pick against the
-    /// idle set. `None` means "wait and re-ask after the next release".
-    fn pick_idle(&self, d: &Dispatch) -> Option<usize> {
-        if d.idle.is_empty() {
-            return None;
-        }
-        let views: Vec<ShardView> = (0..self.shards.len())
+    /// Builds the scheduler-facing snapshot of every shard. Live shards
+    /// never fail today, so they are always healthy; the `ShardView`
+    /// health bit exists for the frontend simulator's fault timelines.
+    fn shard_views(&self, d: &Dispatch) -> Vec<ShardView> {
+        (0..self.shards.len())
             .map(|i| {
                 let idle = d.idle.contains(&i);
                 let s = &d.stats[i];
@@ -292,13 +394,23 @@ impl Fleet {
                 // (0 before the first run).
                 let est_us = s.service_estimate_us;
                 ShardView {
+                    healthy: true,
                     idle,
                     depth: usize::from(!idle),
                     backlog_us: if idle { 0.0 } else { est_us },
                     service_us: est_us,
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    /// Asks the scheduler for a shard and validates the pick against the
+    /// idle set. `None` means "wait and re-ask after the next release".
+    fn pick_idle(&self, d: &Dispatch) -> Option<usize> {
+        if d.idle.is_empty() {
+            return None;
+        }
+        let views = self.shard_views(d);
         match self.scheduler.pick(&views) {
             Some(i) if views.get(i).is_some_and(|v| v.idle) => Some(i),
             // The pick is busy or invalid. Legitimate to wait while some
@@ -408,13 +520,7 @@ impl InferenceBackend for Fleet {
         input: &[Q6_10],
         mode: UvMode,
     ) -> Result<RunRecord, SparseNnError> {
-        let guard = ShardGuard {
-            fleet: self,
-            shard: self.acquire(),
-        };
-        let record = self.shards[guard.shard].run(net, input, mode)?;
-        self.note_served(guard.shard, &record);
-        Ok(record)
+        self.run_classified(net, input, mode, Priority::High)
     }
 }
 
@@ -697,6 +803,69 @@ mod tests {
         assert_eq!(stats[0].samples, 5);
         assert!(stats[0].busy_us > 0.0);
         assert_eq!(stats[1], ShardStats::default());
+    }
+
+    /// Admission on the live path: a zero-budget gate sheds every call
+    /// as a typed `Overloaded` error; an open gate admits and counts.
+    #[test]
+    fn admission_gate_sheds_on_the_live_path() {
+        use crate::engine::admission::{AdmissionDecision, AdmissionGate, BoundedQueues, Priority};
+
+        let (net, x) = net_and_input();
+        // waiting(0) >= cap(0): every request sheds immediately.
+        struct ShedEverything;
+        impl AdmissionGate for ShedEverything {
+            fn name(&self) -> &str {
+                "shed-everything"
+            }
+            fn decide(&self, _: Priority, _: usize, _: &[ShardView]) -> AdmissionDecision {
+                AdmissionDecision::Shed
+            }
+        }
+        let fleet = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_admission(Box::new(ShedEverything));
+        assert_eq!(fleet.admission_name(), Some("shed-everything"));
+        assert_eq!(
+            fleet.run(&net, &x, UvMode::On).unwrap_err(),
+            SparseNnError::Overloaded {
+                priority: Priority::High
+            }
+        );
+        assert_eq!(
+            fleet
+                .run_classified(&net, &x, UvMode::On, Priority::Low)
+                .unwrap_err(),
+            SparseNnError::Overloaded {
+                priority: Priority::Low
+            }
+        );
+        let stats = fleet.admission_stats();
+        assert_eq!(stats.shed, [1, 1]);
+        assert_eq!(stats.admitted, [0, 0]);
+        assert_eq!(fleet.shard_stats()[0].samples, 0, "nothing was served");
+
+        // A generous bounded gate admits serial callers (nothing waits).
+        let open = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_admission(Box::new(BoundedQueues::new(4, 4)));
+        for _ in 0..3 {
+            open.run(&net, &x, UvMode::On).unwrap();
+        }
+        let stats = open.admission_stats();
+        assert_eq!(stats.admitted, [3, 0]);
+        assert_eq!(stats.shed, [0, 0]);
+        assert_eq!(open.shard_stats()[0].samples, 3);
+    }
+
+    /// Without a gate nothing is counted and `run` serves as before.
+    #[test]
+    fn ungated_fleet_reports_zero_admission_stats() {
+        let (net, x) = net_and_input();
+        let fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        assert_eq!(fleet.admission_name(), None);
+        fleet.run(&net, &x, UvMode::On).unwrap();
+        assert_eq!(fleet.admission_stats(), AdmissionStats::default());
     }
 
     #[test]

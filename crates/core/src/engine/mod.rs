@@ -33,7 +33,12 @@
 //!   against simulated latency-vs-load curves drops into real serving
 //!   unchanged. Plugged into a [`Session`], the session's worker pool
 //!   becomes the shared request queue; a fleet of identical shards keeps
-//!   batch summaries bit-identical to a single machine's.
+//!   batch summaries bit-identical to a single machine's. An
+//!   [`AdmissionGate`] ([`Fleet::with_admission`]) bounds that queue:
+//!   under overload it sheds or degrades low-[`Priority`] traffic
+//!   (typed [`Overloaded`](crate::SparseNnError::Overloaded) errors)
+//!   instead of queueing forever — the same gate trait the
+//!   `sparsenn-frontend` production-front-end simulator sweeps.
 //!
 //! Every backend also stamps its records with a modelled wall-clock
 //! latency ([`RunRecord::time_us`]) from its own clock model — the
@@ -70,6 +75,7 @@
 //!
 //! [`SparseNnError`]: crate::SparseNnError
 
+mod admission;
 mod backends;
 mod fleet;
 mod partitioned;
@@ -78,8 +84,9 @@ mod record;
 mod scheduler;
 mod session;
 
+pub use admission::{AdmissionDecision, AdmissionGate, AdmitAll, BoundedQueues, Priority};
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
-pub use fleet::{Fleet, ShardStats};
+pub use fleet::{AdmissionStats, Fleet, ShardStats};
 pub use partitioned::PartitionedMachine;
 pub use quantile::P2Quantile;
 pub use record::{LayerRecord, RunRecord};

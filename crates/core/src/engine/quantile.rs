@@ -59,6 +59,15 @@ impl P2Quantile {
         self.p
     }
 
+    /// Forgets every observation, keeping the tracked quantile — the
+    /// tracker behaves exactly like a fresh [`P2Quantile::new`] with the
+    /// same `p`. The autoscaler resets its latency tracker at every epoch
+    /// boundary so each scale decision sees only the epoch it judges,
+    /// not the whole run's history.
+    pub fn reset(&mut self) {
+        *self = Self::new(self.p);
+    }
+
     /// Observations folded in so far.
     pub fn count(&self) -> u64 {
         self.count
@@ -128,9 +137,25 @@ impl P2Quantile {
         self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
     }
 
-    /// The current quantile estimate: the middle marker once five
-    /// observations are in, the nearest-rank quantile of the warmup
-    /// buffer before that, and 0 before any observation.
+    /// The current quantile estimate.
+    ///
+    /// # Warm-up and degenerate streams
+    ///
+    /// The P² markers only exist from the fifth observation on, so the
+    /// estimate has three regimes:
+    ///
+    /// * **0 observations** — 0.0 (there is nothing to estimate; callers
+    ///   that must distinguish "no data" from "estimate 0" check
+    ///   [`count`](Self::count));
+    /// * **1–4 observations** — the nearest-rank quantile of the sorted
+    ///   warm-up buffer (exact for the samples seen; a single sample is
+    ///   every quantile);
+    /// * **5+ observations** — the middle P² marker.
+    ///
+    /// A **constant-valued stream** collapses all five markers onto the
+    /// same height; the parabolic/linear marker moves keep returning that
+    /// height (marker *positions* stay distinct integers, so no division
+    /// by zero), and the estimate is exactly the constant.
     pub fn estimate(&self) -> f64 {
         match self.count {
             0 => 0.0,
@@ -215,6 +240,77 @@ mod tests {
         assert_eq!(P2Quantile::new(2.0).quantile(), 0.999);
         assert_eq!(P2Quantile::new(-1.0).quantile(), 0.01);
         assert_eq!(P2Quantile::new(0.9).quantile(), 0.9);
+    }
+
+    /// The documented warm-up regime: exact nearest-rank estimates for
+    /// every sample count below five, across quantiles.
+    #[test]
+    fn warmup_below_five_samples_is_exact_nearest_rank() {
+        let samples = [40.0, 10.0, 30.0, 20.0];
+        for n in 1..=4usize {
+            let mut sorted: Vec<f64> = samples[..n].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            for p in [0.01, 0.5, 0.95, 0.99] {
+                let mut q = P2Quantile::new(p);
+                for &x in &samples[..n] {
+                    q.observe(x);
+                }
+                let idx = ((n - 1) as f64 * p).round() as usize;
+                assert_eq!(
+                    q.estimate(),
+                    sorted[idx.min(n - 1)],
+                    "n={n} p={p}: warm-up estimate must be the nearest-rank \
+                     quantile of the sorted buffer"
+                );
+            }
+        }
+    }
+
+    /// A constant-valued stream collapses every marker to the constant:
+    /// the estimate is exact, no marker move divides by zero, and the
+    /// positions stay strictly increasing integers.
+    #[test]
+    fn constant_stream_collapses_markers_without_breaking() {
+        for p in [0.5, 0.9, 0.99] {
+            let mut q = P2Quantile::new(p);
+            for _ in 0..10_000 {
+                q.observe(42.0);
+                let est = q.estimate();
+                assert!(est.is_finite(), "p{p}: estimate must stay finite");
+                assert_eq!(est, 42.0, "p{p}: constant stream estimates the constant");
+            }
+            for w in q.n.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "marker positions must stay strictly increasing: {:?}",
+                    q.n
+                );
+            }
+            // A late outlier is absorbed without disturbing the middle.
+            q.observe(1e9);
+            assert!(q.estimate().is_finite());
+        }
+    }
+
+    /// `reset` returns the tracker to its pristine state (the autoscaler
+    /// reuses one allocation across epochs).
+    #[test]
+    fn reset_restores_a_pristine_tracker() {
+        let mut q = P2Quantile::new(0.95);
+        for x in stream(1000) {
+            q.observe(x);
+        }
+        assert!(q.count() == 1000 && q.estimate() > 0.0);
+        q.reset();
+        assert_eq!(q, P2Quantile::new(0.95), "reset == fresh tracker");
+        assert_eq!(q.count(), 0);
+        assert_eq!(q.estimate(), 0.0);
+        assert_eq!(q.quantile(), 0.95, "the tracked quantile survives");
+        // The reused tracker estimates the new epoch, not the old one.
+        for _ in 0..100 {
+            q.observe(7.0);
+        }
+        assert_eq!(q.estimate(), 7.0);
     }
 
     #[test]

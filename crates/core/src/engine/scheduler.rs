@@ -20,6 +20,12 @@
 /// [`Scheduler`] placing one request.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ShardView {
+    /// `false` when the shard is failed, slowed past usefulness, or still
+    /// warming up after a scale-out — schedulers must not place work on
+    /// it. The live fleet's shards are always healthy today; the
+    /// `sparsenn-frontend` simulator drives this from its fault and
+    /// autoscaling timelines.
+    pub healthy: bool,
     /// `true` when the shard is neither serving nor holding queued work.
     pub idle: bool,
     /// Requests on the shard: in service (0 or 1) plus waiting in its
@@ -61,6 +67,8 @@ pub trait Scheduler: Send + Sync {
     /// Returning the index of a busy shard means "queue behind it" where
     /// queues exist (the simulator); the live fleet treats it as "wait".
     /// An out-of-range index is treated as `None` by both consumers.
+    /// Implementations must never pick an unhealthy shard
+    /// ([`ShardView::healthy`] is `false`) — its queue may never drain.
     fn pick(&self, shards: &[ShardView]) -> Option<usize>;
 }
 
@@ -78,7 +86,7 @@ impl Scheduler for FirstIdle {
     }
 
     fn pick(&self, shards: &[ShardView]) -> Option<usize> {
-        shards.iter().position(|s| s.idle)
+        shards.iter().position(|s| s.healthy && s.idle)
     }
 }
 
@@ -96,6 +104,7 @@ impl Scheduler for LeastQueued {
         shards
             .iter()
             .enumerate()
+            .filter(|(_, s)| s.healthy)
             .min_by_key(|(_, s)| s.depth)
             .map(|(i, _)| i)
     }
@@ -120,6 +129,7 @@ impl Scheduler for FastestCompletion {
         shards
             .iter()
             .enumerate()
+            .filter(|(_, s)| s.healthy)
             .min_by(|(_, a), (_, b)| {
                 a.expected_completion_us()
                     .total_cmp(&b.expected_completion_us())
@@ -134,10 +144,18 @@ mod tests {
 
     fn view(idle: bool, depth: usize, backlog_us: f64, service_us: f64) -> ShardView {
         ShardView {
+            healthy: true,
             idle,
             depth,
             backlog_us,
             service_us,
+        }
+    }
+
+    fn unhealthy() -> ShardView {
+        ShardView {
+            healthy: false,
+            ..view(true, 0, 0.0, 1.0)
         }
     }
 
@@ -186,5 +204,19 @@ mod tests {
         assert_eq!(FirstIdle.pick(&[]), None);
         assert_eq!(LeastQueued.pick(&[]), None);
         assert_eq!(FastestCompletion.pick(&[]), None);
+    }
+
+    /// An unhealthy shard is invisible to every policy — even when it
+    /// looks idle and fast — and an all-unhealthy fleet yields `None`.
+    #[test]
+    fn unhealthy_shards_are_never_picked() {
+        let down = unhealthy();
+        let busy = view(false, 2, 20.0, 10.0);
+        assert_eq!(FirstIdle.pick(&[down, busy]), None, "down idle is unusable");
+        assert_eq!(LeastQueued.pick(&[down, busy]), Some(1));
+        assert_eq!(FastestCompletion.pick(&[down, busy]), Some(1));
+        assert_eq!(FirstIdle.pick(&[down, down]), None);
+        assert_eq!(LeastQueued.pick(&[down, down]), None);
+        assert_eq!(FastestCompletion.pick(&[down, down]), None);
     }
 }

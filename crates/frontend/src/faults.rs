@@ -1,0 +1,216 @@
+//! Fault and slowdown injection: the adversary a production front end is
+//! built against.
+//!
+//! A [`FaultPlan`] is a fixed, validated timeline of shard failures and
+//! stragglers, scheduled onto the simulator's event queue before any
+//! traffic flows. Plans are data, not callbacks, so the identical
+//! adversary replays against every policy combination under test —
+//! hedged-vs-unhedged comparisons see the *same* failure at the *same*
+//! virtual microsecond.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected misbehaviour on one shard.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The shard fail-stops at `at_us`: its in-service attempt and queued
+    /// work are lost, and schedulers stop routing to it. It recovers
+    /// empty and healthy at `at_us + down_us`.
+    FailStop {
+        /// Shard that fails.
+        shard: usize,
+        /// Virtual time of the failure, µs.
+        at_us: f64,
+        /// How long the shard stays down, µs.
+        down_us: f64,
+    },
+    /// The shard becomes a straggler at `at_us`: attempts *started*
+    /// during the window take `factor ×` their nominal service time. It
+    /// returns to nominal speed at `at_us + for_us`.
+    Slowdown {
+        /// Shard that slows down.
+        shard: usize,
+        /// Virtual time the slowdown begins, µs.
+        at_us: f64,
+        /// Length of the slow window, µs.
+        for_us: f64,
+        /// Service-time multiplier, > 1.
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// The shard the fault targets.
+    pub fn shard(&self) -> usize {
+        match *self {
+            Fault::FailStop { shard, .. } | Fault::Slowdown { shard, .. } => shard,
+        }
+    }
+}
+
+/// A deterministic timeline of injected faults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The injected faults, in no particular order (the event queue
+    /// orders them by virtual time).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy fleet.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with exactly these faults.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// A seeded random plan: `fail_stops` fail-stop intervals and
+    /// `slowdowns` straggler windows spread uniformly over
+    /// `[0, horizon_us)` across `shards` shards. Outage lengths draw from
+    /// 5–20 % of the horizon, slowdown factors from 2–8×. Deterministic:
+    /// the same arguments always produce the identical plan.
+    pub fn random(
+        shards: usize,
+        horizon_us: f64,
+        fail_stops: usize,
+        slowdowns: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::with_capacity(fail_stops + slowdowns);
+        for _ in 0..fail_stops {
+            let shard = rng.gen_range(0..shards.max(1));
+            let at_us = rng.gen::<f64>() * horizon_us;
+            let down_us = (0.05 + 0.15 * rng.gen::<f64>()) * horizon_us;
+            faults.push(Fault::FailStop {
+                shard,
+                at_us,
+                down_us,
+            });
+        }
+        for _ in 0..slowdowns {
+            let shard = rng.gen_range(0..shards.max(1));
+            let at_us = rng.gen::<f64>() * horizon_us;
+            let for_us = (0.05 + 0.15 * rng.gen::<f64>()) * horizon_us;
+            let factor = 2.0 + 6.0 * rng.gen::<f64>();
+            faults.push(Fault::Slowdown {
+                shard,
+                at_us,
+                for_us,
+                factor,
+            });
+        }
+        Self { faults }
+    }
+
+    /// Checks every fault targets an existing shard with finite,
+    /// sensible parameters.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first invalid fault.
+    pub fn validate(&self, shards: usize) -> Result<(), String> {
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.shard() >= shards {
+                return Err(format!(
+                    "fault {i} targets shard {} of a {shards}-shard fleet",
+                    f.shard()
+                ));
+            }
+            let finite_nonneg = |v: f64, what: &str| -> Result<(), String> {
+                if v.is_finite() && v >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "fault {i}: {what} must be finite and >= 0, got {v}"
+                    ))
+                }
+            };
+            match *f {
+                Fault::FailStop { at_us, down_us, .. } => {
+                    finite_nonneg(at_us, "failure time")?;
+                    finite_nonneg(down_us, "outage length")?;
+                    if down_us == 0.0 {
+                        return Err(format!("fault {i}: outage length must be positive"));
+                    }
+                }
+                Fault::Slowdown {
+                    at_us,
+                    for_us,
+                    factor,
+                    ..
+                } => {
+                    finite_nonneg(at_us, "slowdown start")?;
+                    finite_nonneg(for_us, "slowdown length")?;
+                    if !(factor.is_finite() && factor > 1.0) {
+                        return Err(format!(
+                            "fault {i}: slowdown factor must be finite and > 1, got {factor}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of fail-stop faults in the plan.
+    pub fn fail_stops(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f, Fault::FailStop { .. }))
+            .count()
+    }
+
+    /// Number of slowdown faults in the plan.
+    pub fn slowdowns(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f, Fault::Slowdown { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(4, 100_000.0, 2, 3, 11);
+        let b = FaultPlan::random(4, 100_000.0, 2, 3, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.fail_stops(), 2);
+        assert_eq!(a.slowdowns(), 3);
+        assert!(a.validate(4).is_ok());
+        let c = FaultPlan::random(4, 100_000.0, 2, 3, 12);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn validation_rejects_bad_faults() {
+        let out_of_range = FaultPlan::new(vec![Fault::FailStop {
+            shard: 4,
+            at_us: 0.0,
+            down_us: 10.0,
+        }]);
+        assert!(out_of_range.validate(4).is_err());
+        let zero_outage = FaultPlan::new(vec![Fault::FailStop {
+            shard: 0,
+            at_us: 5.0,
+            down_us: 0.0,
+        }]);
+        assert!(zero_outage.validate(1).is_err());
+        let speedup = FaultPlan::new(vec![Fault::Slowdown {
+            shard: 0,
+            at_us: 5.0,
+            for_us: 10.0,
+            factor: 0.5,
+        }]);
+        assert!(speedup.validate(1).is_err());
+        assert!(FaultPlan::none().validate(0).is_ok());
+    }
+}

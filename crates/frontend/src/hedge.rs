@@ -1,0 +1,100 @@
+//! Hedged requests and retries: the tail-tolerance half of the front end.
+//!
+//! A request stuck behind a straggler has two ways out: a **hedge** — a
+//! duplicate attempt dispatched after a deadline, first finisher wins,
+//! loser cancelled — and a **retry** — re-dispatch after the serving
+//! shard fail-stops. Both trade a little extra work for a much shorter
+//! tail; the [`HedgeConfig`] bounds how much extra work is allowed.
+
+/// Hedging and retry policy for one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Virtual microseconds a request may stay unfinished before a
+    /// duplicate attempt is dispatched. `f64::INFINITY` disables hedging.
+    pub after_us: f64,
+    /// Maximum duplicate attempts per request (0 disables hedging).
+    pub max_hedges: usize,
+    /// Whether attempts lost to a fail-stop are re-dispatched. When
+    /// false, a request whose last live attempt dies counts as failed.
+    pub retry_failed: bool,
+}
+
+impl HedgeConfig {
+    /// No hedging, no retries: every attempt sinks or swims alone.
+    pub fn disabled() -> Self {
+        Self {
+            after_us: f64::INFINITY,
+            max_hedges: 0,
+            retry_failed: false,
+        }
+    }
+
+    /// One hedge per request after `after_us`, with fail-stop retries —
+    /// the standard tail-tolerant configuration.
+    pub fn hedged(after_us: f64) -> Self {
+        Self {
+            after_us,
+            max_hedges: 1,
+            retry_failed: true,
+        }
+    }
+
+    /// Fail-stop retries only, no duplicate attempts.
+    pub fn retries_only() -> Self {
+        Self {
+            after_us: f64::INFINITY,
+            max_hedges: 0,
+            retry_failed: true,
+        }
+    }
+
+    /// Whether this configuration ever issues a duplicate attempt.
+    pub fn hedging_enabled(&self) -> bool {
+        self.max_hedges > 0 && self.after_us.is_finite()
+    }
+
+    /// Checks the parameters are simulatable.
+    ///
+    /// # Errors
+    ///
+    /// A description of the invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.after_us.is_nan() || self.after_us <= 0.0 {
+            return Err(format!(
+                "hedge deadline must be positive (or +inf to disable), got {}",
+                self.after_us
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_mean_what_they_say() {
+        assert!(!HedgeConfig::disabled().hedging_enabled());
+        assert!(!HedgeConfig::disabled().retry_failed);
+        assert!(HedgeConfig::hedged(50.0).hedging_enabled());
+        assert!(HedgeConfig::hedged(50.0).retry_failed);
+        assert!(!HedgeConfig::retries_only().hedging_enabled());
+        assert!(HedgeConfig::retries_only().retry_failed);
+    }
+
+    #[test]
+    fn validation_rejects_non_positive_deadlines() {
+        assert!(HedgeConfig::hedged(50.0).validate().is_ok());
+        assert!(HedgeConfig::disabled().validate().is_ok());
+        assert!(HedgeConfig::hedged(0.0).validate().is_err());
+        assert!(HedgeConfig::hedged(f64::NAN).validate().is_err());
+        assert!(HedgeConfig::hedged(-5.0).validate().is_err());
+    }
+}

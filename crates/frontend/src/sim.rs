@@ -1,0 +1,1123 @@
+//! The production-front-end simulator: admission, faults, hedging and
+//! autoscaling on one deterministic virtual timeline.
+//!
+//! [`simulate_frontend`] extends the `sparsenn-serve` discrete-event core
+//! with the full [`FleetEvent`] vocabulary. Each arriving request is
+//! classified ([`Priority`]), gated ([`AdmissionGate`] — admit, degrade,
+//! or shed *before* touching a shard), then dispatched as a service
+//! **attempt** by the shared [`Scheduler`] trait. Attempts — not requests
+//! — are what shards run: a hedging timer may race a duplicate attempt
+//! against a straggler (first finisher wins, the loser is cancelled and
+//! its shard freed), and a fail-stop may kill an attempt mid-service
+//! (retried on another shard when the [`HedgeConfig`] allows). An
+//! optional [`Autoscaler`] grows and shrinks the active fleet at epoch
+//! boundaries, paying a warm-up delay before a new shard takes traffic.
+//!
+//! Ties on the timeline break by push order, the class stream and fault
+//! plan are seeded, and no hash-ordered container is iterated — a run is
+//! a pure function of its arguments, so any two policy combinations can
+//! be compared knowing every microsecond of difference is policy.
+
+use crate::autoscale::{AutoscaleConfig, Autoscaler, ScaleDecision};
+use crate::faults::{Fault, FaultPlan};
+use crate::hedge::HedgeConfig;
+use crate::metrics::{ClassStats, FrontendSummary};
+use crate::slo::SloPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparsenn_core::engine::{AdmissionDecision, AdmissionGate, Priority, Scheduler, ShardView};
+use sparsenn_serve::{EventQueue, FleetEvent, ShardSpec, StreamingLatency, Workload};
+use std::collections::VecDeque;
+
+/// Everything one front-end run is configured by, minus the two policy
+/// trait objects ([`Scheduler`], [`AdmissionGate`]) passed alongside.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendConfig {
+    /// Traffic shape (shared with `sparsenn-serve`: the identical seeded
+    /// arrival stream).
+    pub workload: Workload,
+    /// Probability an arriving request is [`Priority::Low`] (0..=1).
+    pub low_fraction: f64,
+    /// Seed of the class-assignment stream.
+    pub class_seed: u64,
+    /// Service-time multiplier for degraded requests (0 < f ≤ 1): the
+    /// cheaper answer a [`Degrade`](AdmissionDecision::Degrade) buys.
+    pub degrade_factor: f64,
+    /// Per-class latency SLOs.
+    pub slo: SloPolicy,
+    /// Hedging and retry policy.
+    pub hedge: HedgeConfig,
+    /// Injected faults.
+    pub faults: FaultPlan,
+    /// Autoscaling policy (`None`: the active fleet is fixed).
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Shards active at t = 0. `0` means: the autoscaler's `min_shards`
+    /// when autoscaling, else the whole fleet. Inactive shards are the
+    /// scale-out reserve.
+    pub initial_active: usize,
+}
+
+impl FrontendConfig {
+    /// A high-priority-only, fault-free, unhedged, fixed-fleet baseline.
+    pub fn new(workload: Workload, slo: SloPolicy) -> Self {
+        Self {
+            workload,
+            low_fraction: 0.0,
+            class_seed: 0xC1A55,
+            degrade_factor: 0.5,
+            slo,
+            hedge: HedgeConfig::disabled(),
+            faults: FaultPlan::none(),
+            autoscale: None,
+            initial_active: 0,
+        }
+    }
+
+    /// Mixes in low-priority traffic at `fraction` of arrivals.
+    pub fn low_fraction(mut self, fraction: f64) -> Self {
+        self.low_fraction = fraction;
+        self
+    }
+
+    /// Sets the hedging/retry policy.
+    pub fn hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables autoscaling.
+    pub fn autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Sets the number of shards active at t = 0.
+    pub fn initial_active(mut self, shards: usize) -> Self {
+        self.initial_active = shards;
+        self
+    }
+}
+
+/// Why a front-end simulation could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrontendError {
+    /// The fleet has no shards.
+    NoShards,
+    /// A shard's service table is empty or contains a non-finite or
+    /// negative time.
+    BadServiceTable {
+        /// Offending shard index.
+        shard: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A configuration parameter is invalid.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::NoShards => f.write_str("a front-end fleet needs at least one shard"),
+            FrontendError::BadServiceTable { shard, reason } => {
+                write!(f, "shard {shard} service table: {reason}")
+            }
+            FrontendError::BadConfig(reason) => write!(f, "invalid front-end config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// One service attempt of one request. Requests may spawn several
+/// (hedges, retries); the first attempt to finish resolves the request.
+#[derive(Clone, Copy, Debug)]
+struct Attempt {
+    id: u64,
+    request: usize,
+}
+
+struct ShardState {
+    /// Part of the serving set (false: scale-out reserve or scaled in).
+    active: bool,
+    /// Activated but still paying the warm-up cost.
+    warming: bool,
+    /// Fail-stopped.
+    failed: bool,
+    /// Service-time multiplier while a straggler window is open.
+    slow_factor: f64,
+    queue: VecDeque<Attempt>,
+    queued_work_us: f64,
+    current: Option<(Attempt, f64)>,
+    busy_until: f64,
+    served: usize,
+    busy_us: f64,
+}
+
+impl ShardState {
+    fn new(active: bool) -> Self {
+        Self {
+            active,
+            warming: false,
+            failed: false,
+            slow_factor: 1.0,
+            queue: VecDeque::new(),
+            queued_work_us: 0.0,
+            current: None,
+            busy_until: 0.0,
+            served: 0,
+            busy_us: 0.0,
+        }
+    }
+
+    fn healthy(&self) -> bool {
+        self.active && !self.warming && !self.failed
+    }
+
+    fn idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    fn backlog_us(&self, now_us: f64) -> f64 {
+        let in_service = match self.current {
+            Some(_) => (self.busy_until - now_us).max(0.0),
+            None => 0.0,
+        };
+        in_service + self.queued_work_us
+    }
+}
+
+struct RequestState {
+    class: Priority,
+    arrival_us: f64,
+    degraded: bool,
+    /// Attempts currently in a queue or in service.
+    live_attempts: u32,
+    hedges_used: usize,
+    hedged: bool,
+    done: bool,
+}
+
+/// The running simulation. All mutation funnels through these methods so
+/// the attempt/queue/waiting invariants live in one place.
+struct Engine<'a> {
+    specs: &'a [ShardSpec],
+    scheduler: &'a dyn Scheduler,
+    admission: &'a dyn AdmissionGate,
+    cfg: &'a FrontendConfig,
+    events: EventQueue<FleetEvent>,
+    shards: Vec<ShardState>,
+    requests: Vec<RequestState>,
+    central: VecDeque<Attempt>,
+    /// Queued (not in-service) attempts per priority class — what the
+    /// admission gate sees as `waiting_same_class`.
+    waiting: [usize; 2],
+    next_attempt: u64,
+    resolved: usize,
+    total_requests: usize,
+    /// Closed-loop requests still to issue (completion/shed/fail driven).
+    to_issue: usize,
+    think_us: f64,
+    class_rng: StdRng,
+    scaler: Option<Autoscaler>,
+    makespan_us: f64,
+    // Accumulators.
+    classes: [ClassStats; 2],
+    latency: [StreamingLatency; 2],
+    hedges_issued: usize,
+    hedge_wins: usize,
+    cancelled_attempts: usize,
+    retries: usize,
+    scale_outs: usize,
+    scale_ins: usize,
+    peak_active: usize,
+    last_epoch_busy_us: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn views(&self, now: f64, request: usize) -> Vec<ShardView> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardView {
+                healthy: s.healthy(),
+                idle: s.idle(),
+                depth: s.depth(),
+                backlog_us: s.backlog_us(now),
+                service_us: self.specs[i].service_us[request % self.specs[i].service_us.len()]
+                    * s.slow_factor,
+            })
+            .collect()
+    }
+
+    fn service_us(&self, shard: usize, request: usize) -> f64 {
+        let spec = &self.specs[shard];
+        let base = spec.service_us[request % spec.service_us.len()];
+        let degrade = if self.requests[request].degraded {
+            self.cfg.degrade_factor
+        } else {
+            1.0
+        };
+        base * self.shards[shard].slow_factor * degrade
+    }
+
+    fn start_service(&mut self, shard: usize, attempt: Attempt, now: f64) {
+        let service = self.service_us(shard, attempt.request);
+        self.shards[shard].current = Some((attempt, now));
+        self.shards[shard].busy_until = now + service;
+        self.events.push(
+            now + service,
+            FleetEvent::Completion {
+                shard,
+                attempt: attempt.id,
+            },
+        );
+    }
+
+    /// Places a fresh attempt for `request`: scheduler pick, then the
+    /// first healthy idle shard, then the central queue (drained by the
+    /// next shard to free up or come back).
+    fn dispatch(&mut self, request: usize, now: f64) {
+        let attempt = Attempt {
+            id: self.next_attempt,
+            request,
+        };
+        self.next_attempt += 1;
+        self.requests[request].live_attempts += 1;
+        let class = self.requests[request].class;
+        let views = self.views(now, request);
+        match self.scheduler.pick(&views) {
+            Some(i) if i < self.shards.len() && self.shards[i].healthy() => {
+                if self.shards[i].idle() {
+                    self.start_service(i, attempt, now);
+                } else {
+                    self.shards[i].queued_work_us += self.service_us(i, request);
+                    self.shards[i].queue.push_back(attempt);
+                    self.waiting[class.index()] += 1;
+                }
+            }
+            _ => {
+                if let Some(i) = (0..self.shards.len())
+                    .find(|&i| self.shards[i].healthy() && self.shards[i].idle())
+                {
+                    self.start_service(i, attempt, now);
+                } else {
+                    self.central.push_back(attempt);
+                    self.waiting[class.index()] += 1;
+                }
+            }
+        }
+    }
+
+    /// A shard freed up (completion, cancellation, recovery, warm-up
+    /// done): pull its own queue first, then the central queue.
+    fn pull_next(&mut self, shard: usize, now: f64) {
+        if !self.shards[shard].healthy() || self.shards[shard].current.is_some() {
+            return;
+        }
+        let next = if let Some(a) = self.shards[shard].queue.pop_front() {
+            // Slowdown windows opening/closing between enqueue and
+            // dequeue can skew the backlog estimate; clamp so it stays a
+            // usable scheduler heuristic.
+            let work = self.service_us(shard, a.request);
+            self.shards[shard].queued_work_us = (self.shards[shard].queued_work_us - work).max(0.0);
+            Some(a)
+        } else {
+            self.central.pop_front()
+        };
+        if let Some(a) = next {
+            self.waiting[self.requests[a.request].class.index()] -= 1;
+            self.start_service(shard, a, now);
+        }
+    }
+
+    /// The winner of `request` finished: cancel every sibling attempt —
+    /// in-service ones free their shard immediately, queued ones are
+    /// removed — and account the cancellations.
+    fn cancel_siblings(&mut self, request: usize, now: f64) {
+        if self.requests[request].live_attempts == 0 {
+            return;
+        }
+        let mut freed: Vec<usize> = Vec::new();
+        for i in 0..self.shards.len() {
+            if let Some((att, start)) = self.shards[i].current {
+                if att.request == request {
+                    self.shards[i].busy_us += now - start;
+                    self.shards[i].current = None;
+                    self.requests[request].live_attempts -= 1;
+                    self.cancelled_attempts += 1;
+                    freed.push(i);
+                }
+            }
+        }
+        if self.requests[request].live_attempts > 0 {
+            let class = self.requests[request].class;
+            for i in 0..self.shards.len() {
+                let before = self.shards[i].queue.len();
+                let specs = self.specs;
+                let slow = self.shards[i].slow_factor;
+                let degrade = if self.requests[request].degraded {
+                    self.cfg.degrade_factor
+                } else {
+                    1.0
+                };
+                let mut dropped_work = 0.0;
+                self.shards[i].queue.retain(|a| {
+                    if a.request == request {
+                        dropped_work += specs[i].service_us[request % specs[i].service_us.len()]
+                            * slow
+                            * degrade;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let dropped = before - self.shards[i].queue.len();
+                self.shards[i].queued_work_us =
+                    (self.shards[i].queued_work_us - dropped_work).max(0.0);
+                self.requests[request].live_attempts -= dropped as u32;
+                self.cancelled_attempts += dropped;
+                self.waiting[class.index()] -= dropped;
+            }
+            let before = self.central.len();
+            self.central.retain(|a| a.request != request);
+            let dropped = before - self.central.len();
+            self.requests[request].live_attempts -= dropped as u32;
+            self.cancelled_attempts += dropped;
+            self.waiting[class.index()] -= dropped;
+        }
+        debug_assert_eq!(self.requests[request].live_attempts, 0);
+        for i in freed {
+            self.pull_next(i, now);
+        }
+    }
+
+    /// A request left the system (completed, shed, or failed): track the
+    /// makespan and keep a closed-loop client issuing.
+    fn resolve(&mut self, now: f64) {
+        self.resolved += 1;
+        self.makespan_us = self.makespan_us.max(now);
+        if self.to_issue > 0 {
+            self.to_issue -= 1;
+            self.events.push(now + self.think_us, FleetEvent::Arrival);
+        }
+    }
+
+    fn on_completion(&mut self, shard: usize, attempt_id: u64, now: f64) {
+        // Lazy cancellation: the completion is real only if the shard is
+        // still running that exact attempt (fail-stops and cancellations
+        // clear `current`, leaving the scheduled event to pop dead).
+        let (attempt, start) = match self.shards[shard].current {
+            Some((a, s)) if a.id == attempt_id => (a, s),
+            _ => return,
+        };
+        self.shards[shard].current = None;
+        self.shards[shard].served += 1;
+        self.shards[shard].busy_us += now - start;
+        let request = attempt.request;
+        debug_assert!(!self.requests[request].done, "winner races are settled");
+        self.requests[request].done = true;
+        self.requests[request].live_attempts -= 1;
+        self.cancel_siblings(request, now);
+
+        let class = self.requests[request].class;
+        let latency = now - self.requests[request].arrival_us;
+        let stats = &mut self.classes[class.index()];
+        stats.completed += 1;
+        if latency <= self.cfg.slo.limit_us(class) {
+            stats.slo_met += 1;
+        }
+        self.latency[class.index()].observe(latency);
+        if let Some(scaler) = &mut self.scaler {
+            scaler.observe_latency(latency);
+        }
+        if self.requests[request].hedged {
+            self.hedge_wins += 1;
+        }
+        self.resolve(now);
+        self.pull_next(shard, now);
+    }
+
+    fn on_fail(&mut self, shard: usize, now: f64) {
+        self.shards[shard].failed = true;
+        // Everything the shard held — in service and queued — is lost.
+        let mut lost: Vec<Attempt> = Vec::new();
+        if let Some((att, start)) = self.shards[shard].current.take() {
+            self.shards[shard].busy_us += now - start;
+            lost.push(att);
+        }
+        while let Some(att) = self.shards[shard].queue.pop_front() {
+            self.waiting[self.requests[att.request].class.index()] -= 1;
+            lost.push(att);
+        }
+        self.shards[shard].queued_work_us = 0.0;
+        for att in lost {
+            let request = att.request;
+            if self.requests[request].done {
+                continue;
+            }
+            self.requests[request].live_attempts -= 1;
+            if self.cfg.hedge.retry_failed {
+                self.retries += 1;
+                self.dispatch(request, now);
+            } else if self.requests[request].live_attempts == 0 {
+                let class = self.requests[request].class;
+                self.requests[request].done = true;
+                self.classes[class.index()].failed += 1;
+                self.resolve(now);
+            }
+        }
+    }
+
+    fn on_scale_tick(&mut self, now: f64) {
+        let epoch_us = match &self.cfg.autoscale {
+            Some(a) => a.epoch_us,
+            None => return,
+        };
+        // Busy time this epoch, including in-flight partial work.
+        let total_busy: f64 = self
+            .shards
+            .iter()
+            .map(|s| s.busy_us + s.current.map_or(0.0, |(_, start)| now - start))
+            .sum();
+        let epoch_busy = total_busy - self.last_epoch_busy_us;
+        self.last_epoch_busy_us = total_busy;
+        let active = self
+            .shards
+            .iter()
+            .filter(|s| s.active && !s.warming)
+            .count();
+        let warming = self.shards.iter().filter(|s| s.warming).count();
+        let utilization = if active > 0 {
+            (epoch_busy / (active as f64 * epoch_us)).clamp(0.0, 1.0)
+        } else {
+            1.0 // nothing serving: maximal pressure
+        };
+        let scaler = self.scaler.as_mut().expect("autoscale config has a scaler");
+        match scaler.decide(utilization, active, warming) {
+            ScaleDecision::Out => {
+                if let Some(i) = (0..self.shards.len()).find(|&i| !self.shards[i].active) {
+                    self.shards[i].active = true;
+                    self.shards[i].warming = true;
+                    self.scale_outs += 1;
+                    let warmup = self.cfg.autoscale.as_ref().expect("checked").warmup_us;
+                    self.events
+                        .push(now + warmup, FleetEvent::ShardReady { shard: i });
+                }
+            }
+            ScaleDecision::In => {
+                // Retire the highest-indexed idle healthy shard; if every
+                // active shard holds work, hold instead.
+                if let Some(i) = (0..self.shards.len())
+                    .rev()
+                    .find(|&i| self.shards[i].healthy() && self.shards[i].idle())
+                {
+                    self.shards[i].active = false;
+                    self.scale_ins += 1;
+                }
+            }
+            ScaleDecision::Hold => {}
+        }
+        self.peak_active = self.peak_active.max(
+            self.shards
+                .iter()
+                .filter(|s| s.active && !s.warming)
+                .count(),
+        );
+        if self.resolved < self.total_requests {
+            self.events.push(now + epoch_us, FleetEvent::ScaleTick);
+        }
+    }
+
+    fn on_arrival(&mut self, now: f64) {
+        let class = if self.class_rng.gen::<f64>() < self.cfg.low_fraction {
+            Priority::Low
+        } else {
+            Priority::High
+        };
+        let request = self.requests.len();
+        self.requests.push(RequestState {
+            class,
+            arrival_us: now,
+            degraded: false,
+            live_attempts: 0,
+            hedges_used: 0,
+            hedged: false,
+            done: false,
+        });
+        let stats = &mut self.classes[class.index()];
+        stats.offered += 1;
+        let views = self.views(now, request);
+        match self
+            .admission
+            .decide(class, self.waiting[class.index()], &views)
+        {
+            AdmissionDecision::Admit => self.classes[class.index()].admitted += 1,
+            AdmissionDecision::Degrade => {
+                self.classes[class.index()].degraded += 1;
+                self.requests[request].degraded = true;
+            }
+            AdmissionDecision::Shed => {
+                self.classes[class.index()].shed += 1;
+                self.requests[request].done = true;
+                self.resolve(now);
+                return;
+            }
+        }
+        self.dispatch(request, now);
+        if self.cfg.hedge.hedging_enabled() {
+            self.events
+                .push(now + self.cfg.hedge.after_us, FleetEvent::Hedge { request });
+        }
+    }
+
+    fn on_hedge(&mut self, request: usize, now: f64) {
+        let r = &mut self.requests[request];
+        if r.done || r.hedges_used >= self.cfg.hedge.max_hedges {
+            return;
+        }
+        r.hedges_used += 1;
+        r.hedged = true;
+        self.hedges_issued += 1;
+        self.dispatch(request, now);
+        if self.requests[request].hedges_used < self.cfg.hedge.max_hedges {
+            self.events
+                .push(now + self.cfg.hedge.after_us, FleetEvent::Hedge { request });
+        }
+    }
+}
+
+/// Runs one front-end simulation to completion.
+///
+/// Deterministic: the summary is a pure function of the arguments.
+///
+/// # Errors
+///
+/// [`FrontendError`] when the fleet is empty, a service table is
+/// unusable, or any configuration parameter (workload, hedge policy,
+/// fault plan, autoscaler, class mix) is invalid.
+pub fn simulate_frontend(
+    fleet: &[ShardSpec],
+    scheduler: &dyn Scheduler,
+    admission: &dyn AdmissionGate,
+    cfg: &FrontendConfig,
+) -> Result<FrontendSummary, FrontendError> {
+    if fleet.is_empty() {
+        return Err(FrontendError::NoShards);
+    }
+    for (i, s) in fleet.iter().enumerate() {
+        if s.service_us.is_empty() {
+            return Err(FrontendError::BadServiceTable {
+                shard: i,
+                reason: "empty".into(),
+            });
+        }
+        if let Some(bad) = s.service_us.iter().find(|v| !v.is_finite() || **v < 0.0) {
+            return Err(FrontendError::BadServiceTable {
+                shard: i,
+                reason: format!("service time {bad} is not finite and non-negative"),
+            });
+        }
+    }
+    cfg.workload.validate().map_err(FrontendError::BadConfig)?;
+    cfg.hedge.validate().map_err(FrontendError::BadConfig)?;
+    cfg.faults
+        .validate(fleet.len())
+        .map_err(FrontendError::BadConfig)?;
+    cfg.slo.validate().map_err(FrontendError::BadConfig)?;
+    if !(0.0..=1.0).contains(&cfg.low_fraction) {
+        return Err(FrontendError::BadConfig(format!(
+            "low-priority fraction must be in [0, 1], got {}",
+            cfg.low_fraction
+        )));
+    }
+    if !(cfg.degrade_factor.is_finite() && cfg.degrade_factor > 0.0 && cfg.degrade_factor <= 1.0) {
+        return Err(FrontendError::BadConfig(format!(
+            "degrade factor must be in (0, 1], got {}",
+            cfg.degrade_factor
+        )));
+    }
+    if let Some(a) = &cfg.autoscale {
+        a.validate().map_err(FrontendError::BadConfig)?;
+        if a.max_shards > fleet.len() {
+            return Err(FrontendError::BadConfig(format!(
+                "autoscaler max_shards {} exceeds the {}-shard fleet",
+                a.max_shards,
+                fleet.len()
+            )));
+        }
+    }
+
+    let initial_active = match (&cfg.autoscale, cfg.initial_active) {
+        (_, n) if n > 0 => n.min(fleet.len()),
+        (Some(a), 0) => a.min_shards,
+        (None, 0) => fleet.len(),
+        _ => unreachable!(),
+    };
+    if let Some(a) = &cfg.autoscale {
+        if !(a.min_shards..=a.max_shards).contains(&initial_active) {
+            return Err(FrontendError::BadConfig(format!(
+                "initial_active {initial_active} outside the autoscaler's [{}, {}] band",
+                a.min_shards, a.max_shards
+            )));
+        }
+    }
+
+    let total_requests = cfg.workload.requests();
+    let mut events: EventQueue<FleetEvent> = EventQueue::new();
+    let mut open_arrivals = cfg.workload.open_arrivals();
+    let (think_us, to_issue) = match cfg.workload {
+        Workload::ClosedLoop {
+            concurrency,
+            requests,
+            think_us,
+        } => {
+            for _ in 0..concurrency.min(requests) {
+                events.push(0.0, FleetEvent::Arrival);
+            }
+            (think_us, requests - concurrency.min(requests))
+        }
+        _ => {
+            let stream = open_arrivals.as_mut().expect("open workload has a stream");
+            if let Some(t) = stream.next() {
+                events.push(t, FleetEvent::Arrival);
+            }
+            (0.0, 0)
+        }
+    };
+    // The fault timeline goes on the same queue as the traffic.
+    for f in &cfg.faults.faults {
+        match *f {
+            Fault::FailStop {
+                shard,
+                at_us,
+                down_us,
+            } => {
+                events.push(at_us, FleetEvent::Fail { shard });
+                events.push(at_us + down_us, FleetEvent::Recover { shard });
+            }
+            Fault::Slowdown {
+                shard,
+                at_us,
+                for_us,
+                factor,
+            } => {
+                events.push(at_us, FleetEvent::SlowdownStart { shard, factor });
+                events.push(at_us + for_us, FleetEvent::SlowdownEnd { shard });
+            }
+        }
+    }
+    if let Some(a) = &cfg.autoscale {
+        events.push(a.epoch_us, FleetEvent::ScaleTick);
+    }
+
+    let mut engine = Engine {
+        specs: fleet,
+        scheduler,
+        admission,
+        cfg,
+        events,
+        shards: (0..fleet.len())
+            .map(|i| ShardState::new(i < initial_active))
+            .collect(),
+        requests: Vec::with_capacity(total_requests),
+        central: VecDeque::new(),
+        waiting: [0, 0],
+        next_attempt: 0,
+        resolved: 0,
+        total_requests,
+        to_issue,
+        think_us,
+        class_rng: StdRng::seed_from_u64(cfg.class_seed),
+        scaler: cfg.autoscale.map(Autoscaler::new),
+        makespan_us: 0.0,
+        classes: [ClassStats::default(), ClassStats::default()],
+        latency: [StreamingLatency::new(), StreamingLatency::new()],
+        hedges_issued: 0,
+        hedge_wins: 0,
+        cancelled_attempts: 0,
+        retries: 0,
+        scale_outs: 0,
+        scale_ins: 0,
+        peak_active: initial_active,
+        last_epoch_busy_us: 0.0,
+    };
+
+    while let Some((now, event)) = engine.events.pop() {
+        // The run is over once every request resolves; events still on
+        // the timeline (a recovery, a shard becoming warm, a stale
+        // hedge timer) must not keep mutating the measured state.
+        if engine.resolved >= engine.total_requests {
+            break;
+        }
+        match event {
+            FleetEvent::Arrival => {
+                if let Some(stream) = open_arrivals.as_mut() {
+                    if let Some(t) = stream.next() {
+                        engine.events.push(t, FleetEvent::Arrival);
+                    }
+                }
+                engine.on_arrival(now);
+            }
+            FleetEvent::Completion { shard, attempt } => {
+                engine.on_completion(shard, attempt, now);
+            }
+            FleetEvent::Fail { shard } => engine.on_fail(shard, now),
+            FleetEvent::Recover { shard } => {
+                engine.shards[shard].failed = false;
+                engine.pull_next(shard, now);
+            }
+            FleetEvent::SlowdownStart { shard, factor } => {
+                engine.shards[shard].slow_factor = factor;
+            }
+            FleetEvent::SlowdownEnd { shard } => {
+                engine.shards[shard].slow_factor = 1.0;
+            }
+            FleetEvent::Hedge { request } => engine.on_hedge(request, now),
+            FleetEvent::ScaleTick => engine.on_scale_tick(now),
+            FleetEvent::ShardReady { shard } => {
+                if engine.shards[shard].warming {
+                    engine.shards[shard].warming = false;
+                    engine.peak_active = engine.peak_active.max(
+                        engine
+                            .shards
+                            .iter()
+                            .filter(|s| s.active && !s.warming)
+                            .count(),
+                    );
+                    engine.pull_next(shard, now);
+                }
+            }
+        }
+    }
+
+    debug_assert_eq!(engine.resolved, total_requests, "every request resolves");
+    let mut classes = engine.classes;
+    for (c, lat) in classes.iter_mut().zip(&engine.latency) {
+        c.latency = lat.stats();
+    }
+    let offered: usize = classes.iter().map(|c| c.offered).sum();
+    let completed: usize = classes.iter().map(|c| c.completed).sum();
+    let slo_met: usize = classes.iter().map(|c| c.slo_met).sum();
+    let shed: usize = classes.iter().map(|c| c.shed).sum();
+    let makespan_s = engine.makespan_us * 1e-6;
+    Ok(FrontendSummary {
+        scheduler: scheduler.name().to_string(),
+        admission: admission.name().to_string(),
+        workload: cfg.workload.to_string(),
+        requests: offered,
+        makespan_us: engine.makespan_us,
+        throughput_rps: if makespan_s > 0.0 {
+            completed as f64 / makespan_s
+        } else {
+            0.0
+        },
+        goodput_rps: if makespan_s > 0.0 {
+            slo_met as f64 / makespan_s
+        } else {
+            0.0
+        },
+        shed_rate: if offered > 0 {
+            shed as f64 / offered as f64
+        } else {
+            0.0
+        },
+        slo_attainment: if offered > 0 {
+            slo_met as f64 / offered as f64
+        } else {
+            0.0
+        },
+        classes,
+        hedges_issued: engine.hedges_issued,
+        hedge_wins: engine.hedge_wins,
+        cancelled_attempts: engine.cancelled_attempts,
+        retries: engine.retries,
+        failures_injected: cfg.faults.fail_stops(),
+        slowdowns_injected: cfg.faults.slowdowns(),
+        scale_outs: engine.scale_outs,
+        scale_ins: engine.scale_ins,
+        peak_active_shards: engine.peak_active,
+        final_active_shards: engine
+            .shards
+            .iter()
+            .filter(|s| s.active && !s.warming)
+            .count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsenn_core::engine::{AdmitAll, BoundedQueues, FirstIdle, LeastQueued};
+
+    fn fleet(n: usize, service_us: f64) -> Vec<ShardSpec> {
+        (0..n)
+            .map(|i| ShardSpec::uniform(format!("shard-{i}"), service_us))
+            .collect()
+    }
+
+    fn slo() -> SloPolicy {
+        SloPolicy {
+            high_us: 100.0,
+            low_us: 400.0,
+        }
+    }
+
+    #[test]
+    fn healthy_fleet_completes_everything_within_slo() {
+        let cfg = FrontendConfig::new(
+            Workload::Poisson {
+                rate_rps: 100_000.0, // half of 2×100k capacity
+                requests: 2000,
+                seed: 3,
+            },
+            slo(),
+        );
+        let s = simulate_frontend(&fleet(2, 10.0), &LeastQueued, &AdmitAll, &cfg).unwrap();
+        assert_eq!(s.requests, 2000);
+        assert_eq!(s.class(Priority::High).completed, 2000);
+        assert_eq!(s.shed_rate, 0.0);
+        assert!(s.slo_attainment > 0.99, "attainment {}", s.slo_attainment);
+        assert!(s.goodput_rps > 0.0);
+        assert_eq!(s.hedges_issued, 0);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.final_active_shards, 2);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = FrontendConfig::new(
+            Workload::Bursty {
+                low_rps: 30_000.0,
+                high_rps: 400_000.0,
+                period_us: 1_000.0,
+                duty: 0.3,
+                requests: 1500,
+                seed: 8,
+            },
+            slo(),
+        )
+        .low_fraction(0.3)
+        .hedge(HedgeConfig::hedged(60.0))
+        .faults(FaultPlan::random(3, 20_000.0, 1, 1, 21));
+        let run = || {
+            simulate_frontend(
+                &fleet(3, 10.0),
+                &LeastQueued,
+                &BoundedQueues::new(64, 16).degrade_low_beyond(4),
+                &cfg,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn overload_with_bounded_queues_sheds_low_priority_first() {
+        // 2 shards × 100k rps capacity; offered 2× that, 40 % low.
+        let cfg = FrontendConfig::new(
+            Workload::Poisson {
+                rate_rps: 400_000.0,
+                requests: 4000,
+                seed: 5,
+            },
+            slo(),
+        )
+        .low_fraction(0.4);
+        let gate = BoundedQueues::new(8, 2).degrade_low_beyond(1);
+        let s = simulate_frontend(&fleet(2, 10.0), &LeastQueued, &gate, &cfg).unwrap();
+        let high = s.class(Priority::High);
+        let low = s.class(Priority::Low);
+        assert!(
+            low.shed_rate() > high.shed_rate() + 0.1,
+            "low sheds first: {low:?} vs {high:?}"
+        );
+        assert!(low.degraded > 0, "degrade tier engaged");
+        assert!(
+            high.latency.p99_us <= slo().high_us,
+            "bounded queue bounds the high tail: {}",
+            high.latency.p99_us
+        );
+        // Conservation per class.
+        for c in &s.classes {
+            assert_eq!(c.offered, c.completed + c.shed + c.failed);
+        }
+    }
+
+    #[test]
+    fn fail_stop_without_retries_loses_requests_with_retries_none() {
+        let w = Workload::Poisson {
+            rate_rps: 190_000.0, // 95 % of capacity: shards stay busy
+            requests: 3000,
+            seed: 7,
+        };
+        let plan = FaultPlan::new(vec![Fault::FailStop {
+            shard: 0,
+            at_us: 3_000.0,
+            down_us: 8_000.0,
+        }]);
+        let no_retry = FrontendConfig::new(w, slo()).faults(plan.clone());
+        let s = simulate_frontend(&fleet(2, 10.0), &LeastQueued, &AdmitAll, &no_retry).unwrap();
+        assert!(
+            s.class(Priority::High).failed > 0,
+            "in-flight work dies with the shard"
+        );
+        assert_eq!(s.failures_injected, 1);
+
+        let retry = FrontendConfig::new(w, slo())
+            .faults(plan)
+            .hedge(HedgeConfig::retries_only());
+        let s = simulate_frontend(&fleet(2, 10.0), &LeastQueued, &AdmitAll, &retry).unwrap();
+        assert_eq!(
+            s.class(Priority::High).failed,
+            0,
+            "retries save every request"
+        );
+        assert!(s.retries > 0);
+        assert_eq!(s.class(Priority::High).completed, 3000);
+    }
+
+    #[test]
+    fn hedging_rescues_requests_stuck_behind_a_straggler() {
+        // Shard 0 is 20× slow for a long window; hedges re-dispatch its
+        // victims to the healthy shard.
+        let w = Workload::Poisson {
+            rate_rps: 60_000.0,
+            requests: 2000,
+            seed: 11,
+        };
+        let plan = FaultPlan::new(vec![Fault::Slowdown {
+            shard: 0,
+            at_us: 1_000.0,
+            for_us: 15_000.0,
+            factor: 20.0,
+        }]);
+        let unhedged = FrontendConfig::new(w, slo()).faults(plan.clone());
+        let hedged = FrontendConfig::new(w, slo())
+            .faults(plan)
+            .hedge(HedgeConfig::hedged(40.0));
+        let fleet = fleet(3, 10.0);
+        let a = simulate_frontend(&fleet, &FirstIdle, &AdmitAll, &unhedged).unwrap();
+        let b = simulate_frontend(&fleet, &FirstIdle, &AdmitAll, &hedged).unwrap();
+        assert!(b.hedges_issued > 0);
+        assert!(b.hedge_wins > 0);
+        assert!(b.cancelled_attempts > 0, "losing attempts are cancelled");
+        assert!(
+            b.slo_attainment > a.slo_attainment,
+            "hedged attainment {} must beat unhedged {}",
+            b.slo_attainment,
+            a.slo_attainment
+        );
+        assert!(
+            b.class(Priority::High).latency.p99_us < a.class(Priority::High).latency.p99_us,
+            "hedging cuts the tail: {} vs {}",
+            b.class(Priority::High).latency.p99_us,
+            a.class(Priority::High).latency.p99_us
+        );
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_after_warmup_and_shrinks_when_quiet() {
+        // One active shard (100k rps) against 180k offered: must scale out.
+        // The long quiet tail of the bursty workload then scales back in.
+        let cfg = FrontendConfig::new(
+            Workload::Bursty {
+                low_rps: 5_000.0,
+                high_rps: 250_000.0,
+                period_us: 40_000.0,
+                duty: 0.5,
+                requests: 6000,
+                seed: 13,
+            },
+            slo(),
+        )
+        .autoscale(AutoscaleConfig::new(1, 4, 1_000.0, 2_000.0));
+        let s = simulate_frontend(&fleet(4, 10.0), &LeastQueued, &AdmitAll, &cfg).unwrap();
+        assert!(s.scale_outs > 0, "overload must trigger growth");
+        assert!(s.peak_active_shards > 1);
+        assert!(s.scale_ins > 0, "quiet phase must trigger shrink");
+        assert_eq!(
+            s.class(Priority::High).completed,
+            6000,
+            "scaling never drops a request"
+        );
+    }
+
+    #[test]
+    fn closed_loop_clients_reissue_after_sheds() {
+        // Concurrency 8 against 1 shard with a tiny low-priority budget:
+        // sheds happen, yet every one of the fixed number of requests
+        // resolves (shed clients issue their next request).
+        let cfg = FrontendConfig::new(
+            Workload::ClosedLoop {
+                concurrency: 8,
+                requests: 400,
+                think_us: 0.0,
+            },
+            slo(),
+        )
+        .low_fraction(0.5);
+        let gate = BoundedQueues::new(4, 0); // low always sheds
+        let s = simulate_frontend(&fleet(1, 10.0), &FirstIdle, &gate, &cfg).unwrap();
+        assert_eq!(s.requests, 400);
+        let resolved: usize = s
+            .classes
+            .iter()
+            .map(|c| c.completed + c.shed + c.failed)
+            .sum();
+        assert_eq!(resolved, 400);
+        assert!(s.class(Priority::Low).shed > 0);
+        assert_eq!(s.class(Priority::Low).completed, 0, "cap 0 sheds all low");
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors() {
+        let w = Workload::Poisson {
+            rate_rps: 1000.0,
+            requests: 10,
+            seed: 0,
+        };
+        let base = FrontendConfig::new(w, slo());
+        assert_eq!(
+            simulate_frontend(&[], &FirstIdle, &AdmitAll, &base).unwrap_err(),
+            FrontendError::NoShards
+        );
+        let bad_frac = base.clone().low_fraction(1.5);
+        assert!(matches!(
+            simulate_frontend(&fleet(1, 10.0), &FirstIdle, &AdmitAll, &bad_frac).unwrap_err(),
+            FrontendError::BadConfig(_)
+        ));
+        let bad_fault = base.clone().faults(FaultPlan::new(vec![Fault::FailStop {
+            shard: 9,
+            at_us: 0.0,
+            down_us: 1.0,
+        }]));
+        assert!(matches!(
+            simulate_frontend(&fleet(1, 10.0), &FirstIdle, &AdmitAll, &bad_fault).unwrap_err(),
+            FrontendError::BadConfig(_)
+        ));
+        let bad_scale = base
+            .clone()
+            .autoscale(AutoscaleConfig::new(1, 8, 1000.0, 100.0));
+        assert!(matches!(
+            simulate_frontend(&fleet(2, 10.0), &FirstIdle, &AdmitAll, &bad_scale).unwrap_err(),
+            FrontendError::BadConfig(_)
+        ));
+        let mut bad_degrade = base.clone();
+        bad_degrade.degrade_factor = 0.0;
+        assert!(matches!(
+            simulate_frontend(&fleet(1, 10.0), &FirstIdle, &AdmitAll, &bad_degrade).unwrap_err(),
+            FrontendError::BadConfig(_)
+        ));
+    }
+}

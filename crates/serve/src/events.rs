@@ -13,6 +13,65 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// The full event vocabulary of a production-front-end fleet timeline.
+///
+/// The basic simulator ([`simulate`](crate::simulate)) needs only
+/// arrivals and completions; the `sparsenn-frontend` simulator schedules
+/// the rest — fault injection, hedging timers, autoscaler epochs — on the
+/// same [`EventQueue`], so one deterministic timeline orders compute,
+/// failures and control-plane actions against each other.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FleetEvent {
+    /// A request is issued (open-loop stream or closed-loop re-issue).
+    Arrival,
+    /// A shard finishes the service attempt it started. `attempt` is the
+    /// globally unique attempt id — a cancelled or failed attempt's
+    /// completion pops dead (lazy cancellation) when the id no longer
+    /// matches what the shard is running.
+    Completion {
+        /// Shard the attempt ran on.
+        shard: usize,
+        /// Unique id of the service attempt.
+        attempt: u64,
+    },
+    /// A shard fail-stops: its in-service attempt and queue are lost.
+    Fail {
+        /// Shard that fails.
+        shard: usize,
+    },
+    /// A failed shard comes back empty and healthy.
+    Recover {
+        /// Shard that recovers.
+        shard: usize,
+    },
+    /// A shard's service times stretch by `factor` (a straggler appears).
+    SlowdownStart {
+        /// Shard that slows down.
+        shard: usize,
+        /// Service-time multiplier, > 1.
+        factor: f64,
+    },
+    /// The straggler returns to nominal speed.
+    SlowdownEnd {
+        /// Shard that recovers its speed.
+        shard: usize,
+    },
+    /// A hedging timer fires: if the request is still unfinished, a
+    /// duplicate attempt is dispatched and the first finisher wins.
+    Hedge {
+        /// Request the timer watches.
+        request: usize,
+    },
+    /// An autoscaler epoch boundary: observe utilization and tail
+    /// latency, decide scale-out/in.
+    ScaleTick,
+    /// A scaled-out shard finishes warming up and starts taking traffic.
+    ShardReady {
+        /// Shard that becomes active.
+        shard: usize,
+    },
+}
+
 /// One scheduled entry: a payload due at a virtual time.
 #[derive(Clone, Debug)]
 struct Entry<T> {

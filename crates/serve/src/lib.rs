@@ -17,7 +17,15 @@
 //! * [`simulate`] — drives a [`ShardSpec`] fleet (each shard's modelled
 //!   per-request `time_us` table) and folds a [`ServeSummary`]: latency
 //!   p50/p95/p99, time-in-queue vs time-in-service, queue-depth
-//!   trajectory, per-shard utilization.
+//!   trajectory, per-shard utilization. Runs in constant memory by
+//!   default ([`MetricsMode::Streaming`] — exact means, P² percentile
+//!   estimates); [`simulate_with`] selects [`MetricsMode::Exact`] when a
+//!   test needs every [`RequestMetric`] materialized.
+//!
+//! The `sparsenn-frontend` crate builds the production front end on these
+//! pieces: its simulator drives the same [`EventQueue`] with the extended
+//! [`FleetEvent`] vocabulary (failures, hedges, autoscaler epochs) and
+//! folds per-class [`StreamingLatency`] accumulators.
 //!
 //! # Example
 //!
@@ -50,8 +58,10 @@ mod metrics;
 mod sim;
 mod workload;
 
-pub use events::EventQueue;
-pub use metrics::{LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage};
-pub use sim::{fleet_capacity_rps, simulate, ServeError, ShardSpec};
+pub use events::{EventQueue, FleetEvent};
+pub use metrics::{
+    LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage, StreamingLatency,
+};
+pub use sim::{fleet_capacity_rps, simulate, simulate_with, MetricsMode, ServeError, ShardSpec};
 pub use sparsenn_core::engine::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
-pub use workload::Workload;
+pub use workload::{OpenArrivals, Workload};

@@ -6,6 +6,14 @@
 //! per-shard utilization and the fleet-wide queue-depth trajectory — the
 //! quantities the degenerate `shards / latency` throughput model of the
 //! old fleet study could not express.
+//!
+//! Two accounting regimes produce the same summary shape (see
+//! [`MetricsMode`](crate::MetricsMode)): the default **streaming** mode
+//! folds every request into a [`StreamingLatency`] — counters plus three
+//! constant-space P² percentile trackers — so a sweep over millions of
+//! virtual requests runs in O(1) memory; **exact** mode materializes the
+//! per-request records and the full queue-depth trajectory for tests and
+//! forensics.
 
 /// The life of one simulated request, in virtual microseconds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -78,6 +86,79 @@ impl LatencyStats {
     }
 }
 
+/// Constant-memory latency accounting: exact count/mean/max plus P²
+/// streaming estimates of p50/p95/p99. Five floats per tracked
+/// percentile, no samples retained — the accumulator behind the
+/// simulator's streaming mode and the `sparsenn-frontend` per-class
+/// stats, sized for sweeps over millions of virtual requests.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamingLatency {
+    count: u64,
+    sum_us: f64,
+    max_us: f64,
+    p50: sparsenn_core::engine::P2Quantile,
+    p95: sparsenn_core::engine::P2Quantile,
+    p99: sparsenn_core::engine::P2Quantile,
+}
+
+impl Default for StreamingLatency {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingLatency {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        use sparsenn_core::engine::P2Quantile;
+        Self {
+            count: 0,
+            sum_us: 0.0,
+            max_us: 0.0,
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Folds one latency observation in (O(1) time and space).
+    pub fn observe(&mut self, latency_us: f64) {
+        self.count += 1;
+        self.sum_us += latency_us;
+        self.max_us = self.max_us.max(latency_us);
+        self.p50.observe(latency_us);
+        self.p95.observe(latency_us);
+        self.p99.observe(latency_us);
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of the observations (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// The summary snapshot: exact mean and max, P²-estimated
+    /// percentiles (exact for populations under five — the trackers are
+    /// still in their warm-up buffers).
+    pub fn stats(&self) -> LatencyStats {
+        LatencyStats {
+            mean_us: self.mean_us(),
+            p50_us: self.p50.estimate(),
+            p95_us: self.p95.estimate(),
+            p99_us: self.p99.estimate(),
+            max_us: self.max_us,
+        }
+    }
+}
+
 /// One shard's share of the simulated work.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardUsage {
@@ -100,7 +181,10 @@ pub struct QueueStats {
     /// Time-weighted mean waiting count over the makespan.
     pub mean_depth: f64,
     /// `(virtual time µs, waiting requests)` after every depth change —
-    /// the queue-depth trajectory.
+    /// the queue-depth trajectory. Populated only in
+    /// [`MetricsMode::Exact`](crate::MetricsMode::Exact); empty in the
+    /// default streaming mode (`max_depth` and `mean_depth` are exact in
+    /// both).
     pub trajectory: Vec<(f64, usize)>,
 }
 
@@ -119,7 +203,10 @@ pub struct ServeSummary {
     pub makespan_us: f64,
     /// Achieved throughput: `requests / makespan`, requests per second.
     pub throughput_rps: f64,
-    /// End-to-end latency distribution.
+    /// End-to-end latency distribution. In the default streaming mode
+    /// the mean and max are exact and p50/p95/p99 are P² estimates; in
+    /// [`MetricsMode::Exact`](crate::MetricsMode::Exact) every field is
+    /// the exact nearest-rank statistic.
     pub latency: LatencyStats,
     /// Mean time-in-queue per request, µs.
     pub queue_us_mean: f64,
@@ -129,7 +216,10 @@ pub struct ServeSummary {
     pub shards: Vec<ShardUsage>,
     /// Waiting-request depth over time.
     pub queue: QueueStats,
-    /// Per-request records, in completion order.
+    /// Per-request records, in completion order. Populated only in
+    /// [`MetricsMode::Exact`](crate::MetricsMode::Exact); empty in the
+    /// default streaming mode, which holds memory at O(in-flight)
+    /// however many requests the workload issues.
     pub per_request: Vec<RequestMetric>,
 }
 

@@ -22,10 +22,28 @@
 //! every microsecond of difference to policy.
 
 use crate::events::EventQueue;
-use crate::metrics::{LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage};
+use crate::metrics::{
+    LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage, StreamingLatency,
+};
 use crate::workload::Workload;
 use sparsenn_core::engine::{Scheduler, ShardView};
 use std::collections::VecDeque;
+
+/// How a simulation accounts for its requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Constant-memory accounting (the [`simulate`] default): exact
+    /// counts, means, maxima and queue-depth integrals, P²-estimated
+    /// latency percentiles. `per_request` and `queue.trajectory` stay
+    /// empty, so a sweep over millions of virtual requests holds memory
+    /// at O(shards + in-flight).
+    #[default]
+    Streaming,
+    /// Materialize every [`RequestMetric`] and the full queue-depth
+    /// trajectory; all latency statistics are exact nearest-rank. Memory
+    /// is O(total requests) — for tests and forensics.
+    Exact,
+}
 
 /// One simulated shard: a name and its modelled per-request service times.
 #[derive(Clone, Debug, PartialEq)]
@@ -167,9 +185,14 @@ impl ShardState {
     }
 }
 
-/// Runs one simulation to completion.
+/// Runs one simulation to completion in the default
+/// [`MetricsMode::Streaming`] — constant memory however many requests
+/// the workload issues.
 ///
-/// Deterministic: the summary is a pure function of the arguments.
+/// Deterministic: the summary is a pure function of the arguments, and
+/// the *timeline* (makespan, throughput, per-shard usage, queue depths)
+/// is bit-identical across both metrics modes — the mode changes only
+/// how latencies are summarized, never what the fleet does.
 ///
 /// # Errors
 ///
@@ -179,6 +202,23 @@ pub fn simulate(
     shards: &[ShardSpec],
     scheduler: &dyn Scheduler,
     workload: &Workload,
+) -> Result<ServeSummary, ServeError> {
+    simulate_with(shards, scheduler, workload, MetricsMode::Streaming)
+}
+
+/// [`simulate`] with an explicit [`MetricsMode`]. Use
+/// [`MetricsMode::Exact`] when a test or post-mortem needs the
+/// per-request records or the queue-depth trajectory.
+///
+/// # Errors
+///
+/// [`ServeError`] when the fleet is empty, a service table is unusable,
+/// or the workload parameters are invalid.
+pub fn simulate_with(
+    shards: &[ShardSpec],
+    scheduler: &dyn Scheduler,
+    workload: &Workload,
+    mode: MetricsMode,
 ) -> Result<ServeSummary, ServeError> {
     if shards.is_empty() {
         return Err(ServeError::NoShards);
@@ -227,12 +267,26 @@ pub fn simulate(
     let mut state: Vec<ShardState> = shards.iter().map(|_| ShardState::new()).collect();
     let mut central: VecDeque<Request> = VecDeque::new();
     let mut next_id = 0usize;
-    let mut completed: Vec<RequestMetric> = Vec::with_capacity(total_requests);
     let mut makespan_us = 0.0f64;
 
+    // Completion accounting. Both modes keep the exact count and the
+    // exact queue/service-time sums; Exact additionally materializes the
+    // records, Streaming folds latencies into the P² accumulator.
+    let exact = mode == MetricsMode::Exact;
+    let mut completed: Vec<RequestMetric> = if exact {
+        Vec::with_capacity(total_requests)
+    } else {
+        Vec::new()
+    };
+    let mut done = 0usize;
+    let mut streaming = StreamingLatency::new();
+    let mut queue_us_sum = 0.0f64;
+    let mut service_us_sum = 0.0f64;
+
     // Queue-depth trajectory (waiting requests, central + per-shard) with
-    // a time-weighted integral for the mean.
-    let mut trajectory: Vec<(f64, usize)> = vec![(0.0, 0)];
+    // a time-weighted integral for the mean. The integral and maximum are
+    // kept in both modes; the trajectory only in Exact.
+    let mut trajectory: Vec<(f64, usize)> = if exact { vec![(0.0, 0)] } else { Vec::new() };
     let mut depth_area = 0.0f64; // ∫ depth dt
     let mut last_t = 0.0f64;
     let mut last_depth = 0usize;
@@ -265,6 +319,7 @@ pub fn simulate(
                     .iter()
                     .enumerate()
                     .map(|(i, s)| ShardView {
+                        healthy: true,
                         idle: s.idle(),
                         depth: s.depth(),
                         backlog_us: s.backlog_us(now),
@@ -307,13 +362,20 @@ pub fn simulate(
                 state[shard].served += 1;
                 state[shard].busy_us += now - start_us;
                 makespan_us = makespan_us.max(now);
-                completed.push(RequestMetric {
-                    id: req.id,
-                    shard,
-                    arrival_us: req.arrival_us,
-                    start_us,
-                    completion_us: now,
-                });
+                done += 1;
+                queue_us_sum += start_us - req.arrival_us;
+                service_us_sum += now - start_us;
+                if exact {
+                    completed.push(RequestMetric {
+                        id: req.id,
+                        shard,
+                        arrival_us: req.arrival_us,
+                        start_us,
+                        completion_us: now,
+                    });
+                } else {
+                    streaming.observe(now - req.arrival_us);
+                }
                 // A closed-loop client re-issues after its think time.
                 if to_issue > 0 {
                     to_issue -= 1;
@@ -332,7 +394,9 @@ pub fn simulate(
         let depth = central.len() + state.iter().map(|s| s.queue.len()).sum::<usize>();
         if depth != last_depth {
             depth_area += last_depth as f64 * (now - last_t);
-            trajectory.push((now, depth));
+            if exact {
+                trajectory.push((now, depth));
+            }
             last_t = now;
             last_depth = depth;
             max_depth = max_depth.max(depth);
@@ -340,11 +404,16 @@ pub fn simulate(
     }
     depth_area += last_depth as f64 * (makespan_us - last_t).max(0.0);
 
-    debug_assert_eq!(completed.len(), total_requests, "every request completes");
-    let latencies: Vec<f64> = completed.iter().map(RequestMetric::latency_us).collect();
-    let n = completed.len().max(1) as f64;
-    let queue_us_mean = completed.iter().map(RequestMetric::queue_us).sum::<f64>() / n;
-    let service_us_mean = completed.iter().map(RequestMetric::service_us).sum::<f64>() / n;
+    debug_assert_eq!(done, total_requests, "every request completes");
+    let latency = if exact {
+        let latencies: Vec<f64> = completed.iter().map(RequestMetric::latency_us).collect();
+        LatencyStats::of(&latencies)
+    } else {
+        streaming.stats()
+    };
+    let n = done.max(1) as f64;
+    let queue_us_mean = queue_us_sum / n;
+    let service_us_mean = service_us_sum / n;
     let shard_usage = shards
         .iter()
         .zip(&state)
@@ -362,14 +431,14 @@ pub fn simulate(
     Ok(ServeSummary {
         scheduler: scheduler.name().to_string(),
         workload: workload.to_string(),
-        requests: completed.len(),
+        requests: done,
         makespan_us,
         throughput_rps: if makespan_us > 0.0 {
-            completed.len() as f64 / (makespan_us * 1e-6)
+            done as f64 / (makespan_us * 1e-6)
         } else {
             0.0
         },
-        latency: LatencyStats::of(&latencies),
+        latency,
         queue_us_mean,
         service_us_mean,
         shards: shard_usage,
@@ -436,7 +505,7 @@ mod tests {
     #[test]
     fn single_shard_fifo_and_conservation() {
         let shards = vec![ShardSpec::uniform("only", 10.0)];
-        let s = simulate(
+        let s = simulate_with(
             &shards,
             &FirstIdle,
             &Workload::Poisson {
@@ -444,6 +513,7 @@ mod tests {
                 requests: 200,
                 seed: 1,
             },
+            MetricsMode::Exact,
         )
         .unwrap();
         assert_eq!(s.requests, 200);
@@ -510,7 +580,7 @@ mod tests {
     #[test]
     fn bursty_load_builds_queues_that_drain() {
         let shards = homogeneous(2, 10.0); // 200k rps capacity
-        let s = simulate(
+        let s = simulate_with(
             &shards,
             &LeastQueued,
             &Workload::Bursty {
@@ -521,6 +591,7 @@ mod tests {
                 requests: 2000,
                 seed: 5,
             },
+            MetricsMode::Exact,
         )
         .unwrap();
         assert!(s.queue.max_depth >= 5, "bursts must pile a queue up");
@@ -647,6 +718,52 @@ mod tests {
             .unwrap_err(),
             ServeError::InvalidWorkload(_)
         ));
+    }
+
+    /// The two metrics modes drive the identical timeline: every field
+    /// except the latency percentiles (and the deliberately-empty
+    /// per-request / trajectory vectors) matches exactly, and the P²
+    /// percentile estimates land near the exact nearest-rank values.
+    #[test]
+    fn streaming_mode_matches_exact_except_percentile_estimation() {
+        let shards = vec![
+            ShardSpec::with_table("a", vec![8.0, 12.0, 10.0]),
+            ShardSpec::uniform("b", 40.0),
+        ];
+        let w = Workload::Poisson {
+            rate_rps: 90_000.0,
+            requests: 5000,
+            seed: 17,
+        };
+        let exact = simulate_with(&shards, &LeastQueued, &w, MetricsMode::Exact).unwrap();
+        let stream = simulate(&shards, &LeastQueued, &w).unwrap();
+        assert_eq!(stream.requests, exact.requests);
+        assert_eq!(stream.makespan_us, exact.makespan_us);
+        assert_eq!(stream.throughput_rps, exact.throughput_rps);
+        assert_eq!(stream.queue_us_mean, exact.queue_us_mean);
+        assert_eq!(stream.service_us_mean, exact.service_us_mean);
+        assert_eq!(stream.shards, exact.shards);
+        assert_eq!(stream.queue.max_depth, exact.queue.max_depth);
+        assert_eq!(stream.queue.mean_depth, exact.queue.mean_depth);
+        // Mean and max latency are exact in both modes.
+        assert!((stream.latency.mean_us - exact.latency.mean_us).abs() < 1e-9);
+        assert_eq!(stream.latency.max_us, exact.latency.max_us);
+        // Percentiles are P² estimates: close, not identical.
+        for (est, truth) in [
+            (stream.latency.p50_us, exact.latency.p50_us),
+            (stream.latency.p95_us, exact.latency.p95_us),
+            (stream.latency.p99_us, exact.latency.p99_us),
+        ] {
+            let tol = 0.25 * truth.max(1.0);
+            assert!(
+                (est - truth).abs() <= tol,
+                "P² estimate {est} too far from exact {truth}"
+            );
+        }
+        // Streaming holds no per-request state.
+        assert!(stream.per_request.is_empty());
+        assert!(stream.queue.trajectory.is_empty());
+        assert_eq!(exact.per_request.len(), 5000);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use sparsenn_serve::{
-    simulate, EventQueue, FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardSpec, Workload,
+    simulate_with, EventQueue, FastestCompletion, FirstIdle, LeastQueued, MetricsMode, Scheduler,
+    ShardSpec, Workload,
 };
 
 fn scheduler_for(which: usize) -> &'static dyn Scheduler {
@@ -99,7 +100,14 @@ proptest! {
         } else {
             Workload::Poisson { rate_rps, requests, seed }
         };
-        let summary = simulate(&shards, scheduler_for(which_scheduler), &workload).unwrap();
+        // Exact mode: the FIFO check below reads the per-request records.
+        let summary = simulate_with(
+            &shards,
+            scheduler_for(which_scheduler),
+            &workload,
+            MetricsMode::Exact,
+        )
+        .unwrap();
         prop_assert_eq!(summary.requests, requests, "every request completes");
         for shard in 0..shards.len() {
             let ids: Vec<usize> = summary

@@ -30,3 +30,9 @@ pub use sparsenn_core::*;
 /// workload generators, queueing metrics, and the same [`engine::Scheduler`]
 /// policies the live [`engine::Fleet`] dispatches with.
 pub use sparsenn_serve as serve;
+
+/// Production front end (re-export of `sparsenn-frontend`): admission
+/// control and load shedding behind the same [`engine::AdmissionGate`]
+/// the live [`engine::Fleet`] consults, plus fault injection, hedged
+/// requests, autoscaling, and the SLO policy sweep.
+pub use sparsenn_frontend as frontend;
