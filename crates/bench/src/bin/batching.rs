@@ -1,0 +1,6 @@
+//! Standalone runner for the cross-request batching study.
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    println!("{}", sparsenn_bench::experiments::batching::run(p));
+}

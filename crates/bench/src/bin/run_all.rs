@@ -72,6 +72,17 @@ fn main() {
         results.add_metric(name, value);
     }
 
+    let mut batching_metrics = Vec::new();
+    let report = results.run("batching", || {
+        let r = e::batching::measure_with(p, &study);
+        batching_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in batching_metrics {
+        results.add_metric(name, value);
+    }
+
     // Model parallelism trains its own system: its study network must
     // *overflow* its (shrunken) chip, unlike the serving studies'.
     let mut partition_metrics = Vec::new();

@@ -17,8 +17,11 @@
 //! * **Autoscaling**: a bursty workload on a min-sized fleet; the
 //!   utilization/P²-p99 autoscaler grows into the burst (paying warm-up)
 //!   and retires shards in the quiet phase.
-//! * **Policy sweep**: the scheduler × admission × hedging cross
-//!   product scored by goodput/shed/SLO-attainment/p99.
+//! * **Policy sweep**: the scheduler × admission × hedging ×
+//!   degrade-batching cross product scored by
+//!   goodput/shed/SLO-attainment/p99; degrade batching routes the
+//!   gate's degrade tier onto the batch-native substrate (held, then
+//!   flushed as amortized batches).
 
 use crate::{fmt_f, markdown_table};
 use sparsenn_core::engine::{
@@ -28,8 +31,8 @@ use sparsenn_core::engine::{
 use sparsenn_core::model::fixedpoint::UvMode;
 use sparsenn_core::Profile;
 use sparsenn_frontend::{
-    best_goodput, simulate_frontend, sweep_combos, AutoscaleConfig, Fault, FaultPlan,
-    FrontendConfig, FrontendSummary, HedgeConfig, SloPolicy,
+    best_goodput, simulate_frontend, sweep_combos, AutoscaleConfig, DegradeBatching, Fault,
+    FaultPlan, FrontendConfig, FrontendSummary, HedgeConfig, SloPolicy,
 };
 use sparsenn_serve::{fleet_capacity_rps, ShardSpec, Workload};
 use std::fmt::Write as _;
@@ -367,11 +370,15 @@ pub fn measure_with(p: Profile, sys: &sparsenn_core::TrainedSystem) -> FrontendR
         &[&AdmitAll, &bounded],
         &[HedgeConfig::disabled(), HedgeConfig::hedged(4.0 * service)],
         &[None],
+        // The degrade tier either takes the flat 0.5x discount or rides
+        // amortized batches of up to 4 (flushed by 8 mean services).
+        &[None, Some(DegradeBatching::new(4, 8.0 * service, 0.3))],
     )
     .expect("valid sweep configuration");
     let _ = writeln!(
         out,
-        "### SLO sweep: scheduler x admission x hedging at 1.5x capacity with random faults\n"
+        "### SLO sweep: scheduler x admission x hedging x degrade-batching \
+         at 1.5x capacity with random faults\n"
     );
     let mut rows = Vec::new();
     for c in &combos {

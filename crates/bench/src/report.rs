@@ -42,12 +42,19 @@
 //! fault goodput, autoscaler activity, and the policy-sweep winner,
 //! plus the `frontend.high_p99_within_slo`,
 //! `frontend.low_absorbs_overload` and `frontend.hedged_beats_unhedged`
-//! oracle flags). The `bench_diff` bin compares two such files (any
-//! schema — metrics diff generically by name), flags wall-time
-//! regressions past a threshold, and flags *directional* metric
-//! regressions: quantities named like goodput/throughput/attainment/
-//! speedup must not fall, and latencies (`*_us`), shed rates and error
-//! rates must not grow, each past the same threshold.
+//! oracle flags). Schema 7 adds the cross-request batching study's
+//! `batching.*` metrics (per-sample time and W-read amortization per
+//! batch size from the real batched machine, saturated throughput and
+//! light-load p99 per batch cap from the queue-aware simulator, plus
+//! the `batching.bit_identical`, `batching.throughput_monotone` and
+//! `batching.latency_cost_visible` oracle flags). The `bench_diff` bin
+//! compares two such files (any schema — metrics diff generically by
+//! name, and metrics present only in the old file get explicit
+//! `removed` rows), flags wall-time regressions past a threshold, and
+//! flags *directional* metric regressions: quantities named like
+//! goodput/throughput/attainment/speedup must not fall, and latencies
+//! (`*_us`), shed rates and error rates must not grow, each past the
+//! same threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -113,7 +120,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 6,");
+        let _ = writeln!(out, "  \"schema\": 7,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -172,7 +179,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 through 6).
+    /// Parses a `BENCH_results.json` document (schema 1 through 7).
     ///
     /// # Errors
     ///
@@ -351,6 +358,20 @@ pub fn diff_snapshots(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f
                 }),
                 flag.to_string(),
             ]);
+        }
+        // Metrics only the old run had: a renamed or dropped metric must
+        // show up as "removed", not silently vanish from the diff (the
+        // same courtesy the experiments table pays above).
+        for (name, old_v) in &old.metrics {
+            if !new.metrics.iter().any(|(n, _)| n == name) {
+                rows.push(vec![
+                    name.clone(),
+                    crate::fmt_f(*old_v, 3),
+                    "-".into(),
+                    "removed".into(),
+                    String::new(),
+                ]);
+            }
         }
         out.push_str(&crate::markdown_table(
             &["metric", "old", "new", "delta", ""],
@@ -620,7 +641,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 6"));
+        assert!(json.contains("\"schema\": 7"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }
@@ -716,6 +737,29 @@ mod tests {
         );
         assert!(diff.markdown.contains("WORSE"));
         assert!(diff.regressions.is_empty(), "wall time was unchanged");
+    }
+
+    #[test]
+    fn diff_reports_removed_metrics() {
+        let mut old = snap(&[("bench", 1.0)]);
+        old.metrics = vec![
+            ("batching.throughput_rps.B4@sat".into(), 200_000.0),
+            ("frontend.legacy_metric".into(), 7.0),
+        ];
+        let mut new = old.clone();
+        new.metrics = vec![("batching.throughput_rps.B4@sat".into(), 210_000.0)];
+        let diff = diff_snapshots(&old, &new, 20.0);
+        // The dropped metric gets an explicit row instead of vanishing.
+        assert!(diff.markdown.contains("frontend.legacy_metric"));
+        assert!(diff.markdown.contains("removed"));
+        // A removed metric is informational, never a regression.
+        assert!(diff.metric_regressions.is_empty());
+
+        // And a metrics-only-in-old file still renders the section.
+        new.metrics.clear();
+        let diff = diff_snapshots(&old, &new, 20.0);
+        assert!(diff.markdown.contains("### Modelled metrics"));
+        assert!(diff.markdown.contains("batching.throughput_rps.B4@sat"));
     }
 
     #[test]

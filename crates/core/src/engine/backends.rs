@@ -1,6 +1,6 @@
 //! The three execution substrates behind [`InferenceBackend`].
 
-use crate::engine::record::{LayerRecord, RunRecord};
+use crate::engine::record::{BatchRunRecord, LayerRecord, RunRecord};
 use crate::error::SparseNnError;
 use sparsenn_energy::TechNode;
 use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
@@ -53,6 +53,36 @@ pub trait InferenceBackend: Send + Sync {
         input: &[Q6_10],
         mode: UvMode,
     ) -> Result<RunRecord, SparseNnError>;
+
+    /// Runs a batch of quantized inputs in one dispatch.
+    ///
+    /// The default is a serial loop of [`run`](Self::run) — correct for
+    /// every substrate, amortizing nothing. Substrates with a real
+    /// batched core (the cycle-accurate machine) override it to share
+    /// W-memory reads across the batch; the per-sample records stay
+    /// **bit-identical** to serial execution either way (the
+    /// [`BatchRunRecord`] contract), so batching is purely a
+    /// timing/energy decision.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::EmptyBatch`] for zero inputs, else as
+    /// [`run`](Self::run).
+    fn run_batch(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+    ) -> Result<BatchRunRecord, SparseNnError> {
+        if inputs.is_empty() {
+            return Err(SparseNnError::EmptyBatch);
+        }
+        let mut records = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            records.push(self.run(net, input, mode)?);
+        }
+        Ok(BatchRunRecord::from_serial(records))
+    }
 }
 
 /// Checks the layer chain is non-empty and consistent with the input, so
@@ -137,6 +167,35 @@ impl InferenceBackend for CycleAccurateBackend {
             run,
             self.machine.config(),
         ))
+    }
+
+    /// The true batched core: one W pass per layer serves the whole
+    /// batch ([`Machine::try_run_network_batch`]), so the batch clock and
+    /// W-read book amortize while every per-sample record stays
+    /// bit-identical to a serial [`run`](InferenceBackend::run).
+    fn run_batch(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+    ) -> Result<BatchRunRecord, SparseNnError> {
+        let run = self.machine.try_run_network_batch(net, inputs, mode)?;
+        let cfg = self.machine.config();
+        let batch_time_us = run.layers.iter().map(|l| cfg.time_us(l.batch.cycles)).sum();
+        let (w_reads_serial, w_reads_amortized) = run.w_read_totals();
+        let batch_events = run.total_events();
+        let records = run
+            .sample_runs()
+            .into_iter()
+            .map(|r| RunRecord::from_network_run(self.name(), r, cfg))
+            .collect();
+        Ok(BatchRunRecord {
+            records,
+            batch_time_us,
+            batch_events,
+            w_reads_serial,
+            w_reads_amortized,
+        })
     }
 }
 
@@ -363,6 +422,93 @@ mod tests {
                     assert_eq!(got.mask, want.mask, "{}: layer {l} mask {mode:?}", b.name());
                 }
             }
+        }
+    }
+
+    fn batch_of(net: &FixedNetwork, dims0: usize, b: usize) -> Vec<Vec<Q6_10>> {
+        (0..b)
+            .map(|s| {
+                let x: Vec<f32> = (0..dims0)
+                    .map(|i| {
+                        if (i + s) % 4 == 0 {
+                            0.0
+                        } else {
+                            ((i as f32 + s as f32) * 0.31).sin().abs()
+                        }
+                    })
+                    .collect();
+                net.quantize_input(&x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_serial_on_every_backend() {
+        let (net, _) = net_and_input(&[36, 72, 48, 10], 4);
+        let inputs = batch_of(&net, 36, 3);
+        let backends: Vec<Box<dyn InferenceBackend>> = vec![
+            Box::new(CycleAccurateBackend::default()),
+            Box::new(GoldenBackend::new()),
+            Box::new(SimdBackend::new(SimdPlatform::dnn_engine())),
+        ];
+        for b in &backends {
+            for mode in [UvMode::Off, UvMode::On] {
+                let batch = b.run_batch(&net, &inputs, mode).unwrap();
+                assert_eq!(batch.batch_size(), 3, "{}", b.name());
+                for (s, x) in inputs.iter().enumerate() {
+                    let serial = b.run(&net, x, mode).unwrap();
+                    assert_eq!(
+                        batch.records[s],
+                        serial,
+                        "{} sample {s} {mode:?}: batching must not change records",
+                        b.name()
+                    );
+                }
+                assert!(
+                    batch.batch_time_us <= batch.serial_time_us() + 1e-9,
+                    "{}: batch never slower than serial",
+                    b.name()
+                );
+                assert!(
+                    batch.w_reads_amortized <= batch.w_reads_serial,
+                    "{}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_run_batch_amortizes_w_reads() {
+        let (net, x) = net_and_input(&[48, 128, 10], 4);
+        let b = CycleAccurateBackend::default();
+        // Identical samples: the union W pass is one serial pass.
+        let inputs = vec![x; 4];
+        let batch = b.run_batch(&net, &inputs, UvMode::On).unwrap();
+        assert!((batch.w_read_amortization() - 4.0).abs() < 1e-12);
+        assert!(batch.batch_time_us < batch.serial_time_us());
+        assert!(batch.mean_time_us() < batch.records[0].time_us());
+        // The default serial loop (golden) amortizes nothing.
+        let golden = GoldenBackend::new()
+            .run_batch(&net, &inputs, UvMode::On)
+            .unwrap();
+        assert!((golden.w_read_amortization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error_on_every_backend() {
+        let (net, _) = net_and_input(&[36, 72, 10], 4);
+        let backends: Vec<Box<dyn InferenceBackend>> = vec![
+            Box::new(CycleAccurateBackend::default()),
+            Box::new(GoldenBackend::new()),
+        ];
+        for b in &backends {
+            assert_eq!(
+                b.run_batch(&net, &[], UvMode::On).unwrap_err(),
+                SparseNnError::EmptyBatch,
+                "{}",
+                b.name()
+            );
         }
     }
 

@@ -28,8 +28,9 @@
 
 use crate::engine::admission::{AdmissionDecision, AdmissionGate, Priority};
 use crate::engine::backends::{CycleAccurateBackend, InferenceBackend};
+use crate::engine::batch::BatchPolicy;
 use crate::engine::quantile::P2Quantile;
-use crate::engine::record::RunRecord;
+use crate::engine::record::{BatchRunRecord, RunRecord};
 use crate::engine::scheduler::{FirstIdle, Scheduler, ShardView};
 use crate::error::SparseNnError;
 use sparsenn_energy::TechNode;
@@ -54,6 +55,26 @@ pub struct ShardStats {
     /// [`Fleet::with_service_percentile`]. 0 before the shard has served
     /// anything.
     pub service_estimate_us: f64,
+    /// Batched dispatches this shard has executed
+    /// ([`Fleet::run_batch_classified`]; single-sample runs do not
+    /// count).
+    pub batches: u64,
+    /// Samples served inside those batched dispatches (also included in
+    /// [`samples`](Self::samples)).
+    pub batch_samples: u64,
+    /// Largest batch this shard has executed (0 before the first one).
+    pub max_batch: u64,
+}
+
+impl ShardStats {
+    /// Mean size of the batched dispatches this shard executed (0 before
+    /// the first one).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_samples as f64 / self.batches as f64
+    }
 }
 
 /// Admission-control outcomes accumulated by a [`Fleet`] built with
@@ -129,6 +150,9 @@ pub struct Fleet {
     /// When set, the live estimate is this percentile of each shard's
     /// observed service times (P²) instead of a mean.
     service_percentile: Option<f64>,
+    /// How [`run_batch_classified`](Self::run_batch_classified) chunks a
+    /// batched call across dispatches.
+    batch_policy: BatchPolicy,
     name: String,
 }
 
@@ -177,6 +201,7 @@ impl Fleet {
             admission: None,
             service_alpha: None,
             service_percentile: None,
+            batch_policy: BatchPolicy::Immediate,
             name,
         })
     }
@@ -316,6 +341,82 @@ impl Fleet {
         let record = self.shards[guard.shard].run(net, input, mode)?;
         self.note_served(guard.shard, &record);
         Ok(record)
+    }
+
+    /// Caps how many samples one shard dispatch carries when the fleet
+    /// serves batches ([`run_batch_classified`](Self::run_batch_classified)):
+    /// the policy's [`max_batch`](BatchPolicy::max_batch) becomes the
+    /// chunk size. The default ([`BatchPolicy::Immediate`]) sends the
+    /// whole batch to one shard; `SizeOrDeadline { max, .. }` splits it
+    /// into `max`-sample chunks that spread over idle shards. The
+    /// *deadline* half of the policy governs queue-time decisions and is
+    /// exercised by the `sparsenn-serve` virtual-time simulator — the
+    /// live fleet only ever sees batches that have already formed.
+    pub fn with_batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch_policy = policy;
+        self
+    }
+
+    /// The installed batching policy ([`BatchPolicy::Immediate`] unless
+    /// replaced).
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.batch_policy
+    }
+
+    /// Runs a batch of requests with an explicit [`Priority`] class: the
+    /// batch is split into chunks of at most
+    /// [`BatchPolicy::max_batch`] samples, each chunk passes the
+    /// admission gate (counting every sample it carries), checks out
+    /// *one* shard, and executes there as a true batched dispatch
+    /// ([`InferenceBackend::run_batch`]) — W rows are read once per
+    /// chunk on batch-native substrates. Per-sample records are
+    /// bit-identical to serial [`run`](InferenceBackend::run) calls.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseNnError::EmptyBatch`] for an empty input slice;
+    /// [`SparseNnError::Overloaded`] when the gate sheds a chunk (any
+    /// chunks already served are discarded — the caller sees the batch
+    /// fail as a unit); otherwise whatever the serving shard returns.
+    pub fn run_batch_classified(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+        class: Priority,
+    ) -> Result<BatchRunRecord, SparseNnError> {
+        if inputs.is_empty() {
+            return Err(SparseNnError::EmptyBatch);
+        }
+        let chunk_size = self.batch_policy.max_batch().min(inputs.len()).max(1);
+        let mut folded: Option<BatchRunRecord> = None;
+        for chunk in inputs.chunks(chunk_size) {
+            if let Some(gate) = &self.admission {
+                let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+                let views = self.shard_views(&d);
+                let decision = gate.decide(class, d.waiting[class.index()], &views);
+                let n = chunk.len() as u64;
+                match decision {
+                    AdmissionDecision::Admit => d.admission.admitted[class.index()] += n,
+                    AdmissionDecision::Degrade => d.admission.degraded[class.index()] += n,
+                    AdmissionDecision::Shed => {
+                        d.admission.shed[class.index()] += n;
+                        return Err(SparseNnError::Overloaded { priority: class });
+                    }
+                }
+            }
+            let guard = ShardGuard {
+                fleet: self,
+                shard: self.acquire(class),
+            };
+            let record = self.shards[guard.shard].run_batch(net, chunk, mode)?;
+            self.note_served_batch(guard.shard, &record);
+            match &mut folded {
+                Some(acc) => acc.merge(record),
+                None => folded = Some(record),
+            }
+        }
+        Ok(folded.expect("non-empty input produces at least one chunk"))
     }
 
     /// A homogeneous fleet of `n` cycle-accurate machines, each configured
@@ -461,6 +562,51 @@ impl Fleet {
         };
         s.service_estimate_us += alpha * (x - s.service_estimate_us);
     }
+
+    /// Credits a batched dispatch to a shard's statistics. Each sample
+    /// contributes the batch's *amortized* per-sample latency
+    /// ([`BatchRunRecord::mean_time_us`]) to the service estimate — that
+    /// is what the next request dispatched to this shard will observe —
+    /// so under the plain-mean default the estimate stays the observed
+    /// mean of per-sample service times, exactly as if `note_served` had
+    /// seen each sample individually at the amortized latency.
+    fn note_served_batch(&self, shard: usize, record: &BatchRunRecord) {
+        let b = record.batch_size() as u64;
+        if b == 0 {
+            return;
+        }
+        let per_sample_us = record.mean_time_us();
+        let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        if self.service_percentile.is_some() {
+            // One dispatch = one observation of the amortized latency:
+            // the tail the tracker models is over dispatches, which is
+            // what a queued request actually waits behind.
+            let tracker = &mut d.quantiles[shard];
+            tracker.observe(per_sample_us);
+            let est = tracker.estimate();
+            let s = &mut d.stats[shard];
+            s.samples += b;
+            s.busy_us += record.batch_time_us;
+            s.service_estimate_us = est;
+            s.batches += 1;
+            s.batch_samples += b;
+            s.max_batch = s.max_batch.max(b);
+            return;
+        }
+        let s = &mut d.stats[shard];
+        let first = s.samples == 0;
+        s.samples += b;
+        s.busy_us += record.batch_time_us;
+        let weight = if first {
+            1.0 // seed the estimate with the first dispatch
+        } else {
+            self.service_alpha.unwrap_or(b as f64 / s.samples as f64)
+        };
+        s.service_estimate_us += weight * (per_sample_us - s.service_estimate_us);
+        s.batches += 1;
+        s.batch_samples += b;
+        s.max_batch = s.max_batch.max(b);
+    }
 }
 
 /// The identity a [`Fleet`] considers for homogeneity: substrate name,
@@ -521,6 +667,19 @@ impl InferenceBackend for Fleet {
         mode: UvMode,
     ) -> Result<RunRecord, SparseNnError> {
         self.run_classified(net, input, mode, Priority::High)
+    }
+
+    /// Batches route through the fleet's chunking path
+    /// ([`run_batch_classified`](Fleet::run_batch_classified) at
+    /// [`Priority::High`]) instead of the serial default, so each chunk
+    /// reaches a shard as one true batched dispatch.
+    fn run_batch(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+    ) -> Result<BatchRunRecord, SparseNnError> {
+        self.run_batch_classified(net, inputs, mode, Priority::High)
     }
 }
 
@@ -866,6 +1025,160 @@ mod tests {
         assert_eq!(fleet.admission_name(), None);
         fleet.run(&net, &x, UvMode::On).unwrap();
         assert_eq!(fleet.admission_stats(), AdmissionStats::default());
+    }
+
+    fn batch_inputs(net: &FixedNetwork, b: usize) -> Vec<Vec<Q6_10>> {
+        (0..b)
+            .map(|s| {
+                let x: Vec<f32> = (0..24)
+                    .map(|i| {
+                        if (i + s) % 3 == 0 {
+                            0.0
+                        } else {
+                            ((i + s) as f32 * 0.17).sin()
+                        }
+                    })
+                    .collect();
+                net.quantize_input(&x)
+            })
+            .collect()
+    }
+
+    /// The fleet's batched path returns per-sample records bit-identical
+    /// to serial runs and accounts for the dispatch in the batch stats.
+    #[test]
+    fn batched_fleet_runs_are_bit_identical_and_accounted() {
+        let (net, _) = net_and_input();
+        let inputs = batch_inputs(&net, 5);
+        let fleet = Fleet::of_machines(2, MachineConfig::default()).unwrap();
+        assert_eq!(fleet.batch_policy(), BatchPolicy::Immediate);
+        let batch = fleet.run_batch(&net, &inputs, UvMode::On).unwrap();
+        assert_eq!(batch.batch_size(), 5);
+        let single = CycleAccurateBackend::default();
+        for (x, rec) in inputs.iter().zip(&batch.records) {
+            assert_eq!(rec, &single.run(&net, x, UvMode::On).unwrap());
+        }
+        assert!(batch.batch_time_us <= batch.serial_time_us() + 1e-9);
+        // Immediate policy: the whole batch is one dispatch on shard 0.
+        let stats = fleet.shard_stats();
+        assert_eq!(stats[0].batches, 1);
+        assert_eq!(stats[0].batch_samples, 5);
+        assert_eq!(stats[0].max_batch, 5);
+        assert!((stats[0].mean_batch() - 5.0).abs() < 1e-12);
+        assert_eq!(stats[0].samples, 5);
+        assert!((stats[0].busy_us - batch.batch_time_us).abs() < 1e-9);
+        assert_eq!(stats[1], ShardStats::default());
+        // The service estimate is the amortized per-sample latency.
+        assert!((stats[0].service_estimate_us - batch.mean_time_us()).abs() < 1e-9);
+    }
+
+    /// A size-capped policy chunks the batch into dispatches of at most
+    /// `max` samples.
+    #[test]
+    fn batch_policy_caps_the_dispatch_size() {
+        let (net, _) = net_and_input();
+        let inputs = batch_inputs(&net, 7);
+        let fleet = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_batch_policy(BatchPolicy::SizeOrDeadline {
+                max: 3,
+                deadline_us: 100.0,
+            });
+        let batch = fleet.run_batch(&net, &inputs, UvMode::Off).unwrap();
+        assert_eq!(batch.batch_size(), 7);
+        let s = fleet.shard_stats()[0];
+        assert_eq!(s.batches, 3, "7 samples in chunks of 3: 3+3+1");
+        assert_eq!(s.batch_samples, 7);
+        assert_eq!(s.max_batch, 3);
+        assert!((s.mean_batch() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// Single-sample runs leave the batch accounting untouched.
+    #[test]
+    fn single_runs_do_not_count_as_batches() {
+        let (net, x) = net_and_input();
+        let fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        fleet.run(&net, &x, UvMode::On).unwrap();
+        let s = fleet.shard_stats()[0];
+        assert_eq!(s.samples, 1);
+        assert_eq!((s.batches, s.batch_samples, s.max_batch), (0, 0, 0));
+        assert_eq!(s.mean_batch(), 0.0);
+    }
+
+    /// The batched path consults the admission gate per chunk, counting
+    /// every sample the chunk carries.
+    #[test]
+    fn batched_admission_counts_samples() {
+        let (net, _) = net_and_input();
+        let inputs = batch_inputs(&net, 4);
+        let fleet = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_admission(Box::new(crate::engine::admission::BoundedQueues::new(4, 4)));
+        fleet.run_batch(&net, &inputs, UvMode::Off).unwrap();
+        assert_eq!(fleet.admission_stats().admitted, [4, 0]);
+
+        struct ShedEverything;
+        impl AdmissionGate for ShedEverything {
+            fn name(&self) -> &str {
+                "shed-everything"
+            }
+            fn decide(&self, _: Priority, _: usize, _: &[ShardView]) -> AdmissionDecision {
+                AdmissionDecision::Shed
+            }
+        }
+        let gated = Fleet::of_machines(1, MachineConfig::default())
+            .unwrap()
+            .with_admission(Box::new(ShedEverything));
+        assert_eq!(
+            gated
+                .run_batch_classified(&net, &inputs, UvMode::Off, Priority::Low)
+                .unwrap_err(),
+            SparseNnError::Overloaded {
+                priority: Priority::Low
+            }
+        );
+        assert_eq!(gated.admission_stats().shed, [0, 4]);
+        assert_eq!(gated.shard_stats()[0].samples, 0);
+    }
+
+    #[test]
+    fn empty_batch_through_the_fleet_is_a_typed_error() {
+        let (net, _) = net_and_input();
+        let fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        assert_eq!(
+            fleet.run_batch(&net, &[], UvMode::On).unwrap_err(),
+            SparseNnError::EmptyBatch
+        );
+    }
+
+    /// Under the plain-mean default, interleaving batched and single
+    /// dispatches keeps the estimate equal to the observed per-sample
+    /// mean.
+    #[test]
+    fn batched_estimate_stays_the_observed_mean() {
+        let fleet = Fleet::of_machines(1, MachineConfig::default()).unwrap();
+        fleet.note_served(0, &timed_record(10.0));
+        fleet.note_served(0, &timed_record(20.0));
+        // A 2-sample dispatch at 15 µs total: 7.5 µs amortized each.
+        let batch = BatchRunRecord {
+            records: vec![timed_record(10.0), timed_record(5.0)],
+            batch_time_us: 15.0,
+            batch_events: sparsenn_sim::MachineEvents::default(),
+            w_reads_serial: 0,
+            w_reads_amortized: 0,
+        };
+        fleet.note_served_batch(0, &batch);
+        let s = fleet.shard_stats()[0];
+        assert_eq!(s.samples, 4);
+        assert!((s.busy_us - 45.0).abs() < 1e-12);
+        // Mean of the per-sample service times seen: (10+20+7.5+7.5)/4.
+        assert!(
+            (s.service_estimate_us - 45.0 / 4.0).abs() < 1e-9,
+            "estimate {} must equal the observed per-sample mean",
+            s.service_estimate_us
+        );
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.max_batch, 2);
     }
 
     #[test]

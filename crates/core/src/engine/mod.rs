@@ -39,6 +39,16 @@
 //!   (typed [`Overloaded`](crate::SparseNnError::Overloaded) errors)
 //!   instead of queueing forever — the same gate trait the
 //!   `sparsenn-frontend` production-front-end simulator sweeps.
+//! * **Cross-request batching** — every backend serves batches through
+//!   [`InferenceBackend::run_batch`] (a serial loop by default; the
+//!   cycle-accurate machine overrides it with a true batched core that
+//!   reads each W row once per batch). Results come back as a
+//!   [`BatchRunRecord`]: per-sample records bit-identical to serial
+//!   [`run`](InferenceBackend::run) calls, plus the batch-amortized
+//!   clock/energy book. A [`BatchPolicy`]
+//!   ([`Fleet::with_batch_policy`]) decides how the fleet chunks
+//!   batches across shards; the same policy drives the
+//!   `sparsenn-serve` queue-aware batching simulator.
 //!
 //! Every backend also stamps its records with a modelled wall-clock
 //! latency ([`RunRecord::time_us`]) from its own clock model — the
@@ -77,6 +87,7 @@
 
 mod admission;
 mod backends;
+mod batch;
 mod fleet;
 mod partitioned;
 mod quantile;
@@ -86,9 +97,10 @@ mod session;
 
 pub use admission::{AdmissionDecision, AdmissionGate, AdmitAll, BoundedQueues, Priority};
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
+pub use batch::BatchPolicy;
 pub use fleet::{AdmissionStats, Fleet, ShardStats};
 pub use partitioned::PartitionedMachine;
 pub use quantile::P2Quantile;
-pub use record::{LayerRecord, RunRecord};
+pub use record::{BatchRunRecord, LayerRecord, RunRecord};
 pub use scheduler::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
 pub use session::{default_worker_count, Session};

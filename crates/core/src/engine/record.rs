@@ -108,6 +108,94 @@ impl RunRecord {
     }
 }
 
+/// The result of one batched inference dispatch
+/// ([`InferenceBackend::run_batch`](super::InferenceBackend::run_batch)):
+/// the exact per-sample records plus the batch-amortized clock/energy
+/// book.
+///
+/// The per-sample [`records`](Self::records) are bit-identical to what
+/// [`run`](super::InferenceBackend::run) would return for each input —
+/// batching changes *timing and energy accounting*, never results. The
+/// amortized fields carry what the dispatch costs when the substrate
+/// keeps each W row resident across the batch; for substrates without a
+/// batched core (the default loop-of-`run`), they simply equal the
+/// serial sums.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRunRecord {
+    /// Exact per-sample results, in input order.
+    pub records: Vec<RunRecord>,
+    /// Modelled wall-clock of the whole batch on the producing backend,
+    /// microseconds (≤ the serial sum of the per-sample times).
+    pub batch_time_us: f64,
+    /// Batch-amortized activity counters (per-sample counters summed,
+    /// with W-memory reads replaced by the amortized count).
+    pub batch_events: MachineEvents,
+    /// W-memory reads the batch would cost run serially.
+    pub w_reads_serial: u64,
+    /// W-memory reads the batch actually costs (≤ serial).
+    pub w_reads_amortized: u64,
+}
+
+impl BatchRunRecord {
+    /// Folds per-sample records produced by a serial loop — the default
+    /// [`run_batch`](super::InferenceBackend::run_batch) path for
+    /// substrates without a batched core. Amortized fields equal the
+    /// serial sums.
+    pub fn from_serial(records: Vec<RunRecord>) -> Self {
+        let batch_time_us = records.iter().map(RunRecord::time_us).sum();
+        let mut batch_events = MachineEvents::default();
+        for r in &records {
+            batch_events.merge(&r.total_events());
+        }
+        let w_reads = batch_events.w_reads;
+        Self {
+            records,
+            batch_time_us,
+            batch_events,
+            w_reads_serial: w_reads,
+            w_reads_amortized: w_reads,
+        }
+    }
+
+    /// Folds another dispatch's results into this record — how a
+    /// [`Fleet`](super::Fleet) aggregates the chunks of one batched call:
+    /// records concatenate in order, times and read counts sum, events
+    /// merge.
+    pub fn merge(&mut self, other: BatchRunRecord) {
+        self.records.extend(other.records);
+        self.batch_time_us += other.batch_time_us;
+        self.batch_events.merge(&other.batch_events);
+        self.w_reads_serial += other.w_reads_serial;
+        self.w_reads_amortized += other.w_reads_amortized;
+    }
+
+    /// Samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.records.len()
+    }
+
+    /// What the batch would cost run serially, microseconds.
+    pub fn serial_time_us(&self) -> f64 {
+        self.records.iter().map(RunRecord::time_us).sum()
+    }
+
+    /// Amortized per-sample latency, microseconds (0 for an empty batch).
+    pub fn mean_time_us(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.batch_time_us / self.records.len() as f64
+    }
+
+    /// W-read amortization factor: serial reads over batch reads (≥ 1).
+    pub fn w_read_amortization(&self) -> f64 {
+        if self.w_reads_amortized == 0 {
+            return 1.0;
+        }
+        self.w_reads_serial as f64 / self.w_reads_amortized as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +229,17 @@ mod tests {
         assert_eq!(r.classify(), 1);
         assert_eq!(r.output().len(), 2);
         assert!((r.time_us() - 42.0 * 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_fold_amortizes_nothing() {
+        let b = BatchRunRecord::from_serial(vec![record(&[10, 32]), record(&[10, 32])]);
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.w_reads_serial, b.w_reads_amortized);
+        assert!((b.w_read_amortization() - 1.0).abs() < 1e-12);
+        assert!((b.batch_time_us - b.serial_time_us()).abs() < 1e-12);
+        assert!((b.mean_time_us() - b.batch_time_us / 2.0).abs() < 1e-12);
+        assert_eq!(b.batch_events.cycles, 84);
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub enum SparseNnError {
     },
     /// The network has no layers.
     EmptyNetwork,
+    /// A batched run ([`InferenceBackend::run_batch`]) was asked to
+    /// execute zero samples.
+    ///
+    /// [`InferenceBackend::run_batch`]: crate::engine::InferenceBackend::run_batch
+    EmptyBatch,
     /// A worker thread of a parallel batch run terminated abnormally.
     WorkerPanicked,
     /// A backend returned a record with a different layer count than the
@@ -118,6 +123,7 @@ impl std::fmt::Display for SparseNnError {
                 )
             }
             SparseNnError::EmptyNetwork => f.write_str("network has no layers"),
+            SparseNnError::EmptyBatch => f.write_str("batch has no samples"),
             SparseNnError::WorkerPanicked => {
                 f.write_str("a batch-simulation worker thread panicked")
             }
@@ -209,6 +215,7 @@ impl From<MachineError> for SparseNnError {
                 SparseNnError::InputWidthMismatch { expected, got }
             }
             MachineError::EmptyNetwork => SparseNnError::EmptyNetwork,
+            MachineError::EmptyBatch => SparseNnError::EmptyBatch,
         }
     }
 }

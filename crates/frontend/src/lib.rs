@@ -23,8 +23,12 @@
 //!   paying a warm-up cost before a new shard takes traffic.
 //!
 //! [`simulate_frontend`] runs one configuration; [`sweep_combos`] scores
-//! the scheduler × admission × hedging × autoscaling cross product by
-//! goodput, shed rate, SLO attainment and p99 ([`FrontendSummary`]).
+//! the scheduler × admission × hedging × autoscaling × degrade-batching
+//! cross product by goodput, shed rate, SLO attainment and p99
+//! ([`FrontendSummary`]). A [`DegradeBatching`] config routes the degrade
+//! tier onto the batch-native substrate: degraded requests buffer
+//! centrally and flush as amortized batches (fill-or-deadline), trading
+//! held latency for per-sample cost.
 //! Latency accounting is constant-space
 //! ([`StreamingLatency`](sparsenn_serve::StreamingLatency) per class).
 //!
@@ -70,7 +74,7 @@ pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleDecision};
 pub use faults::{Fault, FaultPlan};
 pub use hedge::HedgeConfig;
 pub use metrics::{ClassStats, FrontendSummary};
-pub use sim::{simulate_frontend, FrontendConfig, FrontendError};
+pub use sim::{simulate_frontend, DegradeBatching, FrontendConfig, FrontendError};
 pub use slo::{best_goodput, sweep_combos, ComboResult, SloPolicy};
 
 // The shared policy vocabulary, re-exported so front-end code reads from

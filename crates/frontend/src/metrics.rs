@@ -94,6 +94,12 @@ pub struct FrontendSummary {
     pub scale_outs: usize,
     /// Autoscaler scale-in decisions taken.
     pub scale_ins: usize,
+    /// Degrade-tier batches flushed (0 unless degrade batching is on).
+    pub degrade_batches: usize,
+    /// Mean size of the flushed degrade batches (0 when none flushed).
+    pub mean_degrade_batch: f64,
+    /// Largest degrade batch flushed.
+    pub max_degrade_batch: usize,
     /// Most shards simultaneously active at any point.
     pub peak_active_shards: usize,
     /// Shards active when the run ended.

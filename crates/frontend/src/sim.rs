@@ -55,6 +55,80 @@ pub struct FrontendConfig {
     /// when autoscaling, else the whole fleet. Inactive shards are the
     /// scale-out reserve.
     pub initial_active: usize,
+    /// Degrade-tier batching (`None`: degraded requests dispatch
+    /// immediately at [`degrade_factor`](Self::degrade_factor) cost).
+    /// When set, degraded traffic is *held* in a central buffer and
+    /// released as a batch — larger and slower for the degraded request,
+    /// cheaper per sample for the fleet. See [`DegradeBatching`].
+    pub degrade_batching: Option<DegradeBatching>,
+}
+
+/// Routes the admission gate's degrade tier onto the batch-native
+/// substrate: degraded requests buffer centrally and flush as one batch
+/// when `max` have gathered or the oldest has waited `deadline_us`
+/// (exactly a [`BatchPolicy::SizeOrDeadline`] hold window — the same
+/// fill-or-deadline rule, applied to the degrade tier). Each member of a
+/// flushed batch of `b` is served at `factor(b) = (1 + marginal_cost ×
+/// (b − 1)) / b` of its full service time — the amortized per-sample
+/// cost of a batch whose first sample pays full price and every further
+/// sample `marginal_cost` of it (the batched machine's W-read
+/// amortization shape).
+///
+/// [`BatchPolicy::SizeOrDeadline`]: sparsenn_core::engine::BatchPolicy::SizeOrDeadline
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradeBatching {
+    /// Buffer size that triggers a flush (≥ 1).
+    pub max: usize,
+    /// Oldest-request wait, µs, that flushes a partial buffer (finite,
+    /// ≥ 0).
+    pub deadline_us: f64,
+    /// Marginal per-sample cost of growing a batch, as a fraction of a
+    /// full service (0 < m ≤ 1; the batched machine measures ~0.2–0.5
+    /// depending on sparsity overlap).
+    pub marginal_cost: f64,
+}
+
+impl DegradeBatching {
+    /// A hold window of up to `max` requests or `deadline_us`, at the
+    /// given marginal batch cost.
+    pub fn new(max: usize, deadline_us: f64, marginal_cost: f64) -> Self {
+        Self {
+            max,
+            deadline_us,
+            marginal_cost,
+        }
+    }
+
+    /// Amortized per-sample service factor of a batch of `b` (≤ 1,
+    /// decreasing in `b`; exactly 1 for a batch of one).
+    pub fn factor(&self, b: usize) -> f64 {
+        let b = b.max(1) as f64;
+        (1.0 + self.marginal_cost * (b - 1.0)) / b
+    }
+
+    /// Checks the parameters, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max == 0 {
+            return Err("degrade batch size must be at least 1".into());
+        }
+        if !self.deadline_us.is_finite() || self.deadline_us < 0.0 {
+            return Err(format!(
+                "degrade batch deadline must be finite and non-negative, got {}",
+                self.deadline_us
+            ));
+        }
+        if !(self.marginal_cost.is_finite()
+            && self.marginal_cost > 0.0
+            && self.marginal_cost <= 1.0)
+        {
+            return Err(format!(
+                "marginal batch cost must be in (0, 1], got {}",
+                self.marginal_cost
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl FrontendConfig {
@@ -70,6 +144,7 @@ impl FrontendConfig {
             faults: FaultPlan::none(),
             autoscale: None,
             initial_active: 0,
+            degrade_batching: None,
         }
     }
 
@@ -100,6 +175,13 @@ impl FrontendConfig {
     /// Sets the number of shards active at t = 0.
     pub fn initial_active(mut self, shards: usize) -> Self {
         self.initial_active = shards;
+        self
+    }
+
+    /// Routes the degrade tier through cross-request batching instead of
+    /// the flat [`degrade_factor`](Self::degrade_factor) discount.
+    pub fn degrade_batching(mut self, batching: DegradeBatching) -> Self {
+        self.degrade_batching = Some(batching);
         self
     }
 }
@@ -201,6 +283,13 @@ struct RequestState {
     class: Priority,
     arrival_us: f64,
     degraded: bool,
+    /// Service-time multiplier this request earned at admission: 1 for a
+    /// full-fidelity answer, [`FrontendConfig::degrade_factor`] for a
+    /// plain degrade, the amortized [`DegradeBatching::factor`] of its
+    /// batch for a batched degrade (set at flush time).
+    service_factor: f64,
+    /// Held in the central degrade buffer, not yet dispatched.
+    buffered: bool,
     /// Attempts currently in a queue or in service.
     live_attempts: u32,
     hedges_used: usize,
@@ -219,6 +308,9 @@ struct Engine<'a> {
     shards: Vec<ShardState>,
     requests: Vec<RequestState>,
     central: VecDeque<Attempt>,
+    /// Degraded requests held for the next batch flush (request ids, in
+    /// arrival order — index 0 is the oldest, whose wait arms deadlines).
+    degrade_buffer: Vec<usize>,
     /// Queued (not in-service) attempts per priority class — what the
     /// admission gate sees as `waiting_same_class`.
     waiting: [usize; 2],
@@ -242,6 +334,9 @@ struct Engine<'a> {
     scale_ins: usize,
     peak_active: usize,
     last_epoch_busy_us: f64,
+    degrade_batches: usize,
+    degrade_batch_samples: usize,
+    max_degrade_batch: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -263,12 +358,7 @@ impl<'a> Engine<'a> {
     fn service_us(&self, shard: usize, request: usize) -> f64 {
         let spec = &self.specs[shard];
         let base = spec.service_us[request % spec.service_us.len()];
-        let degrade = if self.requests[request].degraded {
-            self.cfg.degrade_factor
-        } else {
-            1.0
-        };
-        base * self.shards[shard].slow_factor * degrade
+        base * self.shards[shard].slow_factor * self.requests[request].service_factor
     }
 
     fn start_service(&mut self, shard: usize, attempt: Attempt, now: f64) {
@@ -366,17 +456,13 @@ impl<'a> Engine<'a> {
                 let before = self.shards[i].queue.len();
                 let specs = self.specs;
                 let slow = self.shards[i].slow_factor;
-                let degrade = if self.requests[request].degraded {
-                    self.cfg.degrade_factor
-                } else {
-                    1.0
-                };
+                let factor = self.requests[request].service_factor;
                 let mut dropped_work = 0.0;
                 self.shards[i].queue.retain(|a| {
                     if a.request == request {
                         dropped_work += specs[i].service_us[request % specs[i].service_us.len()]
                             * slow
-                            * degrade;
+                            * factor;
                         false
                     } else {
                         true
@@ -550,6 +636,8 @@ impl<'a> Engine<'a> {
             class,
             arrival_us: now,
             degraded: false,
+            service_factor: 1.0,
+            buffered: false,
             live_attempts: 0,
             hedges_used: 0,
             hedged: false,
@@ -566,6 +654,23 @@ impl<'a> Engine<'a> {
             AdmissionDecision::Degrade => {
                 self.classes[class.index()].degraded += 1;
                 self.requests[request].degraded = true;
+                if let Some(b) = self.cfg.degrade_batching {
+                    // Hold in the central degrade buffer: the request
+                    // dispatches when the batch fills or the oldest
+                    // member's deadline fires, at the amortized batch
+                    // cost. Hedge timers arm at flush, not here — a
+                    // buffered request has no attempt to race against.
+                    self.requests[request].buffered = true;
+                    self.degrade_buffer.push(request);
+                    if self.degrade_buffer.len() >= b.max {
+                        self.flush_degrade_buffer(now);
+                    } else {
+                        self.events
+                            .push(now + b.deadline_us, FleetEvent::BatchFlush);
+                    }
+                    return;
+                }
+                self.requests[request].service_factor = self.cfg.degrade_factor;
             }
             AdmissionDecision::Shed => {
                 self.classes[class.index()].shed += 1;
@@ -581,9 +686,54 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Releases the degrade buffer as one batch: every member gets the
+    /// amortized per-sample service factor of the batch size it rode in,
+    /// then dispatches (and arms its hedge timer) as usual.
+    fn flush_degrade_buffer(&mut self, now: f64) {
+        let batching = match self.cfg.degrade_batching {
+            Some(b) => b,
+            None => return,
+        };
+        if self.degrade_buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.degrade_buffer);
+        let factor = batching.factor(batch.len());
+        self.degrade_batches += 1;
+        self.degrade_batch_samples += batch.len();
+        self.max_degrade_batch = self.max_degrade_batch.max(batch.len());
+        for request in batch {
+            self.requests[request].buffered = false;
+            self.requests[request].service_factor = factor;
+            self.dispatch(request, now);
+            if self.cfg.hedge.hedging_enabled() {
+                self.events
+                    .push(now + self.cfg.hedge.after_us, FleetEvent::Hedge { request });
+            }
+        }
+    }
+
+    /// A degrade-batch deadline pops. A fill may have flushed the buffer
+    /// early, leaving this deadline stale for a *younger* buffer: only
+    /// fire when the current oldest member has genuinely waited out the
+    /// deadline (ε absorbs float round-off at an exactly-on-time pop).
+    fn on_batch_flush(&mut self, now: f64) {
+        let batching = match self.cfg.degrade_batching {
+            Some(b) => b,
+            None => return,
+        };
+        let oldest = match self.degrade_buffer.first() {
+            Some(&r) => self.requests[r].arrival_us,
+            None => return,
+        };
+        if now - oldest + 1e-9 >= batching.deadline_us {
+            self.flush_degrade_buffer(now);
+        }
+    }
+
     fn on_hedge(&mut self, request: usize, now: f64) {
         let r = &mut self.requests[request];
-        if r.done || r.hedges_used >= self.cfg.hedge.max_hedges {
+        if r.done || r.buffered || r.hedges_used >= self.cfg.hedge.max_hedges {
             return;
         }
         r.hedges_used += 1;
@@ -646,6 +796,9 @@ pub fn simulate_frontend(
             "degrade factor must be in (0, 1], got {}",
             cfg.degrade_factor
         )));
+    }
+    if let Some(b) = &cfg.degrade_batching {
+        b.validate().map_err(FrontendError::BadConfig)?;
     }
     if let Some(a) = &cfg.autoscale {
         a.validate().map_err(FrontendError::BadConfig)?;
@@ -732,6 +885,7 @@ pub fn simulate_frontend(
             .collect(),
         requests: Vec::with_capacity(total_requests),
         central: VecDeque::new(),
+        degrade_buffer: Vec::new(),
         waiting: [0, 0],
         next_attempt: 0,
         resolved: 0,
@@ -751,6 +905,9 @@ pub fn simulate_frontend(
         scale_ins: 0,
         peak_active: initial_active,
         last_epoch_busy_us: 0.0,
+        degrade_batches: 0,
+        degrade_batch_samples: 0,
+        max_degrade_batch: 0,
     };
 
     while let Some((now, event)) = engine.events.pop() {
@@ -784,6 +941,7 @@ pub fn simulate_frontend(
                 engine.shards[shard].slow_factor = 1.0;
             }
             FleetEvent::Hedge { request } => engine.on_hedge(request, now),
+            FleetEvent::BatchFlush => engine.on_batch_flush(now),
             FleetEvent::ScaleTick => engine.on_scale_tick(now),
             FleetEvent::ShardReady { shard } => {
                 if engine.shards[shard].warming {
@@ -846,6 +1004,13 @@ pub fn simulate_frontend(
         slowdowns_injected: cfg.faults.slowdowns(),
         scale_outs: engine.scale_outs,
         scale_ins: engine.scale_ins,
+        degrade_batches: engine.degrade_batches,
+        mean_degrade_batch: if engine.degrade_batches > 0 {
+            engine.degrade_batch_samples as f64 / engine.degrade_batches as f64
+        } else {
+            0.0
+        },
+        max_degrade_batch: engine.max_degrade_batch,
         peak_active_shards: engine.peak_active,
         final_active_shards: engine
             .shards
@@ -909,7 +1074,8 @@ mod tests {
         )
         .low_fraction(0.3)
         .hedge(HedgeConfig::hedged(60.0))
-        .faults(FaultPlan::random(3, 20_000.0, 1, 1, 21));
+        .faults(FaultPlan::random(3, 20_000.0, 1, 1, 21))
+        .degrade_batching(DegradeBatching::new(3, 120.0, 0.3));
         let run = || {
             simulate_frontend(
                 &fleet(3, 10.0),
@@ -1119,5 +1285,111 @@ mod tests {
             simulate_frontend(&fleet(1, 10.0), &FirstIdle, &AdmitAll, &bad_degrade).unwrap_err(),
             FrontendError::BadConfig(_)
         ));
+        for bad in [
+            DegradeBatching::new(0, 100.0, 0.5),
+            DegradeBatching::new(4, f64::NAN, 0.5),
+            DegradeBatching::new(4, 100.0, 0.0),
+            DegradeBatching::new(4, 100.0, 1.5),
+        ] {
+            let cfg = base.clone().degrade_batching(bad);
+            assert!(
+                matches!(
+                    simulate_frontend(&fleet(1, 10.0), &FirstIdle, &AdmitAll, &cfg).unwrap_err(),
+                    FrontendError::BadConfig(_)
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn degrade_batching_amortizes_low_priority_overload() {
+        // 2 × 100k rps capacity, 300k offered, half low-priority; the
+        // gate degrades every low request. Unbatched, each degraded
+        // request costs 0.5×; batched, a full batch of 4 costs
+        // (1 + 0.2 × 3) / 4 = 0.4× per member — and buffered requests
+        // don't count as waiting, so the low queue sheds less.
+        let w = Workload::Poisson {
+            rate_rps: 300_000.0,
+            requests: 3000,
+            seed: 17,
+        };
+        let gate = BoundedQueues::new(64, 32).degrade_low_beyond(0);
+        let base = FrontendConfig::new(w, slo()).low_fraction(0.5);
+        let batched_cfg = base
+            .clone()
+            .degrade_batching(DegradeBatching::new(4, 200.0, 0.2));
+        let fleet = fleet(2, 10.0);
+        let plain = simulate_frontend(&fleet, &LeastQueued, &gate, &base).unwrap();
+        let batched = simulate_frontend(&fleet, &LeastQueued, &gate, &batched_cfg).unwrap();
+
+        assert_eq!(plain.degrade_batches, 0, "no batching unless configured");
+        assert!(batched.degrade_batches > 0, "degrade tier must batch");
+        assert!(
+            batched.mean_degrade_batch > 1.5,
+            "overload must gather real batches, got mean {}",
+            batched.mean_degrade_batch
+        );
+        assert!(batched.max_degrade_batch <= 4, "fills cap the batch");
+        // Every degraded request rides exactly one flushed batch.
+        let flushed =
+            (batched.mean_degrade_batch * batched.degrade_batches as f64).round() as usize;
+        assert_eq!(flushed, batched.class(Priority::Low).degraded);
+        // The amortized tier serves more of the low class than the flat
+        // degrade discount does.
+        assert!(
+            batched.class(Priority::Low).completed >= plain.class(Priority::Low).completed,
+            "batching must not lose low-class capacity: {} vs {}",
+            batched.class(Priority::Low).completed,
+            plain.class(Priority::Low).completed
+        );
+    }
+
+    #[test]
+    fn partial_degrade_batches_flush_at_the_deadline() {
+        // Light load: low arrivals are ~170 µs apart, so an 8-slot
+        // buffer with a 300 µs deadline almost never fills — partial
+        // batches must still flush when the oldest member times out,
+        // and the hold shows up as added low-class latency.
+        let w = Workload::Poisson {
+            rate_rps: 20_000.0,
+            requests: 800,
+            seed: 23,
+        };
+        let loose = SloPolicy {
+            high_us: 100.0,
+            low_us: 2_000.0,
+        };
+        let gate = BoundedQueues::new(64, 32).degrade_low_beyond(0);
+        let base = FrontendConfig::new(w, loose).low_fraction(0.3);
+        let batched_cfg = base
+            .clone()
+            .degrade_batching(DegradeBatching::new(8, 300.0, 0.25));
+        let fleet = fleet(2, 10.0);
+        let plain = simulate_frontend(&fleet, &LeastQueued, &gate, &base).unwrap();
+        let batched = simulate_frontend(&fleet, &LeastQueued, &gate, &batched_cfg).unwrap();
+
+        assert!(batched.degrade_batches > 0);
+        assert!(
+            batched.mean_degrade_batch < 8.0,
+            "light load cannot keep filling the buffer, got mean {}",
+            batched.mean_degrade_batch
+        );
+        // Nothing starves in the buffer: the whole low class completes.
+        let low = batched.class(Priority::Low);
+        assert_eq!(low.completed, low.offered, "deadline flushes everyone");
+        // The hold window is the visible price of batching.
+        assert!(
+            low.latency.mean_us > plain.class(Priority::Low).latency.mean_us + 50.0,
+            "holding for the batch must cost latency: {} vs {}",
+            low.latency.mean_us,
+            plain.class(Priority::Low).latency.mean_us
+        );
+        // ...but stays bounded by the deadline plus queueing/service.
+        assert!(
+            low.latency.max_us < 300.0 + 1_000.0,
+            "no one waits past the flush deadline plus real work, got {}",
+            low.latency.max_us
+        );
     }
 }

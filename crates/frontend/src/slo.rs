@@ -3,14 +3,14 @@
 //! An SLO turns a latency distribution into a scalar that can be
 //! maximized: **goodput**, completions inside the deadline per second.
 //! [`sweep_combos`] runs the cross product of scheduler × admission ×
-//! hedging × autoscaling policies over one workload + fault plan and
-//! scores each combination, so picking a front-end configuration is
-//! reading a table instead of guessing.
+//! hedging × autoscaling × degrade-batching policies over one workload +
+//! fault plan and scores each combination, so picking a front-end
+//! configuration is reading a table instead of guessing.
 
 use crate::autoscale::AutoscaleConfig;
 use crate::hedge::HedgeConfig;
 use crate::metrics::FrontendSummary;
-use crate::sim::{simulate_frontend, FrontendConfig, FrontendError};
+use crate::sim::{simulate_frontend, DegradeBatching, FrontendConfig, FrontendError};
 use sparsenn_core::engine::{AdmissionGate, Priority, Scheduler};
 use sparsenn_serve::ShardSpec;
 
@@ -65,15 +65,17 @@ pub struct ComboResult {
     pub hedging: bool,
     /// Whether autoscaling was enabled.
     pub autoscaling: bool,
+    /// Whether the degrade tier was batched.
+    pub batched: bool,
     /// The full measurements.
     pub summary: FrontendSummary,
 }
 
 impl ComboResult {
-    /// A compact `scheduler/admission/±hedge/±scale` label.
+    /// A compact `scheduler/admission/±hedge/±scale/±batch` label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}",
             self.scheduler,
             self.admission,
             if self.hedging { "hedged" } else { "unhedged" },
@@ -82,15 +84,16 @@ impl ComboResult {
             } else {
                 "fixed"
             },
+            if self.batched { "batched" } else { "unbatched" },
         )
     }
 }
 
-/// Runs every scheduler × admission × hedge × autoscale combination over
-/// the same workload and fault plan (`base` supplies both, plus the SLO
-/// and class mix; its own hedge/autoscale fields are overridden by the
-/// swept values). Results come back in sweep order — schedulers
-/// outermost, autoscale configs innermost.
+/// Runs every scheduler × admission × hedge × autoscale × degrade-batch
+/// combination over the same workload and fault plan (`base` supplies
+/// both, plus the SLO and class mix; its own hedge/autoscale/batching
+/// fields are overridden by the swept values). Results come back in
+/// sweep order — schedulers outermost, batching configs innermost.
 ///
 /// # Errors
 ///
@@ -104,26 +107,32 @@ pub fn sweep_combos(
     admissions: &[&dyn AdmissionGate],
     hedges: &[HedgeConfig],
     autoscales: &[Option<AutoscaleConfig>],
+    batchings: &[Option<DegradeBatching>],
 ) -> Result<Vec<ComboResult>, FrontendError> {
-    let mut results =
-        Vec::with_capacity(schedulers.len() * admissions.len() * hedges.len() * autoscales.len());
+    let mut results = Vec::with_capacity(
+        schedulers.len() * admissions.len() * hedges.len() * autoscales.len() * batchings.len(),
+    );
     for &scheduler in schedulers {
         for &admission in admissions {
             for &hedge in hedges {
                 for autoscale in autoscales {
-                    let cfg = FrontendConfig {
-                        hedge,
-                        autoscale: *autoscale,
-                        ..base.clone()
-                    };
-                    let summary = simulate_frontend(fleet, scheduler, admission, &cfg)?;
-                    results.push(ComboResult {
-                        scheduler: summary.scheduler.clone(),
-                        admission: summary.admission.clone(),
-                        hedging: hedge.hedging_enabled(),
-                        autoscaling: autoscale.is_some(),
-                        summary,
-                    });
+                    for batching in batchings {
+                        let cfg = FrontendConfig {
+                            hedge,
+                            autoscale: *autoscale,
+                            degrade_batching: *batching,
+                            ..base.clone()
+                        };
+                        let summary = simulate_frontend(fleet, scheduler, admission, &cfg)?;
+                        results.push(ComboResult {
+                            scheduler: summary.scheduler.clone(),
+                            admission: summary.admission.clone(),
+                            hedging: hedge.hedging_enabled(),
+                            autoscaling: autoscale.is_some(),
+                            batched: batching.is_some(),
+                            summary,
+                        });
+                    }
                 }
             }
         }
@@ -197,13 +206,14 @@ mod tests {
             &[&AdmitAll, &bounded],
             &[HedgeConfig::disabled(), HedgeConfig::hedged(80.0)],
             &[None],
+            &[None, Some(DegradeBatching::new(4, 100.0, 0.3))],
         )
         .unwrap();
-        assert_eq!(results.len(), 8);
+        assert_eq!(results.len(), 16);
         let mut labels: Vec<String> = results.iter().map(ComboResult::label).collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 8, "every combination is distinct");
+        assert_eq!(labels.len(), 16, "every combination is distinct");
         let best = best_goodput(&results).unwrap();
         assert!(best.summary.goodput_rps >= results[0].summary.goodput_rps);
     }

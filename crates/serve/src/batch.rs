@@ -1,0 +1,724 @@
+//! The queue-aware batching simulator: the throughput/latency knee.
+//!
+//! [`simulate`](crate::simulate) serves every request alone; this module
+//! models what the batch-native machine core actually offers — a shard
+//! that serves `b` queued requests in `batch_service_us[b-1]` µs, less
+//! than `b` serial services because W rows are read once per batch. The
+//! [`BatchPolicy`] (the same type the live
+//! [`Fleet`](sparsenn_core::engine::Fleet) chunks with) decides *when* a
+//! shard fires: [`BatchPolicy::Immediate`] dispatches whatever has queued
+//! the moment the shard frees (batch-of-1 under light load, deep batches
+//! under backlog), [`BatchPolicy::SizeOrDeadline`] holds requests until
+//! the batch fills or the oldest has waited out its deadline.
+//!
+//! The resulting [`BatchedSummary`] exposes the knee the serve layer is
+//! parameterized on: throughput per shard rises with batch size while
+//! queueing latency pays for the fill — sweep `(policy, load)` to find
+//! where an SLO sits on that curve. Feed
+//! [`BatchShardSpec::batch_service_us`] from the real batched machine
+//! (per-(backend, B) [`BatchRunRecord::batch_time_us`] tables) and the
+//! curve is the accelerator's, not an analytic guess.
+//!
+//! [`BatchRunRecord::batch_time_us`]: sparsenn_core::engine::BatchRunRecord
+
+use crate::events::EventQueue;
+use crate::metrics::{LatencyStats, RequestMetric, ShardUsage, StreamingLatency};
+use crate::sim::{MetricsMode, ServeError};
+use crate::workload::Workload;
+use sparsenn_core::engine::{BatchPolicy, Scheduler, ShardView};
+use std::collections::VecDeque;
+
+/// One simulated batch-capable shard: a name and its modelled batch
+/// service times.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchShardSpec {
+    /// Shard name (e.g. the backend's `name()`).
+    pub name: String,
+    /// Modelled service time of a batch of `b` requests:
+    /// `batch_service_us[b - 1]`, microseconds. Batches larger than the
+    /// table clamp to its last entry, so the table's length is the
+    /// largest batch the shard ever executes. Feed the real batched
+    /// machine's per-B times for a faithful knee.
+    pub batch_service_us: Vec<f64>,
+}
+
+impl BatchShardSpec {
+    /// A shard whose batch-of-`b` time follows the given table.
+    pub fn with_table(name: impl Into<String>, batch_service_us: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            batch_service_us,
+        }
+    }
+
+    /// A shard with *no* batching win: a batch of `b` costs exactly
+    /// `b × service_us` (the serial-loop baseline), up to `max_batch`.
+    pub fn serial(name: impl Into<String>, service_us: f64, max_batch: usize) -> Self {
+        Self {
+            name: name.into(),
+            batch_service_us: (1..=max_batch.max(1))
+                .map(|b| b as f64 * service_us)
+                .collect(),
+        }
+    }
+
+    /// Service time of a batch of `b` requests (clamped to the table).
+    pub fn service_for_batch(&self, b: usize) -> f64 {
+        let i = b.clamp(1, self.batch_service_us.len());
+        self.batch_service_us[i - 1]
+    }
+
+    /// Largest batch this shard executes (the table length).
+    pub fn max_batch(&self) -> usize {
+        self.batch_service_us.len()
+    }
+}
+
+/// One dispatched batch, recorded in [`MetricsMode::Exact`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchRecord {
+    /// Shard that executed the batch.
+    pub shard: usize,
+    /// Requests in the batch.
+    pub size: usize,
+    /// How long the batch's oldest request waited before service
+    /// started, µs.
+    pub oldest_wait_us: f64,
+    /// The part of that wait spent while the shard sat *idle* — time the
+    /// policy chose to hold the batch open. Bounded by the policy's
+    /// deadline (the no-starvation guarantee); 0 under
+    /// [`BatchPolicy::Immediate`].
+    pub idle_wait_us: f64,
+}
+
+/// Everything a batched simulation run measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchedSummary {
+    /// Dispatch policy that placed arrivals
+    /// ([`Scheduler::name`](sparsenn_core::engine::Scheduler::name)).
+    pub scheduler: String,
+    /// Batching policy that fired dispatches ([`BatchPolicy::name`]).
+    pub policy: String,
+    /// Workload description.
+    pub workload: String,
+    /// Requests completed (every issued request completes).
+    pub requests: usize,
+    /// Virtual time of the last completion, µs.
+    pub makespan_us: f64,
+    /// Achieved throughput: `requests / makespan`, requests per second.
+    pub throughput_rps: f64,
+    /// End-to-end latency distribution (mean/max exact; percentiles P²
+    /// estimates in streaming mode, exact nearest-rank in
+    /// [`MetricsMode::Exact`]).
+    pub latency: LatencyStats,
+    /// Mean time-in-queue per request, µs.
+    pub queue_us_mean: f64,
+    /// Mean time-in-service per request (its batch's service time), µs.
+    pub service_us_mean: f64,
+    /// Batches dispatched across the fleet.
+    pub batches: usize,
+    /// Mean batch size (`requests / batches`; 0 with no batches).
+    pub mean_batch: f64,
+    /// Largest batch dispatched.
+    pub max_batch: usize,
+    /// Per-shard usage, one entry per shard in spec order.
+    pub shards: Vec<ShardUsage>,
+    /// Per-request records, completion order ([`MetricsMode::Exact`]
+    /// only; requests of one batch share start and completion times).
+    pub per_request: Vec<RequestMetric>,
+    /// Per-batch records, dispatch order ([`MetricsMode::Exact`] only).
+    pub batch_records: Vec<BatchRecord>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Arrival,
+    Completion {
+        shard: usize,
+    },
+    /// Guarded wake-up for [`BatchPolicy::SizeOrDeadline`]: armed once
+    /// per enqueue at `arrival + deadline_us`; a no-op unless the shard
+    /// is idle with an over-age queue when it fires.
+    Deadline {
+        shard: usize,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Request {
+    id: usize,
+    arrival_us: f64,
+}
+
+struct ShardState {
+    queue: VecDeque<Request>,
+    /// In-service batch: `(requests, start_us)`.
+    current: Option<(Vec<Request>, f64)>,
+    busy_until: f64,
+    /// When the shard last became idle (0 at the start).
+    idle_since: f64,
+    served: usize,
+    busy_us: f64,
+}
+
+impl ShardState {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            current: None,
+            busy_until: 0.0,
+            idle_since: 0.0,
+            served: 0,
+            busy_us: 0.0,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.queue.len() + self.current.as_ref().map_or(0, |(b, _)| b.len())
+    }
+}
+
+/// Runs one batched simulation to completion.
+///
+/// Arrivals are placed per shard by the `scheduler` (a `None` or invalid
+/// pick falls back to the shallowest queue); each shard serves its own
+/// queue FIFO, firing batches when the `policy` says so. Deterministic:
+/// the summary is a pure function of the arguments.
+///
+/// # Errors
+///
+/// [`ServeError`] when the fleet is empty, a batch-service table is
+/// unusable, or the workload or policy parameters are invalid.
+pub fn simulate_batched(
+    shards: &[BatchShardSpec],
+    scheduler: &dyn Scheduler,
+    policy: BatchPolicy,
+    workload: &Workload,
+    mode: MetricsMode,
+) -> Result<BatchedSummary, ServeError> {
+    if shards.is_empty() {
+        return Err(ServeError::NoShards);
+    }
+    for (i, s) in shards.iter().enumerate() {
+        if s.batch_service_us.is_empty() {
+            return Err(ServeError::BadServiceTable {
+                shard: i,
+                reason: "empty".into(),
+            });
+        }
+        if let Some(bad) = s
+            .batch_service_us
+            .iter()
+            .find(|v| !v.is_finite() || **v < 0.0)
+        {
+            return Err(ServeError::BadServiceTable {
+                shard: i,
+                reason: format!("batch service time {bad} is not finite and non-negative"),
+            });
+        }
+    }
+    workload.validate().map_err(ServeError::InvalidWorkload)?;
+    policy.validate().map_err(ServeError::InvalidPolicy)?;
+    let deadline_us = match policy {
+        BatchPolicy::SizeOrDeadline { deadline_us, .. } => Some(deadline_us),
+        BatchPolicy::Immediate => None,
+    };
+
+    let total_requests = workload.requests();
+    let mut events: EventQueue<Event> = EventQueue::new();
+    let mut open_arrivals = workload.open_arrivals();
+    let (closed_think_us, mut to_issue) = match *workload {
+        Workload::ClosedLoop {
+            concurrency,
+            requests,
+            think_us,
+        } => {
+            for _ in 0..concurrency.min(requests) {
+                events.push(0.0, Event::Arrival);
+            }
+            (think_us, requests - concurrency.min(requests))
+        }
+        _ => {
+            let stream = open_arrivals.as_mut().expect("open workload has a stream");
+            if let Some(t) = stream.next() {
+                events.push(t, Event::Arrival);
+            }
+            (0.0, 0)
+        }
+    };
+
+    let mut state: Vec<ShardState> = shards.iter().map(|_| ShardState::new()).collect();
+    let mut next_id = 0usize;
+    let mut makespan_us = 0.0f64;
+
+    let exact = mode == MetricsMode::Exact;
+    let mut per_request: Vec<RequestMetric> = Vec::new();
+    let mut batch_records: Vec<BatchRecord> = Vec::new();
+    let mut done = 0usize;
+    let mut streaming = StreamingLatency::new();
+    let mut queue_us_sum = 0.0f64;
+    let mut service_us_sum = 0.0f64;
+    let mut batches = 0usize;
+    let mut max_batch = 0usize;
+
+    // Fires a batch on `shard` if the policy says so. One closure keeps
+    // the Arrival / Completion / Deadline handlers honest about using
+    // identical dispatch conditions.
+    let try_dispatch = |i: usize,
+                        now: f64,
+                        state: &mut [ShardState],
+                        ev: &mut EventQueue<Event>,
+                        batches: &mut usize,
+                        max_batch: &mut usize,
+                        batch_records: &mut Vec<BatchRecord>| {
+        if state[i].current.is_some() || state[i].queue.is_empty() {
+            return;
+        }
+        let oldest = state[i].queue.front().expect("non-empty").arrival_us;
+        // The epsilon absorbs float round-off when a deadline event fires
+        // exactly `deadline_us` after the oldest arrival.
+        if !policy.should_dispatch(state[i].queue.len(), now - oldest + 1e-9) {
+            return;
+        }
+        let cap = policy.max_batch().min(shards[i].max_batch()).max(1);
+        let b = state[i].queue.len().min(cap);
+        let batch: Vec<Request> = state[i].queue.drain(..b).collect();
+        let service = shards[i].service_for_batch(b);
+        *batches += 1;
+        *max_batch = (*max_batch).max(b);
+        if exact {
+            batch_records.push(BatchRecord {
+                shard: i,
+                size: b,
+                oldest_wait_us: now - oldest,
+                idle_wait_us: (now - oldest.max(state[i].idle_since)).max(0.0),
+            });
+        }
+        state[i].current = Some((batch, now));
+        state[i].busy_until = now + service;
+        ev.push(now + service, Event::Completion { shard: i });
+    };
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrival => {
+                if let Some(stream) = open_arrivals.as_mut() {
+                    if let Some(t) = stream.next() {
+                        events.push(t, Event::Arrival);
+                    }
+                }
+                let req = Request {
+                    id: next_id,
+                    arrival_us: now,
+                };
+                next_id += 1;
+                let views: Vec<ShardView> = state
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let t1 = shards[i].service_for_batch(1);
+                        ShardView {
+                            healthy: true,
+                            idle: s.current.is_none() && s.queue.is_empty(),
+                            depth: s.depth(),
+                            backlog_us: match s.current {
+                                Some(_) => (s.busy_until - now).max(0.0),
+                                None => 0.0,
+                            } + s.queue.len() as f64 * t1,
+                            service_us: t1,
+                        }
+                    })
+                    .collect();
+                // Place per shard; an unusable pick falls back to the
+                // shallowest queue (ties to the lowest index) so every
+                // request lands somewhere and progress is guaranteed.
+                let i = match scheduler.pick(&views) {
+                    Some(i) if i < state.len() => i,
+                    _ => (0..state.len())
+                        .min_by_key(|&i| state[i].depth())
+                        .expect("non-empty fleet"),
+                };
+                state[i].queue.push_back(req);
+                if let Some(d) = deadline_us {
+                    events.push(now + d, Event::Deadline { shard: i });
+                }
+                try_dispatch(
+                    i,
+                    now,
+                    &mut state,
+                    &mut events,
+                    &mut batches,
+                    &mut max_batch,
+                    &mut batch_records,
+                );
+            }
+            Event::Completion { shard } => {
+                let (batch, start_us) = state[shard]
+                    .current
+                    .take()
+                    .expect("completion fired for an idle shard");
+                state[shard].idle_since = now;
+                state[shard].served += batch.len();
+                state[shard].busy_us += now - start_us;
+                makespan_us = makespan_us.max(now);
+                for req in &batch {
+                    done += 1;
+                    queue_us_sum += start_us - req.arrival_us;
+                    service_us_sum += now - start_us;
+                    if exact {
+                        per_request.push(RequestMetric {
+                            id: req.id,
+                            shard,
+                            arrival_us: req.arrival_us,
+                            start_us,
+                            completion_us: now,
+                        });
+                    } else {
+                        streaming.observe(now - req.arrival_us);
+                    }
+                }
+                // Closed-loop clients re-issue, one per completed request.
+                let reissue = batch.len().min(to_issue);
+                to_issue -= reissue;
+                for _ in 0..reissue {
+                    events.push(now + closed_think_us, Event::Arrival);
+                }
+                try_dispatch(
+                    shard,
+                    now,
+                    &mut state,
+                    &mut events,
+                    &mut batches,
+                    &mut max_batch,
+                    &mut batch_records,
+                );
+            }
+            Event::Deadline { shard } => {
+                // Guarded: a no-op unless the shard is idle with an
+                // over-age queue (try_dispatch re-checks the policy).
+                try_dispatch(
+                    shard,
+                    now,
+                    &mut state,
+                    &mut events,
+                    &mut batches,
+                    &mut max_batch,
+                    &mut batch_records,
+                );
+            }
+        }
+    }
+
+    debug_assert_eq!(done, total_requests, "every request completes");
+    let latency = if exact {
+        let latencies: Vec<f64> = per_request.iter().map(RequestMetric::latency_us).collect();
+        LatencyStats::of(&latencies)
+    } else {
+        streaming.stats()
+    };
+    let n = done.max(1) as f64;
+    let shard_usage = shards
+        .iter()
+        .zip(&state)
+        .map(|(spec, s)| ShardUsage {
+            name: spec.name.clone(),
+            served: s.served,
+            busy_us: s.busy_us,
+            utilization: if makespan_us > 0.0 {
+                s.busy_us / makespan_us
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    Ok(BatchedSummary {
+        scheduler: scheduler.name().to_string(),
+        policy: policy.name().to_string(),
+        workload: workload.to_string(),
+        requests: done,
+        makespan_us,
+        throughput_rps: if makespan_us > 0.0 {
+            done as f64 / (makespan_us * 1e-6)
+        } else {
+            0.0
+        },
+        latency,
+        queue_us_mean: queue_us_sum / n,
+        service_us_mean: service_us_sum / n,
+        batches,
+        mean_batch: if batches > 0 {
+            done as f64 / batches as f64
+        } else {
+            0.0
+        },
+        max_batch,
+        shards: shard_usage,
+        per_request,
+        batch_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsenn_core::engine::FirstIdle;
+
+    /// A batch-of-b table with a strong W-amortization win: the first
+    /// sample costs full price, every further one 30%.
+    fn amortized(max_batch: usize, t1: f64) -> Vec<f64> {
+        (1..=max_batch)
+            .map(|b| t1 * (1.0 + 0.3 * (b as f64 - 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn light_load_immediate_degenerates_to_batches_of_one() {
+        let shards = vec![BatchShardSpec::with_table("m", amortized(8, 10.0))];
+        let s = simulate_batched(
+            &shards,
+            &FirstIdle,
+            BatchPolicy::Immediate,
+            &Workload::Poisson {
+                rate_rps: 5_000.0, // 5% of the shard's serial capacity
+                requests: 400,
+                seed: 3,
+            },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        assert_eq!(s.requests, 400);
+        assert!(
+            s.mean_batch < 1.05,
+            "an unloaded immediate shard serves singles, mean {}",
+            s.mean_batch
+        );
+        // Immediate never holds a batch open while idle.
+        assert!(s.batch_records.iter().all(|b| b.idle_wait_us < 1e-9));
+    }
+
+    #[test]
+    fn backlog_makes_immediate_batches_grow_and_throughput_beat_serial() {
+        let shards_batched = vec![BatchShardSpec::with_table("m", amortized(8, 10.0))];
+        let shards_serial = vec![BatchShardSpec::serial("m", 10.0, 8)];
+        // 3× the serial shard's capacity (100k rps) and above the batched
+        // shard's batch-of-8 capacity (~258k rps): both saturate, so the
+        // throughput ratio measures capacity, not offered load.
+        let w = Workload::Poisson {
+            rate_rps: 300_000.0,
+            requests: 3000,
+            seed: 11,
+        };
+        let b = simulate_batched(
+            &shards_batched,
+            &FirstIdle,
+            BatchPolicy::Immediate,
+            &w,
+            MetricsMode::Streaming,
+        )
+        .unwrap();
+        let s = simulate_batched(
+            &shards_serial,
+            &FirstIdle,
+            BatchPolicy::Immediate,
+            &w,
+            MetricsMode::Streaming,
+        )
+        .unwrap();
+        assert!(
+            b.mean_batch > 2.0,
+            "overload piles batches up: {}",
+            b.mean_batch
+        );
+        assert!(
+            b.throughput_rps > 2.0 * s.throughput_rps,
+            "amortization must lift throughput: batched {} vs serial {}",
+            b.throughput_rps,
+            s.throughput_rps
+        );
+        assert!(b.latency.p99_us < s.latency.p99_us);
+    }
+
+    #[test]
+    fn size_or_deadline_releases_partial_batches_at_the_deadline() {
+        let shards = vec![BatchShardSpec::with_table("m", amortized(8, 10.0))];
+        let s = simulate_batched(
+            &shards,
+            &FirstIdle,
+            BatchPolicy::SizeOrDeadline {
+                max: 8,
+                deadline_us: 200.0,
+            },
+            &Workload::Poisson {
+                rate_rps: 5_000.0, // a batch of 8 would take ~1.6 ms to fill
+                requests: 400,
+                seed: 3,
+            },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        assert_eq!(s.requests, 400);
+        // Light load: most batches release on the deadline, not the size.
+        assert!(s.mean_batch < 8.0);
+        assert!(s.mean_batch > 1.0, "the hold window does coalesce some");
+        for b in &s.batch_records {
+            assert!(
+                b.idle_wait_us <= 200.0 + 1e-6,
+                "no batch is held beyond its deadline while the shard idles: {b:?}"
+            );
+        }
+        // The wait is visible in the latency (vs the immediate policy).
+        let imm = simulate_batched(
+            &shards,
+            &FirstIdle,
+            BatchPolicy::Immediate,
+            &Workload::Poisson {
+                rate_rps: 5_000.0,
+                requests: 400,
+                seed: 3,
+            },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        assert!(s.latency.mean_us > imm.latency.mean_us + 50.0);
+    }
+
+    #[test]
+    fn full_batches_fire_without_waiting_for_the_deadline() {
+        let shards = vec![BatchShardSpec::with_table("m", amortized(4, 10.0))];
+        let s = simulate_batched(
+            &shards,
+            &FirstIdle,
+            BatchPolicy::SizeOrDeadline {
+                max: 4,
+                deadline_us: 1e6, // effectively never
+            },
+            &Workload::ClosedLoop {
+                concurrency: 8, // always ≥ 4 waiting: every batch fills
+                requests: 64,
+                think_us: 0.0,
+            },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        assert_eq!(s.requests, 64);
+        assert_eq!(s.max_batch, 4);
+        assert!((s.mean_batch - 4.0).abs() < 1e-9, "every batch full");
+        assert_eq!(s.batches, 16);
+    }
+
+    #[test]
+    fn per_shard_service_is_fifo() {
+        let shards = vec![
+            BatchShardSpec::with_table("a", amortized(4, 10.0)),
+            BatchShardSpec::with_table("b", amortized(4, 14.0)),
+        ];
+        let s = simulate_batched(
+            &shards,
+            &crate::LeastQueued,
+            BatchPolicy::Immediate,
+            &Workload::Poisson {
+                rate_rps: 250_000.0,
+                requests: 1000,
+                seed: 7,
+            },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        assert_eq!(s.requests, 1000);
+        for shard in 0..shards.len() {
+            let starts: Vec<(usize, f64)> = s
+                .per_request
+                .iter()
+                .filter(|r| r.shard == shard)
+                .map(|r| (r.id, r.start_us))
+                .collect();
+            // Requests placed on one shard start service in arrival
+            // (= id) order.
+            let mut by_start = starts.clone();
+            by_start.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            assert_eq!(starts.len(), by_start.len());
+            let ids_by_start: Vec<usize> = by_start.iter().map(|&(id, _)| id).collect();
+            let mut sorted_ids = ids_by_start.clone();
+            sorted_ids.sort_unstable();
+            assert_eq!(ids_by_start, sorted_ids, "shard {shard} is FIFO");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let shards = vec![BatchShardSpec::with_table("m", amortized(6, 9.0))];
+        let w = Workload::Bursty {
+            low_rps: 20_000.0,
+            high_rps: 300_000.0,
+            period_us: 800.0,
+            duty: 0.3,
+            requests: 900,
+            seed: 5,
+        };
+        let p = BatchPolicy::SizeOrDeadline {
+            max: 6,
+            deadline_us: 50.0,
+        };
+        let a = simulate_batched(&shards, &FirstIdle, p, &w, MetricsMode::Streaming).unwrap();
+        let b = simulate_batched(&shards, &FirstIdle, p, &w, MetricsMode::Streaming).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        let w = Workload::ClosedLoop {
+            concurrency: 1,
+            requests: 1,
+            think_us: 0.0,
+        };
+        assert_eq!(
+            simulate_batched(
+                &[],
+                &FirstIdle,
+                BatchPolicy::Immediate,
+                &w,
+                MetricsMode::Streaming
+            )
+            .unwrap_err(),
+            ServeError::NoShards
+        );
+        let empty = vec![BatchShardSpec::with_table("x", vec![])];
+        assert!(matches!(
+            simulate_batched(
+                &empty,
+                &FirstIdle,
+                BatchPolicy::Immediate,
+                &w,
+                MetricsMode::Streaming
+            )
+            .unwrap_err(),
+            ServeError::BadServiceTable { shard: 0, .. }
+        ));
+        let ok = vec![BatchShardSpec::with_table("x", vec![10.0])];
+        assert!(matches!(
+            simulate_batched(
+                &ok,
+                &FirstIdle,
+                BatchPolicy::SizeOrDeadline {
+                    max: 0,
+                    deadline_us: 1.0
+                },
+                &w,
+                MetricsMode::Streaming
+            )
+            .unwrap_err(),
+            ServeError::InvalidPolicy(_)
+        ));
+    }
+
+    #[test]
+    fn spec_helpers_clamp_and_report_shape() {
+        let s = BatchShardSpec::with_table("m", vec![10.0, 13.0, 16.0]);
+        assert_eq!(s.max_batch(), 3);
+        assert_eq!(s.service_for_batch(1), 10.0);
+        assert_eq!(s.service_for_batch(3), 16.0);
+        assert_eq!(s.service_for_batch(9), 16.0, "clamps to the table");
+        let serial = BatchShardSpec::serial("s", 10.0, 4);
+        assert_eq!(serial.batch_service_us, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+}

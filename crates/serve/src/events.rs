@@ -70,6 +70,11 @@ pub enum FleetEvent {
         /// Shard that becomes active.
         shard: usize,
     },
+    /// The degrade-tier batching deadline fires: if the front end's
+    /// degrade buffer still holds its oldest request past the deadline,
+    /// the buffer flushes as one batch (a guarded no-op otherwise —
+    /// fills flush the buffer early and leave stale deadlines behind).
+    BatchFlush,
 }
 
 /// One scheduled entry: a payload due at a virtual time.

@@ -22,6 +22,12 @@
 //!   estimates); [`simulate_with`] selects [`MetricsMode::Exact`] when a
 //!   test needs every [`RequestMetric`] materialized.
 //!
+//! * [`simulate_batched`] — the queue-aware **cross-request batching**
+//!   model: shards serve whole batches ([`BatchShardSpec`] carries the
+//!   per-batch-size service table, fed from the real batched machine)
+//!   under a [`BatchPolicy`] (the same type the live fleet chunks with),
+//!   exposing the throughput/latency knee batching buys.
+//!
 //! The `sparsenn-frontend` crate builds the production front end on these
 //! pieces: its simulator drives the same [`EventQueue`] with the extended
 //! [`FleetEvent`] vocabulary (failures, hedges, autoscaler epochs) and
@@ -53,15 +59,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod events;
 mod metrics;
 mod sim;
 mod workload;
 
+pub use batch::{simulate_batched, BatchRecord, BatchShardSpec, BatchedSummary};
 pub use events::{EventQueue, FleetEvent};
 pub use metrics::{
     LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage, StreamingLatency,
 };
 pub use sim::{fleet_capacity_rps, simulate, simulate_with, MetricsMode, ServeError, ShardSpec};
-pub use sparsenn_core::engine::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
+pub use sparsenn_core::engine::{
+    BatchPolicy, FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView,
+};
 pub use workload::{OpenArrivals, Workload};

@@ -115,6 +115,9 @@ pub enum ServeError {
     },
     /// The workload parameters are invalid.
     InvalidWorkload(String),
+    /// The batching policy's parameters are invalid
+    /// ([`BatchPolicy::validate`](sparsenn_core::engine::BatchPolicy::validate)).
+    InvalidPolicy(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -125,6 +128,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "shard {shard} service table: {reason}")
             }
             ServeError::InvalidWorkload(reason) => write!(f, "invalid workload: {reason}"),
+            ServeError::InvalidPolicy(reason) => write!(f, "invalid batch policy: {reason}"),
         }
     }
 }

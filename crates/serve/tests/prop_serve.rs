@@ -1,11 +1,14 @@
-//! Property tests for the serving simulator's two ordering contracts:
-//! the event queue's virtual-time order (with deterministic tie-breaking)
-//! and per-shard FIFO service order under arbitrary arrival sequences.
+//! Property tests for the serving simulator's ordering contracts:
+//! the event queue's virtual-time order (with deterministic tie-breaking),
+//! per-shard FIFO service order under arbitrary arrival sequences, and the
+//! batched simulator's no-starvation guarantee (a `SizeOrDeadline` policy
+//! never holds a request past its deadline while the shard sits idle).
 
 use proptest::prelude::*;
+use sparsenn_core::engine::BatchPolicy;
 use sparsenn_serve::{
-    simulate_with, EventQueue, FastestCompletion, FirstIdle, LeastQueued, MetricsMode, Scheduler,
-    ShardSpec, Workload,
+    simulate_batched, simulate_with, BatchShardSpec, EventQueue, FastestCompletion, FirstIdle,
+    LeastQueued, MetricsMode, Scheduler, ShardSpec, Workload,
 };
 
 fn scheduler_for(which: usize) -> &'static dyn Scheduler {
@@ -131,6 +134,102 @@ proptest! {
         for r in &summary.per_request {
             prop_assert!(r.arrival_us <= r.start_us + 1e-12);
             prop_assert!(r.start_us <= r.completion_us + 1e-12);
+        }
+    }
+
+    /// `SizeOrDeadline` never starves: for any shard tables, batch cap,
+    /// deadline and Poisson load, no dispatched batch sat *idle* (shard
+    /// free, policy holding the batch open) longer than the deadline —
+    /// and every request completes.
+    #[test]
+    fn size_or_deadline_never_starves(
+        which_scheduler in 0usize..3,
+        tables in prop::collection::vec(
+            prop::collection::vec(1u32..200, 1..6),
+            1..4,
+        ),
+        max in 1usize..=8,
+        deadline_us in 1.0f64..500.0,
+        rate_rps in 5_000.0f64..400_000.0,
+        requests in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let shards: Vec<BatchShardSpec> = tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                // Cumulative sums keep each table nondecreasing in B, the
+                // shape a real amortization table has.
+                let mut us = 0.0;
+                let table = t.iter().map(|&s| { us += f64::from(s); us }).collect();
+                BatchShardSpec::with_table(format!("s{i}"), table)
+            })
+            .collect();
+        let summary = simulate_batched(
+            &shards,
+            scheduler_for(which_scheduler),
+            BatchPolicy::SizeOrDeadline { max, deadline_us },
+            &Workload::Poisson { rate_rps, requests, seed },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        prop_assert_eq!(summary.requests, requests, "every request completes");
+        for b in &summary.batch_records {
+            prop_assert!(
+                b.idle_wait_us <= deadline_us + 1e-6,
+                "batch on shard {} held open {} µs past a {} µs deadline",
+                b.shard,
+                b.idle_wait_us - deadline_us,
+                deadline_us
+            );
+            prop_assert!(b.size >= 1 && b.size <= max.max(1), "cap respected");
+        }
+    }
+
+    /// Per-shard service order stays FIFO on the batched path for any
+    /// policy: ordering requests placed on one shard by service start
+    /// (ties by id — batch members share a start) reproduces arrival
+    /// (= id) order.
+    #[test]
+    fn batched_per_shard_service_order_is_fifo(
+        which_scheduler in 0usize..3,
+        immediate in any::<bool>(),
+        max in 1usize..=8,
+        deadline_us in 1.0f64..500.0,
+        rate_rps in 5_000.0f64..400_000.0,
+        requests in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let shards = vec![
+            BatchShardSpec::serial("a", 10.0, 8),
+            BatchShardSpec::with_table("b", vec![14.0, 20.0, 24.0, 26.0]),
+        ];
+        let policy = if immediate {
+            BatchPolicy::Immediate
+        } else {
+            BatchPolicy::SizeOrDeadline { max, deadline_us }
+        };
+        let summary = simulate_batched(
+            &shards,
+            scheduler_for(which_scheduler),
+            policy,
+            &Workload::Poisson { rate_rps, requests, seed },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        prop_assert_eq!(summary.requests, requests);
+        for shard in 0..shards.len() {
+            let mut by_start: Vec<(f64, usize)> = summary
+                .per_request
+                .iter()
+                .filter(|r| r.shard == shard)
+                .map(|r| (r.start_us, r.id))
+                .collect();
+            by_start.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let ids: Vec<usize> = by_start.iter().map(|&(_, id)| id).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&ids, &sorted, "shard {} is FIFO", shard);
         }
     }
 }

@@ -53,4 +53,7 @@ pub mod simd;
 
 pub use config::{LayerFitError, MachineConfig};
 pub use events::MachineEvents;
-pub use machine::{LayerRun, LayerStages, Machine, MachineError, NetworkRun, Phase};
+pub use machine::{
+    BatchLayerRun, BatchNetworkRun, BatchTiming, LayerRun, LayerStages, Machine, MachineError,
+    NetworkRun, Phase,
+};

@@ -42,6 +42,8 @@ pub enum MachineError {
     },
     /// The network has no layers.
     EmptyNetwork,
+    /// A batched run was asked to execute zero samples.
+    EmptyBatch,
 }
 
 impl std::fmt::Display for MachineError {
@@ -68,6 +70,7 @@ impl std::fmt::Display for MachineError {
                 )
             }
             MachineError::EmptyNetwork => f.write_str("network has no layers"),
+            MachineError::EmptyBatch => f.write_str("batch has no samples"),
         }
     }
 }
@@ -171,6 +174,158 @@ impl NetworkRun {
             ev.merge(&l.events);
         }
         ev
+    }
+}
+
+/// Batch-amortized timing of one layer pass over B samples.
+///
+/// The batched core keeps **two books**. The exact book is the per-sample
+/// [`LayerRun`]s (bit-identical to serial runs by construction — they *are*
+/// serial runs). This struct is the amortized book: what the layer pass
+/// costs when the machine keeps each W row resident while B lanes consume
+/// it, so every W-memory word is fetched once per *batch* instead of once
+/// per *sample*. Predictor (V/U) work stays per-sample — each sample's
+/// verdict is its own — but the W phase runs once over the **union** of
+/// the batch's nonzero-input pattern and predicted-active rows.
+#[derive(Clone, Debug)]
+pub struct BatchTiming {
+    /// Samples in the batch.
+    pub batch_size: usize,
+    /// Batch clock: `vu_cycles + w_cycles`.
+    pub cycles: u64,
+    /// Summed per-sample predictor cycles (the V/U phases do not amortize).
+    pub vu_cycles: u64,
+    /// W-phase cycles of the single union pass (or the serial sum when
+    /// amortization would lose — see [`amortized`](Self::amortized)).
+    pub w_cycles: u64,
+    /// The batch's activity book for the energy model: per-sample counters
+    /// summed exactly, with `w_reads` (and the cycle totals) replaced by
+    /// the amortized values.
+    pub events: MachineEvents,
+    /// W-memory reads the B serial runs would have made.
+    pub w_reads_serial: u64,
+    /// W-memory reads the batch actually makes (≤ serial).
+    pub w_reads_amortized: u64,
+    /// Whether the union pass won. When the samples' sparsity patterns are
+    /// so disjoint that one union pass costs more than B serial passes,
+    /// the machine simply does not batch the layer and this is `false`
+    /// (serial accounting) — batch timing is never worse than serial.
+    pub amortized: bool,
+}
+
+impl BatchTiming {
+    /// W-read amortization factor: serial reads over batch reads (≥ 1).
+    pub fn w_read_amortization(&self) -> f64 {
+        if self.w_reads_amortized == 0 {
+            return 1.0;
+        }
+        self.w_reads_serial as f64 / self.w_reads_amortized as f64
+    }
+}
+
+/// One layer of a batched network run: the exact per-sample results plus
+/// the amortized batch timing.
+#[derive(Clone, Debug)]
+pub struct BatchLayerRun {
+    /// Exact per-sample results, bit-identical to serial execution.
+    pub per_sample: Vec<LayerRun>,
+    /// The amortized clock/energy book for the whole batch.
+    pub batch: BatchTiming,
+}
+
+/// Result of simulating a whole network over a batch of inputs.
+#[derive(Clone, Debug)]
+pub struct BatchNetworkRun {
+    /// Per-layer results, input side first.
+    pub layers: Vec<BatchLayerRun>,
+}
+
+impl BatchNetworkRun {
+    /// Samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.per_sample.len())
+    }
+
+    /// Output activations of the final layer for one sample.
+    pub fn output(&self, sample: usize) -> &[Q6_10] {
+        &self.layers.last().expect("at least one layer").per_sample[sample].output
+    }
+
+    /// Argmax classification of the final layer for one sample.
+    pub fn classify(&self, sample: usize) -> usize {
+        sparsenn_numeric::argmax(self.output(sample))
+    }
+
+    /// Batch clock: summed per-layer amortized cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.batch.cycles).sum()
+    }
+
+    /// What the B samples would cost run back to back (the serial
+    /// baseline the amortization is measured against).
+    pub fn serial_cycles(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| l.per_sample.iter().map(|r| r.cycles))
+            .sum()
+    }
+
+    /// Merged amortized activity counters.
+    pub fn total_events(&self) -> MachineEvents {
+        let mut ev = MachineEvents::default();
+        for l in &self.layers {
+            ev.merge(&l.batch.events);
+        }
+        ev
+    }
+
+    /// Total W reads of the serial baseline / the amortized batch.
+    pub fn w_read_totals(&self) -> (u64, u64) {
+        self.layers.iter().fold((0, 0), |(s, a), l| {
+            (s + l.batch.w_reads_serial, a + l.batch.w_reads_amortized)
+        })
+    }
+
+    /// Reassembles the exact per-sample [`NetworkRun`]s — each is
+    /// bit-identical to running that sample alone.
+    pub fn sample_runs(&self) -> Vec<NetworkRun> {
+        (0..self.batch_size())
+            .map(|s| NetworkRun {
+                layers: self
+                    .layers
+                    .iter()
+                    .map(|l| l.per_sample[s].clone())
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// Re-labels a per-layer error with its position in the network chain.
+/// Past layer 0 a width mismatch is a malformed layer chain, not a bad
+/// caller input — reported as such (and identically to the functional
+/// backends).
+fn relabel_layer_error(e: MachineError, l: usize) -> MachineError {
+    match e {
+        MachineError::LayerDoesNotFit { reason, .. } => {
+            MachineError::LayerDoesNotFit { layer: l, reason }
+        }
+        MachineError::WMemoryOverflow {
+            words, capacity, ..
+        } => MachineError::WMemoryOverflow {
+            layer: l,
+            words,
+            capacity,
+        },
+        MachineError::InputWidthMismatch { expected, got } if l > 0 => {
+            MachineError::LayerDoesNotFit {
+                layer: l,
+                reason: format!(
+                    "layer expects {expected} inputs but the previous layer produces {got}"
+                ),
+            }
+        }
+        other => other,
     }
 }
 
@@ -280,34 +435,159 @@ impl Machine {
             };
             let run = self
                 .try_run_layer(&net.layers()[l], predictor, &acts, is_hidden, mode)
-                .map_err(|e| match e {
-                    MachineError::LayerDoesNotFit { reason, .. } => {
-                        MachineError::LayerDoesNotFit { layer: l, reason }
-                    }
-                    MachineError::WMemoryOverflow {
-                        words, capacity, ..
-                    } => MachineError::WMemoryOverflow {
-                        layer: l,
-                        words,
-                        capacity,
-                    },
-                    // Past layer 0 a width mismatch is a malformed layer
-                    // chain, not a bad caller input — report it as such (and
-                    // identically to the functional backends).
-                    MachineError::InputWidthMismatch { expected, got } if l > 0 => {
-                        MachineError::LayerDoesNotFit {
-                            layer: l,
-                            reason: format!(
-                                "layer expects {expected} inputs but the previous layer produces {got}"
-                            ),
-                        }
-                    }
-                    other => other,
-                })?;
+                .map_err(|e| relabel_layer_error(e, l))?;
             acts = run.output.clone();
             layers.push(run);
         }
         Ok(NetworkRun { layers })
+    }
+
+    /// Simulates the whole network over a batch of inputs with the
+    /// weight-stationary batched core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions
+    /// [`try_run_network_batch`](Machine::try_run_network_batch) reports
+    /// as errors.
+    pub fn run_network_batch(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+    ) -> BatchNetworkRun {
+        self.try_run_network_batch(net, inputs, mode)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`run_network_batch`](Machine::run_network_batch):
+    /// runs B samples per layer pass, reading each W row once per *batch*.
+    ///
+    /// Each sample's functional result (outputs, masks, per-sample events)
+    /// is produced by the exact serial core, so batched execution is
+    /// bit-identical to per-request execution by construction; the
+    /// amortized clock/energy book rides alongside in
+    /// [`BatchLayerRun::batch`]. See [`BatchTiming`] for the model.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::EmptyBatch`] for zero samples,
+    /// [`MachineError::EmptyNetwork`] for a zero-layer network, otherwise
+    /// the first per-layer error with its layer index filled in.
+    pub fn try_run_network_batch(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+    ) -> Result<BatchNetworkRun, MachineError> {
+        if inputs.is_empty() {
+            return Err(MachineError::EmptyBatch);
+        }
+        if net.num_layers() == 0 {
+            return Err(MachineError::EmptyNetwork);
+        }
+        let mut acts: Vec<Vec<Q6_10>> = inputs.to_vec();
+        let mut layers = Vec::with_capacity(net.num_layers());
+        for l in 0..net.num_layers() {
+            let is_hidden = l + 1 < net.num_layers();
+            let predictor = if is_hidden {
+                net.predictors().get(l)
+            } else {
+                None
+            };
+            let w = &net.layers()[l];
+            // The exact book: every sample runs the real serial core.
+            let mut per_sample = Vec::with_capacity(acts.len());
+            for sample in &acts {
+                let run = self
+                    .try_run_layer(w, predictor, sample, is_hidden, mode)
+                    .map_err(|e| relabel_layer_error(e, l))?;
+                per_sample.push(run);
+            }
+            let batch = self.batch_timing(w, &per_sample, &acts, is_hidden, l)?;
+            for (sample, run) in acts.iter_mut().zip(&per_sample) {
+                sample.clone_from(&run.output);
+            }
+            layers.push(BatchLayerRun { per_sample, batch });
+        }
+        Ok(BatchNetworkRun { layers })
+    }
+
+    /// The amortized book of one batched layer pass: a single W pass over
+    /// the union nonzero-input pattern, gated by the union predictor
+    /// verdict, with serial fallback when the union pass would lose.
+    fn batch_timing(
+        &self,
+        w: &FixedMatrix,
+        per_sample: &[LayerRun],
+        inputs: &[Vec<Q6_10>],
+        is_hidden: bool,
+        layer: usize,
+    ) -> Result<BatchTiming, MachineError> {
+        // Union pseudo-input: position j carries the first nonzero value
+        // any sample supplies there, so the union pass broadcasts exactly
+        // the batch's union nonzero pattern (values are irrelevant to
+        // timing; only the pattern drives the clock).
+        let mut union_input = vec![Q6_10::ZERO; w.cols()];
+        for sample in inputs {
+            for (u, &v) in union_input.iter_mut().zip(sample) {
+                if u.is_zero() && !v.is_zero() {
+                    *u = v;
+                }
+            }
+        }
+        // Union predictor verdict: a W row is fetched if any sample
+        // computes it.
+        let union_mask: Option<Vec<bool>> = per_sample[0].mask.as_ref().map(|m0| {
+            let mut mask = vec![false; m0.len()];
+            for run in per_sample {
+                let m = run.mask.as_ref().expect("mode is uniform across a batch");
+                for (u, &b) in mask.iter_mut().zip(m) {
+                    *u |= b;
+                }
+            }
+            mask
+        });
+        let mut stages =
+            LayerStages::begin(&self.cfg, w, None, &union_input, is_hidden, UvMode::Off)
+                .map_err(|e| relabel_layer_error(e, layer))?;
+        match &union_mask {
+            Some(mask) => stages.force_predictor(mask),
+            None => {
+                stages.run_vu();
+            }
+        }
+        stages.run_w();
+        let union_run = stages.writeback();
+
+        let vu_cycles: u64 = per_sample.iter().map(|r| r.vu_cycles).sum();
+        let serial_w_cycles: u64 = per_sample.iter().map(|r| r.w_cycles).sum();
+        let serial_w_reads: u64 = per_sample.iter().map(|r| r.events.w_reads).sum();
+        let amortized =
+            union_run.w_cycles <= serial_w_cycles && union_run.events.w_reads <= serial_w_reads;
+        let (w_cycles, w_reads) = if amortized {
+            (union_run.w_cycles, union_run.events.w_reads)
+        } else {
+            (serial_w_cycles, serial_w_reads)
+        };
+        let mut events = MachineEvents::default();
+        for run in per_sample {
+            events.merge(&run.events);
+        }
+        events.w_reads = w_reads;
+        events.vu_cycles = vu_cycles;
+        events.w_cycles = w_cycles;
+        events.cycles = vu_cycles + w_cycles;
+        Ok(BatchTiming {
+            batch_size: per_sample.len(),
+            cycles: vu_cycles + w_cycles,
+            vu_cycles,
+            w_cycles,
+            events,
+            w_reads_serial: serial_w_reads,
+            w_reads_amortized: w_reads,
+            amortized,
+        })
     }
 
     /// Stages the layer without running it — the entry point of the
@@ -428,6 +708,35 @@ impl<'a> LayerStages<'a> {
         };
         self.vu_cycles = Some(cycles);
         cycles
+    }
+
+    /// Skips the V/U phases and loads an externally computed predictor
+    /// verdict instead: `mask[row]` = row active. The W phase then runs
+    /// with output-sparsity skipping against that mask, at zero predictor
+    /// cost — the batched core uses this to drive one W pass with the
+    /// *union* of a batch's per-sample verdicts.
+    ///
+    /// Stands in for [`run_vu`](Self::run_vu) (the phase slot is consumed
+    /// with a cycle count of 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`run_vu`](Self::run_vu) already ran, or `mask` is
+    /// shorter than the layer's output row count.
+    pub fn force_predictor(&mut self, mask: &[bool]) {
+        assert!(
+            self.vu_cycles.is_none(),
+            "force_predictor after run_vu (the verdict is already latched)"
+        );
+        assert!(
+            mask.len() >= self.w.rows(),
+            "predictor mask covers every output row"
+        );
+        for pe in &mut self.pes {
+            pe.set_predictor(mask);
+        }
+        self.predicted = true;
+        self.vu_cycles = Some(0);
     }
 
     /// Runs the feedforward W phase and returns its cycle count.
@@ -860,6 +1169,126 @@ mod tests {
             .stage_layer(&net.layers()[0], None, &x, true, UvMode::Off)
             .unwrap();
         stages.run_w();
+    }
+
+    fn batch_inputs(net: &FixedNetwork, dims0: usize, b: usize) -> Vec<Vec<Q6_10>> {
+        (0..b)
+            .map(|s| {
+                let x: Vec<f32> = (0..dims0)
+                    .map(|i| {
+                        if (i + s) % 3 == 0 {
+                            0.0
+                        } else {
+                            ((i as f32 + s as f32 * 0.7) * 0.41).sin().abs()
+                        }
+                    })
+                    .collect();
+                net.quantize_input(&x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_serial() {
+        let (net, _) = build(21, &[40, 96, 72, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let inputs = batch_inputs(&net, 40, 4);
+        for mode in [UvMode::Off, UvMode::On] {
+            let batch = machine.run_network_batch(&net, &inputs, mode);
+            assert_eq!(batch.batch_size(), 4);
+            for (s, x) in inputs.iter().enumerate() {
+                let serial = machine.run_network(&net, x, mode);
+                assert_eq!(batch.output(s), serial.output(), "{mode:?} sample {s}");
+                assert_eq!(batch.classify(s), serial.classify(), "{mode:?} sample {s}");
+                for (l, (bl, sl)) in batch.layers.iter().zip(&serial.layers).enumerate() {
+                    assert_eq!(bl.per_sample[s].output, sl.output, "{mode:?} L{l}");
+                    assert_eq!(bl.per_sample[s].mask, sl.mask, "{mode:?} L{l}");
+                    assert_eq!(bl.per_sample[s].events, sl.events, "{mode:?} L{l}");
+                }
+            }
+            // The amortized book never loses to serial.
+            assert!(batch.total_cycles() <= batch.serial_cycles(), "{mode:?}");
+            let (serial_reads, batch_reads) = batch.w_read_totals();
+            assert!(batch_reads <= serial_reads, "{mode:?}");
+            assert!(batch_reads > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn batch_of_one_degenerates_to_the_serial_run() {
+        let (net, x) = build(22, &[40, 96, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        for mode in [UvMode::Off, UvMode::On] {
+            let serial = machine.run_network(&net, &x, mode);
+            let batch = machine.run_network_batch(&net, std::slice::from_ref(&x), mode);
+            assert_eq!(batch.total_cycles(), serial.total_cycles(), "{mode:?}");
+            let (serial_reads, batch_reads) = batch.w_read_totals();
+            assert_eq!(serial_reads, batch_reads, "{mode:?}: B=1 amortizes nothing");
+            for l in &batch.layers {
+                assert!(l.batch.amortized, "{mode:?}: the union pass ties serial");
+                assert!((l.batch.w_read_amortization() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_samples_amortize_w_reads_and_cycles() {
+        // Identical inputs: the union pass is exactly one serial pass, so
+        // the W book shrinks by the full batch factor.
+        let (net, x) = build(23, &[48, 128, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let inputs = vec![x.clone(); 6];
+        let batch = machine.run_network_batch(&net, &inputs, UvMode::On);
+        let (serial_reads, batch_reads) = batch.w_read_totals();
+        assert_eq!(serial_reads, 6 * batch_reads);
+        assert!(batch.total_cycles() < batch.serial_cycles());
+        for l in &batch.layers {
+            assert!(l.batch.amortized);
+            assert!((l.batch.w_read_amortization() - 6.0).abs() < 1e-12);
+        }
+        // Per-sample VU work is not amortized: the predictor runs per
+        // sample, so the batch clock still carries all six VU phases.
+        let vu: u64 = batch.layers.iter().map(|l| l.batch.vu_cycles).sum();
+        let serial_vu: u64 = batch
+            .layers
+            .iter()
+            .flat_map(|l| l.per_sample.iter().map(|r| r.vu_cycles))
+            .sum();
+        assert_eq!(vu, serial_vu);
+    }
+
+    #[test]
+    fn batch_events_book_sums_samples_with_amortized_w_reads() {
+        let (net, _) = build(24, &[36, 80, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        let inputs = batch_inputs(&net, 36, 3);
+        let batch = machine.run_network_batch(&net, &inputs, UvMode::On);
+        for l in &batch.layers {
+            let mut summed = MachineEvents::default();
+            for r in &l.per_sample {
+                summed.merge(&r.events);
+            }
+            let ev = &l.batch.events;
+            assert_eq!(ev.macs, summed.macs);
+            assert_eq!(ev.src_reads, summed.src_reads);
+            assert_eq!(ev.u_reads, summed.u_reads);
+            assert_eq!(ev.v_reads, summed.v_reads);
+            assert_eq!(ev.dst_writes, summed.dst_writes);
+            assert_eq!(ev.w_reads, l.batch.w_reads_amortized);
+            assert_eq!(ev.cycles, l.batch.cycles);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        let (net, _) = build(25, &[32, 64, 10], 4);
+        let machine = Machine::new(MachineConfig::default());
+        assert_eq!(
+            machine
+                .try_run_network_batch(&net, &[], UvMode::Off)
+                .unwrap_err(),
+            MachineError::EmptyBatch
+        );
     }
 
     #[test]

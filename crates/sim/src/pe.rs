@@ -326,6 +326,21 @@ impl Pe {
         self.pred.iter_mut().for_each(|p| *p = true);
     }
 
+    /// Loads the predictor register bank from an externally computed
+    /// per-output-row mask (`mask[row]` = row predicted active), indexed
+    /// by global row id. The batched layer core uses this to drive one
+    /// W pass with the *union* of a batch's per-sample predictor
+    /// verdicts, so each W row is fetched once per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is shorter than the layer's output row count.
+    pub fn set_predictor(&mut self, mask: &[bool]) {
+        for (i, &row) in self.rows.iter().enumerate() {
+            self.pred[i] = mask[row as usize];
+        }
+    }
+
     /// The predictor bank contents (for mask assembly).
     pub fn predictor_bits(&self) -> &[bool] {
         &self.pred
@@ -507,6 +522,17 @@ mod tests {
         pe.latch_predictor(&mut ev);
         assert_eq!(pe.predictor_bits(), &[true, false]);
         assert_eq!(ev.pred_writes, 2);
+    }
+
+    #[test]
+    fn set_predictor_installs_the_local_slice_of_a_global_mask() {
+        // PE 1 of 64 over 200 rows owns rows 1, 65, 129, 193.
+        let mut pe = Pe::new(1, 64, 8, &[q(1.0); 4], 200);
+        let mut mask = vec![false; 200];
+        mask[65] = true;
+        mask[193] = true;
+        pe.set_predictor(&mask);
+        assert_eq!(pe.predictor_bits(), &[false, true, false, true]);
     }
 
     #[test]

@@ -141,6 +141,72 @@ proptest! {
         }
     }
 
+    /// The batched core is bit-identical to serial execution for random
+    /// networks, batch sizes and both UV modes: every per-sample layer
+    /// (output, mask, cycles, events) equals its own serial run exactly,
+    /// the batch event book is the per-sample sum with only the W phase
+    /// amortized (never upward), and a batch of one degenerates to the
+    /// serial run.
+    #[test]
+    fn batched_core_matches_serial_per_sample(
+        seed in 0u64..10_000,
+        hidden in 8usize..64,
+        b in 1usize..=8,
+        uv_on in any::<bool>(),
+    ) {
+        let net = build_net(seed, hidden, 3);
+        let inputs: Vec<_> = (0..b)
+            .map(|s| {
+                let sparsity = (20 + s * 9) as u8 % 100;
+                net.quantize_input(&build_input(seed ^ (s as u64) << 16, 24, sparsity))
+            })
+            .collect();
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let machine = Machine::new(MachineConfig::default());
+        let batch = machine.try_run_network_batch(&net, &inputs, mode).unwrap();
+        prop_assert_eq!(batch.batch_size(), b);
+        for (s, x) in inputs.iter().enumerate() {
+            let serial = machine.run_network(&net, x, mode);
+            for (l, (batched, own)) in batch.layers.iter()
+                .map(|layer| &layer.per_sample[s])
+                .zip(&serial.layers)
+                .enumerate()
+            {
+                prop_assert_eq!(&batched.output, &own.output, "sample {} layer {} output", s, l);
+                prop_assert_eq!(&batched.mask, &own.mask, "sample {} layer {} mask", s, l);
+                prop_assert_eq!(batched.cycles, own.cycles, "sample {} layer {} cycles", s, l);
+                prop_assert_eq!(&batched.events, &own.events, "sample {} layer {} events", s, l);
+            }
+        }
+        // The books reconcile: the batch book is the per-sample sums with
+        // only the W phase amortized — every field except the clock totals
+        // and W reads equals the sum, and amortization only ever removes
+        // W work.
+        let mut summed = sparsenn_sim::MachineEvents::default();
+        for layer in &batch.layers {
+            for run in &layer.per_sample {
+                summed.merge(&run.events);
+            }
+        }
+        let batch_ev = batch.total_events();
+        prop_assert!(batch_ev.cycles <= summed.cycles);
+        prop_assert!(batch_ev.w_cycles <= summed.w_cycles);
+        prop_assert!(batch_ev.w_reads <= summed.w_reads);
+        let mut expected = summed;
+        expected.cycles = batch_ev.cycles;
+        expected.w_cycles = batch_ev.w_cycles;
+        expected.w_reads = batch_ev.w_reads;
+        prop_assert_eq!(&batch_ev, &expected, "only the W book amortizes");
+        let (serial_reads, amortized_reads) = batch.w_read_totals();
+        prop_assert_eq!(summed.w_reads, serial_reads);
+        prop_assert_eq!(batch_ev.w_reads, amortized_reads);
+        prop_assert!(amortized_reads <= serial_reads);
+        if b == 1 {
+            prop_assert_eq!(serial_reads, amortized_reads, "a batch of one amortizes nothing");
+            prop_assert_eq!(batch.total_cycles(), batch.serial_cycles());
+        }
+    }
+
     /// Predicted-inactive rows never touch the W memory: W reads in uv_on
     /// mode are exactly (nnz inputs) × (active rows)… summed per activation.
     #[test]
