@@ -8,6 +8,10 @@
 //!     old/BENCH_results.json new/BENCH_results.json --threshold 25
 //! ```
 //!
+//! `--json PATH` additionally writes the diff as a machine-readable
+//! document (regression lists plus the rendered markdown) for
+//! dashboards that track the perf trajectory without parsing tables.
+//!
 //! Exits non-zero when any experiment's wall time grew past the threshold
 //! (default 25%); directional metric moves are flagged `WORSE` in the
 //! table but do not affect the exit code (modelled metrics shift
@@ -18,7 +22,7 @@
 use sparsenn_bench::report::{diff_snapshots, BenchSnapshot};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold PCT]";
+const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--threshold PCT] [--json PATH]";
 
 fn load(path: &str) -> Result<BenchSnapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -29,6 +33,7 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 25.0f64;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,6 +43,10 @@ fn run() -> Result<bool, String> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threshold needs a percentage")?;
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -52,6 +61,10 @@ fn run() -> Result<bool, String> {
     };
     let diff = diff_snapshots(&load(old_path)?, &load(new_path)?, threshold);
     println!("{}", diff.markdown);
+    if let Some(path) = json_path {
+        std::fs::write(&path, diff.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     Ok(diff.regressions.is_empty())
 }
 

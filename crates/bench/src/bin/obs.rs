@@ -1,0 +1,8 @@
+//! Standalone runner for the observability study: end-to-end trace
+//! export, the unified telemetry registry, and the tracing-overhead
+//! oracles.
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    println!("{}", sparsenn_bench::experiments::obs::run(p));
+}

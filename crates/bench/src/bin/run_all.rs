@@ -83,6 +83,17 @@ fn main() {
         results.add_metric(name, value);
     }
 
+    let mut obs_metrics = Vec::new();
+    let report = results.run("obs", || {
+        let r = e::obs::measure_with(p, &study);
+        obs_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in obs_metrics {
+        results.add_metric(name, value);
+    }
+
     // Model parallelism trains its own system: its study network must
     // *overflow* its (shrunken) chip, unlike the serving studies'.
     let mut partition_metrics = Vec::new();

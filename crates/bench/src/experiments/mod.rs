@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fleet;
 pub mod frontend;
+pub mod obs;
 pub mod partition;
 pub mod serve;
 pub mod table1;

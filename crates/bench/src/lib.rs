@@ -21,8 +21,9 @@
 //! | `… --bin serve` | virtual-time serving: latency vs offered load per scheduler |
 //! | `… --bin frontend` | production front end: admission, hedging, autoscaling, SLO sweep |
 //! | `… --bin partition` | model parallelism: oversized MLP on 2/4/8 chips, comm overhead |
+//! | `… --bin obs` | observability: Perfetto trace export, telemetry registry, overhead oracles |
 //! | `… --bin run_all` | everything above, in order |
-//! | `… --bin bench_diff` | compare two `BENCH_results.json` files |
+//! | `… --bin bench_diff` | compare two `BENCH_results.json` files (`--json` for machine output) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

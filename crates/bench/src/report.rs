@@ -47,14 +47,20 @@
 //! batch size from the real batched machine, saturated throughput and
 //! light-load p99 per batch cap from the queue-aware simulator, plus
 //! the `batching.bit_identical`, `batching.throughput_monotone` and
-//! `batching.latency_cost_visible` oracle flags). The `bench_diff` bin
+//! `batching.latency_cost_visible` oracle flags). Schema 8 adds the
+//! observability plane's `obs.*` metrics (trace span/byte counts, the
+//! `obs.trace_deterministic` / `obs.nesting_ok` / `obs.spans_covered`
+//! oracle flags, and the tracing-overhead percentages with their
+//! `obs.overhead_disabled_ok` / `obs.overhead_enabled_ok` oracles).
+//! The `bench_diff` bin
 //! compares two such files (any schema — metrics diff generically by
 //! name, and metrics present only in the old file get explicit
 //! `removed` rows), flags wall-time regressions past a threshold, and
 //! flags *directional* metric regressions: quantities named like
 //! goodput/throughput/attainment/speedup must not fall, and latencies
 //! (`*_us`), shed rates and error rates must not grow, each past the
-//! same threshold.
+//! same threshold. `bench_diff --json PATH` additionally writes the
+//! diff itself as a machine-readable document ([`BenchDiff::to_json`]).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -120,7 +126,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 7,");
+        let _ = writeln!(out, "  \"schema\": 8,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -179,7 +185,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 through 7).
+    /// Parses a `BENCH_results.json` document (schema 1 through 8).
     ///
     /// # Errors
     ///
@@ -230,6 +236,31 @@ pub struct BenchDiff {
     pub regressions: Vec<String>,
     /// Metrics that moved in their bad direction past the threshold.
     pub metric_regressions: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Renders the diff as a JSON document: the regression lists plus
+    /// the rendered markdown, for dashboards that post-process
+    /// `bench_diff --json` output.
+    pub fn to_json(&self) -> String {
+        let list = |items: &[String]| {
+            items
+                .iter()
+                .map(|name| format!("\"{}\"", escape(name)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"regressions\": [{}],", list(&self.regressions));
+        let _ = writeln!(
+            out,
+            "  \"metric_regressions\": [{}],",
+            list(&self.metric_regressions)
+        );
+        let _ = writeln!(out, "  \"markdown\": \"{}\"", escape(&self.markdown));
+        out.push_str("}\n");
+        out
+    }
 }
 
 /// Which way a modelled metric is allowed to move, inferred from its
@@ -393,9 +424,10 @@ pub fn diff_snapshots(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f
 }
 
 /// A minimal JSON reader — just enough to re-read the documents this
-/// module emits (objects, arrays, strings, numbers, booleans, null; no
-/// serde in the offline workspace).
-mod json {
+/// workspace emits (objects, arrays, strings, numbers, booleans, null;
+/// no serde in the offline workspace). Public so the trace-export tests
+/// can validate the Chrome-trace JSON the obs exporter writes.
+pub mod json {
     /// A parsed JSON value.
     #[derive(Clone, Debug, PartialEq)]
     pub enum JsonValue {
@@ -641,7 +673,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 7"));
+        assert!(json.contains("\"schema\": 8"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }
@@ -782,6 +814,25 @@ mod tests {
         );
         assert_eq!(metric_direction("frontend.autoscale.scale_outs"), None);
         assert_eq!(metric_direction("serve.closed_loop_matches_model"), None);
+    }
+
+    #[test]
+    fn diff_json_roundtrips_through_the_parser() {
+        let old = snap(&[("fig6", 1.0)]);
+        let new = snap(&[("fig6", 2.0)]);
+        let diff = diff_snapshots(&old, &new, 20.0);
+        let value = json::parse(&diff.to_json()).expect("diff JSON parses");
+        let root = value.as_object().expect("object");
+        let regs = match json::lookup(root, "regressions") {
+            Some(json::JsonValue::Arr(items)) => items.clone(),
+            other => panic!("regressions must be an array, got {other:?}"),
+        };
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].as_str(), Some("fig6"));
+        assert!(json::lookup(root, "markdown")
+            .and_then(json::JsonValue::as_str)
+            .expect("markdown string")
+            .contains("REGRESSED"));
     }
 
     #[test]

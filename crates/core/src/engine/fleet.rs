@@ -29,13 +29,13 @@
 use crate::engine::admission::{AdmissionDecision, AdmissionGate, Priority};
 use crate::engine::backends::{CycleAccurateBackend, InferenceBackend};
 use crate::engine::batch::BatchPolicy;
-use crate::engine::quantile::P2Quantile;
 use crate::engine::record::{BatchRunRecord, RunRecord};
 use crate::engine::scheduler::{FirstIdle, Scheduler, ShardView};
 use crate::error::SparseNnError;
 use sparsenn_energy::TechNode;
 use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
 use sparsenn_numeric::Q6_10;
+use sparsenn_obs::{LatencyStat, LatencyStats, MetricsRegistry, P2Quantile};
 use sparsenn_sim::MachineConfig;
 use std::sync::{Condvar, Mutex};
 
@@ -99,9 +99,13 @@ struct Dispatch {
     /// Indices of currently-idle shards.
     idle: Vec<usize>,
     stats: Vec<ShardStats>,
-    /// Per-shard online percentile trackers — populated (and consulted)
-    /// only under [`Fleet::with_service_percentile`].
-    quantiles: Vec<P2Quantile>,
+    /// Per-shard service-time books — the unified `sparsenn-obs`
+    /// accumulator (count/mean/max plus P² percentiles). Feeds the live
+    /// estimate in every mode and the full distribution snapshot in
+    /// [`Fleet::shard_service_stats`]. Under
+    /// [`Fleet::with_service_percentile`] it also carries the extra
+    /// tracked quantile schedulers rank by.
+    service: Vec<LatencyStat>,
     /// Callers currently blocked waiting for a shard, per priority class
     /// — the live fleet's "queue depth", which is what the admission gate
     /// bounds.
@@ -192,7 +196,7 @@ impl Fleet {
             dispatch: Mutex::new(Dispatch {
                 idle: (0..n).collect(),
                 stats: vec![ShardStats::default(); n],
-                quantiles: Vec::new(),
+                service: vec![LatencyStat::new(); n],
                 waiting: [0; 2],
                 admission: AdmissionStats::default(),
             }),
@@ -224,7 +228,7 @@ impl Fleet {
         self.service_alpha = Some(alpha.clamp(f64::MIN_POSITIVE, 1.0));
         self.service_percentile = None;
         let d = self.dispatch.get_mut().unwrap_or_else(|e| e.into_inner());
-        d.quantiles = Vec::new();
+        d.service = vec![LatencyStat::new(); self.shards.len()];
         self
     }
 
@@ -243,11 +247,10 @@ impl Fleet {
     /// builder call wins. The closed ROADMAP "online percentile service
     /// estimate" item.
     pub fn with_service_percentile(mut self, p: f64) -> Self {
-        let tracker = P2Quantile::new(p);
-        self.service_percentile = Some(tracker.quantile());
+        self.service_percentile = Some(P2Quantile::new(p).quantile());
         self.service_alpha = None;
         let d = self.dispatch.get_mut().unwrap_or_else(|e| e.into_inner());
-        d.quantiles = vec![tracker; self.shards.len()];
+        d.service = vec![LatencyStat::with_quantile(p); self.shards.len()];
         self
     }
 
@@ -450,6 +453,51 @@ impl Fleet {
             .clone()
     }
 
+    /// Per-shard service-time *distributions* (mean/p50/p95/p99/max from
+    /// the unified `sparsenn-obs` book) — richer than the single live
+    /// estimate in [`ShardStats::service_estimate_us`]. One entry per
+    /// observation fold: per sample in mean/EWMA modes, per dispatch
+    /// under [`with_service_percentile`](Self::with_service_percentile).
+    pub fn shard_service_stats(&self) -> Vec<LatencyStats> {
+        self.dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .service
+            .iter()
+            .map(LatencyStat::stats)
+            .collect()
+    }
+
+    /// Exports the fleet's books into a [`MetricsRegistry`] under
+    /// `fleet.*` names: per-shard counters (`fleet.shard0.samples`, …),
+    /// service-time gauges, and the admission ledger when a gate is
+    /// installed.
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        let d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, (s, svc)) in d.stats.iter().zip(&d.service).enumerate() {
+            let p = format!("fleet.shard{i}");
+            registry.inc(&format!("{p}.samples"), s.samples);
+            registry.inc(&format!("{p}.batches"), s.batches);
+            registry.inc(&format!("{p}.batch_samples"), s.batch_samples);
+            registry.set_gauge(&format!("{p}.busy_us"), s.busy_us);
+            registry.set_gauge(&format!("{p}.max_batch"), s.max_batch as f64);
+            registry.set_gauge(&format!("{p}.service_estimate_us"), s.service_estimate_us);
+            registry.record_latency(&format!("{p}.service"), &svc.stats());
+        }
+        let a = d.admission;
+        for (class, idx) in [("high", 0), ("low", 1)] {
+            registry.inc(
+                &format!("fleet.admission.{class}.admitted"),
+                a.admitted[idx],
+            );
+            registry.inc(
+                &format!("fleet.admission.{class}.degraded"),
+                a.degraded[idx],
+            );
+            registry.inc(&format!("fleet.admission.{class}.shed"), a.shed[idx]);
+        }
+    }
+
     /// Checks out the shard the scheduler picks, blocking until one is
     /// usable.
     ///
@@ -540,27 +588,26 @@ impl Fleet {
     /// online percentile under
     /// [`with_service_percentile`](Self::with_service_percentile)).
     fn note_served(&self, shard: usize, record: &RunRecord) {
-        let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        let d = &mut *guard;
         let x = record.time_us();
-        if self.service_percentile.is_some() {
-            let tracker = &mut d.quantiles[shard];
-            tracker.observe(x);
-            let est = tracker.estimate();
-            let s = &mut d.stats[shard];
-            s.samples += 1;
-            s.busy_us += x;
-            s.service_estimate_us = est;
-            return;
-        }
+        d.service[shard].observe(x);
         let s = &mut d.stats[shard];
         s.samples += 1;
         s.busy_us += x;
-        let alpha = if s.samples == 1 {
-            1.0 // seed the estimate with the first observation
+        s.service_estimate_us = if self.service_percentile.is_some() {
+            d.service[shard].quantile_estimate().unwrap_or(0.0)
+        } else if let Some(alpha) = self.service_alpha {
+            let alpha = if s.samples == 1 {
+                1.0 // seed the estimate with the first observation
+            } else {
+                alpha
+            };
+            s.service_estimate_us + alpha * (x - s.service_estimate_us)
         } else {
-            self.service_alpha.unwrap_or(1.0 / s.samples as f64)
+            // Plain mean — the exact running mean the shared book keeps.
+            d.service[shard].mean_us()
         };
-        s.service_estimate_us += alpha * (x - s.service_estimate_us);
     }
 
     /// Credits a batched dispatch to a shard's statistics. Each sample
@@ -576,33 +623,35 @@ impl Fleet {
             return;
         }
         let per_sample_us = record.mean_time_us();
-        let mut d = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
+        let d = &mut *guard;
         if self.service_percentile.is_some() {
             // One dispatch = one observation of the amortized latency:
             // the tail the tracker models is over dispatches, which is
             // what a queued request actually waits behind.
-            let tracker = &mut d.quantiles[shard];
-            tracker.observe(per_sample_us);
-            let est = tracker.estimate();
-            let s = &mut d.stats[shard];
-            s.samples += b;
-            s.busy_us += record.batch_time_us;
-            s.service_estimate_us = est;
-            s.batches += 1;
-            s.batch_samples += b;
-            s.max_batch = s.max_batch.max(b);
-            return;
+            d.service[shard].observe(per_sample_us);
+        } else {
+            // Every sample in the dispatch observed the amortized
+            // latency — the book's mean stays the observed per-sample
+            // mean, exactly as if each sample were noted individually.
+            d.service[shard].observe_weighted(per_sample_us, b);
         }
         let s = &mut d.stats[shard];
         let first = s.samples == 0;
         s.samples += b;
         s.busy_us += record.batch_time_us;
-        let weight = if first {
-            1.0 // seed the estimate with the first dispatch
+        s.service_estimate_us = if self.service_percentile.is_some() {
+            d.service[shard].quantile_estimate().unwrap_or(0.0)
+        } else if let Some(alpha) = self.service_alpha {
+            let weight = if first {
+                1.0 // seed the estimate with the first dispatch
+            } else {
+                alpha
+            };
+            s.service_estimate_us + weight * (per_sample_us - s.service_estimate_us)
         } else {
-            self.service_alpha.unwrap_or(b as f64 / s.samples as f64)
+            d.service[shard].mean_us()
         };
-        s.service_estimate_us += weight * (per_sample_us - s.service_estimate_us);
         s.batches += 1;
         s.batch_samples += b;
         s.max_batch = s.max_batch.max(b);

@@ -90,7 +90,6 @@ mod backends;
 mod batch;
 mod fleet;
 mod partitioned;
-mod quantile;
 mod record;
 mod scheduler;
 mod session;
@@ -100,7 +99,10 @@ pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBa
 pub use batch::BatchPolicy;
 pub use fleet::{AdmissionStats, Fleet, ShardStats};
 pub use partitioned::PartitionedMachine;
-pub use quantile::P2Quantile;
 pub use record::{BatchRunRecord, LayerRecord, RunRecord};
 pub use scheduler::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};
 pub use session::{default_worker_count, Session};
+/// Re-export: the P² streaming quantile estimator now lives in the
+/// observability crate (`sparsenn-obs`), alongside the unified
+/// [`LatencyStat`](sparsenn_obs::LatencyStat) accumulator built on it.
+pub use sparsenn_obs::P2Quantile;

@@ -57,11 +57,72 @@ use crate::engine::record::{LayerRecord, RunRecord};
 use crate::error::SparseNnError;
 use sparsenn_model::fixedpoint::{FixedMatrix, FixedNetwork, FixedPredictor, UvMode};
 use sparsenn_numeric::Q6_10;
+use sparsenn_obs::{track, AttrKey, Span, SpanKind, TraceSink};
 use sparsenn_partition::{
     plan as plan_network, InterChipConfig, PartitionPlan, PipelineMode, SliceTransfer,
 };
 use sparsenn_sim::{LayerRun, Machine, MachineConfig, MachineEvents};
 use std::sync::{Arc, Mutex};
+
+/// Where a traced run's spans go and how they are placed: every span is
+/// stamped with `trace_id` (correlating chip work to the request that
+/// caused it) and offset by `t0_us` (the request's position on the
+/// caller's virtual clock — the machine's own clock starts at 0 per
+/// run).
+struct TraceCtx<'a> {
+    sink: &'a dyn TraceSink,
+    trace_id: u64,
+    t0_us: f64,
+}
+
+impl TraceCtx<'_> {
+    fn emit(&self, span: Span) {
+        self.sink.record(span);
+    }
+}
+
+/// Emits one chip's two phase spans for one layer — the vector-unit
+/// (predictor) pass, then the W read/MAC pass, back to back on the
+/// chip's lane: the same `vu_cycles`/`w_cycles` split the staged machine
+/// core reports, with the chip's activity counters as span attributes.
+fn emit_chip_spans(
+    ctx: &TraceCtx<'_>,
+    cfg: &MachineConfig,
+    layer: usize,
+    chip: usize,
+    start_us: f64,
+    run: &LayerRun,
+) {
+    let vu_end_us = start_us + cfg.time_us(run.vu_cycles);
+    let end_us = start_us + cfg.time_us(run.cycles);
+    let tid = chip as u32 + 1;
+    ctx.emit(
+        Span::new(
+            ctx.trace_id,
+            SpanKind::Vu,
+            track::MACHINE,
+            tid,
+            ctx.t0_us + start_us,
+            ctx.t0_us + vu_end_us,
+        )
+        .attr(AttrKey::Layer, layer as u64)
+        .attr(AttrKey::VuCycles, run.vu_cycles),
+    );
+    ctx.emit(
+        Span::new(
+            ctx.trace_id,
+            SpanKind::W,
+            track::MACHINE,
+            tid,
+            ctx.t0_us + vu_end_us,
+            ctx.t0_us + end_us,
+        )
+        .attr(AttrKey::Layer, layer as u64)
+        .attr(AttrKey::WCycles, run.w_cycles)
+        .attr(AttrKey::WReads, run.events.w_reads)
+        .attr(AttrKey::Macs, run.events.macs),
+    );
+}
 
 /// One chip's share of one layer: its global row indices, its weight
 /// tile, and (for predicted layers) its predictor tile.
@@ -243,6 +304,33 @@ impl PartitionedMachine {
         self.plan.chips()
     }
 
+    /// Runs `net` exactly like [`run`](InferenceBackend::run) while
+    /// emitting per-layer, per-chip trace spans to `sink`: the input
+    /// broadcast, each chip's VU and W passes (with cycle and activity
+    /// counters as attributes), and the output gather — placed on the
+    /// caller's virtual clock at `t0_us` and correlated to the request
+    /// by `trace_id`. With a disabled sink this *is* `run`: no span is
+    /// built, and the record is bit-identical either way.
+    pub fn run_traced(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+        trace_id: u64,
+        t0_us: f64,
+        sink: &dyn TraceSink,
+    ) -> Result<RunRecord, SparseNnError> {
+        if !sink.enabled() {
+            return self.run_inner(net, input, mode, None);
+        }
+        let ctx = TraceCtx {
+            sink,
+            trace_id,
+            t0_us,
+        };
+        self.run_inner(net, input, mode, Some(&ctx))
+    }
+
     /// Runs the layers of `net` over `tiles`, folding per-chip runs into
     /// per-layer records (summed events; latency per the configured
     /// [`PipelineMode`]). Arithmetic is identical in both modes — the
@@ -254,12 +342,17 @@ impl PartitionedMachine {
         tiles: &[Vec<ChipTile>],
         input: &[Q6_10],
         mode: UvMode,
+        trace: Option<&TraceCtx<'_>>,
     ) -> Result<Vec<LayerRecord>, SparseNnError> {
         let chips = self.plan.chips();
         let cfg = self.chip.config();
         let icc = &self.interchip;
         let mut acts = input.to_vec();
         let mut layers = Vec::with_capacity(net.num_layers());
+        // Serialized-schedule clock for trace placement only: layer
+        // stages are chained end to end, so spans sit at the cumulative
+        // offset (the timing model itself needs no cursor).
+        let mut serial_cursor_us = 0.0f64;
         // Wavefront virtual clock: when each chip finishes its previous
         // tile, when the current layer's input has fully landed on the
         // chips, and the previous layer's gather-complete milestone
@@ -292,7 +385,11 @@ impl PartitionedMachine {
             // the serialized schedule needs nothing past the fold above.
             let keep_runs = self.pipeline == PipelineMode::Wavefront;
             let mut runs: Vec<Option<LayerRun>> = Vec::with_capacity(chips);
-            for tile in layer_tiles {
+            // Serialized chip spans start after this layer's broadcast;
+            // wavefront spans are placed later, when each chip's actual
+            // start is known.
+            let serial_start_us = serial_cursor_us + icc.time_us(broadcast_cycles);
+            for (c, tile) in layer_tiles.iter().enumerate() {
                 if tile.rows.is_empty() {
                     runs.push(None);
                     continue;
@@ -301,6 +398,9 @@ impl PartitionedMachine {
                     .chip
                     .try_run_layer(&tile.w, tile.predictor.as_ref(), &acts, is_hidden, mode)
                     .map_err(|e| relabel_layer(e.into(), l))?;
+                if let (Some(ctx), PipelineMode::Serialized) = (trace, self.pipeline) {
+                    emit_chip_spans(ctx, cfg, l, c, serial_start_us, &run);
+                }
                 for (local, &global) in tile.rows.iter().enumerate() {
                     output[global] = run.output[local];
                 }
@@ -326,17 +426,66 @@ impl PartitionedMachine {
                 // Stage chain end-to-end: broadcast, slowest chip,
                 // gather — the PR-4 model, untouched.
                 PipelineMode::Serialized => {
-                    cfg.time_us(max_cycles) + icc.time_us(broadcast_cycles + gather_cycles)
+                    let span =
+                        cfg.time_us(max_cycles) + icc.time_us(broadcast_cycles + gather_cycles);
+                    if let Some(ctx) = trace {
+                        ctx.emit(
+                            Span::new(
+                                ctx.trace_id,
+                                SpanKind::Broadcast,
+                                track::MACHINE,
+                                track::BROADCAST,
+                                ctx.t0_us + serial_cursor_us,
+                                ctx.t0_us + serial_start_us,
+                            )
+                            .attr(AttrKey::Layer, l as u64)
+                            .attr(AttrKey::NnzIn, nnz_in as u64),
+                        );
+                        let compute_end_us = serial_start_us + cfg.time_us(max_cycles);
+                        ctx.emit(
+                            Span::new(
+                                ctx.trace_id,
+                                SpanKind::Gather,
+                                track::MACHINE,
+                                track::GATHER,
+                                ctx.t0_us + compute_end_us,
+                                ctx.t0_us + compute_end_us + icc.time_us(gather_cycles),
+                            )
+                            .attr(AttrKey::Layer, l as u64)
+                            .attr(AttrKey::NnzOut, nnz_out as u64),
+                        );
+                    }
+                    serial_cursor_us += span;
+                    span
                 }
                 PipelineMode::Wavefront => {
                     // Each chip starts the moment its input landed and
                     // it is free; its slice enters the fabric value by
                     // value as rows become final (the row_ready
                     // profile).
+                    if let Some(ctx) = trace {
+                        if l == 0 {
+                            ctx.emit(
+                                Span::new(
+                                    ctx.trace_id,
+                                    SpanKind::Broadcast,
+                                    track::MACHINE,
+                                    track::BROADCAST,
+                                    ctx.t0_us,
+                                    ctx.t0_us + input_ready_us,
+                                )
+                                .attr(AttrKey::Layer, 0u64)
+                                .attr(AttrKey::NnzIn, nnz_in as u64),
+                            );
+                        }
+                    }
                     let mut slices = Vec::with_capacity(chips);
                     for (c, run) in runs.iter().enumerate() {
                         let Some(run) = run else { continue };
                         let start = input_ready_us.max(chip_free_us[c]);
+                        if let Some(ctx) = trace {
+                            emit_chip_spans(ctx, cfg, l, c, start, run);
+                        }
                         chip_free_us[c] = start + cfg.time_us(run.cycles);
                         slices.push(SliceTransfer {
                             ready_us: run
@@ -352,6 +501,26 @@ impl PartitionedMachine {
                     let arrivals = icc.gather_schedule(chips, &slices);
                     // Gather complete = this layer's milestone.
                     let end = arrivals.iter().copied().fold(prev_end_us, f64::max);
+                    if let Some(ctx) = trace {
+                        // The gather lane is busy from the first value
+                        // entering the fabric to the last arrival.
+                        let first_us = slices
+                            .iter()
+                            .flat_map(|s| s.ready_us.iter().copied())
+                            .fold(end, f64::min);
+                        ctx.emit(
+                            Span::new(
+                                ctx.trace_id,
+                                SpanKind::Gather,
+                                track::MACHINE,
+                                track::GATHER,
+                                ctx.t0_us + first_us,
+                                ctx.t0_us + end,
+                            )
+                            .attr(AttrKey::Layer, l as u64)
+                            .attr(AttrKey::NnzOut, nnz_out as u64),
+                        );
+                    }
                     if is_hidden {
                         // The root streams each gathered slice straight
                         // into the downward broadcast; the next layer
@@ -363,6 +532,24 @@ impl PartitionedMachine {
                             .collect();
                         let lands = icc.broadcast_schedule(chips, &down);
                         input_ready_us = lands.iter().copied().fold(end, f64::max);
+                        if let Some(ctx) = trace {
+                            // Slices stream downward as they arrive at
+                            // the root, so the lane is busy from the
+                            // first arrival to the last landing.
+                            let first_us = arrivals.iter().copied().fold(input_ready_us, f64::min);
+                            ctx.emit(
+                                Span::new(
+                                    ctx.trace_id,
+                                    SpanKind::Broadcast,
+                                    track::MACHINE,
+                                    track::BROADCAST,
+                                    ctx.t0_us + first_us,
+                                    ctx.t0_us + input_ready_us,
+                                )
+                                .attr(AttrKey::Layer, l as u64 + 1)
+                                .attr(AttrKey::NnzIn, nnz_out as u64),
+                            );
+                        }
                     }
                     let span = end - prev_end_us;
                     prev_end_us = end;
@@ -449,9 +636,24 @@ impl InferenceBackend for PartitionedMachine {
         input: &[Q6_10],
         mode: UvMode,
     ) -> Result<RunRecord, SparseNnError> {
+        self.run_inner(net, input, mode, None)
+    }
+}
+
+impl PartitionedMachine {
+    /// The shared body of [`run`](InferenceBackend::run) and
+    /// [`run_traced`](Self::run_traced) — tile resolution (planned or
+    /// cached foreign cut) plus the tiled executor.
+    fn run_inner(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+        trace: Option<&TraceCtx<'_>>,
+    ) -> Result<RunRecord, SparseNnError> {
         validate_shapes(net, input)?;
         let layers = if *net == self.planned {
-            self.run_tiled(net, &self.tiles, input, mode)?
+            self.run_tiled(net, &self.tiles, input, mode, trace)?
         } else {
             // A different network than the one planned for: the plan
             // still applies if the shapes agree (capacity depends only
@@ -479,7 +681,7 @@ impl InferenceBackend for PartitionedMachine {
                     }
                 }
             };
-            self.run_tiled(net, &tiles, input, mode)?
+            self.run_tiled(net, &tiles, input, mode, trace)?
         };
         Ok(RunRecord {
             backend: self.name.clone(),
@@ -725,5 +927,74 @@ mod tests {
         assert_eq!(pm.interchip().radix, 2);
         assert!(pm.name().starts_with("partitioned(4 chips"));
         assert!(pm.machine_config().is_some());
+    }
+
+    /// Tracing is an observer: the traced record is bit-identical to
+    /// the untraced one in both schedules, the recorded spans cover
+    /// broadcast/VU/W/gather on every layer, carry the caller's trace
+    /// id and offset, stay inside the record's total time, and repeat
+    /// byte-for-byte across runs.
+    #[test]
+    fn traced_run_matches_untraced_and_emits_chip_spans() {
+        use sparsenn_obs::{NullSink, RingRecorder, SpanKind};
+        let (net, x) = net_and_input(&[24, 48, 10], 3, 8);
+        for pipeline in [PipelineMode::Serialized, PipelineMode::Wavefront] {
+            let pm = PartitionedMachine::with_pipeline(
+                &net,
+                MachineConfig::default(),
+                2,
+                InterChipConfig::default(),
+                pipeline,
+            )
+            .unwrap();
+            let plain = pm.run(&net, &x, UvMode::On).unwrap();
+            let rec = RingRecorder::new(4096);
+            let t0 = 125.0;
+            let traced = pm.run_traced(&net, &x, UvMode::On, 42, t0, &rec).unwrap();
+            assert_eq!(
+                plain, traced,
+                "{pipeline:?}: tracing must not perturb the run"
+            );
+            let null = pm
+                .run_traced(&net, &x, UvMode::On, 42, t0, &NullSink)
+                .unwrap();
+            assert_eq!(plain, null, "{pipeline:?}: disabled sink is exactly run()");
+
+            let spans = rec.spans();
+            assert!(!spans.is_empty());
+            let total_us: f64 = traced.layers.iter().map(|l| l.time_us).sum();
+            for s in &spans {
+                assert_eq!(s.trace_id, 42);
+                assert!(s.start_us >= t0 - 1e-9, "{pipeline:?}: span before t0");
+                assert!(
+                    s.end_us <= t0 + total_us + 1e-6,
+                    "{pipeline:?}: span past the record's total time"
+                );
+            }
+            for kind in [
+                SpanKind::Broadcast,
+                SpanKind::Vu,
+                SpanKind::W,
+                SpanKind::Gather,
+            ] {
+                assert!(
+                    spans.iter().any(|s| s.kind == kind),
+                    "{pipeline:?}: missing {kind:?} span"
+                );
+            }
+            // Every layer shows up in the W spans of some chip.
+            for l in 0..net.num_layers() as u64 {
+                assert!(spans.iter().any(|s| {
+                    s.kind == SpanKind::W
+                        && s.attrs.iter().any(|(k, v)| {
+                            k == AttrKey::Layer && v == sparsenn_obs::AttrValue::U64(l)
+                        })
+                }));
+            }
+            // Determinism: a second traced run records identical spans.
+            let rec2 = RingRecorder::new(4096);
+            pm.run_traced(&net, &x, UvMode::On, 42, t0, &rec2).unwrap();
+            assert_eq!(spans, rec2.spans());
+        }
     }
 }

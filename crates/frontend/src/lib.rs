@@ -74,7 +74,9 @@ pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleDecision};
 pub use faults::{Fault, FaultPlan};
 pub use hedge::HedgeConfig;
 pub use metrics::{ClassStats, FrontendSummary};
-pub use sim::{simulate_frontend, DegradeBatching, FrontendConfig, FrontendError};
+pub use sim::{
+    simulate_frontend, simulate_frontend_traced, DegradeBatching, FrontendConfig, FrontendError,
+};
 pub use slo::{best_goodput, sweep_combos, ComboResult, SloPolicy};
 
 // The shared policy vocabulary, re-exported so front-end code reads from

@@ -26,8 +26,17 @@ use crate::slo::SloPolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsenn_core::engine::{AdmissionDecision, AdmissionGate, Priority, Scheduler, ShardView};
+use sparsenn_obs::{track, AttrKey, NullSink, Span, SpanKind, TraceSink};
 use sparsenn_serve::{EventQueue, FleetEvent, ShardSpec, StreamingLatency, Workload};
 use std::collections::VecDeque;
+
+/// The trace-friendly class label.
+fn class_name(class: Priority) -> &'static str {
+    match class {
+        Priority::High => "high",
+        Priority::Low => "low",
+    }
+}
 
 /// Everything one front-end run is configured by, minus the two policy
 /// trait objects ([`Scheduler`], [`AdmissionGate`]) passed alongside.
@@ -217,12 +226,35 @@ impl std::fmt::Display for FrontendError {
 
 impl std::error::Error for FrontendError {}
 
+/// Why an attempt was dispatched: the admission-time primary, a hedge
+/// duplicate racing a straggler, or a re-dispatch after a fail-stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AttemptOrigin {
+    Primary,
+    Hedge,
+    Retry,
+}
+
+impl AttemptOrigin {
+    fn name(self) -> &'static str {
+        match self {
+            AttemptOrigin::Primary => "primary",
+            AttemptOrigin::Hedge => "hedge",
+            AttemptOrigin::Retry => "retry",
+        }
+    }
+}
+
 /// One service attempt of one request. Requests may spawn several
 /// (hedges, retries); the first attempt to finish resolves the request.
 #[derive(Clone, Copy, Debug)]
 struct Attempt {
     id: u64,
     request: usize,
+    origin: AttemptOrigin,
+    /// Virtual time the attempt was dispatched — the start of its queue
+    /// wait (its `Queued` span runs from here to service start).
+    issued_us: f64,
 }
 
 struct ShardState {
@@ -304,6 +336,9 @@ struct Engine<'a> {
     scheduler: &'a dyn Scheduler,
     admission: &'a dyn AdmissionGate,
     cfg: &'a FrontendConfig,
+    /// Trace destination; span construction is skipped entirely when
+    /// the sink reports itself disabled.
+    sink: &'a dyn TraceSink,
     events: EventQueue<FleetEvent>,
     shards: Vec<ShardState>,
     requests: Vec<RequestState>,
@@ -329,7 +364,9 @@ struct Engine<'a> {
     hedges_issued: usize,
     hedge_wins: usize,
     cancelled_attempts: usize,
+    hedges_cancelled: usize,
     retries: usize,
+    retry_wins: usize,
     scale_outs: usize,
     scale_ins: usize,
     peak_active: usize,
@@ -340,6 +377,76 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
+    /// A zero-duration control-plane marker (admit/degrade/shed,
+    /// hedge/cancel/retry) on the front end's control lane.
+    fn emit_marker(&self, kind: SpanKind, request: usize, now: f64) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.record(
+            Span::new(
+                request as u64,
+                kind,
+                track::FRONTEND,
+                track::CONTROL,
+                now,
+                now,
+            )
+            .attr(AttrKey::Class, class_name(self.requests[request].class)),
+        );
+    }
+
+    /// The request's end-to-end async span, emitted once at resolution
+    /// (completion, terminal failure, or shed).
+    fn emit_request_span(&self, request: usize, now: f64, outcome: &'static str) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let r = &self.requests[request];
+        self.sink.record(
+            Span::new(
+                request as u64,
+                SpanKind::Request,
+                track::FRONTEND,
+                track::CONTROL,
+                r.arrival_us,
+                now,
+            )
+            .attr(AttrKey::Class, class_name(r.class))
+            .attr(AttrKey::Outcome, outcome)
+            .attr(AttrKey::Degraded, u64::from(r.degraded)),
+        );
+    }
+
+    /// One attempt's time on a shard, on the fleet track's per-shard
+    /// lane, emitted when the attempt leaves the shard (completed,
+    /// cancelled by a winning sibling, or killed by a fail-stop).
+    fn emit_attempt_span(
+        &self,
+        shard: usize,
+        attempt: Attempt,
+        start: f64,
+        now: f64,
+        outcome: &'static str,
+    ) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.sink.record(
+            Span::new(
+                attempt.request as u64,
+                SpanKind::Attempt,
+                track::FLEET,
+                shard as u32 + 1,
+                start,
+                now,
+            )
+            .attr(AttrKey::Attempt, attempt.id)
+            .attr(AttrKey::Origin, attempt.origin.name())
+            .attr(AttrKey::Outcome, outcome),
+        );
+    }
+
     fn views(&self, now: f64, request: usize) -> Vec<ShardView> {
         self.shards
             .iter()
@@ -362,6 +469,22 @@ impl<'a> Engine<'a> {
     }
 
     fn start_service(&mut self, shard: usize, attempt: Attempt, now: f64) {
+        if self.sink.enabled() {
+            // The attempt's queue wait: dispatch to service start.
+            self.sink.record(
+                Span::new(
+                    attempt.request as u64,
+                    SpanKind::Queued,
+                    track::FRONTEND,
+                    track::CONTROL,
+                    attempt.issued_us,
+                    now,
+                )
+                .attr(AttrKey::Attempt, attempt.id)
+                .attr(AttrKey::Origin, attempt.origin.name())
+                .attr(AttrKey::Shard, shard as u64),
+            );
+        }
         let service = self.service_us(shard, attempt.request);
         self.shards[shard].current = Some((attempt, now));
         self.shards[shard].busy_until = now + service;
@@ -377,10 +500,12 @@ impl<'a> Engine<'a> {
     /// Places a fresh attempt for `request`: scheduler pick, then the
     /// first healthy idle shard, then the central queue (drained by the
     /// next shard to free up or come back).
-    fn dispatch(&mut self, request: usize, now: f64) {
+    fn dispatch(&mut self, request: usize, now: f64, origin: AttemptOrigin) {
         let attempt = Attempt {
             id: self.next_attempt,
             request,
+            origin,
+            issued_us: now,
         };
         self.next_attempt += 1;
         self.requests[request].live_attempts += 1;
@@ -446,14 +571,19 @@ impl<'a> Engine<'a> {
                     self.shards[i].current = None;
                     self.requests[request].live_attempts -= 1;
                     self.cancelled_attempts += 1;
+                    if att.origin == AttemptOrigin::Hedge {
+                        self.hedges_cancelled += 1;
+                    }
+                    self.emit_attempt_span(i, att, start, now, "cancelled");
+                    self.emit_marker(SpanKind::Cancel, request, now);
                     freed.push(i);
                 }
             }
         }
         if self.requests[request].live_attempts > 0 {
             let class = self.requests[request].class;
+            let mut cancelled: Vec<Attempt> = Vec::new();
             for i in 0..self.shards.len() {
-                let before = self.shards[i].queue.len();
                 let specs = self.specs;
                 let slow = self.shards[i].slow_factor;
                 let factor = self.requests[request].service_factor;
@@ -463,24 +593,32 @@ impl<'a> Engine<'a> {
                         dropped_work += specs[i].service_us[request % specs[i].service_us.len()]
                             * slow
                             * factor;
+                        cancelled.push(*a);
                         false
                     } else {
                         true
                     }
                 });
-                let dropped = before - self.shards[i].queue.len();
                 self.shards[i].queued_work_us =
                     (self.shards[i].queued_work_us - dropped_work).max(0.0);
-                self.requests[request].live_attempts -= dropped as u32;
-                self.cancelled_attempts += dropped;
-                self.waiting[class.index()] -= dropped;
             }
-            let before = self.central.len();
-            self.central.retain(|a| a.request != request);
-            let dropped = before - self.central.len();
-            self.requests[request].live_attempts -= dropped as u32;
-            self.cancelled_attempts += dropped;
-            self.waiting[class.index()] -= dropped;
+            self.central.retain(|a| {
+                if a.request == request {
+                    cancelled.push(*a);
+                    false
+                } else {
+                    true
+                }
+            });
+            self.requests[request].live_attempts -= cancelled.len() as u32;
+            self.cancelled_attempts += cancelled.len();
+            self.waiting[class.index()] -= cancelled.len();
+            for att in cancelled {
+                if att.origin == AttemptOrigin::Hedge {
+                    self.hedges_cancelled += 1;
+                }
+                self.emit_marker(SpanKind::Cancel, request, now);
+            }
         }
         debug_assert_eq!(self.requests[request].live_attempts, 0);
         for i in freed {
@@ -514,6 +652,10 @@ impl<'a> Engine<'a> {
         debug_assert!(!self.requests[request].done, "winner races are settled");
         self.requests[request].done = true;
         self.requests[request].live_attempts -= 1;
+        if attempt.origin == AttemptOrigin::Retry {
+            self.retry_wins += 1;
+        }
+        self.emit_attempt_span(shard, attempt, start, now, "completed");
         self.cancel_siblings(request, now);
 
         let class = self.requests[request].class;
@@ -530,6 +672,7 @@ impl<'a> Engine<'a> {
         if self.requests[request].hedged {
             self.hedge_wins += 1;
         }
+        self.emit_request_span(request, now, "completed");
         self.resolve(now);
         self.pull_next(shard, now);
     }
@@ -540,6 +683,7 @@ impl<'a> Engine<'a> {
         let mut lost: Vec<Attempt> = Vec::new();
         if let Some((att, start)) = self.shards[shard].current.take() {
             self.shards[shard].busy_us += now - start;
+            self.emit_attempt_span(shard, att, start, now, "failed");
             lost.push(att);
         }
         while let Some(att) = self.shards[shard].queue.pop_front() {
@@ -555,11 +699,13 @@ impl<'a> Engine<'a> {
             self.requests[request].live_attempts -= 1;
             if self.cfg.hedge.retry_failed {
                 self.retries += 1;
-                self.dispatch(request, now);
+                self.emit_marker(SpanKind::Retry, request, now);
+                self.dispatch(request, now, AttemptOrigin::Retry);
             } else if self.requests[request].live_attempts == 0 {
                 let class = self.requests[request].class;
                 self.requests[request].done = true;
                 self.classes[class.index()].failed += 1;
+                self.emit_request_span(request, now, "failed");
                 self.resolve(now);
             }
         }
@@ -650,10 +796,14 @@ impl<'a> Engine<'a> {
             .admission
             .decide(class, self.waiting[class.index()], &views)
         {
-            AdmissionDecision::Admit => self.classes[class.index()].admitted += 1,
+            AdmissionDecision::Admit => {
+                self.classes[class.index()].admitted += 1;
+                self.emit_marker(SpanKind::Admit, request, now);
+            }
             AdmissionDecision::Degrade => {
                 self.classes[class.index()].degraded += 1;
                 self.requests[request].degraded = true;
+                self.emit_marker(SpanKind::Degrade, request, now);
                 if let Some(b) = self.cfg.degrade_batching {
                     // Hold in the central degrade buffer: the request
                     // dispatches when the batch fills or the oldest
@@ -675,11 +825,13 @@ impl<'a> Engine<'a> {
             AdmissionDecision::Shed => {
                 self.classes[class.index()].shed += 1;
                 self.requests[request].done = true;
+                self.emit_marker(SpanKind::Shed, request, now);
+                self.emit_request_span(request, now, "shed");
                 self.resolve(now);
                 return;
             }
         }
-        self.dispatch(request, now);
+        self.dispatch(request, now, AttemptOrigin::Primary);
         if self.cfg.hedge.hedging_enabled() {
             self.events
                 .push(now + self.cfg.hedge.after_us, FleetEvent::Hedge { request });
@@ -702,10 +854,25 @@ impl<'a> Engine<'a> {
         self.degrade_batches += 1;
         self.degrade_batch_samples += batch.len();
         self.max_degrade_batch = self.max_degrade_batch.max(batch.len());
+        let batch_size = batch.len() as u64;
         for request in batch {
+            if self.sink.enabled() {
+                // The hold window: admission to batch flush.
+                self.sink.record(
+                    Span::new(
+                        request as u64,
+                        SpanKind::DegradeBatch,
+                        track::FRONTEND,
+                        track::CONTROL,
+                        self.requests[request].arrival_us,
+                        now,
+                    )
+                    .attr(AttrKey::BatchSize, batch_size),
+                );
+            }
             self.requests[request].buffered = false;
             self.requests[request].service_factor = factor;
-            self.dispatch(request, now);
+            self.dispatch(request, now, AttemptOrigin::Primary);
             if self.cfg.hedge.hedging_enabled() {
                 self.events
                     .push(now + self.cfg.hedge.after_us, FleetEvent::Hedge { request });
@@ -739,7 +906,8 @@ impl<'a> Engine<'a> {
         r.hedges_used += 1;
         r.hedged = true;
         self.hedges_issued += 1;
-        self.dispatch(request, now);
+        self.emit_marker(SpanKind::Hedge, request, now);
+        self.dispatch(request, now, AttemptOrigin::Hedge);
         if self.requests[request].hedges_used < self.cfg.hedge.max_hedges {
             self.events
                 .push(now + self.cfg.hedge.after_us, FleetEvent::Hedge { request });
@@ -761,6 +929,27 @@ pub fn simulate_frontend(
     scheduler: &dyn Scheduler,
     admission: &dyn AdmissionGate,
     cfg: &FrontendConfig,
+) -> Result<FrontendSummary, FrontendError> {
+    simulate_frontend_traced(fleet, scheduler, admission, cfg, &NullSink)
+}
+
+/// [`simulate_frontend`] with a trace sink: every request's life —
+/// admission verdict, degrade-batch hold, per-attempt queue wait and
+/// shard service, hedge/cancel/retry control events — is recorded as
+/// [`Span`]s on the virtual clock, keyed by request id. With a disabled
+/// sink (e.g. [`NullSink`]) no span is ever constructed and the run is
+/// bit-identical to the untraced one; the summary is identical either
+/// way.
+///
+/// # Errors
+///
+/// Exactly as [`simulate_frontend`].
+pub fn simulate_frontend_traced(
+    fleet: &[ShardSpec],
+    scheduler: &dyn Scheduler,
+    admission: &dyn AdmissionGate,
+    cfg: &FrontendConfig,
+    sink: &dyn TraceSink,
 ) -> Result<FrontendSummary, FrontendError> {
     if fleet.is_empty() {
         return Err(FrontendError::NoShards);
@@ -879,6 +1068,7 @@ pub fn simulate_frontend(
         scheduler,
         admission,
         cfg,
+        sink,
         events,
         shards: (0..fleet.len())
             .map(|i| ShardState::new(i < initial_active))
@@ -900,7 +1090,9 @@ pub fn simulate_frontend(
         hedges_issued: 0,
         hedge_wins: 0,
         cancelled_attempts: 0,
+        hedges_cancelled: 0,
         retries: 0,
+        retry_wins: 0,
         scale_outs: 0,
         scale_ins: 0,
         peak_active: initial_active,
@@ -999,7 +1191,9 @@ pub fn simulate_frontend(
         hedges_issued: engine.hedges_issued,
         hedge_wins: engine.hedge_wins,
         cancelled_attempts: engine.cancelled_attempts,
+        hedges_cancelled: engine.hedges_cancelled,
         retries: engine.retries,
+        retry_wins: engine.retry_wins,
         failures_injected: cfg.faults.fail_stops(),
         slowdowns_injected: cfg.faults.slowdowns(),
         scale_outs: engine.scale_outs,
@@ -1391,5 +1585,117 @@ mod tests {
             "no one waits past the flush deadline plus real work, got {}",
             low.latency.max_us
         );
+    }
+
+    #[test]
+    fn hedge_cancellations_and_retry_wins_are_counted() {
+        // Hedge at half the service time on a healthy fleet: the primary
+        // is mid-service when the duplicate dispatches, finishes first,
+        // and the losing hedge is cancelled.
+        let hedged = FrontendConfig::new(
+            Workload::Poisson {
+                rate_rps: 50_000.0,
+                requests: 2000,
+                seed: 11,
+            },
+            slo(),
+        )
+        .hedge(HedgeConfig::hedged(5.0));
+        let s = simulate_frontend(&fleet(3, 10.0), &FirstIdle, &AdmitAll, &hedged).unwrap();
+        assert!(s.hedges_cancelled > 0, "losing hedges must be counted");
+        assert!(s.hedges_cancelled <= s.cancelled_attempts);
+        assert!(s.hedges_cancelled <= s.hedges_issued);
+        // Every issued hedge either wins (cancelling the primary) or is
+        // itself cancelled, so each accounts for one cancellation.
+        assert_eq!(s.cancelled_attempts, s.hedges_issued);
+        assert_eq!(s.retry_wins, 0, "no fail-stops, no retries");
+
+        // Retry-only fail-stop run: every lost request is saved by a
+        // retry, and with no hedging the winning attempt of each saved
+        // request *is* the retry.
+        let retry = FrontendConfig::new(
+            Workload::Poisson {
+                rate_rps: 190_000.0,
+                requests: 3000,
+                seed: 7,
+            },
+            slo(),
+        )
+        .faults(FaultPlan::new(vec![Fault::FailStop {
+            shard: 0,
+            at_us: 3_000.0,
+            down_us: 8_000.0,
+        }]))
+        .hedge(HedgeConfig::retries_only());
+        let s = simulate_frontend(&fleet(2, 10.0), &LeastQueued, &AdmitAll, &retry).unwrap();
+        assert!(s.retry_wins > 0, "retried requests complete via the retry");
+        assert!(s.retry_wins <= s.retries);
+        assert_eq!(s.hedges_cancelled, 0, "no hedging in this run");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_every_request() {
+        use sparsenn_obs::{check_nesting, chrome_trace, RingRecorder};
+
+        // Hedging + a straggler + degrade/shed pressure: every span
+        // kind the front end can emit shows up in one run.
+        let cfg = FrontendConfig::new(
+            Workload::Poisson {
+                rate_rps: 230_000.0,
+                requests: 2000,
+                seed: 11,
+            },
+            slo(),
+        )
+        .low_fraction(0.4)
+        .faults(FaultPlan::new(vec![Fault::Slowdown {
+            shard: 0,
+            at_us: 1_000.0,
+            for_us: 10_000.0,
+            factor: 20.0,
+        }]))
+        .hedge(HedgeConfig::hedged(60.0));
+        let gate = BoundedQueues::new(12, 4).degrade_low_beyond(2);
+        let fleet = fleet(2, 10.0);
+
+        let plain = simulate_frontend(&fleet, &LeastQueued, &gate, &cfg).unwrap();
+        let recorder = RingRecorder::new(1 << 16);
+        let traced =
+            simulate_frontend_traced(&fleet, &LeastQueued, &gate, &cfg, &recorder).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+
+        let spans = recorder.spans();
+        assert_eq!(recorder.dropped(), 0, "ring sized for the whole run");
+        assert_eq!(check_nesting(&spans), None);
+
+        // Every offered request resolves exactly once → exactly one
+        // Request span per request, ids covering 0..requests.
+        let mut request_ids: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Request)
+            .map(|s| s.trace_id)
+            .collect();
+        request_ids.sort_unstable();
+        let expect: Vec<u64> = (0..plain.requests as u64).collect();
+        assert_eq!(request_ids, expect);
+
+        // Admission verdicts partition the offered load.
+        let count = |kind: SpanKind| spans.iter().filter(|s| s.kind == kind).count();
+        let admitted: usize = plain.classes.iter().map(|c| c.admitted).sum();
+        let degraded: usize = plain.classes.iter().map(|c| c.degraded).sum();
+        let shed: usize = plain.classes.iter().map(|c| c.shed).sum();
+        assert_eq!(count(SpanKind::Admit), admitted);
+        assert_eq!(count(SpanKind::Degrade), degraded);
+        assert_eq!(count(SpanKind::Shed), shed);
+        assert!(shed > 0, "overload against bounded queues must shed");
+        assert_eq!(count(SpanKind::Hedge), plain.hedges_issued);
+        assert_eq!(count(SpanKind::Cancel), plain.cancelled_attempts);
+        assert!(count(SpanKind::Queued) > 0);
+        assert!(count(SpanKind::Attempt) > 0);
+
+        // Same seed, fresh recorder: byte-identical export.
+        let again = RingRecorder::new(1 << 16);
+        simulate_frontend_traced(&fleet, &LeastQueued, &gate, &cfg, &again).unwrap();
+        assert_eq!(chrome_trace(&spans), chrome_trace(&again.spans()));
     }
 }

@@ -1,0 +1,277 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! The exporter renders a span list into the [trace-event format] that
+//! `ui.perfetto.dev` and `chrome://tracing` load directly: complete
+//! `"X"` events for non-overlapping work, legacy async `"b"`/`"e"`
+//! pairs (keyed by `trace_id`) for spans that overlap on one track, and
+//! `"M"` metadata events naming the process/thread lanes. Output is
+//! **byte-deterministic** for a given span list: floats render with a
+//! fixed three-decimal format, metadata is emitted in sorted order, and
+//! spans render in recorder order — so one seed produces one exact
+//! trace file, and the tests diff traces byte-for-byte.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::{track, AttrValue, Span, SpanKind};
+
+/// Renders `spans` as a complete Chrome trace-event JSON document.
+pub fn chrome_trace(spans: &[Span]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(spans.len() + 8);
+    for (pid, tid) in lanes(spans) {
+        match tid {
+            None => events.push(format!(
+                r#"{{"ph":"M","name":"process_name","pid":{pid},"tid":0,"args":{{"name":{}}}}}"#,
+                json_str(track::name(pid))
+            )),
+            Some(tid) => events.push(format!(
+                r#"{{"ph":"M","name":"thread_name","pid":{pid},"tid":{tid},"args":{{"name":{}}}}}"#,
+                json_str(&lane_name(tid))
+            )),
+        }
+    }
+    for span in spans {
+        if span.kind.is_async() {
+            events.push(render(span, 'b', span.start_us, None));
+            events.push(render(span, 'e', span.end_us, None));
+        } else {
+            events.push(render(span, 'X', span.start_us, Some(span.duration_us())));
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Sorted, de-duplicated metadata lanes: each pid once (`tid: None`),
+/// then each (pid, tid) pair.
+fn lanes(spans: &[Span]) -> Vec<(u32, Option<u32>)> {
+    let mut pairs: Vec<(u32, u32)> = spans.iter().map(|s| (s.pid, s.tid)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut out = Vec::new();
+    let mut last_pid = None;
+    for (pid, tid) in pairs {
+        if last_pid != Some(pid) {
+            out.push((pid, None));
+            last_pid = Some(pid);
+        }
+        out.push((pid, Some(tid)));
+    }
+    out
+}
+
+/// Human name of a thread lane within a track.
+fn lane_name(tid: u32) -> String {
+    match tid {
+        track::CONTROL => "control".to_string(),
+        track::BROADCAST => "broadcast".to_string(),
+        track::GATHER => "gather".to_string(),
+        n => format!("lane {}", n - 1),
+    }
+}
+
+/// Renders one trace event. `ph` is the Chrome phase; async events
+/// carry an `id` so Perfetto pairs their begin/end, complete events a
+/// `dur`.
+fn render(span: &Span, ph: char, ts_us: f64, dur_us: Option<f64>) -> String {
+    let mut ev = format!(
+        r#"{{"name":{},"cat":{},"ph":"{ph}","ts":{},"#,
+        json_str(span.kind.name()),
+        json_str(span.kind.category()),
+        fmt_us(ts_us),
+    );
+    if let Some(dur) = dur_us {
+        ev.push_str(&format!(r#""dur":{},"#, fmt_us(dur)));
+    }
+    ev.push_str(&format!(r#""pid":{},"tid":{}"#, span.pid, span.tid));
+    if span.kind.is_async() {
+        ev.push_str(&format!(r#","id":{}"#, span.trace_id));
+    }
+    // Begin/complete events carry the attributes (plus the trace id so
+    // every event is self-describing); async ends stay minimal.
+    if ph != 'e' {
+        ev.push_str(&format!(r#","args":{{"trace_id":{}"#, span.trace_id));
+        for (key, value) in span.attrs.iter() {
+            ev.push_str(&format!(
+                ",{}:{}",
+                json_str(key.name()),
+                render_value(&value)
+            ));
+        }
+        ev.push('}');
+    }
+    ev.push('}');
+    ev
+}
+
+fn render_value(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::F64(v) => fmt_us(*v),
+        AttrValue::Str(v) => json_str(v),
+    }
+}
+
+/// Fixed-precision float rendering — the source of byte-determinism.
+/// Three decimals of a microsecond (nanosecond resolution) is below the
+/// simulators' timing granularity. Non-finite values (which no correct
+/// emitter produces) render as 0 so the output is always valid JSON.
+fn fmt_us(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.000".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quote, backslash, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A sanity check a trace must pass before export in tests: every span
+/// has a non-negative duration and every async child lies within its
+/// parent. Returns the first violation as text, or `None` when clean.
+///
+/// "Parent" is structural, not recorded: a span P is a parent of C when
+/// they share a `trace_id`, P's kind is an async container, and C is a
+/// narrower kind on the same track hierarchy (e.g. a request contains
+/// its attempts and queue waits). The nesting rule every emitter must
+/// uphold: `P.start_us <= C.start_us && C.end_us <= P.end_us`.
+pub fn check_nesting(spans: &[Span]) -> Option<String> {
+    for s in spans {
+        if !(s.start_us.is_finite() && s.end_us.is_finite()) {
+            return Some(format!(
+                "non-finite bounds on {:?} trace {}",
+                s.kind, s.trace_id
+            ));
+        }
+        if s.end_us < s.start_us {
+            return Some(format!(
+                "negative duration on {:?} trace {}: [{}, {}]",
+                s.kind, s.trace_id, s.start_us, s.end_us
+            ));
+        }
+    }
+    for parent in spans.iter().filter(|s| s.kind == SpanKind::Request) {
+        for child in spans.iter().filter(|c| {
+            c.trace_id == parent.trace_id
+                && matches!(
+                    c.kind,
+                    SpanKind::Queued | SpanKind::Attempt | SpanKind::DegradeBatch
+                )
+        }) {
+            const EPS: f64 = 1e-6;
+            if child.start_us < parent.start_us - EPS || child.end_us > parent.end_us + EPS {
+                return Some(format!(
+                    "child {:?} [{}, {}] escapes request {} [{}, {}]",
+                    child.kind,
+                    child.start_us,
+                    child.end_us,
+                    parent.trace_id,
+                    parent.start_us,
+                    parent.end_us
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{track, AttrKey};
+
+    fn sample() -> Vec<Span> {
+        vec![
+            Span::new(
+                3,
+                SpanKind::Request,
+                track::FRONTEND,
+                track::CONTROL,
+                0.0,
+                30.0,
+            )
+            .attr(AttrKey::Class, "premium")
+            .attr(AttrKey::Outcome, "completed"),
+            Span::new(3, SpanKind::Queued, track::FRONTEND, 1, 0.0, 4.0),
+            Span::new(3, SpanKind::Attempt, track::FLEET, 1, 4.0, 30.0).attr(AttrKey::Shard, 0u64),
+            Span::new(9, SpanKind::Vu, track::MACHINE, 2, 4.0, 10.5).attr(AttrKey::Layer, 1u64),
+        ]
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        let spans = sample();
+        assert_eq!(chrome_trace(&spans), chrome_trace(&spans));
+    }
+
+    #[test]
+    fn async_spans_become_begin_end_pairs() {
+        let out = chrome_trace(&sample());
+        assert!(out.contains(r#""ph":"b""#) && out.contains(r#""ph":"e""#));
+        assert!(out.contains(r#""id":3"#), "async pair keyed by trace id");
+        assert!(
+            out.contains(r#""ph":"X""#),
+            "sync spans are complete events"
+        );
+        assert!(out.contains(r#""dur":26.000"#), "attempt duration");
+    }
+
+    #[test]
+    fn metadata_names_every_lane() {
+        let out = chrome_trace(&sample());
+        for name in [
+            "\"frontend\"",
+            "\"fleet\"",
+            "\"machine\"",
+            "\"control\"",
+            "\"lane 0\"",
+        ] {
+            assert!(out.contains(name), "missing lane name {name}");
+        }
+        assert!(out.contains(r#""name":"process_name""#));
+        assert!(out.contains(r#""name":"thread_name""#));
+    }
+
+    #[test]
+    fn attrs_render_typed() {
+        let out = chrome_trace(&sample());
+        assert!(out.contains(r#""class":"premium""#));
+        assert!(out.contains(r#""shard":0"#));
+        assert!(out.contains(r#""layer":1"#));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_str("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn nesting_check_accepts_sample_and_rejects_escape() {
+        assert_eq!(check_nesting(&sample()), None);
+        let mut bad = sample();
+        bad[2].end_us = 31.0; // attempt outlives its request
+        assert!(check_nesting(&bad).expect("violation").contains("escapes"));
+        let neg = vec![Span {
+            end_us: -1.0,
+            start_us: 0.0,
+            ..sample()[1]
+        }];
+        assert!(check_nesting(&neg).expect("violation").contains("negative"));
+    }
+}

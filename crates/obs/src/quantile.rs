@@ -1,11 +1,11 @@
 //! Online quantile estimation for live service times.
 //!
-//! The fleet's schedulers see one number per shard
-//! ([`ShardView::service_us`](super::ShardView::service_us)); the mean
-//! (or EWMA) is a fine centre estimate but says nothing about the tail —
-//! and tail latency is what serving SLOs are written against. Storing
-//! every observation to compute a real percentile would grow without
-//! bound under heavy traffic, so the fleet uses the **P² algorithm**
+//! The fleet's schedulers see one number per shard (the live
+//! `ShardView::service_us` estimate); the mean (or EWMA) is a fine
+//! centre estimate but says nothing about the tail — and tail latency is
+//! what serving SLOs are written against. Storing every observation to
+//! compute a real percentile would grow without bound under heavy
+//! traffic, so the serving stack uses the **P² algorithm**
 //! (Jain & Chlamtac, 1985): a constant-space estimator that tracks one
 //! quantile with five *markers* — height/position pairs that are nudged
 //! toward their ideal rank positions with every observation, using a
@@ -18,7 +18,7 @@
 /// # Example
 ///
 /// ```
-/// use sparsenn_core::engine::P2Quantile;
+/// use sparsenn_obs::P2Quantile;
 ///
 /// let mut q = P2Quantile::new(0.5);
 /// for i in 0..101 {

@@ -1,0 +1,435 @@
+//! Typed trace spans on the virtual clock.
+//!
+//! Every layer of the stack emits the same vocabulary: a [`Span`] is a
+//! half-open interval `[start_us, end_us]` of virtual time, tagged with
+//! a [`SpanKind`], a `trace_id` correlating it to one request (or one
+//! batch / one layer, for infrastructure spans), a process/thread pair
+//! locating it on a Perfetto track, and a small attribute list held
+//! inline ([`Attrs`]). Spans are plain `Copy` data — recording one is
+//! a memcpy behind a sink, never an allocation; the structure and
+//! determinism live here, not in the recorder.
+
+/// Which layer of the stack a span's `pid` represents. Perfetto renders
+/// one process lane per value; the exporter names them.
+pub mod track {
+    /// The front end: admission, degrade batching, hedging, retries.
+    pub const FRONTEND: u32 = 1;
+    /// The serving simulator: arrival → batch assembly → service.
+    pub const SERVE: u32 = 2;
+    /// The fleet: per-shard attempt execution.
+    pub const FLEET: u32 = 3;
+    /// The partitioned machine: per-chip broadcast/VU/W/gather slices.
+    pub const MACHINE: u32 = 4;
+
+    /// Control-plane thread within a track (admission decisions, batch
+    /// assembly) as opposed to per-shard / per-chip worker threads,
+    /// which use `tid = 1 + index`.
+    pub const CONTROL: u32 = 0;
+    /// Inter-chip broadcast lane on the [`MACHINE`] track.
+    pub const BROADCAST: u32 = 1000;
+    /// Inter-chip gather lane on the [`MACHINE`] track.
+    pub const GATHER: u32 = 1001;
+
+    /// Human name of a process track (exporter metadata).
+    pub fn name(pid: u32) -> &'static str {
+        match pid {
+            FRONTEND => "frontend",
+            SERVE => "serve",
+            FLEET => "fleet",
+            MACHINE => "machine",
+            _ => "unknown",
+        }
+    }
+}
+
+/// The kind of work a span covers. The name doubles as the Perfetto
+/// event name; the category groups kinds for filtering in the UI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A request's whole life, admission to terminal outcome (async).
+    Request,
+    /// Zero-duration admission decision: admitted full-fidelity.
+    Admit,
+    /// Zero-duration admission decision: admitted degraded.
+    Degrade,
+    /// Zero-duration admission decision: shed at the door.
+    Shed,
+    /// Time an attempt waited in a queue before service (async).
+    Queued,
+    /// A degrade buffer's life from first arrival to flush (async).
+    DegradeBatch,
+    /// Zero-duration marker: a hedge attempt was issued.
+    Hedge,
+    /// Zero-duration marker: a queued attempt was cancelled.
+    Cancel,
+    /// Zero-duration marker: a retry attempt was issued after a fail.
+    Retry,
+    /// One attempt occupying one shard, start to completion.
+    Attempt,
+    /// A serve-layer batch from oldest arrival to dispatch (async).
+    BatchAssembly,
+    /// A serve-layer batch in service on a shard.
+    Service,
+    /// Inter-chip broadcast of a layer's input activations.
+    Broadcast,
+    /// Inter-chip gather of a layer's output slices.
+    Gather,
+    /// A chip's VU (vector unit) pass over one layer.
+    Vu,
+    /// A chip's W (weight read / MAC) pass over one layer.
+    W,
+}
+
+impl SpanKind {
+    /// Event name shown in Perfetto.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Request => "request",
+            Self::Admit => "admit",
+            Self::Degrade => "degrade",
+            Self::Shed => "shed",
+            Self::Queued => "queued",
+            Self::DegradeBatch => "degrade_batch",
+            Self::Hedge => "hedge",
+            Self::Cancel => "cancel",
+            Self::Retry => "retry",
+            Self::Attempt => "attempt",
+            Self::BatchAssembly => "batch_assembly",
+            Self::Service => "service",
+            Self::Broadcast => "broadcast",
+            Self::Gather => "gather",
+            Self::Vu => "vu",
+            Self::W => "w",
+        }
+    }
+
+    /// Perfetto category, for filtering whole families of events.
+    pub fn category(self) -> &'static str {
+        match self {
+            Self::Request | Self::Admit | Self::Degrade | Self::Shed => "request",
+            Self::Queued | Self::DegradeBatch | Self::BatchAssembly => "queue",
+            Self::Hedge | Self::Cancel | Self::Retry => "recovery",
+            Self::Attempt | Self::Service => "service",
+            Self::Broadcast | Self::Gather => "interchip",
+            Self::Vu | Self::W => "chip",
+        }
+    }
+
+    /// Async kinds overlap freely on one track (a request outlives the
+    /// attempts interleaved under it), so they export as Perfetto
+    /// async begin/end pairs keyed by `trace_id` rather than complete
+    /// duration events.
+    pub fn is_async(self) -> bool {
+        matches!(
+            self,
+            Self::Request | Self::Queued | Self::DegradeBatch | Self::BatchAssembly
+        )
+    }
+}
+
+/// One typed attribute value on a span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned counter (ids, sizes, cycle counts).
+    U64(u64),
+    /// Real-valued measurement (times, factors).
+    F64(f64),
+    /// Symbolic value (outcomes, class names).
+    Str(&'static str),
+}
+
+impl From<u64> for AttrValue {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    #[inline]
+    fn from(v: &'static str) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// The closed vocabulary of span attribute keys. Every emitter in the
+/// stack names its attributes from this one enum, so the same concept
+/// ("which shard", "which layer") is spelled identically on frontend,
+/// serve, fleet, and machine spans — and a key costs one byte in the
+/// span instead of a 16-byte string reference, which matters because
+/// the tracing overhead oracle is bounded by span memory traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttrKey {
+    /// Attempt sequence number within one request (0 = primary).
+    Attempt,
+    /// Dispatch sequence number of the batch a request rode in.
+    Batch,
+    /// Requests flushed together from a degrade buffer.
+    BatchSize,
+    /// Priority class of a request.
+    Class,
+    /// Whether a request was admitted at degraded fidelity (0/1).
+    Degraded,
+    /// Generic scale factor (exporter round-trip tests).
+    Factor,
+    /// Network layer index on a machine-track span.
+    Layer,
+    /// Multiply-accumulates performed in a W pass.
+    Macs,
+    /// Non-zero input activations entering a layer.
+    NnzIn,
+    /// Non-zero output activations leaving a layer.
+    NnzOut,
+    /// How an attempt was issued: primary, hedge, or retry.
+    Origin,
+    /// Terminal outcome of a request or attempt.
+    Outcome,
+    /// Shard index an attempt or batch landed on.
+    Shard,
+    /// Requests in a serve-layer batch.
+    Size,
+    /// Vector-unit cycles spent on a layer pass.
+    VuCycles,
+    /// Weight-path cycles spent on a layer pass.
+    WCycles,
+    /// Weight-memory reads performed in a W pass.
+    WReads,
+}
+
+impl AttrKey {
+    /// Key name rendered in Perfetto args.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Attempt => "attempt",
+            Self::Batch => "batch",
+            Self::BatchSize => "batch_size",
+            Self::Class => "class",
+            Self::Degraded => "degraded",
+            Self::Factor => "factor",
+            Self::Layer => "layer",
+            Self::Macs => "macs",
+            Self::NnzIn => "nnz_in",
+            Self::NnzOut => "nnz_out",
+            Self::Origin => "origin",
+            Self::Outcome => "outcome",
+            Self::Shard => "shard",
+            Self::Size => "size",
+            Self::VuCycles => "vu_cycles",
+            Self::WCycles => "w_cycles",
+            Self::WReads => "w_reads",
+        }
+    }
+}
+
+/// Most attributes any one span carries (the widest emitter, the
+/// per-chip W pass, uses all four). Bounding the list keeps [`Span`]
+/// `Copy` and recording allocation-free — the overhead oracle in the
+/// obs bench depends on the hot path never touching the allocator.
+pub const MAX_ATTRS: usize = 4;
+
+/// Inline attribute list: up to [`MAX_ATTRS`] `(key, value)` pairs held
+/// by value, no heap. Keys and values are stored in separate arrays so
+/// the one-byte [`AttrKey`]s pack together instead of each padding out
+/// to a value slot. Pushes beyond the capacity are dropped (and panic
+/// in debug builds) — attribute counts are static at every emit site,
+/// so overflow is a bug, not a runtime condition.
+#[derive(Clone, Copy, Debug)]
+pub struct Attrs {
+    len: u8,
+    keys: [AttrKey; MAX_ATTRS],
+    vals: [AttrValue; MAX_ATTRS],
+}
+
+impl Default for Attrs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Attrs {
+    /// The empty list.
+    pub fn new() -> Self {
+        Self {
+            len: 0,
+            keys: [AttrKey::Attempt; MAX_ATTRS],
+            vals: [AttrValue::U64(0); MAX_ATTRS],
+        }
+    }
+
+    /// Appends one pair; silently dropped (debug-panics) when full.
+    #[inline]
+    pub fn push(&mut self, key: AttrKey, value: AttrValue) {
+        let i = self.len as usize;
+        debug_assert!(
+            i < MAX_ATTRS,
+            "span attribute list overflow: ({key:?}, {value:?})"
+        );
+        if i < MAX_ATTRS {
+            self.keys[i] = key;
+            self.vals[i] = value;
+            self.len = self.len.saturating_add(1);
+        }
+    }
+
+    /// Number of populated pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th pair in push order, if populated.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<(AttrKey, AttrValue)> {
+        (i < self.len()).then(|| (self.keys[i], self.vals[i]))
+    }
+
+    /// The populated pairs in push order, by value.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (AttrKey, AttrValue)> + '_ {
+        self.keys[..self.len()]
+            .iter()
+            .copied()
+            .zip(self.vals[..self.len()].iter().copied())
+    }
+}
+
+impl PartialEq for Attrs {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+/// One recorded interval of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Span {
+    /// Correlates the span to one request (or batch / layer for
+    /// infrastructure spans) across every layer of the stack.
+    pub trace_id: u64,
+    /// What kind of work the interval covers.
+    pub kind: SpanKind,
+    /// Process track (see [`track`]).
+    pub pid: u32,
+    /// Thread lane within the track (shard/chip index + 1, or a
+    /// [`track`] lane constant).
+    pub tid: u32,
+    /// Interval start, µs of virtual time.
+    pub start_us: f64,
+    /// Interval end, µs of virtual time (`== start_us` for markers).
+    pub end_us: f64,
+    /// Attribute list, rendered as Perfetto args. Static keys and the
+    /// inline [`Attrs`] storage keep recording fully allocation-free.
+    pub attrs: Attrs,
+}
+
+impl Span {
+    /// Builds a span; `end_us` is clamped up to `start_us` so recorded
+    /// durations are never negative even if a caller's clock arithmetic
+    /// produces a tiny negative interval.
+    #[inline]
+    pub fn new(
+        trace_id: u64,
+        kind: SpanKind,
+        pid: u32,
+        tid: u32,
+        start_us: f64,
+        end_us: f64,
+    ) -> Self {
+        Self {
+            trace_id,
+            kind,
+            pid,
+            tid,
+            start_us,
+            end_us: end_us.max(start_us),
+            attrs: Attrs::new(),
+        }
+    }
+
+    /// Adds one attribute (builder-style).
+    #[must_use]
+    #[inline]
+    pub fn attr(mut self, key: AttrKey, value: impl Into<AttrValue>) -> Self {
+        self.attrs.push(key, value.into());
+        self
+    }
+
+    /// Interval length, µs (never negative by construction).
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_is_clamped_non_negative() {
+        let s = Span::new(7, SpanKind::Attempt, track::FLEET, 1, 10.0, 9.999);
+        assert_eq!(s.duration_us(), 0.0);
+        assert_eq!(s.end_us, s.start_us);
+        let s = Span::new(7, SpanKind::Attempt, track::FLEET, 1, 10.0, 12.5);
+        assert!((s.duration_us() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attrs_build_in_order() {
+        let s = Span::new(1, SpanKind::Service, track::SERVE, 2, 0.0, 1.0)
+            .attr(AttrKey::Batch, 4u64)
+            .attr(AttrKey::Outcome, "completed")
+            .attr(AttrKey::Factor, 0.5f64);
+        assert_eq!(s.attrs.len(), 3);
+        assert!(!s.attrs.is_empty());
+        assert_eq!(s.attrs.get(0), Some((AttrKey::Batch, AttrValue::U64(4))));
+        assert_eq!(
+            s.attrs.get(1),
+            Some((AttrKey::Outcome, AttrValue::Str("completed")))
+        );
+        assert_eq!(s.attrs.get(2), Some((AttrKey::Factor, AttrValue::F64(0.5))));
+        assert_eq!(s.attrs.get(3), None);
+        let keys: Vec<&str> = s.attrs.iter().map(|(k, _)| k.name()).collect();
+        assert_eq!(keys, ["batch", "outcome", "factor"]);
+    }
+
+    #[test]
+    fn async_kinds_are_the_overlapping_ones() {
+        for k in [
+            SpanKind::Request,
+            SpanKind::Queued,
+            SpanKind::DegradeBatch,
+            SpanKind::BatchAssembly,
+        ] {
+            assert!(k.is_async(), "{:?}", k);
+        }
+        for k in [
+            SpanKind::Attempt,
+            SpanKind::Service,
+            SpanKind::Vu,
+            SpanKind::W,
+        ] {
+            assert!(!k.is_async(), "{:?}", k);
+        }
+    }
+
+    #[test]
+    fn names_and_categories_are_stable() {
+        assert_eq!(SpanKind::Attempt.name(), "attempt");
+        assert_eq!(SpanKind::Attempt.category(), "service");
+        assert_eq!(SpanKind::Broadcast.category(), "interchip");
+        assert_eq!(track::name(track::MACHINE), "machine");
+        assert_eq!(track::name(99), "unknown");
+    }
+}

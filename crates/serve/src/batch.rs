@@ -26,6 +26,7 @@ use crate::metrics::{LatencyStats, RequestMetric, ShardUsage, StreamingLatency};
 use crate::sim::{MetricsMode, ServeError};
 use crate::workload::Workload;
 use sparsenn_core::engine::{BatchPolicy, Scheduler, ShardView};
+use sparsenn_obs::{track, AttrKey, NullSink, Span, SpanBuffer, SpanKind, TraceSink};
 use std::collections::VecDeque;
 
 /// One simulated batch-capable shard: a name and its modelled batch
@@ -196,6 +197,24 @@ pub fn simulate_batched(
     workload: &Workload,
     mode: MetricsMode,
 ) -> Result<BatchedSummary, ServeError> {
+    simulate_batched_traced(shards, scheduler, policy, workload, mode, &NullSink)
+}
+
+/// [`simulate_batched`] with request-level tracing: every request gets
+/// an async `request` span (arrival → completion), every dispatched
+/// batch a `batch_assembly` span (oldest arrival → dispatch) and a
+/// `service` span on its shard's lane — all on the `serve` track,
+/// request spans keyed by request id, batch spans by dispatch sequence
+/// number. With a disabled sink this *is* [`simulate_batched`]: the
+/// summary is bit-identical and no span is built.
+pub fn simulate_batched_traced(
+    shards: &[BatchShardSpec],
+    scheduler: &dyn Scheduler,
+    policy: BatchPolicy,
+    workload: &Workload,
+    mode: MetricsMode,
+    sink: &dyn TraceSink,
+) -> Result<BatchedSummary, ServeError> {
     if shards.is_empty() {
         return Err(ServeError::NoShards);
     }
@@ -270,7 +289,8 @@ pub fn simulate_batched(
                         ev: &mut EventQueue<Event>,
                         batches: &mut usize,
                         max_batch: &mut usize,
-                        batch_records: &mut Vec<BatchRecord>| {
+                        batch_records: &mut Vec<BatchRecord>,
+                        spans: &mut SpanBuffer| {
         if state[i].current.is_some() || state[i].queue.is_empty() {
             return;
         }
@@ -284,6 +304,32 @@ pub fn simulate_batched(
         let b = state[i].queue.len().min(cap);
         let batch: Vec<Request> = state[i].queue.drain(..b).collect();
         let service = shards[i].service_for_batch(b);
+        if spans.enabled() {
+            let seq = *batches as u64;
+            spans.record(
+                Span::new(
+                    seq,
+                    SpanKind::BatchAssembly,
+                    track::SERVE,
+                    track::CONTROL,
+                    oldest,
+                    now,
+                )
+                .attr(AttrKey::Shard, i as u64)
+                .attr(AttrKey::Size, b as u64),
+            );
+            spans.record(
+                Span::new(
+                    seq,
+                    SpanKind::Service,
+                    track::SERVE,
+                    i as u32 + 1,
+                    now,
+                    now + service,
+                )
+                .attr(AttrKey::Size, b as u64),
+            );
+        }
         *batches += 1;
         *max_batch = (*max_batch).max(b);
         if exact {
@@ -299,6 +345,11 @@ pub fn simulate_batched(
         ev.push(now + service, Event::Completion { shard: i });
     };
 
+    // All spans go through one emitter-side buffer: staged without a
+    // lock, handed to the sink as whole owned chunks, flushed when the
+    // event loop drains. Keeps the traced hot loop at one sink
+    // interaction per ~256 spans.
+    let mut spans = SpanBuffer::new(sink);
     while let Some((now, event)) = events.pop() {
         match event {
             Event::Arrival => {
@@ -350,6 +401,7 @@ pub fn simulate_batched(
                     &mut batches,
                     &mut max_batch,
                     &mut batch_records,
+                    &mut spans,
                 );
             }
             Event::Completion { shard } => {
@@ -365,6 +417,20 @@ pub fn simulate_batched(
                     done += 1;
                     queue_us_sum += start_us - req.arrival_us;
                     service_us_sum += now - start_us;
+                    if spans.enabled() {
+                        spans.record(
+                            Span::new(
+                                req.id as u64,
+                                SpanKind::Request,
+                                track::SERVE,
+                                track::CONTROL,
+                                req.arrival_us,
+                                now,
+                            )
+                            .attr(AttrKey::Shard, shard as u64)
+                            .attr(AttrKey::Batch, batch.len() as u64),
+                        );
+                    }
                     if exact {
                         per_request.push(RequestMetric {
                             id: req.id,
@@ -391,6 +457,7 @@ pub fn simulate_batched(
                     &mut batches,
                     &mut max_batch,
                     &mut batch_records,
+                    &mut spans,
                 );
             }
             Event::Deadline { shard } => {
@@ -404,11 +471,13 @@ pub fn simulate_batched(
                     &mut batches,
                     &mut max_batch,
                     &mut batch_records,
+                    &mut spans,
                 );
             }
         }
     }
 
+    spans.flush();
     debug_assert_eq!(done, total_requests, "every request completes");
     let latency = if exact {
         let latencies: Vec<f64> = per_request.iter().map(RequestMetric::latency_us).collect();
@@ -709,6 +778,52 @@ mod tests {
             .unwrap_err(),
             ServeError::InvalidPolicy(_)
         ));
+    }
+
+    /// Tracing is an observer: the traced summary is bit-identical to
+    /// the untraced one, every request id gets a `request` span whose
+    /// bounds match its metric, every dispatch gets paired
+    /// `batch_assembly`/`service` spans, and the span stream repeats
+    /// exactly for the same seed.
+    #[test]
+    fn traced_run_matches_untraced_and_covers_every_request() {
+        use sparsenn_obs::{RingRecorder, SpanKind};
+        let shards = vec![BatchShardSpec::with_table("m", amortized(6, 9.0))];
+        let w = Workload::Poisson {
+            rate_rps: 150_000.0,
+            requests: 300,
+            seed: 5,
+        };
+        let p = BatchPolicy::SizeOrDeadline {
+            max: 6,
+            deadline_us: 50.0,
+        };
+        let plain = simulate_batched(&shards, &FirstIdle, p, &w, MetricsMode::Exact).unwrap();
+        let rec = RingRecorder::new(1 << 14);
+        let traced =
+            simulate_batched_traced(&shards, &FirstIdle, p, &w, MetricsMode::Exact, &rec).unwrap();
+        assert_eq!(plain, traced, "tracing must not perturb the simulation");
+
+        let spans = rec.spans();
+        for r in &traced.per_request {
+            let span = spans
+                .iter()
+                .find(|s| s.kind == SpanKind::Request && s.trace_id == r.id as u64)
+                .unwrap_or_else(|| panic!("request {} has no span", r.id));
+            assert!((span.start_us - r.arrival_us).abs() < 1e-9);
+            assert!((span.end_us - r.completion_us).abs() < 1e-9);
+        }
+        let assemblies = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::BatchAssembly)
+            .count();
+        let services = spans.iter().filter(|s| s.kind == SpanKind::Service).count();
+        assert_eq!(assemblies, traced.batches);
+        assert_eq!(services, traced.batches);
+
+        let rec2 = RingRecorder::new(1 << 14);
+        simulate_batched_traced(&shards, &FirstIdle, p, &w, MetricsMode::Exact, &rec2).unwrap();
+        assert_eq!(spans, rec2.spans(), "same seed, same spans");
     }
 
     #[test]

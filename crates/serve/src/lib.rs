@@ -65,7 +65,9 @@ mod metrics;
 mod sim;
 mod workload;
 
-pub use batch::{simulate_batched, BatchRecord, BatchShardSpec, BatchedSummary};
+pub use batch::{
+    simulate_batched, simulate_batched_traced, BatchRecord, BatchShardSpec, BatchedSummary,
+};
 pub use events::{EventQueue, FleetEvent};
 pub use metrics::{
     LatencyStats, QueueStats, RequestMetric, ServeSummary, ShardUsage, StreamingLatency,

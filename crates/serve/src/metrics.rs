@@ -47,117 +47,16 @@ impl RequestMetric {
     }
 }
 
-/// Latency distribution over a request population, microseconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub struct LatencyStats {
-    /// Arithmetic mean.
-    pub mean_us: f64,
-    /// Median (nearest-rank).
-    pub p50_us: f64,
-    /// 95th percentile (nearest-rank).
-    pub p95_us: f64,
-    /// 99th percentile (nearest-rank).
-    pub p99_us: f64,
-    /// Maximum.
-    pub max_us: f64,
-}
+/// Latency distribution snapshot — re-exported from the unified
+/// `sparsenn-obs` accounting (same five fields, same nearest-rank
+/// [`LatencyStats::of`] this crate used to define locally).
+pub use sparsenn_obs::LatencyStats;
 
-impl LatencyStats {
-    /// Computes the stats over `values` (order irrelevant; empty → zeros).
-    pub fn of(values: &[f64]) -> Self {
-        if values.is_empty() {
-            return Self::default();
-        }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(f64::total_cmp);
-        let pct = |p: f64| -> f64 {
-            // Nearest-rank percentile: the smallest value with at least
-            // p% of the population at or below it.
-            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[rank.clamp(1, sorted.len()) - 1]
-        };
-        Self {
-            mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
-            p50_us: pct(50.0),
-            p95_us: pct(95.0),
-            p99_us: pct(99.0),
-            max_us: *sorted.last().expect("non-empty"),
-        }
-    }
-}
-
-/// Constant-memory latency accounting: exact count/mean/max plus P²
-/// streaming estimates of p50/p95/p99. Five floats per tracked
-/// percentile, no samples retained — the accumulator behind the
-/// simulator's streaming mode and the `sparsenn-frontend` per-class
-/// stats, sized for sweeps over millions of virtual requests.
-#[derive(Clone, Debug, PartialEq)]
-pub struct StreamingLatency {
-    count: u64,
-    sum_us: f64,
-    max_us: f64,
-    p50: sparsenn_core::engine::P2Quantile,
-    p95: sparsenn_core::engine::P2Quantile,
-    p99: sparsenn_core::engine::P2Quantile,
-}
-
-impl Default for StreamingLatency {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl StreamingLatency {
-    /// An empty accumulator.
-    pub fn new() -> Self {
-        use sparsenn_core::engine::P2Quantile;
-        Self {
-            count: 0,
-            sum_us: 0.0,
-            max_us: 0.0,
-            p50: P2Quantile::new(0.5),
-            p95: P2Quantile::new(0.95),
-            p99: P2Quantile::new(0.99),
-        }
-    }
-
-    /// Folds one latency observation in (O(1) time and space).
-    pub fn observe(&mut self, latency_us: f64) {
-        self.count += 1;
-        self.sum_us += latency_us;
-        self.max_us = self.max_us.max(latency_us);
-        self.p50.observe(latency_us);
-        self.p95.observe(latency_us);
-        self.p99.observe(latency_us);
-    }
-
-    /// Observations folded in so far.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact arithmetic mean of the observations (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us / self.count as f64
-        }
-    }
-
-    /// The summary snapshot: exact mean and max, P²-estimated
-    /// percentiles (exact for populations under five — the trackers are
-    /// still in their warm-up buffers).
-    pub fn stats(&self) -> LatencyStats {
-        LatencyStats {
-            mean_us: self.mean_us(),
-            p50_us: self.p50.estimate(),
-            p95_us: self.p95.estimate(),
-            p99_us: self.p99.estimate(),
-            max_us: self.max_us,
-        }
-    }
-}
+/// The streaming accumulator behind the simulator's default metrics
+/// mode — re-exported from `sparsenn-obs`, where the fleet's per-shard
+/// books and the frontend's per-class stats now share it. Exact
+/// count/mean/max plus constant-space P² p50/p95/p99.
+pub use sparsenn_obs::LatencyStat as StreamingLatency;
 
 /// One shard's share of the simulated work.
 #[derive(Clone, Debug, PartialEq)]
@@ -221,6 +120,30 @@ pub struct ServeSummary {
     /// default streaming mode, which holds memory at O(in-flight)
     /// however many requests the workload issues.
     pub per_request: Vec<RequestMetric>,
+}
+
+impl ServeSummary {
+    /// Exports the summary into a [`MetricsRegistry`] under `serve.*`
+    /// names: run-level counters and gauges, the end-to-end latency
+    /// distribution, queue statistics and per-shard usage.
+    ///
+    /// [`MetricsRegistry`]: sparsenn_obs::MetricsRegistry
+    pub fn export_metrics(&self, registry: &mut sparsenn_obs::MetricsRegistry) {
+        registry.inc("serve.requests", self.requests as u64);
+        registry.set_gauge("serve.makespan_us", self.makespan_us);
+        registry.set_gauge("serve.throughput_rps", self.throughput_rps);
+        registry.set_gauge("serve.queue_us_mean", self.queue_us_mean);
+        registry.set_gauge("serve.service_us_mean", self.service_us_mean);
+        registry.record_latency("serve.latency", &self.latency);
+        registry.set_gauge("serve.queue.max_depth", self.queue.max_depth as f64);
+        registry.set_gauge("serve.queue.mean_depth", self.queue.mean_depth);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let p = format!("serve.shard{i}");
+            registry.inc(&format!("{p}.served"), shard.served as u64);
+            registry.set_gauge(&format!("{p}.busy_us"), shard.busy_us);
+            registry.set_gauge(&format!("{p}.utilization"), shard.utilization);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -36,3 +36,9 @@ pub use sparsenn_serve as serve;
 /// the live [`engine::Fleet`] consults, plus fault injection, hedged
 /// requests, autoscaling, and the SLO policy sweep.
 pub use sparsenn_frontend as frontend;
+
+/// Observability plane (re-export of `sparsenn-obs`): trace sinks and
+/// typed spans on the virtual clock, Chrome trace-event (Perfetto)
+/// export, the unified [`obs::LatencyStat`] accumulator, the
+/// [`obs::MetricsRegistry`], and wall-clock profiling hooks.
+pub use sparsenn_obs as obs;
