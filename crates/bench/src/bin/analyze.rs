@@ -1,0 +1,7 @@
+//! Standalone runner for the trace-analytics study: critical-path
+//! attribution, tail exemplars, and burn-rate oracles on the seeded
+//! 4-shard overload scenario.
+
+fn main() {
+    println!("{}", sparsenn_bench::experiments::analyze::run());
+}

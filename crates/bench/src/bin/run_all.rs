@@ -94,6 +94,19 @@ fn main() {
         results.add_metric(name, value);
     }
 
+    // Trace analytics is self-contained (synthetic shards, no trained
+    // system): critical-path attribution, tail exemplars, burn rates.
+    let mut analyze_metrics = Vec::new();
+    let report = results.run("analyze", || {
+        let r = e::analyze::measure();
+        analyze_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in analyze_metrics {
+        results.add_metric(name, value);
+    }
+
     // Model parallelism trains its own system: its study network must
     // *overflow* its (shrunken) chip, unlike the serving studies'.
     let mut partition_metrics = Vec::new();

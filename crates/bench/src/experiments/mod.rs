@@ -4,6 +4,7 @@
 //! partitioning of oversized networks.
 
 pub mod ablations;
+pub mod analyze;
 pub mod batching;
 pub mod fig6;
 pub mod fig7;

@@ -37,8 +37,7 @@ use sparsenn_frontend::{
     FrontendSummary, HedgeConfig, SloPolicy,
 };
 use sparsenn_obs::{
-    check_nesting, chrome_trace, MetricsRegistry, NullSink, RingRecorder, Span, SpanKind,
-    WallProfiler,
+    check_nesting, chrome_trace, MetricsRegistry, NullSink, RingRecorder, SpanKind, WallProfiler,
 };
 use sparsenn_serve::{
     simulate_batched, simulate_batched_traced, BatchShardSpec, MetricsMode, ShardSpec, Workload,
@@ -84,7 +83,7 @@ fn capture_trace(
     machine: &PartitionedMachine,
     net: &sparsenn_core::model::fixedpoint::FixedNetwork,
     input: &[Q6_10],
-) -> (FrontendSummary, Vec<Span>) {
+) -> (FrontendSummary, RingRecorder) {
     let recorder = RingRecorder::new(1 << 17);
     let summary = simulate_frontend_traced(fleet, &LeastQueued, gate, cfg, &recorder)
         .expect("the traced study config is valid");
@@ -105,7 +104,7 @@ fn capture_trace(
             .run_traced(net, input, UvMode::On, request_id, start_us, &recorder)
             .expect("the study network fits the 2-chip plan");
     }
-    (summary, recorder.spans())
+    (summary, recorder)
 }
 
 /// Runs the observability study on an already-trained system (shared
@@ -172,10 +171,11 @@ pub fn measure_with(p: Profile, sys: &TrainedSystem) -> ObsReport {
         PartitionedMachine::new(net, *sys.machine().config(), 2, InterChipConfig::default())
             .expect("the study network splits across 2 chips");
 
-    let (summary, spans) = capture_trace(&fleet, &gate, &cfg, &machine, net, &input);
+    let (summary, recorder) = capture_trace(&fleet, &gate, &cfg, &machine, net, &input);
+    let spans = recorder.spans();
     let trace = chrome_trace(&spans);
-    let (_, spans_again) = capture_trace(&fleet, &gate, &cfg, &machine, net, &input);
-    let deterministic = trace == chrome_trace(&spans_again);
+    let (_, recorder_again) = capture_trace(&fleet, &gate, &cfg, &machine, net, &input);
+    let deterministic = trace == chrome_trace(&recorder_again.spans());
     let nesting = check_nesting(&spans);
 
     // Coverage: every attempt and chip span correlates to a request
@@ -273,6 +273,7 @@ pub fn measure_with(p: Profile, sys: &TrainedSystem) -> ObsReport {
     let mut registry = MetricsRegistry::new();
     summary.export_metrics(&mut registry);
     prof.export_metrics(&mut registry);
+    recorder.export_metrics(&mut registry);
     registry.inc("obs.trace_spans", spans.len() as u64);
     registry.set_gauge("obs.trace_bytes", trace.len() as f64);
     let _ = writeln!(

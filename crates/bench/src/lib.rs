@@ -22,6 +22,8 @@
 //! | `… --bin frontend` | production front end: admission, hedging, autoscaling, SLO sweep |
 //! | `… --bin partition` | model parallelism: oversized MLP on 2/4/8 chips, comm overhead |
 //! | `… --bin obs` | observability: Perfetto trace export, telemetry registry, overhead oracles |
+//! | `… --bin analyze` | trace analytics: critical-path attribution, tail exemplars, burn-rate oracles |
+//! | `… --bin trace_report` | text analytics report from a fresh run or a recorded trace (`--input FILE`) |
 //! | `… --bin run_all` | everything above, in order |
 //! | `… --bin bench_diff` | compare two `BENCH_results.json` files (`--json` for machine output) |
 

@@ -62,6 +62,7 @@
 //! same threshold. `bench_diff --json PATH` additionally writes the
 //! diff itself as a machine-readable document ([`BenchDiff::to_json`]).
 
+use sparsenn_obs::Span;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -126,7 +127,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 8,");
+        let _ = writeln!(out, "  \"schema\": 9,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -185,7 +186,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 through 8).
+    /// Parses a `BENCH_results.json` document (schema 1 through 9).
     ///
     /// # Errors
     ///
@@ -639,6 +640,172 @@ pub mod json {
     }
 }
 
+/// Parses a Chrome trace-event JSON document (the
+/// [`chrome_trace`](sparsenn_obs::chrome_trace) exporter's output) back
+/// into a span list, so `trace_report` can analyze a recorded run from
+/// disk. Inverse up to representation: complete `"X"` events and async
+/// `"b"`/`"e"` pairs (matched FIFO on name/id/pid/tid) rebuild their
+/// spans in event order; `"M"` metadata is skipped; attribute values
+/// re-type by the closed [`AttrKey`](sparsenn_obs::AttrKey) vocabulary
+/// (unknown keys, and string values outside the emitters' vocabulary,
+/// are dropped rather than failing the parse).
+pub fn parse_chrome_trace(src: &str) -> Result<Vec<Span>, String> {
+    use sparsenn_obs::{AttrKey, AttrValue, SpanKind};
+    use std::collections::HashMap;
+
+    let root = json::parse(src)?;
+    let fields = root.as_object().ok_or("top level must be an object")?;
+    let events = match json::lookup(fields, "traceEvents") {
+        Some(json::JsonValue::Arr(events)) => events,
+        _ => return Err("missing traceEvents array".into()),
+    };
+
+    let kind_of = |name: &str| -> Option<SpanKind> {
+        Some(match name {
+            "request" => SpanKind::Request,
+            "admit" => SpanKind::Admit,
+            "degrade" => SpanKind::Degrade,
+            "shed" => SpanKind::Shed,
+            "queued" => SpanKind::Queued,
+            "degrade_batch" => SpanKind::DegradeBatch,
+            "hedge" => SpanKind::Hedge,
+            "cancel" => SpanKind::Cancel,
+            "retry" => SpanKind::Retry,
+            "attempt" => SpanKind::Attempt,
+            "batch_assembly" => SpanKind::BatchAssembly,
+            "service" => SpanKind::Service,
+            "broadcast" => SpanKind::Broadcast,
+            "gather" => SpanKind::Gather,
+            "vu" => SpanKind::Vu,
+            "w" => SpanKind::W,
+            _ => return None,
+        })
+    };
+    let key_of = |name: &str| -> Option<AttrKey> {
+        Some(match name {
+            "attempt" => AttrKey::Attempt,
+            "batch" => AttrKey::Batch,
+            "batch_size" => AttrKey::BatchSize,
+            "chip" => AttrKey::Chip,
+            "class" => AttrKey::Class,
+            "degraded" => AttrKey::Degraded,
+            "factor" => AttrKey::Factor,
+            "layer" => AttrKey::Layer,
+            "macs" => AttrKey::Macs,
+            "nnz_in" => AttrKey::NnzIn,
+            "nnz_out" => AttrKey::NnzOut,
+            "origin" => AttrKey::Origin,
+            "outcome" => AttrKey::Outcome,
+            "shard" => AttrKey::Shard,
+            "size" => AttrKey::Size,
+            "vu_cycles" => AttrKey::VuCycles,
+            "w_cycles" => AttrKey::WCycles,
+            "w_reads" => AttrKey::WReads,
+            _ => return None,
+        })
+    };
+    // Attribute values are stored as `&'static str`; symbolic values in
+    // a trace come from the emitters' closed vocabularies.
+    let intern = |s: &str| -> Option<&'static str> {
+        const VOCAB: [&str; 10] = [
+            "high",
+            "low",
+            "completed",
+            "failed",
+            "cancelled",
+            "shed",
+            "primary",
+            "hedge",
+            "retry",
+            "?",
+        ];
+        VOCAB.iter().copied().find(|v| *v == s)
+    };
+    let attr_value = |key: AttrKey, v: &json::JsonValue| -> Option<AttrValue> {
+        match v {
+            json::JsonValue::Str(s) => intern(s).map(AttrValue::Str),
+            json::JsonValue::Num(n) => {
+                Some(if key != AttrKey::Factor && n.fract() == 0.0 && *n >= 0.0 {
+                    AttrValue::U64(*n as u64)
+                } else {
+                    AttrValue::F64(*n)
+                })
+            }
+            _ => None,
+        }
+    };
+
+    let mut spans: Vec<Span> = Vec::new();
+    // Open async begins awaiting their end, FIFO per (name, id, pid,
+    // tid): the index of the provisional span pushed at 'b' time.
+    let mut open: HashMap<(String, u64, u64, u64), Vec<usize>> = HashMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let ev = event
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let str_field = |key: &str| json::lookup(ev, key).and_then(json::JsonValue::as_str);
+        let num_field = |key: &str| json::lookup(ev, key).and_then(json::JsonValue::as_f64);
+        let ph = str_field("ph").ok_or_else(|| format!("event {i} has no ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let name = str_field("name").ok_or_else(|| format!("event {i} has no name"))?;
+        let Some(kind) = kind_of(name) else { continue };
+        let ts = num_field("ts").ok_or_else(|| format!("event {i} has no ts"))?;
+        let pid = num_field("pid").unwrap_or(0.0) as u32;
+        let tid = num_field("tid").unwrap_or(0.0) as u32;
+        if ph == "e" {
+            let id = num_field("id").unwrap_or(0.0) as u64;
+            let slot = open
+                .get_mut(&(name.to_string(), id, pid as u64, tid as u64))
+                .and_then(|v| (!v.is_empty()).then(|| v.remove(0)))
+                .ok_or_else(|| format!("unmatched async end at event {i}"))?;
+            spans[slot].end_us = ts;
+            continue;
+        }
+        let trace_id = json::lookup(ev, "args")
+            .and_then(json::JsonValue::as_object)
+            .and_then(|args| json::lookup(args, "trace_id"))
+            .and_then(json::JsonValue::as_f64)
+            .map(|v| v as u64)
+            .or_else(|| num_field("id").map(|v| v as u64))
+            .ok_or_else(|| format!("event {i} has no trace_id"))?;
+        let end = match ph {
+            "X" => ts + num_field("dur").unwrap_or(0.0),
+            "b" => ts, // patched when the matching 'e' arrives
+            other => return Err(format!("unsupported phase {other:?} at event {i}")),
+        };
+        let mut span = Span::new(trace_id, kind, pid, tid, ts, end);
+        if let Some(args) = json::lookup(ev, "args").and_then(json::JsonValue::as_object) {
+            for (key, value) in args {
+                if key == "trace_id" || span.attrs.len() >= sparsenn_obs::MAX_ATTRS {
+                    continue;
+                }
+                if let Some(k) = key_of(key) {
+                    if let Some(v) = attr_value(k, value) {
+                        span = span.attr(k, v);
+                    }
+                }
+            }
+        }
+        if ph == "b" {
+            open.entry((name.to_string(), trace_id, pid as u64, tid as u64))
+                .or_default()
+                .push(spans.len());
+        }
+        spans.push(span);
+    }
+    for indices in open.values() {
+        if let Some(&i) = indices.first() {
+            return Err(format!(
+                "unclosed async span {:?} trace {}",
+                spans[i].kind, spans[i].trace_id
+            ));
+        }
+    }
+    Ok(spans)
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -673,9 +840,55 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 8"));
+        assert!(json.contains("\"schema\": 9"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_through_the_parser() {
+        use sparsenn_obs::{chrome_trace, track, AttrKey, SpanKind};
+        let spans = vec![
+            Span::new(
+                3,
+                SpanKind::Request,
+                track::FRONTEND,
+                track::CONTROL,
+                0.0,
+                30.0,
+            )
+            .attr(AttrKey::Class, "high")
+            .attr(AttrKey::Outcome, "completed"),
+            Span::new(
+                3,
+                SpanKind::Queued,
+                track::FRONTEND,
+                track::CONTROL,
+                0.0,
+                4.0,
+            )
+            .attr(AttrKey::Attempt, 0u64)
+            .attr(AttrKey::Shard, 1u64),
+            Span::new(3, SpanKind::Attempt, track::FLEET, 2, 4.0, 30.0)
+                .attr(AttrKey::Attempt, 0u64)
+                .attr(AttrKey::Outcome, "completed")
+                .attr(AttrKey::Shard, 1u64),
+            Span::new(3, SpanKind::Vu, track::MACHINE, 1, 4.0, 10.5)
+                .attr(AttrKey::Layer, 1u64)
+                .attr(AttrKey::Chip, 0u64),
+        ];
+        let parsed = parse_chrome_trace(&chrome_trace(&spans)).unwrap();
+        // Async spans re-emerge first (their 'b' event's position), sync
+        // spans in order; compare as sets keyed by (kind, start).
+        assert_eq!(parsed.len(), spans.len());
+        for s in &spans {
+            assert!(
+                parsed.iter().any(|p| p == s),
+                "span {s:?} lost in the round trip\n{parsed:#?}"
+            );
+        }
+        assert!(parse_chrome_trace("{}").is_err(), "no traceEvents");
+        assert!(parse_chrome_trace("not json").is_err());
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn emit_chip_spans(
             ctx.t0_us + vu_end_us,
         )
         .attr(AttrKey::Layer, layer as u64)
+        .attr(AttrKey::Chip, chip as u64)
         .attr(AttrKey::VuCycles, run.vu_cycles),
     );
     ctx.emit(

@@ -73,7 +73,7 @@ mod slo;
 pub use autoscale::{AutoscaleConfig, Autoscaler, ScaleDecision};
 pub use faults::{Fault, FaultPlan};
 pub use hedge::HedgeConfig;
-pub use metrics::{ClassStats, FrontendSummary};
+pub use metrics::{ClassBurnAlert, ClassStats, FrontendSummary};
 pub use sim::{
     simulate_frontend, simulate_frontend_traced, DegradeBatching, FrontendConfig, FrontendError,
 };
@@ -84,4 +84,5 @@ pub use slo::{best_goodput, sweep_combos, ComboResult, SloPolicy};
 pub use sparsenn_core::engine::{
     AdmissionDecision, AdmissionGate, AdmitAll, BoundedQueues, Priority,
 };
+pub use sparsenn_obs::{AlertKind, BurnAlert, BurnConfig};
 pub use sparsenn_serve::{ShardSpec, Workload};

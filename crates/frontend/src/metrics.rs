@@ -8,7 +8,18 @@
 //! `sparsenn-serve`'s streaming mode.
 
 use sparsenn_core::engine::Priority;
+use sparsenn_obs::{AlertKind, BurnAlert};
 use sparsenn_serve::LatencyStats;
+
+/// One burn-rate alert edge, tagged with the priority class whose SLO
+/// budget raised it (each class runs its own monitor).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassBurnAlert {
+    /// The class whose attainment budget fired or cleared.
+    pub class: Priority,
+    /// The alert edge itself (time, kind, window burn rates).
+    pub alert: BurnAlert,
+}
 
 /// Outcomes for one [`Priority`] class.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -111,6 +122,12 @@ pub struct FrontendSummary {
     pub peak_active_shards: usize,
     /// Shards active when the run ended.
     pub final_active_shards: usize,
+    /// Burn-rate alert edges in virtual-time order (ties: High first).
+    /// Empty unless the run configured a
+    /// [`BurnConfig`](sparsenn_obs::BurnConfig) — the per-class
+    /// monitors observe every terminal outcome (a shed or terminal
+    /// failure is an SLO miss).
+    pub burn_alerts: Vec<ClassBurnAlert>,
 }
 
 impl FrontendSummary {
@@ -160,6 +177,15 @@ impl FrontendSummary {
             registry.inc(&format!("{p}.slo_met"), class.slo_met as u64);
             registry.record_latency(&format!("{p}.latency"), &class.latency);
         }
+        let fired = |class: Priority| {
+            self.burn_alerts
+                .iter()
+                .filter(|a| a.class == class && a.alert.kind == AlertKind::Fire)
+                .count() as u64
+        };
+        registry.inc("frontend.burn.alerts", self.burn_alerts.len() as u64);
+        registry.inc("frontend.class.high.burn_fired", fired(Priority::High));
+        registry.inc("frontend.class.low.burn_fired", fired(Priority::Low));
     }
 }
 

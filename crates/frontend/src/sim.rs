@@ -21,12 +21,14 @@
 use crate::autoscale::{AutoscaleConfig, Autoscaler, ScaleDecision};
 use crate::faults::{Fault, FaultPlan};
 use crate::hedge::HedgeConfig;
-use crate::metrics::{ClassStats, FrontendSummary};
+use crate::metrics::{ClassBurnAlert, ClassStats, FrontendSummary};
 use crate::slo::SloPolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsenn_core::engine::{AdmissionDecision, AdmissionGate, Priority, Scheduler, ShardView};
-use sparsenn_obs::{track, AttrKey, NullSink, Span, SpanKind, TraceSink};
+use sparsenn_obs::{
+    track, AttrKey, BurnConfig, BurnRateMonitor, NullSink, Span, SpanKind, TraceSink,
+};
 use sparsenn_serve::{EventQueue, FleetEvent, ShardSpec, StreamingLatency, Workload};
 use std::collections::VecDeque;
 
@@ -70,6 +72,12 @@ pub struct FrontendConfig {
     /// released as a batch — larger and slower for the degraded request,
     /// cheaper per sample for the fleet. See [`DegradeBatching`].
     pub degrade_batching: Option<DegradeBatching>,
+    /// SLO burn-rate monitoring (`None`: off). When set, each priority
+    /// class runs its own multi-window [`BurnRateMonitor`] over
+    /// deadline attainment — every terminal outcome feeds it (sheds and
+    /// terminal failures are misses) — and the run's alert edges land
+    /// in [`FrontendSummary::burn_alerts`].
+    pub burn: Option<BurnConfig>,
 }
 
 /// Routes the admission gate's degrade tier onto the batch-native
@@ -154,6 +162,7 @@ impl FrontendConfig {
             autoscale: None,
             initial_active: 0,
             degrade_batching: None,
+            burn: None,
         }
     }
 
@@ -191,6 +200,12 @@ impl FrontendConfig {
     /// the flat [`degrade_factor`](Self::degrade_factor) discount.
     pub fn degrade_batching(mut self, batching: DegradeBatching) -> Self {
         self.degrade_batching = Some(batching);
+        self
+    }
+
+    /// Enables per-class SLO burn-rate monitoring.
+    pub fn burn_monitor(mut self, burn: BurnConfig) -> Self {
+        self.burn = Some(burn);
         self
     }
 }
@@ -374,6 +389,9 @@ struct Engine<'a> {
     degrade_batches: usize,
     degrade_batch_samples: usize,
     max_degrade_batch: usize,
+    /// Per-class burn-rate monitors (indexed like `classes`), when
+    /// configured. Fed at every terminal outcome.
+    burn: [Option<BurnRateMonitor>; 2],
 }
 
 impl<'a> Engine<'a> {
@@ -443,7 +461,8 @@ impl<'a> Engine<'a> {
             )
             .attr(AttrKey::Attempt, attempt.id)
             .attr(AttrKey::Origin, attempt.origin.name())
-            .attr(AttrKey::Outcome, outcome),
+            .attr(AttrKey::Outcome, outcome)
+            .attr(AttrKey::Shard, shard as u64),
         );
     }
 
@@ -662,8 +681,12 @@ impl<'a> Engine<'a> {
         let latency = now - self.requests[request].arrival_us;
         let stats = &mut self.classes[class.index()];
         stats.completed += 1;
-        if latency <= self.cfg.slo.limit_us(class) {
+        let met = latency <= self.cfg.slo.limit_us(class);
+        if met {
             stats.slo_met += 1;
+        }
+        if let Some(m) = &mut self.burn[class.index()] {
+            m.observe(now, met);
         }
         self.latency[class.index()].observe(latency);
         if let Some(scaler) = &mut self.scaler {
@@ -705,6 +728,9 @@ impl<'a> Engine<'a> {
                 let class = self.requests[request].class;
                 self.requests[request].done = true;
                 self.classes[class.index()].failed += 1;
+                if let Some(m) = &mut self.burn[class.index()] {
+                    m.observe(now, false);
+                }
                 self.emit_request_span(request, now, "failed");
                 self.resolve(now);
             }
@@ -824,6 +850,9 @@ impl<'a> Engine<'a> {
             }
             AdmissionDecision::Shed => {
                 self.classes[class.index()].shed += 1;
+                if let Some(m) = &mut self.burn[class.index()] {
+                    m.observe(now, false);
+                }
                 self.requests[request].done = true;
                 self.emit_marker(SpanKind::Shed, request, now);
                 self.emit_request_span(request, now, "shed");
@@ -989,6 +1018,9 @@ pub fn simulate_frontend_traced(
     if let Some(b) = &cfg.degrade_batching {
         b.validate().map_err(FrontendError::BadConfig)?;
     }
+    if let Some(b) = &cfg.burn {
+        b.validate().map_err(FrontendError::BadConfig)?;
+    }
     if let Some(a) = &cfg.autoscale {
         a.validate().map_err(FrontendError::BadConfig)?;
         if a.max_shards > fleet.len() {
@@ -1100,6 +1132,10 @@ pub fn simulate_frontend_traced(
         degrade_batches: 0,
         degrade_batch_samples: 0,
         max_degrade_batch: 0,
+        burn: [
+            cfg.burn.map(BurnRateMonitor::new),
+            cfg.burn.map(BurnRateMonitor::new),
+        ],
     };
 
     while let Some((now, event)) = engine.events.pop() {
@@ -1161,6 +1197,25 @@ pub fn simulate_frontend_traced(
     let slo_met: usize = classes.iter().map(|c| c.slo_met).sum();
     let shed: usize = classes.iter().map(|c| c.shed).sum();
     let makespan_s = engine.makespan_us * 1e-6;
+    let mut burn_alerts: Vec<ClassBurnAlert> = Vec::new();
+    for (class, monitor) in [Priority::High, Priority::Low]
+        .into_iter()
+        .zip(&engine.burn)
+    {
+        if let Some(m) = monitor {
+            burn_alerts.extend(
+                m.alerts()
+                    .iter()
+                    .map(|&alert| ClassBurnAlert { class, alert }),
+            );
+        }
+    }
+    burn_alerts.sort_by(|x, y| {
+        x.alert
+            .at_us
+            .total_cmp(&y.alert.at_us)
+            .then(x.class.index().cmp(&y.class.index()))
+    });
     Ok(FrontendSummary {
         scheduler: scheduler.name().to_string(),
         admission: admission.name().to_string(),
@@ -1211,6 +1266,7 @@ pub fn simulate_frontend_traced(
             .iter()
             .filter(|s| s.active && !s.warming)
             .count(),
+        burn_alerts,
     })
 }
 
@@ -1312,6 +1368,51 @@ mod tests {
         for c in &s.classes {
             assert_eq!(c.offered, c.completed + c.shed + c.failed);
         }
+    }
+
+    #[test]
+    fn burn_monitor_fires_under_overload_and_stays_quiet_at_nominal_load() {
+        let burn = BurnConfig::new(0.9, 2_000.0, 10_000.0);
+        let run = |rate_rps: f64| {
+            let cfg = FrontendConfig::new(
+                Workload::Poisson {
+                    rate_rps,
+                    requests: 3000,
+                    seed: 11,
+                },
+                slo(),
+            )
+            .low_fraction(0.4)
+            .burn_monitor(burn);
+            simulate_frontend(&fleet(2, 10.0), &LeastQueued, &AdmitAll, &cfg).unwrap()
+        };
+        // 2 shards × 100k rps capacity. Offered 2×: queues grow without
+        // bound, both classes blow their SLOs, both monitors fire.
+        let hot = run(400_000.0);
+        let fires = |s: &FrontendSummary, class| {
+            s.burn_alerts
+                .iter()
+                .filter(|a| a.class == class && a.alert.kind == sparsenn_obs::AlertKind::Fire)
+                .count()
+        };
+        assert!(
+            fires(&hot, Priority::High) + fires(&hot, Priority::Low) >= 1,
+            "overload raises at least one alert: {:?}",
+            hot.burn_alerts
+        );
+        let sorted = hot
+            .burn_alerts
+            .windows(2)
+            .all(|w| w[0].alert.at_us <= w[1].alert.at_us);
+        assert!(sorted, "alerts come back in time order");
+        // Offered 0.25× capacity: everything meets SLO, zero alerts.
+        let calm = run(50_000.0);
+        assert!(
+            calm.burn_alerts.is_empty(),
+            "nominal load is quiet: {:?}",
+            calm.burn_alerts
+        );
+        assert!(calm.slo_attainment > 0.99);
     }
 
     #[test]

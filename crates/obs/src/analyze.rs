@@ -1,0 +1,680 @@
+//! Trace analytics: per-request critical paths and latency breakdowns.
+//!
+//! A recorded trace (any `TraceSink` capture) is a flat span list keyed
+//! by `trace_id`. [`analyze`] reconstructs each request's span tree
+//! from that key, walks the chain that actually determined the
+//! response — degrade-batch hold → queue wait of the *winning* attempt
+//! → that attempt's service — and attributes every microsecond of the
+//! request span to one of four phases:
+//!
+//! * **hold** — time parked in a degrade buffer before dispatch;
+//! * **queue** — the winning attempt's wait in a shard queue;
+//! * **service** — the winning attempt occupying its shard;
+//! * **other** — the residual (admission bookkeeping, the gap before a
+//!   hedge was issued, time lost to failed attempts that the winner's
+//!   chain does not cover).
+//!
+//! The winning attempt is the one whose outcome completed the request
+//! (for failed requests, the last attempt standing); its queue span is
+//! joined via the `attempt` attribute both spans carry. The **critical
+//! path** is the hold → queue → service chain, clipped to the request
+//! interval and de-overlapped in time order, so by construction it is
+//! ≤ the request span and ≥ its longest constituent phase — the
+//! invariants the bench oracles assert. Machine-track chip spans
+//! (broadcast / VU / W / gather) that share the request's `trace_id`
+//! are aggregated alongside as service detail.
+//!
+//! [`LatencyBreakdown`] aggregates the per-request breakdowns — overall,
+//! per priority class, and per shard — and
+//! [`breakdown_report`] renders the whole analysis as a deterministic
+//! text report (fixed-precision floats, sorted keys): one seed, one
+//! byte-exact report.
+
+use std::collections::BTreeMap;
+
+use crate::span::{AttrKey, Span, SpanKind};
+
+/// The four request-level phases latency is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Degrade-buffer hold before dispatch.
+    Hold,
+    /// The winning attempt's queue wait.
+    Queue,
+    /// The winning attempt's service time.
+    Service,
+    /// Residual time the winner's chain does not cover.
+    Other,
+}
+
+/// All phases, in attribution (and report) order.
+pub const PHASES: [Phase; 4] = [Phase::Hold, Phase::Queue, Phase::Service, Phase::Other];
+
+impl Phase {
+    /// Stable lowercase name (report rendering, path signatures).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Hold => "hold",
+            Self::Queue => "queue",
+            Self::Service => "service",
+            Self::Other => "other",
+        }
+    }
+}
+
+/// One step of a request's critical path: a phase occupying a clipped,
+/// non-overlapping interval of the request span.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathStep {
+    /// Which phase the step belongs to.
+    pub phase: Phase,
+    /// Step start, µs (≥ the request start and the previous step's end).
+    pub start_us: f64,
+    /// Step end, µs (≤ the request end).
+    pub end_us: f64,
+}
+
+impl PathStep {
+    /// Step length, µs.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Chip-level service detail: time in machine-track spans sharing the
+/// request's `trace_id`, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChipDetail {
+    /// Inter-chip broadcast time, µs (summed over chips/layers).
+    pub broadcast_us: f64,
+    /// Vector-unit pass time, µs.
+    pub vu_us: f64,
+    /// Weight-path pass time, µs.
+    pub w_us: f64,
+    /// Inter-chip gather time, µs.
+    pub gather_us: f64,
+}
+
+impl ChipDetail {
+    /// Total chip-attributed time, µs.
+    pub fn total_us(&self) -> f64 {
+        self.broadcast_us + self.vu_us + self.w_us + self.gather_us
+    }
+}
+
+/// One request's latency attribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestBreakdown {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// Priority class from the request span (`"?"` when untagged).
+    pub class: &'static str,
+    /// Terminal outcome from the request span (`"?"` when untagged).
+    pub outcome: &'static str,
+    /// Shard the winning attempt ran on, when attributable.
+    pub shard: Option<u32>,
+    /// The request span's full duration, µs.
+    pub total_us: f64,
+    /// Time attributed to each of [`PHASES`], in that order. The
+    /// first three clip to the request interval and never overlap, so
+    /// their sum is ≤ `total_us`; `other` is the exact residual — the
+    /// four always sum to `total_us`.
+    pub phase_us: [f64; 4],
+    /// The critical path: hold → queue → service steps with positive
+    /// duration, in time order.
+    pub path: Vec<PathStep>,
+    /// Chip-span service detail for this trace id (zeros when the
+    /// machine was not traced for this request).
+    pub chip: ChipDetail,
+}
+
+impl RequestBreakdown {
+    /// Critical-path length: the summed step durations, µs.
+    pub fn critical_path_us(&self) -> f64 {
+        self.path.iter().map(PathStep::duration_us).sum()
+    }
+
+    /// The longest single attributed phase (hold/queue/service — the
+    /// path constituents), µs.
+    pub fn max_phase_us(&self) -> f64 {
+        self.phase_us[..3].iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sum over all four phases, µs (equals `total_us` up to rounding).
+    pub fn phases_sum_us(&self) -> f64 {
+        self.phase_us.iter().sum()
+    }
+
+    /// The path signature, e.g. `"hold>queue>service"` — the phases
+    /// with positive duration, in order.
+    pub fn signature(&self) -> String {
+        let mut out = String::new();
+        for step in &self.path {
+            if !out.is_empty() {
+                out.push('>');
+            }
+            out.push_str(step.phase.name());
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
+}
+
+/// Aggregated phase totals over a population of requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Requests aggregated.
+    pub requests: usize,
+    /// Summed request durations, µs.
+    pub total_us: f64,
+    /// Summed per-phase attributions, µs, in [`PHASES`] order.
+    pub phase_us: [f64; 4],
+}
+
+impl LatencyBreakdown {
+    /// Folds one request in.
+    pub fn add(&mut self, r: &RequestBreakdown) {
+        self.requests += 1;
+        self.total_us += r.total_us;
+        for (acc, v) in self.phase_us.iter_mut().zip(r.phase_us) {
+            *acc += v;
+        }
+    }
+
+    /// A phase's share of the aggregate request time, percent (0 when
+    /// the population is empty or all-zero).
+    pub fn percent(&self, phase: Phase) -> f64 {
+        let idx = PHASES.iter().position(|p| *p == phase).expect("in PHASES");
+        if self.total_us <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.phase_us[idx] / self.total_us
+        }
+    }
+
+    /// Mean request duration, µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_us / self.requests as f64
+        }
+    }
+}
+
+/// The full analysis of one recorded trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceAnalysis {
+    /// Per-request breakdowns, sorted by trace id.
+    pub requests: Vec<RequestBreakdown>,
+    /// Aggregate over every request.
+    pub overall: LatencyBreakdown,
+    /// Aggregates keyed by priority class (sorted — `BTreeMap`).
+    pub per_class: BTreeMap<&'static str, LatencyBreakdown>,
+    /// Aggregates keyed by winning shard, for requests attributable to
+    /// one.
+    pub per_shard: BTreeMap<u32, LatencyBreakdown>,
+    /// Spans whose `trace_id` had no request span (serve-layer batch
+    /// spans, machine spans of untraced requests) — counted so
+    /// truncated or foreign traces are visible, never silent.
+    pub orphan_spans: usize,
+}
+
+/// Reconstructs per-request span trees from a flat recording and
+/// attributes every request's latency (see module docs). Deterministic:
+/// the output depends only on the span list, not on map iteration or
+/// timing.
+pub fn analyze(spans: &[Span]) -> TraceAnalysis {
+    let mut by_id: BTreeMap<u64, Vec<&Span>> = BTreeMap::new();
+    for s in spans {
+        by_id.entry(s.trace_id).or_default().push(s);
+    }
+    let mut out = TraceAnalysis::default();
+    for (trace_id, group) in by_id {
+        let Some(request) = group.iter().find(|s| s.kind == SpanKind::Request) else {
+            out.orphan_spans += group.len();
+            continue;
+        };
+        let r = breakdown_one(trace_id, request, &group);
+        out.overall.add(&r);
+        out.per_class.entry(r.class).or_default().add(&r);
+        if let Some(shard) = r.shard {
+            out.per_shard.entry(shard).or_default().add(&r);
+        }
+        out.requests.push(r);
+    }
+    out
+}
+
+/// Attributes one request's latency from its span group.
+fn breakdown_one(trace_id: u64, request: &Span, group: &[&Span]) -> RequestBreakdown {
+    let class = request.attr_str(AttrKey::Class).unwrap_or("?");
+    let outcome = request.attr_str(AttrKey::Outcome).unwrap_or("?");
+    let total_us = request.duration_us();
+
+    // The winning attempt: the one that completed the request, else the
+    // last one standing (its failure is what terminated the request).
+    // Ties break on the attempt sequence number, then span order.
+    let winner = group
+        .iter()
+        .filter(|s| s.kind == SpanKind::Attempt)
+        .max_by(|a, b| {
+            let won = |s: &Span| s.attr_str(AttrKey::Outcome) == Some("completed");
+            won(a)
+                .cmp(&won(b))
+                .then(a.end_us.total_cmp(&b.end_us))
+                .then_with(|| {
+                    // Prefer the *lower* attempt id on equal outcomes
+                    // and end times (primary over hedge).
+                    b.attr_u64(AttrKey::Attempt)
+                        .unwrap_or(u64::MAX)
+                        .cmp(&a.attr_u64(AttrKey::Attempt).unwrap_or(u64::MAX))
+                })
+        })
+        .copied();
+    // The winner's queue wait, joined on the attempt sequence number.
+    let queued = winner
+        .and_then(|w| {
+            let id = w.attr_u64(AttrKey::Attempt)?;
+            group
+                .iter()
+                .find(|s| s.kind == SpanKind::Queued && s.attr_u64(AttrKey::Attempt) == Some(id))
+                .copied()
+        })
+        .or_else(|| {
+            group
+                .iter()
+                .filter(|s| s.kind == SpanKind::Queued)
+                .max_by(|a, b| a.end_us.total_cmp(&b.end_us))
+                .copied()
+        });
+    let hold = group
+        .iter()
+        .find(|s| s.kind == SpanKind::DegradeBatch)
+        .copied();
+    let shard = winner
+        .and_then(|w| {
+            w.attr_u64(AttrKey::Shard)
+                .or_else(|| u64::from(w.tid).checked_sub(1))
+        })
+        .or_else(|| queued.and_then(|q| q.attr_u64(AttrKey::Shard)))
+        .or_else(|| request.attr_u64(AttrKey::Shard))
+        .map(|s| s as u32);
+
+    // Build the non-overlapping chain: each step clips to the request
+    // interval and starts no earlier than the previous step's end, so
+    // the path length can never exceed the request span.
+    let mut path = Vec::with_capacity(3);
+    let mut phase_us = [0.0; 4];
+    let mut cursor = request.start_us;
+    for (phase, span) in [
+        (Phase::Hold, hold),
+        (Phase::Queue, queued),
+        (Phase::Service, winner),
+    ] {
+        let Some(span) = span else { continue };
+        let start = span.start_us.clamp(cursor, request.end_us);
+        let end = span.end_us.clamp(start, request.end_us);
+        cursor = end;
+        let idx = PHASES.iter().position(|p| *p == phase).expect("in PHASES");
+        phase_us[idx] = end - start;
+        if end > start {
+            path.push(PathStep {
+                phase,
+                start_us: start,
+                end_us: end,
+            });
+        }
+    }
+    // The residual is exact by construction (clipped phases can only
+    // undershoot); clamp defends against float dust.
+    phase_us[3] = (total_us - phase_us[..3].iter().sum::<f64>()).max(0.0);
+
+    let mut chip = ChipDetail::default();
+    for s in group {
+        match s.kind {
+            SpanKind::Broadcast => chip.broadcast_us += s.duration_us(),
+            SpanKind::Vu => chip.vu_us += s.duration_us(),
+            SpanKind::W => chip.w_us += s.duration_us(),
+            SpanKind::Gather => chip.gather_us += s.duration_us(),
+            _ => {}
+        }
+    }
+
+    RequestBreakdown {
+        trace_id,
+        class,
+        outcome,
+        shard,
+        total_us,
+        phase_us,
+        path,
+        chip,
+    }
+}
+
+/// Renders the analysis as a deterministic text report: the aggregate
+/// phase table (with a text flamegraph bar per phase), per-class and
+/// per-shard tables, path-signature counts, and the `top_n` slowest
+/// requests with their critical paths. Byte-identical for identical
+/// analyses — floats render at fixed precision and every table sorts.
+pub fn breakdown_report(analysis: &TraceAnalysis, top_n: usize) -> String {
+    let mut out = String::new();
+    let overall = &analysis.overall;
+    out.push_str(&format!(
+        "== latency breakdown: {} requests, {:.3} us total ==\n",
+        overall.requests, overall.total_us
+    ));
+    const BAR: usize = 40;
+    for phase in PHASES {
+        let pct = overall.percent(phase);
+        let filled = ((pct / 100.0) * BAR as f64).round() as usize;
+        out.push_str(&format!(
+            "{:<8} {:>14.3} us {:>6.2}% |{:<BAR$}|\n",
+            phase.name(),
+            overall.phase_us[PHASES.iter().position(|p| *p == phase).expect("in PHASES")],
+            pct,
+            "#".repeat(filled.min(BAR)),
+        ));
+    }
+
+    out.push_str("\n-- per class --\n");
+    out.push_str("class    requests   mean_us   hold%  queue%  service%  other%\n");
+    for (class, agg) in &analysis.per_class {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>9.3} {:>7.2} {:>7.2} {:>9.2} {:>7.2}\n",
+            class,
+            agg.requests,
+            agg.mean_us(),
+            agg.percent(Phase::Hold),
+            agg.percent(Phase::Queue),
+            agg.percent(Phase::Service),
+            agg.percent(Phase::Other),
+        ));
+    }
+
+    if !analysis.per_shard.is_empty() {
+        out.push_str("\n-- per shard (winning attempt) --\n");
+        out.push_str("shard    requests   mean_us   queue%  service%\n");
+        for (shard, agg) in &analysis.per_shard {
+            out.push_str(&format!(
+                "{:<8} {:>8} {:>9.3} {:>7.2} {:>9.2}\n",
+                shard,
+                agg.requests,
+                agg.mean_us(),
+                agg.percent(Phase::Queue),
+                agg.percent(Phase::Service),
+            ));
+        }
+    }
+
+    // Path signatures: how many requests took each phase chain.
+    let mut signatures: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    for r in &analysis.requests {
+        let e = signatures.entry(r.signature()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += r.total_us;
+    }
+    let mut sigs: Vec<(&String, &(usize, f64))> = signatures.iter().collect();
+    sigs.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then_with(|| a.0.cmp(b.0)));
+    out.push_str("\n-- path signatures --\n");
+    for (sig, (count, total)) in sigs {
+        out.push_str(&format!(
+            "{:<24} count={:<6} mean_us={:.3}\n",
+            sig,
+            count,
+            if *count == 0 {
+                0.0
+            } else {
+                total / *count as f64
+            },
+        ));
+    }
+
+    // Top-N slowest requests with their critical paths.
+    let mut slowest: Vec<&RequestBreakdown> = analysis.requests.iter().collect();
+    slowest.sort_by(|a, b| {
+        b.total_us
+            .total_cmp(&a.total_us)
+            .then(a.trace_id.cmp(&b.trace_id))
+    });
+    out.push_str(&format!("\n-- top {top_n} slowest requests --\n"));
+    for (rank, r) in slowest.iter().take(top_n).enumerate() {
+        out.push_str(&format!(
+            "#{:<2} request {:<6} ({}, {}{}) total {:.3} us | path {:.3} us: {}\n",
+            rank + 1,
+            r.trace_id,
+            r.class,
+            r.outcome,
+            match r.shard {
+                Some(s) => format!(", shard {s}"),
+                None => String::new(),
+            },
+            r.total_us,
+            r.critical_path_us(),
+            r.path
+                .iter()
+                .map(|s| format!("{}[{:.3}..{:.3}]", s.phase.name(), s.start_us, s.end_us))
+                .collect::<Vec<_>>()
+                .join(" > "),
+        ));
+    }
+
+    // Chip detail, when any request carries machine spans.
+    let with_chip: Vec<&RequestBreakdown> = analysis
+        .requests
+        .iter()
+        .filter(|r| r.chip.total_us() > 0.0)
+        .collect();
+    if !with_chip.is_empty() {
+        out.push_str("\n-- chip detail (traced requests) --\n");
+        out.push_str("request   broadcast_us       vu_us        w_us   gather_us\n");
+        for r in with_chip {
+            out.push_str(&format!(
+                "{:<8} {:>13.3} {:>11.3} {:>11.3} {:>11.3}\n",
+                r.trace_id, r.chip.broadcast_us, r.chip.vu_us, r.chip.w_us, r.chip.gather_us,
+            ));
+        }
+    }
+    if analysis.orphan_spans > 0 {
+        out.push_str(&format!(
+            "\norphan spans (no request span): {}\n",
+            analysis.orphan_spans
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::track;
+
+    /// A hand-built request: 2 us admission gap, 3 us hold, 5 us queue,
+    /// 10 us service (total 20 us).
+    fn request_group(id: u64) -> Vec<Span> {
+        vec![
+            Span::new(
+                id,
+                SpanKind::Request,
+                track::FRONTEND,
+                track::CONTROL,
+                0.0,
+                20.0,
+            )
+            .attr(AttrKey::Class, "high")
+            .attr(AttrKey::Outcome, "completed"),
+            Span::new(
+                id,
+                SpanKind::DegradeBatch,
+                track::FRONTEND,
+                track::CONTROL,
+                2.0,
+                5.0,
+            )
+            .attr(AttrKey::BatchSize, 4u64),
+            Span::new(id, SpanKind::Queued, track::FRONTEND, 3, 5.0, 10.0)
+                .attr(AttrKey::Attempt, 0u64)
+                .attr(AttrKey::Shard, 2u64),
+            Span::new(id, SpanKind::Attempt, track::FLEET, 3, 10.0, 20.0)
+                .attr(AttrKey::Attempt, 0u64)
+                .attr(AttrKey::Outcome, "completed")
+                .attr(AttrKey::Shard, 2u64),
+        ]
+    }
+
+    #[test]
+    fn phases_attribute_the_whole_request() {
+        let spans = request_group(7);
+        let a = analyze(&spans);
+        assert_eq!(a.requests.len(), 1);
+        let r = &a.requests[0];
+        assert_eq!(r.trace_id, 7);
+        assert_eq!((r.class, r.outcome), ("high", "completed"));
+        assert_eq!(r.shard, Some(2));
+        assert_eq!(r.phase_us, [3.0, 5.0, 10.0, 2.0]);
+        assert!((r.phases_sum_us() - r.total_us).abs() < 1e-12);
+        assert_eq!(r.critical_path_us(), 18.0);
+        assert!(r.critical_path_us() <= r.total_us);
+        assert!(r.critical_path_us() >= r.max_phase_us());
+        assert_eq!(r.signature(), "hold>queue>service");
+        assert_eq!(a.per_class["high"].requests, 1);
+        assert_eq!(a.per_shard[&2].requests, 1);
+        assert_eq!(a.orphan_spans, 0);
+    }
+
+    #[test]
+    fn winner_is_the_completed_attempt_not_the_loser() {
+        let id = 11;
+        let spans = vec![
+            Span::new(
+                id,
+                SpanKind::Request,
+                track::FRONTEND,
+                track::CONTROL,
+                0.0,
+                30.0,
+            )
+            .attr(AttrKey::Class, "low")
+            .attr(AttrKey::Outcome, "completed"),
+            // Primary attempt fails late on shard 0...
+            Span::new(id, SpanKind::Queued, track::FRONTEND, 1, 0.0, 2.0)
+                .attr(AttrKey::Attempt, 0u64),
+            Span::new(id, SpanKind::Attempt, track::FLEET, 1, 2.0, 29.0)
+                .attr(AttrKey::Attempt, 0u64)
+                .attr(AttrKey::Outcome, "failed")
+                .attr(AttrKey::Shard, 0u64),
+            // ...the hedge on shard 1 wins.
+            Span::new(id, SpanKind::Queued, track::FRONTEND, 2, 12.0, 15.0)
+                .attr(AttrKey::Attempt, 1u64),
+            Span::new(id, SpanKind::Attempt, track::FLEET, 2, 15.0, 30.0)
+                .attr(AttrKey::Attempt, 1u64)
+                .attr(AttrKey::Outcome, "completed")
+                .attr(AttrKey::Shard, 1u64),
+        ];
+        let r = &analyze(&spans).requests[0];
+        assert_eq!(r.shard, Some(1), "the hedge's shard wins attribution");
+        assert_eq!(
+            r.phase_us[1], 3.0,
+            "the hedge's queue wait, not the primary's"
+        );
+        assert_eq!(r.phase_us[2], 15.0);
+        // The 12 us before the hedge was issued is residual.
+        assert_eq!(r.phase_us[3], 12.0);
+        assert!((r.phases_sum_us() - 30.0).abs() < 1e-12);
+        assert!(r.critical_path_us() <= r.total_us);
+        assert!(r.critical_path_us() >= r.max_phase_us());
+    }
+
+    #[test]
+    fn shed_requests_are_all_other_and_spanless_ids_are_orphans() {
+        let spans = vec![
+            Span::new(
+                1,
+                SpanKind::Request,
+                track::FRONTEND,
+                track::CONTROL,
+                4.0,
+                4.0,
+            )
+            .attr(AttrKey::Class, "low")
+            .attr(AttrKey::Outcome, "shed"),
+            Span::new(99, SpanKind::Service, track::SERVE, 1, 0.0, 8.0),
+        ];
+        let a = analyze(&spans);
+        assert_eq!(a.requests.len(), 1);
+        let r = &a.requests[0];
+        assert_eq!(r.total_us, 0.0);
+        assert_eq!(r.phase_us, [0.0; 4]);
+        assert_eq!(r.signature(), "(empty)");
+        assert_eq!(a.orphan_spans, 1, "the batch-keyed span has no request");
+    }
+
+    #[test]
+    fn chip_spans_aggregate_as_service_detail() {
+        let mut spans = request_group(3);
+        spans.push(
+            Span::new(3, SpanKind::Vu, track::MACHINE, 1, 10.0, 12.0).attr(AttrKey::Layer, 0u64),
+        );
+        spans.push(
+            Span::new(3, SpanKind::W, track::MACHINE, 1, 12.0, 16.0).attr(AttrKey::Layer, 0u64),
+        );
+        spans.push(Span::new(
+            3,
+            SpanKind::Broadcast,
+            track::MACHINE,
+            track::BROADCAST,
+            10.0,
+            10.5,
+        ));
+        spans.push(Span::new(
+            3,
+            SpanKind::Gather,
+            track::MACHINE,
+            track::GATHER,
+            16.0,
+            16.25,
+        ));
+        let r = &analyze(&spans).requests[0];
+        assert_eq!(r.chip.vu_us, 2.0);
+        assert_eq!(r.chip.w_us, 4.0);
+        assert_eq!(r.chip.broadcast_us, 0.5);
+        assert_eq!(r.chip.gather_us, 0.25);
+        assert!((r.chip.total_us() - 6.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_names_everything() {
+        let mut spans = request_group(1);
+        spans.extend(request_group(2));
+        let a = analyze(&spans);
+        let report = breakdown_report(&a, 5);
+        assert_eq!(report, breakdown_report(&analyze(&spans), 5));
+        for needle in [
+            "latency breakdown: 2 requests",
+            "per class",
+            "per shard",
+            "path signatures",
+            "hold>queue>service",
+            "top 5 slowest",
+        ] {
+            assert!(
+                report.contains(needle),
+                "report missing {needle:?}\n{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_nothing() {
+        let a = analyze(&[]);
+        assert!(a.requests.is_empty());
+        assert_eq!(a.overall.requests, 0);
+        assert_eq!(a.overall.mean_us(), 0.0);
+        assert_eq!(a.overall.percent(Phase::Queue), 0.0);
+        let report = breakdown_report(&a, 3);
+        assert!(report.contains("0 requests"));
+    }
+}

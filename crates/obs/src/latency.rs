@@ -162,6 +162,40 @@ impl LatencyStat {
         self.custom.as_ref().map(P2Quantile::estimate)
     }
 
+    /// Folds another accumulator in, so fleet-level books can aggregate
+    /// per-shard accumulators without re-streaming every observation.
+    ///
+    /// Count, sum (hence mean) and max are **exact**. The p50/p95/p99
+    /// estimates merge by [`P2Quantile::merge`] — exact when either side
+    /// is still in its warm-up buffer, documented-approximate
+    /// (weighted-marker interpolation) once both sides are warmed. The
+    /// extra tracked quantile survives only when both sides track the
+    /// same `p` (or the other side has no observations); merging
+    /// mismatched trackers would silently answer the wrong question, so
+    /// the merged accumulator drops it instead.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.p50.merge(&other.p50);
+        self.p95.merge(&other.p95);
+        self.p99.merge(&other.p99);
+        self.custom = match (self.custom.take(), other.custom.as_ref()) {
+            (Some(mut mine), Some(theirs)) if mine.quantile() == theirs.quantile() => {
+                mine.merge(theirs);
+                Some(mine)
+            }
+            _ => None,
+        };
+    }
+
     /// The summary snapshot: exact mean and max, P²-estimated
     /// percentiles (exact for populations under five — the trackers are
     /// still in their warm-up buffers).
@@ -237,6 +271,70 @@ mod tests {
         assert_eq!(a, b);
         a.observe_weighted(99.0, 0);
         assert_eq!(a, b, "weight 0 is a no-op");
+    }
+
+    /// The merge satellite's regression test: folding per-shard books
+    /// together must agree with one accumulator that saw the whole
+    /// stream — exactly on count/mean/max, closely on the quantiles.
+    #[test]
+    fn merged_shard_books_match_the_single_stream() {
+        let values: Vec<f64> = (0..6000)
+            .map(|i| ((i * 2654435761u64 % 997) as f64) + 1.0)
+            .collect();
+        let mut single = LatencyStat::new();
+        let mut shards = [LatencyStat::new(), LatencyStat::new(), LatencyStat::new()];
+        for (i, &v) in values.iter().enumerate() {
+            single.observe(v);
+            shards[i % 3].observe(v);
+        }
+        let mut merged = LatencyStat::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), single.count(), "count is exact");
+        assert!(
+            (merged.mean_us() - single.mean_us()).abs() < 1e-9,
+            "mean is exact"
+        );
+        assert_eq!(merged.max_us(), single.max_us(), "max is exact");
+        let (got, want) = (merged.stats(), single.stats());
+        for (g, w, name) in [
+            (got.p50_us, want.p50_us, "p50"),
+            (got.p95_us, want.p95_us, "p95"),
+            (got.p99_us, want.p99_us, "p99"),
+        ] {
+            assert!(
+                (g - w).abs() <= 0.10 * w.max(1.0),
+                "{name}: merged {g} strays from single-stream {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_edge_cases_keep_the_contract() {
+        // Empty other: no-op. Empty self: adopts other wholesale.
+        let mut a = LatencyStat::with_quantile(0.9);
+        for x in [5.0, 9.0, 2.0] {
+            a.observe(x);
+        }
+        let before = a.clone();
+        a.merge(&LatencyStat::new());
+        assert_eq!(a, before);
+        let mut empty = LatencyStat::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "empty self adopts other, custom included");
+        // Matching custom quantiles merge; mismatched ones drop.
+        let mut b = LatencyStat::with_quantile(0.9);
+        b.observe(100.0);
+        a.merge(&b);
+        assert_eq!(a.quantile(), Some(0.9));
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max_us(), 100.0);
+        let mut c = LatencyStat::with_quantile(0.5);
+        c.observe(1.0);
+        a.merge(&c);
+        assert_eq!(a.quantile(), None, "mismatched trackers drop, not lie");
+        assert_eq!(a.count(), 5, "counts still fold exactly");
     }
 
     #[test]

@@ -37,18 +37,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analyze;
+mod exemplar;
 mod export;
 mod latency;
 mod quantile;
 mod registry;
+mod series;
 mod sink;
+mod slo;
 mod span;
 mod timer;
 
+pub use analyze::{
+    analyze, breakdown_report, ChipDetail, LatencyBreakdown, PathStep, Phase, RequestBreakdown,
+    TraceAnalysis, PHASES,
+};
+pub use exemplar::{offline_top_k, Exemplar, TailExemplars};
 pub use export::{check_nesting, chrome_trace};
 pub use latency::{LatencyStat, LatencyStats};
 pub use quantile::P2Quantile;
 pub use registry::MetricsRegistry;
-pub use sink::{NullSink, RingRecorder, SpanBuffer, TraceSink};
+pub use series::{WindowBucket, WindowSeries};
+pub use sink::{NullSink, RingRecorder, SpanBuffer, Tee, TraceSink};
+pub use slo::{AlertKind, BurnAlert, BurnConfig, BurnRateMonitor};
 pub use span::{track, AttrKey, AttrValue, Attrs, Span, SpanKind, MAX_ATTRS};
 pub use timer::{PhaseStat, WallProfiler};

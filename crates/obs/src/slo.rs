@@ -1,0 +1,417 @@
+//! Multi-window SLO burn-rate monitoring.
+//!
+//! An SLO like "99% of requests meet their deadline" defines an **error
+//! budget**: the 1% of requests allowed to miss. The *burn rate* is how
+//! fast a window of traffic spends that budget — `miss_rate / budget`,
+//! so burn 1.0 spends exactly the budget over the SLO period, burn 10
+//! spends it ten times too fast. Following the SRE multi-window
+//! recipe, [`BurnRateMonitor`] evaluates the burn over a **fast** and a
+//! **slow** window simultaneously and raises an alert only when *both*
+//! exceed the threshold: the slow window keeps one bad moment from
+//! paging, the fast window ends the alert promptly once the bleeding
+//! stops. Alerts are edge-triggered ([`AlertKind::Fire`] /
+//! [`AlertKind::Clear`]) and timestamped on the virtual clock, so a
+//! seeded simulation produces one exact alert log.
+
+use crate::series::WindowSeries;
+
+/// Parameters of a burn-rate monitor over one deadline-attainment SLO.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnConfig {
+    /// Attainment objective in `(0, 1)` — e.g. 0.99 for "99% of
+    /// requests meet the deadline". The error budget is `1 - target`.
+    pub target: f64,
+    /// Fast evaluation window, µs of virtual time. Ends alerts quickly
+    /// and keeps them from firing on long-stale traffic.
+    pub fast_window_us: f64,
+    /// Slow evaluation window, µs (≥ the fast window). Keeps one bad
+    /// instant from paging.
+    pub slow_window_us: f64,
+    /// Burn-rate multiple at which both windows must arrive to fire
+    /// (1.0 = budget spent exactly on schedule).
+    pub threshold: f64,
+    /// Events required inside the fast window before the monitor may
+    /// fire — the arming guard against deciding off a handful of early
+    /// requests.
+    pub min_events: u64,
+}
+
+impl BurnConfig {
+    /// A monitor config with the conventional threshold (2× budget
+    /// spend) and a 20-event arming guard.
+    pub fn new(target: f64, fast_window_us: f64, slow_window_us: f64) -> Self {
+        Self {
+            target,
+            fast_window_us,
+            slow_window_us,
+            threshold: 2.0,
+            min_events: 20,
+        }
+    }
+
+    /// Sets the burn-rate threshold (builder-style).
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the arming guard (builder-style).
+    #[must_use]
+    pub fn min_events(mut self, min_events: u64) -> Self {
+        self.min_events = min_events;
+        self
+    }
+
+    /// Validates the parameters, returning the first problem as text.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.target > 0.0 && self.target < 1.0) {
+            return Err(format!(
+                "burn target must be in (0, 1), got {}",
+                self.target
+            ));
+        }
+        if !(self.fast_window_us.is_finite() && self.fast_window_us > 0.0) {
+            return Err(format!(
+                "fast window must be positive and finite, got {}",
+                self.fast_window_us
+            ));
+        }
+        if !(self.slow_window_us.is_finite() && self.slow_window_us >= self.fast_window_us) {
+            return Err(format!(
+                "slow window must be finite and >= the fast window, got {} < {}",
+                self.slow_window_us, self.fast_window_us
+            ));
+        }
+        if !(self.threshold.is_finite() && self.threshold > 0.0) {
+            return Err(format!(
+                "burn threshold must be positive and finite, got {}",
+                self.threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Whether an alert event opened or closed an alert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Both windows crossed the threshold: the alert opens.
+    Fire,
+    /// The fast window fell back under the threshold: the alert closes.
+    Clear,
+}
+
+impl AlertKind {
+    /// Stable lowercase name (report rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fire => "fire",
+            Self::Clear => "clear",
+        }
+    }
+}
+
+/// One edge-triggered alert event, timestamped on the virtual clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnAlert {
+    /// Virtual time of the observation that flipped the state.
+    pub at_us: f64,
+    /// Opening or closing edge.
+    pub kind: AlertKind,
+    /// Burn rate over the fast window at the flip.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at the flip.
+    pub slow_burn: f64,
+}
+
+/// A multi-window burn-rate monitor over one attainment SLO (see
+/// module docs). Feed it every terminal outcome via
+/// [`observe`](Self::observe); read the alert log at the end.
+#[derive(Clone, Debug)]
+pub struct BurnRateMonitor {
+    cfg: BurnConfig,
+    series: WindowSeries,
+    firing: bool,
+    alerts: Vec<BurnAlert>,
+    events: u64,
+    misses: u64,
+}
+
+/// Buckets per fast window — the granularity at which the sliding
+/// windows quantize.
+const FAST_BUCKETS: f64 = 4.0;
+
+impl BurnRateMonitor {
+    /// A monitor for `cfg` (callers validate; degenerate values are
+    /// clamped to something harmless rather than trusted).
+    pub fn new(cfg: BurnConfig) -> Self {
+        let cfg = BurnConfig {
+            target: cfg.target.clamp(1e-6, 1.0 - 1e-6),
+            fast_window_us: if cfg.fast_window_us.is_finite() && cfg.fast_window_us > 0.0 {
+                cfg.fast_window_us
+            } else {
+                1.0
+            },
+            ..cfg
+        };
+        let slow = if cfg.slow_window_us.is_finite() && cfg.slow_window_us >= cfg.fast_window_us {
+            cfg.slow_window_us
+        } else {
+            cfg.fast_window_us
+        };
+        let bucket_us = cfg.fast_window_us / FAST_BUCKETS;
+        // Enough buckets to cover the slow window plus the live edge.
+        let capacity = (slow / bucket_us).ceil() as usize + 2;
+        Self {
+            cfg: BurnConfig {
+                slow_window_us: slow,
+                ..cfg
+            },
+            series: WindowSeries::new(bucket_us, capacity),
+            firing: false,
+            alerts: Vec::new(),
+            events: 0,
+            misses: 0,
+        }
+    }
+
+    /// The (clamped) configuration in effect.
+    pub fn config(&self) -> &BurnConfig {
+        &self.cfg
+    }
+
+    /// Feeds one terminal outcome at virtual time `t_us`: `met` is
+    /// whether the request attained its deadline (a shed or failed
+    /// request is a miss). Flips the alert state when the windows say
+    /// so.
+    pub fn observe(&mut self, t_us: f64, met: bool) {
+        self.events += 1;
+        self.misses += u64::from(!met);
+        self.series.count(t_us, met);
+        let (fast_burn, slow_burn) = self.burn_rates(t_us);
+        let (fast_events, _) = self.series.window_totals(t_us, self.cfg.fast_window_us);
+        if !self.firing {
+            if fast_events >= self.cfg.min_events
+                && fast_burn > self.cfg.threshold
+                && slow_burn > self.cfg.threshold
+            {
+                self.firing = true;
+                self.alerts.push(BurnAlert {
+                    at_us: t_us,
+                    kind: AlertKind::Fire,
+                    fast_burn,
+                    slow_burn,
+                });
+            }
+        } else if fast_burn <= self.cfg.threshold {
+            self.firing = false;
+            self.alerts.push(BurnAlert {
+                at_us: t_us,
+                kind: AlertKind::Clear,
+                fast_burn,
+                slow_burn,
+            });
+        }
+    }
+
+    /// `(fast, slow)` burn rates at `now_us`: each window's miss rate
+    /// over the error budget (0 over an empty window — no traffic burns
+    /// no budget).
+    pub fn burn_rates(&self, now_us: f64) -> (f64, f64) {
+        let budget = 1.0 - self.cfg.target;
+        let rate = |span_us: f64| -> f64 {
+            let (events, good) = self.series.window_totals(now_us, span_us);
+            if events == 0 {
+                0.0
+            } else {
+                let miss_rate = (events - good) as f64 / events as f64;
+                miss_rate / budget
+            }
+        };
+        (rate(self.cfg.fast_window_us), rate(self.cfg.slow_window_us))
+    }
+
+    /// Whether an alert is currently open.
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// The edge-triggered alert log, in time order.
+    pub fn alerts(&self) -> &[BurnAlert] {
+        &self.alerts
+    }
+
+    /// Opening edges in the log.
+    pub fn fires(&self) -> usize {
+        self.alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::Fire)
+            .count()
+    }
+
+    /// Lifetime attainment over everything observed (1.0 when empty).
+    pub fn attainment(&self) -> f64 {
+        if self.events == 0 {
+            1.0
+        } else {
+            (self.events - self.misses) as f64 / self.events as f64
+        }
+    }
+
+    /// Terminal outcomes observed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BurnConfig {
+        BurnConfig::new(0.9, 100.0, 400.0)
+            .threshold(2.0)
+            .min_events(10)
+    }
+
+    #[test]
+    fn config_validation_catches_bad_parameters() {
+        assert!(cfg().validate().is_ok());
+        assert!(BurnConfig {
+            target: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(BurnConfig {
+            target: 1.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(BurnConfig {
+            fast_window_us: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(
+            BurnConfig {
+                slow_window_us: 50.0,
+                ..cfg()
+            }
+            .validate()
+            .is_err(),
+            "slow window must cover the fast one"
+        );
+        assert!(BurnConfig {
+            threshold: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(BurnConfig {
+            threshold: f64::NAN,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn nominal_traffic_never_fires() {
+        let mut m = BurnRateMonitor::new(cfg());
+        // 5% misses against a 10% budget: burn 0.5, well under 2.0.
+        for i in 0..2000u64 {
+            m.observe(i as f64, i % 20 != 0);
+        }
+        assert!(m.alerts().is_empty(), "burn 0.5 stays silent");
+        assert!(!m.firing());
+        assert!((m.attainment() - 0.95).abs() < 1e-9);
+        assert_eq!(m.events(), 2000);
+    }
+
+    #[test]
+    fn overload_fires_once_and_clears_after_recovery() {
+        let mut m = BurnRateMonitor::new(cfg());
+        // Healthy traffic, then a total outage, then recovery.
+        for i in 0..500u64 {
+            m.observe(i as f64, true);
+        }
+        assert!(m.alerts().is_empty());
+        for i in 500..800u64 {
+            m.observe(i as f64, false);
+        }
+        assert_eq!(m.fires(), 1, "the outage opens exactly one alert");
+        assert!(m.firing(), "still bleeding at the end of the outage");
+        let fire = m.alerts()[0];
+        assert_eq!(fire.kind, AlertKind::Fire);
+        assert!(fire.at_us >= 500.0, "fired inside the outage window");
+        assert!(fire.fast_burn > 2.0 && fire.slow_burn > 2.0);
+        for i in 800..1600u64 {
+            m.observe(i as f64, true);
+        }
+        assert!(!m.firing(), "recovery closes the alert");
+        assert_eq!(m.alerts().len(), 2);
+        assert_eq!(m.alerts()[1].kind, AlertKind::Clear);
+        assert!(m.alerts()[1].at_us > fire.at_us);
+    }
+
+    #[test]
+    fn slow_window_suppresses_a_momentary_blip() {
+        let mut m = BurnRateMonitor::new(
+            BurnConfig::new(0.9, 40.0, 2000.0)
+                .threshold(2.0)
+                .min_events(5),
+        );
+        // A long healthy history, then a blip shorter than the slow
+        // window's tolerance: fast burn spikes, slow burn stays low.
+        for i in 0..2000u64 {
+            m.observe(i as f64, true);
+        }
+        for i in 2000..2010u64 {
+            m.observe(i as f64, false);
+        }
+        assert!(
+            m.alerts().is_empty(),
+            "10 misses in a 2000-event slow window must not page"
+        );
+    }
+
+    #[test]
+    fn arming_guard_blocks_early_noise() {
+        let mut m = BurnRateMonitor::new(cfg());
+        for i in 0..5u64 {
+            m.observe(i as f64, false);
+        }
+        assert!(
+            m.alerts().is_empty(),
+            "5 events < min_events 10: not armed yet"
+        );
+        assert!((m.attainment() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_windows_burn_nothing() {
+        let m = BurnRateMonitor::new(cfg());
+        assert_eq!(m.burn_rates(1e6), (0.0, 0.0));
+        assert_eq!(m.attainment(), 1.0);
+        assert_eq!(m.fires(), 0);
+    }
+
+    #[test]
+    fn degenerate_config_is_clamped_not_trusted() {
+        let m = BurnRateMonitor::new(BurnConfig {
+            target: 7.0,
+            fast_window_us: f64::NAN,
+            slow_window_us: -1.0,
+            threshold: 2.0,
+            min_events: 0,
+        });
+        let c = m.config();
+        assert!(c.target < 1.0 && c.target > 0.0);
+        assert!(c.fast_window_us > 0.0);
+        assert!(c.slow_window_us >= c.fast_window_us);
+    }
+}

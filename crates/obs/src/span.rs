@@ -173,6 +173,9 @@ pub enum AttrKey {
     Batch,
     /// Requests flushed together from a degrade buffer.
     BatchSize,
+    /// Chip index on a machine-track span (the analyzer attributes
+    /// per-chip time without decoding thread lanes).
+    Chip,
     /// Priority class of a request.
     Class,
     /// Whether a request was admitted at degraded fidelity (0/1).
@@ -210,6 +213,7 @@ impl AttrKey {
             Self::Attempt => "attempt",
             Self::Batch => "batch",
             Self::BatchSize => "batch_size",
+            Self::Chip => "chip",
             Self::Class => "class",
             Self::Degraded => "degraded",
             Self::Factor => "factor",
@@ -370,6 +374,32 @@ impl Span {
     pub fn duration_us(&self) -> f64 {
         self.end_us - self.start_us
     }
+
+    /// First value recorded for `key`, if any.
+    #[inline]
+    pub fn attr_value(&self, key: AttrKey) -> Option<AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// First `U64` value recorded for `key` (`None` when absent or a
+    /// different type).
+    #[inline]
+    pub fn attr_u64(&self, key: AttrKey) -> Option<u64> {
+        match self.attr_value(key) {
+            Some(AttrValue::U64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// First `Str` value recorded for `key` (`None` when absent or a
+    /// different type).
+    #[inline]
+    pub fn attr_str(&self, key: AttrKey) -> Option<&'static str> {
+        match self.attr_value(key) {
+            Some(AttrValue::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +432,19 @@ mod tests {
         assert_eq!(s.attrs.get(3), None);
         let keys: Vec<&str> = s.attrs.iter().map(|(k, _)| k.name()).collect();
         assert_eq!(keys, ["batch", "outcome", "factor"]);
+    }
+
+    #[test]
+    fn attr_lookup_finds_first_typed_match() {
+        let s = Span::new(1, SpanKind::Attempt, track::FLEET, 1, 0.0, 1.0)
+            .attr(AttrKey::Attempt, 2u64)
+            .attr(AttrKey::Outcome, "completed")
+            .attr(AttrKey::Shard, 3u64);
+        assert_eq!(s.attr_u64(AttrKey::Attempt), Some(2));
+        assert_eq!(s.attr_u64(AttrKey::Shard), Some(3));
+        assert_eq!(s.attr_str(AttrKey::Outcome), Some("completed"));
+        assert_eq!(s.attr_str(AttrKey::Attempt), None, "type mismatch");
+        assert_eq!(s.attr_u64(AttrKey::Chip), None, "absent key");
     }
 
     #[test]
