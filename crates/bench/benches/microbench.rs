@@ -171,6 +171,27 @@ fn bench_machine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernel(c: &mut Criterion) {
+    use sparsenn_core::kernel::{SparseKernel, Strategy, DEFAULT_BLOCK};
+    let mut g = c.benchmark_group("kernel");
+    let (_, fixed, xq) = machine_fixture();
+    let kernel = SparseKernel::pack(&fixed, DEFAULT_BLOCK);
+    let mut s = kernel.scratch();
+    g.bench_function("prescan_512x256_uv_on", |b| {
+        b.iter(|| black_box(kernel.run(black_box(&xq), UvMode::On, Strategy::Prescan, &mut s)))
+    });
+    g.bench_function("dense_512x256_uv_on", |b| {
+        b.iter(|| black_box(kernel.run(black_box(&xq), UvMode::On, Strategy::Dense, &mut s)))
+    });
+    let batch: Vec<Vec<sparsenn_core::numeric::Q6_10>> = (0..4).map(|_| xq.clone()).collect();
+    g.bench_function("run_batch_B4_prescan_uv_on", |b| {
+        b.iter(|| {
+            black_box(kernel.run_batch(black_box(&batch), UvMode::On, Strategy::Prescan, &mut s))
+        })
+    });
+    g.finish();
+}
+
 fn bench_training(c: &mut Criterion) {
     let mut g = c.benchmark_group("training");
     g.sample_size(30);
@@ -204,6 +225,7 @@ criterion_group!(
     bench_datasets,
     bench_noc,
     bench_machine,
+    bench_kernel,
     bench_training
 );
 criterion_main!(benches);

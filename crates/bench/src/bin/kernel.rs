@@ -1,0 +1,6 @@
+//! Standalone runner for the native-kernel wall-clock study.
+
+fn main() {
+    let p = sparsenn_core::Profile::from_env();
+    println!("{}", sparsenn_bench::experiments::kernel::run(p));
+}

@@ -83,6 +83,17 @@ fn main() {
         results.add_metric(name, value);
     }
 
+    let mut kernel_metrics = Vec::new();
+    let report = results.run("kernel", || {
+        let r = e::kernel::measure_with(p, &study);
+        kernel_metrics = r.metrics;
+        r.markdown
+    });
+    println!("{report}");
+    for (name, value) in kernel_metrics {
+        results.add_metric(name, value);
+    }
+
     let mut obs_metrics = Vec::new();
     let report = results.run("obs", || {
         let r = e::obs::measure_with(p, &study);

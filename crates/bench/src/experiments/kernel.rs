@@ -1,0 +1,445 @@
+//! The native-kernel study (beyond the paper — ROADMAP item 3): measured
+//! wall-clock for the two-stage prescan + block-skip CPU kernel.
+//!
+//! Every other experiment reports *modelled* time (cycles × clock). This
+//! one reports what the host CPU actually does, and gates two oracles on
+//! it:
+//!
+//! 1. **Bit-exactness** — kernel outputs (dense, prescan, batched) equal
+//!    the golden fixed-point model bit for bit in both UV modes.
+//! 2. **Speedup at paper-level sparsity** — on the study system's real
+//!    test images (input sparsity from the glyphs, output sparsity from
+//!    the trained UV predictor), the prescan strategy beats the dense
+//!    baseline — same packed layout, same accumulator — by ≥ 2×
+//!    measured wall-clock per sample.
+//!
+//! Around the oracles: a block-size sweep, a synthetic input-sparsity
+//! sweep (speedup vs zeros), native `run_batch` per-sample latency for
+//! B = 1..=8, the SimdBackend modelled-vs-measured cross-check, a
+//! measured [`ShardSpec`] service table, and the cycle-accurate
+//! simulator's own hot-loop before/after (mask-word vs per-element
+//! scanning — same bits, same cycles, less host time). All wall time is
+//! charged to a [`WallProfiler`] and exported as `profile.*` metrics.
+
+use crate::{fmt_f, markdown_table};
+use sparsenn_core::engine::{InferenceBackend, KernelBackend, SimdBackend};
+use sparsenn_core::model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_core::numeric::Q6_10;
+use sparsenn_core::sim::simd::SimdPlatform;
+use sparsenn_core::sim::{Machine, MachineConfig, ScanMode};
+use sparsenn_core::Profile;
+use sparsenn_kernel::{SparseKernel, Strategy, DEFAULT_BLOCK};
+use sparsenn_obs::WallProfiler;
+use sparsenn_serve::ShardSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Largest batch the study measures.
+const MAX_BATCH: usize = 8;
+
+/// Measured kernel results plus named metrics for `BENCH_results.json`.
+pub struct KernelReport {
+    /// The rendered markdown report.
+    pub markdown: String,
+    /// Flat `(name, value)` metrics for the machine-readable results.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Timing reps per measurement (min-of-reps kills scheduler noise).
+fn reps(p: Profile) -> usize {
+    match p {
+        Profile::Fast => 5,
+        Profile::Full => 10,
+    }
+}
+
+/// Min-of-`reps` wall time of `f`, microseconds.
+fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// Per-sample wall time of running `inputs` through `kernel` with the
+/// given strategy, microseconds (min over `r` passes of the whole set).
+fn per_sample_us(
+    kernel: &SparseKernel,
+    inputs: &[Vec<Q6_10>],
+    mode: UvMode,
+    strategy: Strategy,
+    r: usize,
+) -> f64 {
+    let mut s = kernel.scratch();
+    // Warm the scratch (first run grows the arenas).
+    let _ = kernel.run(&inputs[0], mode, strategy, &mut s);
+    time_us(r, || {
+        for x in inputs {
+            std::hint::black_box(kernel.run(x, mode, strategy, &mut s));
+        }
+    }) / inputs.len() as f64
+}
+
+/// Runs the kernel study, training its own
+/// [`study_system`](super::fleet::study_system).
+pub fn measure(p: Profile) -> KernelReport {
+    measure_with(p, &super::fleet::study_system(p))
+}
+
+/// Runs the kernel study on an already-trained system (shared with the
+/// serving studies by `run_all`).
+pub fn measure_with(p: Profile, sys: &sparsenn_core::TrainedSystem) -> KernelReport {
+    let r = reps(p);
+    let net = sys.fixed();
+    let test = &sys.split().test;
+    let n_inputs = 16.min(test.len()).max(1);
+    let inputs: Vec<Vec<Q6_10>> = (0..n_inputs)
+        .map(|i| net.quantize_input(test.image(i)))
+        .collect();
+
+    let mut out = String::new();
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut prof = WallProfiler::new();
+    let _ = writeln!(
+        out,
+        "## Native CPU kernel: measured wall-clock (profile: {p})\n"
+    );
+
+    // — Bit-exactness oracle first: the speed numbers mean nothing if the
+    //   bits are wrong —
+    let bit_exact = prof.time("kernel.oracle", || bit_exact_vs_golden(net, &inputs));
+    let _ = writeln!(
+        out,
+        "kernel outputs bit-exact vs the golden fixed-point model \
+         (both UV modes, dense/prescan/batch): {}\n",
+        if bit_exact { "yes" } else { "NO — BUG" },
+    );
+    metrics.push(("kernel.bit_exact".into(), if bit_exact { 1.0 } else { 0.0 }));
+
+    // — Dense vs prescan on the study system, across block sizes —
+    let kernel_def = prof.time("kernel.pack", || SparseKernel::pack(net, DEFAULT_BLOCK));
+    let dense_us = prof.time("kernel.dense", || {
+        per_sample_us(&kernel_def, &inputs, UvMode::On, Strategy::Dense, r)
+    });
+    metrics.push(("kernel.dense_us".into(), dense_us));
+    let mut rows = Vec::new();
+    let mut best = (0usize, f64::INFINITY);
+    for block in [8usize, 16, 32] {
+        let k = if block == DEFAULT_BLOCK {
+            kernel_def.clone()
+        } else {
+            prof.time("kernel.pack", || SparseKernel::pack(net, block))
+        };
+        let pre_us = prof.time("kernel.prescan", || {
+            per_sample_us(&k, &inputs, UvMode::On, Strategy::Prescan, r)
+        });
+        if pre_us < best.1 {
+            best = (block, pre_us);
+        }
+        rows.push(vec![
+            block.to_string(),
+            fmt_f(pre_us, 2),
+            fmt_f(dense_us / pre_us.max(1e-12), 2),
+        ]);
+        metrics.push((format!("kernel.prescan_us.bs{block}"), pre_us));
+        metrics.push((
+            format!("kernel.speedup.bs{block}"),
+            dense_us / pre_us.max(1e-12),
+        ));
+    }
+    let default_speedup = dense_us
+        / metrics
+            .iter()
+            .find(|(n, _)| n == &format!("kernel.prescan_us.bs{DEFAULT_BLOCK}"))
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::INFINITY)
+            .max(1e-12);
+    let best_speedup = dense_us / best.1.max(1e-12);
+    let _ = writeln!(
+        out,
+        "### Dense vs prescan on the study system (real test images, uv_on)\n\n\
+         dense baseline (same packed layout, same accumulator): {} µs/sample\n",
+        fmt_f(dense_us, 2),
+    );
+    out.push_str(&markdown_table(
+        &["block size", "prescan (µs/sample)", "speedup vs dense"],
+        &rows,
+    ));
+    // The oracle gates on the best measured block: block size is a tuning
+    // knob (the default is itself set from this measurement), and the claim
+    // under test is that the kernel *delivers* ≥ 2× at paper-level input
+    // sparsity with a well-chosen block, on whatever host runs the bench.
+    let _ = writeln!(
+        out,
+        "\nmeasured prescan speedup at paper-level sparsity ≥ 2×: {} \
+         (best {}× at block {}, {}× at the default block size {DEFAULT_BLOCK})\n",
+        if best_speedup >= 2.0 {
+            "yes"
+        } else {
+            "NO — investigate"
+        },
+        fmt_f(best_speedup, 2),
+        best.0,
+        fmt_f(default_speedup, 2),
+    );
+    metrics.push(("kernel.speedup_at_paper_sparsity".into(), best_speedup));
+    metrics.push(("kernel.speedup_at_default_block".into(), default_speedup));
+
+    // — Synthetic input-sparsity sweep: where the win comes from —
+    let _ = writeln!(
+        out,
+        "### Speedup vs input sparsity (synthetic inputs, default block)\n"
+    );
+    let mut rows = Vec::new();
+    for sparsity in [0usize, 50, 90, 99] {
+        let synth: Vec<Vec<Q6_10>> = (0..n_inputs)
+            .map(|s| {
+                let x: Vec<f32> = (0..net.layers()[0].cols())
+                    .map(|i| {
+                        // Deterministic scatter: keep ~(100-sparsity)% nonzero.
+                        if (i * 7919 + s * 104729) % 100 < sparsity {
+                            0.0
+                        } else {
+                            (((i + s) as f32) * 0.37).sin().abs() + 0.05
+                        }
+                    })
+                    .collect();
+                net.quantize_input(&x)
+            })
+            .collect();
+        let d = prof.time("kernel.dense", || {
+            per_sample_us(&kernel_def, &synth, UvMode::On, Strategy::Dense, r)
+        });
+        let pre = prof.time("kernel.prescan", || {
+            per_sample_us(&kernel_def, &synth, UvMode::On, Strategy::Prescan, r)
+        });
+        rows.push(vec![
+            format!("{sparsity}%"),
+            fmt_f(d, 2),
+            fmt_f(pre, 2),
+            fmt_f(d / pre.max(1e-12), 2),
+        ]);
+        metrics.push((format!("kernel.speedup.s{sparsity}"), d / pre.max(1e-12)));
+    }
+    out.push_str(&markdown_table(
+        &["input zeros", "dense (µs)", "prescan (µs)", "speedup"],
+        &rows,
+    ));
+
+    // — Native batching: per-sample latency and W-word amortization —
+    let _ = writeln!(out, "\n### Native `run_batch` (prescan, uv_on)\n");
+    let mut scratch = kernel_def.scratch();
+    let mut rows = Vec::new();
+    for b in 1..=MAX_BATCH {
+        let batch: Vec<Vec<Q6_10>> = (0..b).map(|i| inputs[i % inputs.len()].clone()).collect();
+        let _ = kernel_def.run_batch(&batch, UvMode::On, Strategy::Prescan, &mut scratch);
+        let batch_us = prof.time("kernel.batch", || {
+            time_us(r, || {
+                std::hint::black_box(kernel_def.run_batch(
+                    &batch,
+                    UvMode::On,
+                    Strategy::Prescan,
+                    &mut scratch,
+                ));
+            })
+        });
+        let rec = kernel_def.run_batch(&batch, UvMode::On, Strategy::Prescan, &mut scratch);
+        rows.push(vec![
+            b.to_string(),
+            fmt_f(batch_us, 2),
+            fmt_f(batch_us / b as f64, 2),
+            fmt_f(rec.w_amortization(), 2),
+        ]);
+        metrics.push((
+            format!("kernel.batch_per_sample_us.B{b}"),
+            batch_us / b as f64,
+        ));
+        metrics.push((format!("kernel.w_amortization.B{b}"), rec.w_amortization()));
+    }
+    out.push_str(&markdown_table(
+        &["B", "batch (µs)", "µs/sample", "W-word amortization"],
+        &rows,
+    ));
+
+    // — Modelled vs measured: the SimdBackend's analytic clock against
+    //   real host wall-clock on the same samples (informational — the
+    //   platforms model *other* silicon, the ratio is a sanity scale) —
+    let simd = SimdBackend::new(SimdPlatform::dnn_engine());
+    let modelled_us: f64 = inputs
+        .iter()
+        .map(|x| {
+            simd.run(net, x, UvMode::On)
+                .expect("study network fits the platform model")
+                .time_us()
+        })
+        .sum::<f64>()
+        / inputs.len() as f64;
+    let measured_backend = KernelBackend::new();
+    let measured_us = {
+        let _ = measured_backend.run(net, &inputs[0], UvMode::On); // pack
+        prof.time("kernel.backend", || {
+            time_us(r, || {
+                for x in &inputs {
+                    std::hint::black_box(measured_backend.run(net, x, UvMode::On).expect("fits"));
+                }
+            })
+        }) / inputs.len() as f64
+    };
+    let ratio = modelled_us / measured_us.max(1e-12);
+    let _ = writeln!(
+        out,
+        "\n### Modelled vs measured\n\n\
+         `dnn-engine` modelled: {} µs/sample; `{}` measured: {} µs/sample \
+         (model/measured = {} — informational; the analytic platforms \
+         model different silicon)\n",
+        fmt_f(modelled_us, 2),
+        measured_backend.name(),
+        fmt_f(measured_us, 2),
+        fmt_f(ratio, 2),
+    );
+    metrics.push(("kernel.model_vs_measured".into(), ratio));
+    metrics.push(("kernel.backend_us".into(), measured_us));
+
+    // — A measured service table for the serving simulators —
+    let spec = ShardSpec::from_measured(
+        measured_backend.name(),
+        &measured_backend,
+        net,
+        &inputs[..4.min(inputs.len())],
+        UvMode::On,
+        r,
+    )
+    .expect("study network fits the kernel backend");
+    let _ = writeln!(
+        out,
+        "measured `ShardSpec` service table (feeds the virtual-time \
+         serving simulator): mean {} µs over {} samples\n",
+        fmt_f(spec.mean_service_us(), 2),
+        spec.service_us.len(),
+    );
+    metrics.push((
+        "kernel.measured_service_us_mean".into(),
+        spec.mean_service_us(),
+    ));
+
+    // — The cycle-accurate simulator's own hot loop: mask-word scanning
+    //   vs the per-element reference — same bits, same cycles, less host
+    //   time —
+    let sim_inputs = &inputs[..4.min(inputs.len())];
+    let mask_word = Machine::new(MachineConfig::default());
+    let per_element = Machine::new(MachineConfig {
+        scan: ScanMode::PerElement,
+        ..MachineConfig::default()
+    });
+    let mut identical = true;
+    for x in sim_inputs {
+        let a = mask_word.try_run_network(net, x, UvMode::On).expect("fits");
+        let b = per_element
+            .try_run_network(net, x, UvMode::On)
+            .expect("fits");
+        identical &= a.output() == b.output()
+            && a.total_cycles() == b.total_cycles()
+            && a.total_events() == b.total_events();
+    }
+    let t_mask = prof.time("sim.mask_word", || {
+        time_us(r, || {
+            for x in sim_inputs {
+                std::hint::black_box(mask_word.try_run_network(net, x, UvMode::On).expect("fits"));
+            }
+        })
+    });
+    let t_elem = prof.time("sim.per_element", || {
+        time_us(r, || {
+            for x in sim_inputs {
+                std::hint::black_box(
+                    per_element
+                        .try_run_network(net, x, UvMode::On)
+                        .expect("fits"),
+                );
+            }
+        })
+    });
+    let sim_speedup = t_elem / t_mask.max(1e-12);
+    let _ = writeln!(
+        out,
+        "### Simulator hot loop: mask-word vs per-element scanning\n\n\
+         per-element {} µs vs mask-word {} µs over {} samples \
+         ({}× host speedup), results/cycles/events bit-identical: {}\n",
+        fmt_f(t_elem, 1),
+        fmt_f(t_mask, 1),
+        sim_inputs.len(),
+        fmt_f(sim_speedup, 2),
+        if identical { "yes" } else { "NO — BUG" },
+    );
+    metrics.push(("kernel.sim_hotloop_speedup".into(), sim_speedup));
+    metrics.push((
+        "kernel.sim_hotloop_bit_identical".into(),
+        if identical { 1.0 } else { 0.0 },
+    ));
+
+    // — Where the host time went —
+    let _ = writeln!(out, "### Wall-clock profile\n");
+    let mut rows = Vec::new();
+    for (name, stat) in prof.phases() {
+        rows.push(vec![
+            (*name).to_string(),
+            stat.calls.to_string(),
+            fmt_f(stat.total_us, 0),
+            fmt_f(stat.max_us, 0),
+        ]);
+        metrics.push((format!("profile.{name}.total_us"), stat.total_us));
+    }
+    out.push_str(&markdown_table(
+        &["phase", "calls", "total (µs)", "max (µs)"],
+        &rows,
+    ));
+
+    KernelReport {
+        markdown: out,
+        metrics,
+    }
+}
+
+/// The oracle: dense, prescan and batched kernel runs all equal the
+/// golden model bit for bit, in both UV modes.
+fn bit_exact_vs_golden(net: &FixedNetwork, inputs: &[Vec<Q6_10>]) -> bool {
+    let kernel = SparseKernel::pack(net, DEFAULT_BLOCK);
+    let mut s = kernel.scratch();
+    for mode in [UvMode::Off, UvMode::On] {
+        for x in inputs {
+            let golden = net.forward(x, mode);
+            for strategy in [Strategy::Prescan, Strategy::Dense] {
+                let run = kernel.run(x, mode, strategy, &mut s);
+                let agree = run
+                    .layers
+                    .iter()
+                    .zip(&golden)
+                    .all(|(k, g)| k.output == g.output && k.mask == g.mask);
+                if !agree {
+                    return false;
+                }
+            }
+        }
+        let batch = kernel.run_batch(inputs, mode, Strategy::Prescan, &mut s);
+        for (x, run) in inputs.iter().zip(&batch.runs) {
+            let golden = net.forward(x, mode);
+            let agree = run
+                .layers
+                .iter()
+                .zip(&golden)
+                .all(|(k, g)| k.output == g.output && k.mask == g.mask);
+            if !agree {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Renders the kernel report (markdown only — the `kernel` bin).
+pub fn run(p: Profile) -> String {
+    measure(p).markdown
+}

@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fleet;
 pub mod frontend;
+pub mod kernel;
 pub mod obs;
 pub mod partition;
 pub mod serve;

@@ -19,6 +19,7 @@
 //! | `… --bin ablation_lambda` | Eq. (4) λ sweep |
 //! | `… --bin fleet` | fleet serving: latency & wall time vs shard count |
 //! | `… --bin serve` | virtual-time serving: latency vs offered load per scheduler |
+//! | `… --bin kernel` | native CPU kernel: measured dense-vs-prescan wall-clock, bit-exactness & speedup oracles |
 //! | `… --bin frontend` | production front end: admission, hedging, autoscaling, SLO sweep |
 //! | `… --bin partition` | model parallelism: oversized MLP on 2/4/8 chips, comm overhead |
 //! | `… --bin obs` | observability: Perfetto trace export, telemetry registry, overhead oracles |

@@ -52,6 +52,16 @@
 //! `obs.trace_deterministic` / `obs.nesting_ok` / `obs.spans_covered`
 //! oracle flags, and the tracing-overhead percentages with their
 //! `obs.overhead_disabled_ok` / `obs.overhead_enabled_ok` oracles).
+//! Schema 9 adds the trace-analytics `analyze.*` metrics
+//! (critical-path attribution shares, tail-exemplar gaps, burn rates
+//! and their oracle flags). Schema 10 adds the native-kernel study's
+//! `kernel.*` metrics — **measured wall-clock**, not modelled time:
+//! dense-vs-prescan per-sample latency and speedup per block size and
+//! input sparsity, native-batch per-sample latency and W-word
+//! amortization per batch size, the modelled-vs-measured cross-check,
+//! the simulator hot-loop speedup, and the `kernel.bit_exact` /
+//! `kernel.sim_hotloop_bit_identical` oracle flags — plus `profile.*`
+//! wall-time phases from the `WallProfiler`.
 //! The `bench_diff` bin
 //! compares two such files (any schema — metrics diff generically by
 //! name, and metrics present only in the old file get explicit
@@ -127,7 +137,7 @@ impl BenchResults {
         // pool the experiments actually ran on.
         let workers = sparsenn_core::engine::default_worker_count();
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 9,");
+        let _ = writeln!(out, "  \"schema\": 10,");
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
         let _ = writeln!(out, "  \"workers\": {workers},");
         let _ = writeln!(out, "  \"total_seconds\": {:.3},", self.total_seconds());
@@ -186,7 +196,7 @@ pub struct BenchSnapshot {
 }
 
 impl BenchSnapshot {
-    /// Parses a `BENCH_results.json` document (schema 1 through 9).
+    /// Parses a `BENCH_results.json` document (schema 1 through 10).
     ///
     /// # Errors
     ///
@@ -840,7 +850,7 @@ mod tests {
         assert!(json.contains("\"profile\": \"fast\""));
         assert!(json.contains("\"name\": \"table2\""));
         assert!(json.contains("\"report_chars\": 100"));
-        assert!(json.contains("\"schema\": 9"));
+        assert!(json.contains("\"schema\": 10"));
         assert!(json.contains("\"value\": 12.500000"));
         assert_eq!(json.matches("{ \"name\"").count(), 3);
     }
@@ -1027,6 +1037,21 @@ mod tests {
         );
         assert_eq!(metric_direction("frontend.autoscale.scale_outs"), None);
         assert_eq!(metric_direction("serve.closed_loop_matches_model"), None);
+        // Schema 10: the kernel's measured wall-clock metrics diff
+        // directionally too — latencies must not grow, speedups not fall.
+        assert_eq!(
+            metric_direction("kernel.prescan_us.bs16"),
+            Some(MetricDirection::LowerBetter)
+        );
+        assert_eq!(
+            metric_direction("kernel.batch_per_sample_us.B4"),
+            Some(MetricDirection::LowerBetter)
+        );
+        assert_eq!(
+            metric_direction("kernel.speedup_at_paper_sparsity"),
+            Some(MetricDirection::HigherBetter)
+        );
+        assert_eq!(metric_direction("kernel.bit_exact"), None);
     }
 
     #[test]

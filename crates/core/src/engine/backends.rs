@@ -412,6 +412,7 @@ mod tests {
             Box::new(GoldenBackend::new()),
             Box::new(SimdBackend::new(SimdPlatform::dnn_engine())),
             Box::new(SimdBackend::new(SimdPlatform::lradnn(4))),
+            Box::new(crate::engine::KernelBackend::new()),
         ];
         for mode in [UvMode::Off, UvMode::On] {
             let reference = backends[0].run(&net, &x, mode).unwrap();
@@ -450,6 +451,7 @@ mod tests {
             Box::new(CycleAccurateBackend::default()),
             Box::new(GoldenBackend::new()),
             Box::new(SimdBackend::new(SimdPlatform::dnn_engine())),
+            Box::new(crate::engine::KernelBackend::new()),
         ];
         for b in &backends {
             for mode in [UvMode::Off, UvMode::On] {

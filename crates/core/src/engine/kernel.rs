@@ -1,0 +1,301 @@
+//! The native CPU kernel as an execution substrate.
+
+use crate::engine::backends::{validate_shapes, InferenceBackend};
+use crate::engine::record::{BatchRunRecord, LayerRecord, RunRecord};
+use crate::error::SparseNnError;
+use sparsenn_kernel::{KernelRun, Scratch, SparseKernel, Strategy, DEFAULT_BLOCK};
+use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_numeric::Q6_10;
+use sparsenn_sim::MachineEvents;
+use std::sync::Mutex;
+
+/// Weights repacked for one network, kept warm across calls.
+#[derive(Debug)]
+struct CachedKernel {
+    /// The network the pack was built from. Every call verifies full
+    /// equality against it (the [`PartitionedMachine`] idiom: never
+    /// silently compute with stale weights) — an address fast path would
+    /// be unsound when a dropped network's slot is reused.
+    ///
+    /// [`PartitionedMachine`]: crate::engine::PartitionedMachine
+    net: FixedNetwork,
+    kernel: SparseKernel,
+    scratch: Scratch,
+}
+
+/// The native CPU backend: the two-stage prescan + block-skip kernel of
+/// [`sparsenn_kernel`], wrapped as an [`InferenceBackend`].
+///
+/// Unlike every other substrate this one is engineered for **measured**
+/// speed — its wall-clock is real, not modelled. Records are therefore
+/// timing-free (cycles and `time_us` are 0, like the golden backend's) so
+/// batch-vs-serial record bit-identity holds: measure latency around the
+/// call with `std::time::Instant`, as the bench plane's `kernel`
+/// experiment and [`ShardSpec::from_measured`] do.
+///
+/// Events carry block-level functional counts — the 16-bit words the
+/// compute stage actually streams (`w_reads` = active rows × live-block
+/// words), which is more than the golden model's ideal zero-skipping
+/// counts and less than dense.
+///
+/// Weights are repacked once per network and cached; every call verifies
+/// the cached pack against the served network by full equality (cheap
+/// next to a forward pass, and never silently stale), so steady-state
+/// serving never repacks.
+///
+/// [`ShardSpec::from_measured`]: sparsenn_serve::ShardSpec::from_measured
+#[derive(Debug)]
+pub struct KernelBackend {
+    name: String,
+    block: usize,
+    state: Mutex<Option<CachedKernel>>,
+}
+
+impl Default for KernelBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelBackend {
+    /// A kernel backend with the default column-block size
+    /// ([`DEFAULT_BLOCK`]).
+    pub fn new() -> Self {
+        Self::with_block(DEFAULT_BLOCK)
+    }
+
+    /// A kernel backend with an explicit column-block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn with_block(block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        Self {
+            name: format!("kernel-cpu-b{block}"),
+            block,
+            state: Mutex::new(None),
+        }
+    }
+
+    /// The column-block size panels are packed with.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Runs `f` with the cached (or freshly packed) kernel for `net`.
+    fn with_kernel<T>(
+        &self,
+        net: &FixedNetwork,
+        f: impl FnOnce(&SparseKernel, &mut Scratch) -> T,
+    ) -> T {
+        let mut state = self.state.lock().expect("kernel cache poisoned");
+        let fresh = match state.as_ref() {
+            Some(c) => c.net != *net,
+            None => true,
+        };
+        if fresh {
+            let kernel = SparseKernel::pack(net, self.block);
+            let scratch = kernel.scratch();
+            *state = Some(CachedKernel {
+                net: net.clone(),
+                kernel,
+                scratch,
+            });
+        }
+        let c = state.as_mut().expect("cache just filled");
+        f(&c.kernel, &mut c.scratch)
+    }
+
+    /// Converts a kernel run into the backend-independent record shape.
+    fn to_record(&self, run: KernelRun) -> RunRecord {
+        RunRecord {
+            backend: self.name.clone(),
+            layers: run
+                .layers
+                .into_iter()
+                .map(|l| {
+                    let st = l.stats;
+                    let ev = MachineEvents {
+                        w_reads: st.w_words,
+                        v_reads: st.v_words,
+                        u_reads: st.u_words,
+                        macs: st.macs,
+                        src_reads: st.nnz_in,
+                        dst_writes: st.active_rows,
+                        pred_writes: l.mask.as_ref().map_or(0, |m| m.len() as u64),
+                        ..MachineEvents::default()
+                    };
+                    LayerRecord {
+                        output: l.output,
+                        mask: l.mask,
+                        cycles: 0,
+                        vu_cycles: 0,
+                        w_cycles: 0,
+                        time_us: 0.0,
+                        events: ev,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl InferenceBackend for KernelBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(
+        &self,
+        net: &FixedNetwork,
+        input: &[Q6_10],
+        mode: UvMode,
+    ) -> Result<RunRecord, SparseNnError> {
+        validate_shapes(net, input)?;
+        let run = self.with_kernel(net, |k, s| k.run(input, mode, Strategy::Prescan, s));
+        Ok(self.to_record(run))
+    }
+
+    /// The native batched core: each layer's W panels are streamed once
+    /// per batch over the union of the samples' live blocks
+    /// ([`SparseKernel::run_batch`]). Per-sample records stay bit-identical
+    /// to serial [`run`](InferenceBackend::run)s; the W book amortizes.
+    fn run_batch(
+        &self,
+        net: &FixedNetwork,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+    ) -> Result<BatchRunRecord, SparseNnError> {
+        if inputs.is_empty() {
+            return Err(SparseNnError::EmptyBatch);
+        }
+        for input in inputs {
+            validate_shapes(net, input)?;
+        }
+        let batch = self.with_kernel(net, |k, s| k.run_batch(inputs, mode, Strategy::Prescan, s));
+        let (w_serial, w_batch) = (batch.w_words_serial, batch.w_words_batch);
+        let records: Vec<RunRecord> = batch.runs.into_iter().map(|r| self.to_record(r)).collect();
+        let mut batch_events = MachineEvents::default();
+        for r in &records {
+            batch_events.merge(&r.total_events());
+        }
+        batch_events.w_reads = w_batch;
+        Ok(BatchRunRecord {
+            records,
+            batch_time_us: 0.0,
+            batch_events,
+            w_reads_serial: w_serial,
+            w_reads_amortized: w_batch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::GoldenBackend;
+    use sparsenn_linalg::init::seeded_rng;
+    use sparsenn_model::{Mlp, PredictedNetwork};
+
+    fn net_and_input(dims: &[usize], rank: usize) -> (FixedNetwork, Vec<Q6_10>) {
+        let mut rng = seeded_rng(11);
+        let mlp = Mlp::random(dims, &mut rng);
+        let net = PredictedNetwork::with_random_predictors(mlp, rank, &mut rng);
+        let fixed = FixedNetwork::from_float(&net);
+        let x: Vec<f32> = (0..dims[0])
+            .map(|i| {
+                if i % 3 == 0 {
+                    0.0
+                } else {
+                    ((i as f32) * 0.31).sin().abs()
+                }
+            })
+            .collect();
+        let xq = fixed.quantize_input(&x);
+        (fixed, xq)
+    }
+
+    #[test]
+    fn kernel_backend_is_bit_exact_vs_golden() {
+        let (net, x) = net_and_input(&[36, 72, 48, 10], 4);
+        let golden = GoldenBackend::new();
+        for block in [1, 8, 16, 33] {
+            let kb = KernelBackend::with_block(block);
+            for mode in [UvMode::Off, UvMode::On] {
+                let want = golden.run(&net, &x, mode).unwrap();
+                let got = kb.run(&net, &x, mode).unwrap();
+                for (l, (g, w)) in got.layers.iter().zip(&want.layers).enumerate() {
+                    assert_eq!(g.output, w.output, "b{block} layer {l} {mode:?}");
+                    assert_eq!(g.mask, w.mask, "b{block} layer {l} mask {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn records_are_timing_free_and_deterministic() {
+        let (net, x) = net_and_input(&[36, 72, 10], 4);
+        let kb = KernelBackend::new();
+        let a = kb.run(&net, &x, UvMode::On).unwrap();
+        let b = kb.run(&net, &x, UvMode::On).unwrap();
+        assert_eq!(a, b, "cache reuse never changes records");
+        assert_eq!(a.total_cycles(), 0);
+        assert_eq!(a.time_us(), 0.0);
+        assert_eq!(a.backend, format!("kernel-cpu-b{DEFAULT_BLOCK}"));
+        assert!(a.total_events().w_reads > 0, "events carry real activity");
+    }
+
+    #[test]
+    fn repack_happens_on_a_different_network_only() {
+        let (net_a, x) = net_and_input(&[36, 72, 10], 4);
+        let net_b = {
+            let mut rng = seeded_rng(99);
+            let mlp = Mlp::random(&[36, 40, 10], &mut rng);
+            FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(mlp, 3, &mut rng))
+        };
+        let kb = KernelBackend::new();
+        let a1 = kb.run(&net_a, &x, UvMode::On).unwrap();
+        let _b = kb.run(&net_b, &x, UvMode::On).unwrap();
+        let a2 = kb.run(&net_a, &x, UvMode::On).unwrap();
+        assert_eq!(a1, a2, "cache swap round-trips exactly");
+        // A clone at a new address hits the equality fallback, not a
+        // stale pack.
+        let clone = net_a.clone();
+        let a3 = kb.run(&clone, &x, UvMode::On).unwrap();
+        assert_eq!(a1, a3);
+    }
+
+    #[test]
+    fn batch_amortizes_w_words_never_upward() {
+        let (net, x) = net_and_input(&[48, 128, 10], 4);
+        let kb = KernelBackend::new();
+        let inputs = vec![x; 4];
+        let batch = kb.run_batch(&net, &inputs, UvMode::On).unwrap();
+        // Identical samples: the union pass degenerates to one serial pass.
+        assert!((batch.w_read_amortization() - 4.0).abs() < 1e-12);
+        assert_eq!(batch.batch_time_us, 0.0, "records stay timing-free");
+        assert_eq!(
+            batch.batch_events.w_reads, batch.w_reads_amortized,
+            "the batch book carries the amortized W count"
+        );
+    }
+
+    #[test]
+    fn kernel_errors_are_typed() {
+        let (net, _) = net_and_input(&[36, 72, 10], 4);
+        let kb = KernelBackend::new();
+        assert_eq!(
+            kb.run_batch(&net, &[], UvMode::On).unwrap_err(),
+            SparseNnError::EmptyBatch
+        );
+        let short = vec![Q6_10::ZERO; 12];
+        assert_eq!(
+            kb.run(&net, &short, UvMode::On).unwrap_err(),
+            SparseNnError::InputWidthMismatch {
+                expected: 36,
+                got: 12
+            }
+        );
+    }
+}

@@ -8,11 +8,13 @@
 //!
 //! * [`InferenceBackend`] — the substrate abstraction. Implemented by
 //!   [`CycleAccurateBackend`] (the 64-PE cycle-level machine),
-//!   [`GoldenBackend`] (the timing-free fixed-point golden model) and
-//!   [`SimdBackend`] (the analytic SIMD platform models of Table IV).
-//!   Every backend returns the same [`RunRecord`] — outputs, per-layer
-//!   cycles and activity events — so an experiment swaps substrates by
-//!   changing one constructor call.
+//!   [`GoldenBackend`] (the timing-free fixed-point golden model),
+//!   [`SimdBackend`] (the analytic SIMD platform models of Table IV) and
+//!   [`KernelBackend`] (the native prescan + block-skip CPU kernel of
+//!   `sparsenn-kernel` — the one substrate whose speed is *measured*, not
+//!   modelled). Every backend returns the same [`RunRecord`] — outputs,
+//!   per-layer cycles and activity events — so an experiment swaps
+//!   substrates by changing one constructor call.
 //! * [`Session`] — a serving front end built from a
 //!   [`TrainedSystem`](crate::TrainedSystem): owns a backend, borrows the
 //!   quantized network and test set, and runs batched inference on a
@@ -89,6 +91,7 @@ mod admission;
 mod backends;
 mod batch;
 mod fleet;
+mod kernel;
 mod partitioned;
 mod record;
 mod scheduler;
@@ -98,6 +101,7 @@ pub use admission::{AdmissionDecision, AdmissionGate, AdmitAll, BoundedQueues, P
 pub use backends::{CycleAccurateBackend, GoldenBackend, InferenceBackend, SimdBackend};
 pub use batch::BatchPolicy;
 pub use fleet::{AdmissionStats, Fleet, ShardStats};
+pub use kernel::KernelBackend;
 pub use partitioned::PartitionedMachine;
 pub use record::{BatchRunRecord, LayerRecord, RunRecord};
 pub use scheduler::{FastestCompletion, FirstIdle, LeastQueued, Scheduler, ShardView};

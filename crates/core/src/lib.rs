@@ -68,6 +68,11 @@ pub use sparsenn_energy as energy;
 /// execution side is [`engine::PartitionedMachine`].
 pub use sparsenn_partition as partition;
 
+/// Native CPU inference kernels — prescan + block-skip, measured
+/// wall-clock (re-export of `sparsenn-kernel`). The backend side is
+/// [`engine::KernelBackend`].
+pub use sparsenn_kernel as kernel;
+
 pub mod engine;
 mod error;
 mod profile;

@@ -310,6 +310,14 @@ impl TrainedSystem {
         Session::new(self, backend)
     }
 
+    /// Opens a serving [`Session`] over the native CPU kernel
+    /// ([`KernelBackend`](crate::engine::KernelBackend)) — bit-identical
+    /// results to every other substrate, but the latency you observe
+    /// around the calls is real wall-clock, not a model.
+    pub fn kernel_session(&self) -> Session<'_> {
+        self.session_with(Box::new(crate::engine::KernelBackend::new()))
+    }
+
     /// Opens a serving [`Session`] over a [`Fleet`](crate::engine::Fleet)
     /// of `shards` identically-configured cycle-accurate machines, with
     /// one batch worker per shard — the sharded-datacenter setup. Batch
@@ -633,6 +641,10 @@ impl TrainedSystem {
                 u64::from_str_radix(clock, 16)
                     .map_err(|_| bad(format!("bad clock bits `{clock}`")))?,
             ),
+            // The scan mode is a host-side simulation strategy (results and
+            // cycles are identical either way), so checkpoints don't record
+            // it; loading always yields the default.
+            scan: sparsenn_sim::ScanMode::default(),
         };
         let net = sparsenn_model::serialize::from_str(line("model")?)
             .map_err(|e| bad(format!("model section: {e}")))?;

@@ -1,0 +1,563 @@
+//! The two-stage kernel: prescan → block-skip compute, over a whole
+//! quantized network.
+
+use crate::packed::{PackedLayer, PackedPredictor};
+use crate::prescan::BlockIndex;
+use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_numeric::{argmax, Q6_10};
+
+/// Which compute stage to run. Both produce bit-identical outputs; they
+/// differ only in wall-clock cost — [`Dense`](Strategy::Dense) is the
+/// baseline [`Prescan`](Strategy::Prescan)'s measured speedup is reported
+/// against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Two-stage: prescan builds the nonzero-block index, compute touches
+    /// only live blocks and predictor-active rows.
+    #[default]
+    Prescan,
+    /// Straight dense GEMV over every column and row (predictor verdicts
+    /// still computed; bypassed rows zeroed after the fact), on the same
+    /// packed layout with the same accumulator.
+    Dense,
+}
+
+/// Functional activity of one kernel layer pass — what the compute stage
+/// actually touched. Deterministic (a pure function of the input pattern
+/// and strategy), so records built from it are reproducible run to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Output rows of the layer.
+    pub rows: u64,
+    /// Unpadded input columns.
+    pub cols: u64,
+    /// Nonzero input activations (prescan's exact count).
+    pub nnz_in: u64,
+    /// Live column blocks the prescan found.
+    pub live_blocks: u64,
+    /// Total column blocks.
+    pub total_blocks: u64,
+    /// Rows the W stage computed (predictor-active, or all).
+    pub active_rows: u64,
+    /// 16-bit W words the compute stage read.
+    pub w_words: u64,
+    /// 16-bit V words read (0 for unpredicted layers).
+    pub v_words: u64,
+    /// 16-bit U words read (0 for unpredicted layers).
+    pub u_words: u64,
+    /// Multiply-accumulates executed.
+    pub macs: u64,
+}
+
+/// One layer of a kernel forward pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelLayer {
+    /// Output activations (bit-exact vs the golden model).
+    pub output: Vec<Q6_10>,
+    /// Predictor mask when the layer ran predicted (`true` = computed).
+    pub mask: Option<Vec<bool>>,
+    /// What the pass touched.
+    pub stats: LayerStats,
+}
+
+/// Result of one kernel forward pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelRun {
+    /// Per-layer results, input side first.
+    pub layers: Vec<KernelLayer>,
+}
+
+impl KernelRun {
+    /// Final-layer output activations.
+    pub fn output(&self) -> &[Q6_10] {
+        &self.layers.last().expect("at least one layer").output
+    }
+
+    /// Argmax classification of the final layer.
+    pub fn classify(&self) -> usize {
+        argmax(self.output())
+    }
+}
+
+/// Result of one batched kernel pass: per-sample runs (each bit-identical
+/// to running that sample alone) plus the batch's W-traffic books.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelBatchRun {
+    /// Per-sample forward passes.
+    pub runs: Vec<KernelRun>,
+    /// W words B serial passes would read (sum of per-sample `w_words`).
+    pub w_words_serial: u64,
+    /// W words the batched pass reads: each row panel is streamed once
+    /// per batch, over the union of the active samples' live blocks
+    /// (≤ serial).
+    pub w_words_batch: u64,
+}
+
+impl KernelBatchRun {
+    /// W-traffic amortization factor: serial over batch (≥ 1).
+    pub fn w_amortization(&self) -> f64 {
+        if self.w_words_batch == 0 {
+            return 1.0;
+        }
+        self.w_words_serial as f64 / self.w_words_batch as f64
+    }
+}
+
+/// Preallocated working memory for [`SparseKernel`] runs: padded ping-pong
+/// activation buffers, the prescan index, predictor intermediates — and,
+/// for batches, one set per sample. Build once with
+/// [`SparseKernel::scratch`]; every subsequent run allocates only its
+/// output vectors.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    act: Vec<Q6_10>,
+    next: Vec<Q6_10>,
+    index: BlockIndex,
+    v_result: Vec<Q6_10>,
+    mask: Vec<bool>,
+    // Per-sample arenas for batched runs (grown on demand, then reused).
+    b_act: Vec<Vec<Q6_10>>,
+    b_next: Vec<Vec<Q6_10>>,
+    b_index: Vec<BlockIndex>,
+    b_mask: Vec<Vec<bool>>,
+    union_words: Vec<u64>,
+}
+
+impl Scratch {
+    fn ensure(&mut self, k: &SparseKernel) {
+        if self.act.len() < k.buf_len {
+            self.act.resize(k.buf_len, Q6_10::ZERO);
+            self.next.resize(k.buf_len, Q6_10::ZERO);
+        }
+        if self.v_result.len() < k.max_rank {
+            self.v_result.resize(k.max_rank, Q6_10::ZERO);
+        }
+        if self.mask.len() < k.max_rows {
+            self.mask.resize(k.max_rows, false);
+        }
+    }
+
+    fn ensure_batch(&mut self, k: &SparseKernel, b: usize) {
+        self.ensure(k);
+        while self.b_act.len() < b {
+            self.b_act.push(vec![Q6_10::ZERO; k.buf_len]);
+            self.b_next.push(vec![Q6_10::ZERO; k.buf_len]);
+            self.b_index.push(BlockIndex::new());
+            self.b_mask.push(vec![false; k.max_rows]);
+        }
+        for buf in self.b_act.iter_mut().chain(self.b_next.iter_mut()) {
+            if buf.len() < k.buf_len {
+                buf.resize(k.buf_len, Q6_10::ZERO);
+            }
+        }
+        for m in &mut self.b_mask {
+            if m.len() < k.max_rows {
+                m.resize(k.max_rows, false);
+            }
+        }
+        if self.union_words.len() < k.max_words {
+            self.union_words.resize(k.max_words, 0);
+        }
+    }
+}
+
+/// A quantized network repacked for the two-stage kernel: one
+/// [`PackedLayer`] per weight layer, one [`PackedPredictor`] per predicted
+/// hidden layer. Packing happens once here; runs only read.
+#[derive(Clone, Debug)]
+pub struct SparseKernel {
+    block: usize,
+    layers: Vec<PackedLayer>,
+    preds: Vec<Option<PackedPredictor>>,
+    buf_len: usize,
+    max_rank: usize,
+    max_rows: usize,
+    max_words: usize,
+}
+
+impl SparseKernel {
+    /// Repacks a quantized network with the given column-block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers or `block == 0`.
+    pub fn pack(net: &FixedNetwork, block: usize) -> Self {
+        assert!(net.num_layers() > 0, "network has no layers");
+        assert!(block > 0, "block size must be positive");
+        let n = net.num_layers();
+        let layers: Vec<PackedLayer> = net
+            .layers()
+            .iter()
+            .map(|w| PackedLayer::pack(w, block))
+            .collect();
+        let preds: Vec<Option<PackedPredictor>> = (0..n)
+            .map(|l| {
+                (l + 1 < n)
+                    .then(|| net.predictors().get(l))
+                    .flatten()
+                    .map(|p| PackedPredictor::pack(p, block))
+            })
+            .collect();
+        let max_padded = layers.iter().map(PackedLayer::padded).max().unwrap_or(0);
+        let max_rows = layers.iter().map(PackedLayer::rows).max().unwrap_or(0);
+        let max_rank = preds
+            .iter()
+            .flatten()
+            .map(PackedPredictor::rank)
+            .max()
+            .unwrap_or(0);
+        let max_words = layers
+            .iter()
+            .map(|l| l.blocks().div_ceil(64))
+            .max()
+            .unwrap_or(0);
+        Self {
+            block,
+            layers,
+            preds,
+            buf_len: max_padded.max(max_rows),
+            max_rank,
+            max_rows,
+            max_words,
+        }
+    }
+
+    /// The column-block size every panel was packed with.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input width the kernel expects.
+    pub fn input_width(&self) -> usize {
+        self.layers[0].cols()
+    }
+
+    /// A scratch arena sized for this kernel.
+    pub fn scratch(&self) -> Scratch {
+        let mut s = Scratch::default();
+        s.ensure(self);
+        s
+    }
+
+    /// Runs one quantized input through the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the first layer's width.
+    pub fn run(
+        &self,
+        input: &[Q6_10],
+        mode: UvMode,
+        strategy: Strategy,
+        s: &mut Scratch,
+    ) -> KernelRun {
+        assert_eq!(input.len(), self.input_width(), "input width mismatch");
+        s.ensure(self);
+        s.act[..input.len()].copy_from_slice(input);
+        s.act[input.len()..self.layers[0].padded()].fill(Q6_10::ZERO);
+        let mut layers = Vec::with_capacity(self.layers.len());
+        // Split the ping-pong buffers out of the scratch so the layer body
+        // can borrow index/mask/v_result alongside them.
+        let mut act = std::mem::take(&mut s.act);
+        let mut next = std::mem::take(&mut s.next);
+        for l in 0..self.layers.len() {
+            let stats = self.layer_pass(
+                l,
+                mode,
+                strategy,
+                &act,
+                &mut next,
+                &mut s.index,
+                &mut s.mask,
+                &mut s.v_result,
+            );
+            let lay = &self.layers[l];
+            let mask = self
+                .predicted(l, mode)
+                .then(|| s.mask[..lay.rows()].to_vec());
+            layers.push(KernelLayer {
+                output: next[..lay.rows()].to_vec(),
+                mask,
+                stats,
+            });
+            // Zero the padding tail the next layer's prescan will scan.
+            if l + 1 < self.layers.len() {
+                let pad_next = self.layers[l + 1].padded();
+                next[lay.rows()..pad_next].fill(Q6_10::ZERO);
+            }
+            std::mem::swap(&mut act, &mut next);
+        }
+        s.act = act;
+        s.next = next;
+        KernelRun { layers }
+    }
+
+    /// Whether layer `l` runs the predictor in the given mode.
+    fn predicted(&self, l: usize, mode: UvMode) -> bool {
+        mode == UvMode::On && self.preds[l].is_some()
+    }
+
+    /// One layer pass: prescan + predictor + W stage, activations read
+    /// from `act[..padded]`, outputs written to `next[..rows]` (mask to
+    /// `mask[..rows]` when predicted). Returns what was touched.
+    #[allow(clippy::too_many_arguments)]
+    fn layer_pass(
+        &self,
+        l: usize,
+        mode: UvMode,
+        strategy: Strategy,
+        act: &[Q6_10],
+        next: &mut [Q6_10],
+        index: &mut BlockIndex,
+        mask: &mut [bool],
+        v_result: &mut [Q6_10],
+    ) -> LayerStats {
+        let lay = &self.layers[l];
+        let is_hidden = l + 1 < self.layers.len();
+        let rows = lay.rows();
+        let mut st = LayerStats {
+            rows: rows as u64,
+            cols: lay.cols() as u64,
+            total_blocks: lay.blocks() as u64,
+            ..LayerStats::default()
+        };
+        // Stage 1: prescan (the dense baseline pays a plain nnz count
+        // instead — it reads the input either way).
+        match strategy {
+            Strategy::Prescan => {
+                index.prescan(&act[..lay.padded()], self.block);
+                st.nnz_in = index.nnz();
+                st.live_blocks = index.live().len() as u64;
+            }
+            Strategy::Dense => {
+                st.nnz_in = act[..lay.cols()].iter().filter(|v| !v.is_zero()).count() as u64;
+                st.live_blocks = st.total_blocks;
+            }
+        }
+        // Predictor: V·a quantized per row, then sign of U·(V·a).
+        let predicted = self.predicted(l, mode);
+        if predicted {
+            let p = self.preds[l].as_ref().expect("predicted layers have one");
+            let r = p.rank();
+            for (t, v) in v_result.iter_mut().enumerate().take(r) {
+                let acc = match strategy {
+                    Strategy::Prescan => p.v.block_dot(t, index, act),
+                    Strategy::Dense => p.v.dense_dot(t, act),
+                };
+                *v = acc.to_fixed();
+            }
+            st.v_words = match strategy {
+                Strategy::Prescan => (r * index.live_cols()) as u64,
+                Strategy::Dense => (r * lay.cols()) as u64,
+            };
+            for (i, m) in mask.iter_mut().enumerate().take(rows) {
+                *m = p.u_verdict(i, &v_result[..r]);
+            }
+            st.u_words = (rows * r) as u64;
+        }
+        // Stage 2: the W pass over live blocks and active rows.
+        let mut active = 0u64;
+        for i in 0..rows {
+            let row_active = !predicted || mask[i];
+            match strategy {
+                Strategy::Prescan => {
+                    if !row_active {
+                        next[i] = Q6_10::ZERO;
+                        continue;
+                    }
+                    let q: Q6_10 = lay.block_dot(i, index, act).to_fixed();
+                    next[i] = if is_hidden { q.relu() } else { q };
+                    active += 1;
+                }
+                Strategy::Dense => {
+                    // Dense baseline computes every row; bypassed rows are
+                    // zeroed afterwards (same bits, full dense cost).
+                    let q: Q6_10 = lay.dense_dot(i, act).to_fixed();
+                    let q = if is_hidden { q.relu() } else { q };
+                    next[i] = if row_active { q } else { Q6_10::ZERO };
+                    if row_active {
+                        active += 1;
+                    }
+                }
+            }
+        }
+        st.active_rows = active;
+        st.w_words = match strategy {
+            Strategy::Prescan => active * index.live_cols() as u64,
+            Strategy::Dense => (rows * lay.cols()) as u64,
+        };
+        st.macs = st.w_words + st.v_words + st.u_words;
+        st
+    }
+
+    /// Runs a batch of quantized inputs in one pass: prescan once per
+    /// sample, then each layer's W stage iterates **rows outer, samples
+    /// inner**, so a row's weight panel is streamed from memory once per
+    /// batch while every sample applies its own live-block index and
+    /// predictor verdict — per-sample results stay bit-identical to
+    /// serial [`run`](Self::run)s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any input width mismatches.
+    pub fn run_batch(
+        &self,
+        inputs: &[Vec<Q6_10>],
+        mode: UvMode,
+        strategy: Strategy,
+        s: &mut Scratch,
+    ) -> KernelBatchRun {
+        assert!(!inputs.is_empty(), "batch has no samples");
+        let b = inputs.len();
+        s.ensure_batch(self, b);
+        for (x, buf) in inputs.iter().zip(&mut s.b_act) {
+            assert_eq!(x.len(), self.input_width(), "input width mismatch");
+            buf[..x.len()].copy_from_slice(x);
+            buf[x.len()..self.layers[0].padded()].fill(Q6_10::ZERO);
+        }
+        let mut per_sample: Vec<Vec<KernelLayer>> = (0..b)
+            .map(|_| Vec::with_capacity(self.layers.len()))
+            .collect();
+        let (mut w_serial, mut w_batch) = (0u64, 0u64);
+        let mut b_act = std::mem::take(&mut s.b_act);
+        let mut b_next = std::mem::take(&mut s.b_next);
+        for l in 0..self.layers.len() {
+            let lay = &self.layers[l];
+            let is_hidden = l + 1 < self.layers.len();
+            let rows = lay.rows();
+            let predicted = self.predicted(l, mode);
+            let mut stats = vec![
+                LayerStats {
+                    rows: rows as u64,
+                    cols: lay.cols() as u64,
+                    total_blocks: lay.blocks() as u64,
+                    ..LayerStats::default()
+                };
+                b
+            ];
+            // Per-sample prescan + predictor (verdicts are per sample).
+            for si in 0..b {
+                let act = &b_act[si][..];
+                let st = &mut stats[si];
+                match strategy {
+                    Strategy::Prescan => {
+                        s.b_index[si].prescan(&act[..lay.padded()], self.block);
+                        st.nnz_in = s.b_index[si].nnz();
+                        st.live_blocks = s.b_index[si].live().len() as u64;
+                    }
+                    Strategy::Dense => {
+                        st.nnz_in =
+                            act[..lay.cols()].iter().filter(|v| !v.is_zero()).count() as u64;
+                        st.live_blocks = st.total_blocks;
+                    }
+                }
+                if predicted {
+                    let p = self.preds[l].as_ref().expect("predicted layers have one");
+                    let r = p.rank();
+                    for t in 0..r {
+                        let acc = match strategy {
+                            Strategy::Prescan => p.v.block_dot(t, &s.b_index[si], act),
+                            Strategy::Dense => p.v.dense_dot(t, act),
+                        };
+                        s.v_result[t] = acc.to_fixed();
+                    }
+                    st.v_words = match strategy {
+                        Strategy::Prescan => (r * s.b_index[si].live_cols()) as u64,
+                        Strategy::Dense => (r * lay.cols()) as u64,
+                    };
+                    for i in 0..rows {
+                        s.b_mask[si][i] = p.u_verdict(i, &s.v_result[..r]);
+                    }
+                    st.u_words = (rows * r) as u64;
+                }
+            }
+            // W stage: rows outer, samples inner — one panel stream per
+            // batch. The batch W book counts, per row, the union of the
+            // active samples' live blocks. `i` indexes four parallel
+            // per-sample structures, so a range loop reads clearest.
+            let nwords = lay.blocks().div_ceil(64);
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..rows {
+                let union = &mut s.union_words[..nwords];
+                union.fill(0);
+                let mut any = false;
+                for si in 0..b {
+                    let row_active = !predicted || s.b_mask[si][i];
+                    match strategy {
+                        Strategy::Prescan => {
+                            if !row_active {
+                                b_next[si][i] = Q6_10::ZERO;
+                                continue;
+                            }
+                            any = true;
+                            for (u, w) in union.iter_mut().zip(s.b_index[si].words()) {
+                                *u |= *w;
+                            }
+                            let q: Q6_10 = lay.block_dot(i, &s.b_index[si], &b_act[si]).to_fixed();
+                            b_next[si][i] = if is_hidden { q.relu() } else { q };
+                            stats[si].active_rows += 1;
+                        }
+                        Strategy::Dense => {
+                            // Dense computes every row (full baseline cost),
+                            // then zeroes the bypassed ones — same bits as
+                            // serial Dense.
+                            any = true;
+                            let q: Q6_10 = lay.dense_dot(i, &b_act[si]).to_fixed();
+                            let q = if is_hidden { q.relu() } else { q };
+                            b_next[si][i] = if row_active { q } else { Q6_10::ZERO };
+                            if row_active {
+                                stats[si].active_rows += 1;
+                            }
+                        }
+                    }
+                }
+                match strategy {
+                    Strategy::Prescan => {
+                        let union_blocks: u64 =
+                            union.iter().map(|w| u64::from(w.count_ones())).sum();
+                        w_batch += union_blocks * self.block as u64;
+                    }
+                    Strategy::Dense => {
+                        if any || !predicted {
+                            w_batch += lay.cols() as u64;
+                        }
+                    }
+                }
+            }
+            for si in 0..b {
+                let st = &mut stats[si];
+                st.w_words = match strategy {
+                    Strategy::Prescan => st.active_rows * s.b_index[si].live_cols() as u64,
+                    Strategy::Dense => (rows * lay.cols()) as u64,
+                };
+                st.macs = st.w_words + st.v_words + st.u_words;
+                w_serial += st.w_words;
+                per_sample[si].push(KernelLayer {
+                    output: b_next[si][..rows].to_vec(),
+                    mask: predicted.then(|| s.b_mask[si][..rows].to_vec()),
+                    stats: *st,
+                });
+                if l + 1 < self.layers.len() {
+                    let pad_next = self.layers[l + 1].padded();
+                    b_next[si][rows..pad_next].fill(Q6_10::ZERO);
+                }
+            }
+            std::mem::swap(&mut b_act, &mut b_next);
+        }
+        s.b_act = b_act;
+        s.b_next = b_next;
+        KernelBatchRun {
+            runs: per_sample
+                .into_iter()
+                .map(|layers| KernelRun { layers })
+                .collect(),
+            w_words_serial: w_serial,
+            w_words_batch: w_batch,
+        }
+    }
+}

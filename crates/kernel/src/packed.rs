@@ -1,0 +1,257 @@
+//! Block-panel weight layouts, repacked once at construction.
+
+use crate::prescan::BlockIndex;
+use sparsenn_model::fixedpoint::{FixedMatrix, FixedPredictor};
+use sparsenn_numeric::{Accumulator, Q6_10};
+
+/// A weight matrix repacked for the block-skip compute stage: row-major,
+/// every row zero-padded to a whole number of column blocks, so a
+/// (row, block) panel is one contiguous `block`-word slice.
+///
+/// Zero padding is bit-exact: padded weights multiply padded (zero)
+/// activations, contributing exactly `0` to the wide accumulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedLayer {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    blocks: usize,
+    padded: usize,
+    data: Vec<Q6_10>,
+}
+
+impl PackedLayer {
+    /// Repacks a quantized matrix into block panels (done once; the
+    /// compute stage never touches the original layout again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0`.
+    pub fn pack(m: &FixedMatrix, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        let (rows, cols) = (m.rows(), m.cols());
+        let blocks = cols.div_ceil(block);
+        let padded = blocks * block;
+        let mut data = vec![Q6_10::ZERO; rows * padded];
+        for i in 0..rows {
+            data[i * padded..i * padded + cols].copy_from_slice(m.row(i));
+        }
+        Self {
+            rows,
+            cols,
+            block,
+            blocks,
+            padded,
+            data,
+        }
+    }
+
+    /// Output rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Unpadded input columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Column-block size.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Column blocks per row.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Padded row stride (`blocks × block`).
+    pub fn padded(&self) -> usize {
+        self.padded
+    }
+
+    /// Row `i` as a padded panel slice.
+    #[inline]
+    fn panel(&self, i: usize) -> &[Q6_10] {
+        &self.data[i * self.padded..(i + 1) * self.padded]
+    }
+
+    /// Stage-2 dot product of row `i` with a padded activation buffer,
+    /// touching only the index's live blocks — iterated as coalesced
+    /// adjacent-block runs, so clustered sparsity pays one loop setup per
+    /// cluster. Bit-identical to the golden `row_dot` (zeros inside live
+    /// blocks contribute 0; dead blocks hold only zeros; i64 accumulation
+    /// is order-independent, so segment boundaries don't matter).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the index block size matches and `x` covers the
+    /// padded width.
+    #[inline]
+    pub fn block_dot(&self, i: usize, idx: &BlockIndex, x: &[Q6_10]) -> Accumulator {
+        debug_assert_eq!(idx.block_size(), self.block, "index/panel block mismatch");
+        debug_assert!(x.len() >= self.padded, "activation buffer too short");
+        let panel = self.panel(i);
+        let mut acc = Accumulator::new();
+        for &(start, len) in idx.runs() {
+            let o = start as usize * self.block;
+            let n = len as usize * self.block;
+            for (w, a) in panel[o..o + n].iter().zip(&x[o..o + n]) {
+                acc.mac(*w, *a);
+            }
+        }
+        acc
+    }
+
+    /// The dense baseline: a straight dot product over every (unpadded)
+    /// column — the best dense implementation of the same arithmetic on
+    /// the same layout, which is what the prescan speedup is measured
+    /// against.
+    #[inline]
+    pub fn dense_dot(&self, i: usize, x: &[Q6_10]) -> Accumulator {
+        let panel = self.panel(i);
+        let mut acc = Accumulator::new();
+        for (w, a) in panel[..self.cols].iter().zip(&x[..self.cols]) {
+            acc.mac(*w, *a);
+        }
+        acc
+    }
+}
+
+/// A UV predictor repacked for the kernel: V (`r × n`) gets the same
+/// column blocking as the layer (it reads the same sparse activations),
+/// U (`m × r`) stays dense — its operand is the short quantized V result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedPredictor {
+    /// Block-panel V factor.
+    pub v: PackedLayer,
+    u_rows: usize,
+    u_cols: usize,
+    u: Vec<Q6_10>,
+}
+
+impl PackedPredictor {
+    /// Repacks a quantized predictor pair.
+    pub fn pack(p: &FixedPredictor, block: usize) -> Self {
+        let (u_rows, u_cols) = (p.u.rows(), p.u.cols());
+        let mut u = Vec::with_capacity(u_rows * u_cols);
+        for i in 0..u_rows {
+            u.extend_from_slice(p.u.row(i));
+        }
+        Self {
+            v: PackedLayer::pack(&p.v, block),
+            u_rows,
+            u_cols,
+            u,
+        }
+    }
+
+    /// Predictor rank (`r` = V rows = U cols).
+    pub fn rank(&self) -> usize {
+        self.u_cols
+    }
+
+    /// Predicted output rows (`m` = U rows).
+    pub fn u_rows(&self) -> usize {
+        self.u_rows
+    }
+
+    /// U-phase verdict for output row `i`: sign of `U[i] · v_result`.
+    /// Dense accumulation over the V result is bit-identical to the
+    /// golden `row_dot` (which skips zeros): zero entries contribute 0.
+    #[inline]
+    pub fn u_verdict(&self, i: usize, v_result: &[Q6_10]) -> bool {
+        let row = &self.u[i * self.u_cols..(i + 1) * self.u_cols];
+        let mut acc = Accumulator::new();
+        for (w, a) in row.iter().zip(v_result) {
+            acc.mac(*w, *a);
+        }
+        acc.is_positive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsenn_linalg::Matrix;
+
+    fn mat(rows: usize, cols: usize) -> FixedMatrix {
+        FixedMatrix::from_float(&Matrix::from_fn(rows, cols, |i, j| {
+            ((i * cols + j) as f32 * 0.13).sin()
+        }))
+    }
+
+    #[test]
+    fn pack_pads_rows_to_whole_blocks() {
+        let m = mat(3, 10);
+        let p = PackedLayer::pack(&m, 4);
+        assert_eq!(p.blocks(), 3);
+        assert_eq!(p.padded(), 12);
+        // Original values preserved, tail zero-padded.
+        for i in 0..3 {
+            assert_eq!(&p.panel(i)[..10], m.row(i));
+            assert!(p.panel(i)[10..].iter().all(|v| v.is_zero()));
+        }
+    }
+
+    #[test]
+    fn block_dot_matches_golden_row_dot() {
+        let m = mat(5, 23);
+        let p = PackedLayer::pack(&m, 8);
+        // Sparse activations with zeros scattered through live blocks.
+        let x: Vec<Q6_10> = (0..23)
+            .map(|j| {
+                if j % 3 == 0 {
+                    Q6_10::ZERO
+                } else {
+                    Q6_10::from_f32((j as f32 * 0.21).cos())
+                }
+            })
+            .collect();
+        let mut padded = x.clone();
+        padded.resize(p.padded(), Q6_10::ZERO);
+        let mut idx = BlockIndex::new();
+        idx.prescan(&padded, 8);
+        for i in 0..5 {
+            let golden = m.row_dot(i, &x);
+            assert_eq!(p.block_dot(i, &idx, &padded), golden, "row {i}");
+            assert_eq!(p.dense_dot(i, &padded), golden, "row {i} dense");
+        }
+    }
+
+    #[test]
+    fn dead_blocks_are_never_touched_yet_results_match() {
+        let m = mat(4, 32);
+        let p = PackedLayer::pack(&m, 8);
+        // Only block 2 live.
+        let mut x = vec![Q6_10::ZERO; 32];
+        x[17] = Q6_10::from_f32(0.75);
+        x[22] = Q6_10::from_f32(-0.5);
+        let mut idx = BlockIndex::new();
+        idx.prescan(&x, 8);
+        assert_eq!(idx.live(), &[2]);
+        for i in 0..4 {
+            assert_eq!(p.block_dot(i, &idx, &x), m.row_dot(i, &x), "row {i}");
+        }
+    }
+
+    #[test]
+    fn u_verdict_matches_golden_u_phase() {
+        use sparsenn_model::Predictor;
+        let u = Matrix::from_fn(6, 3, |i, j| ((i + j) as f32 * 0.3).sin());
+        let v = Matrix::from_fn(3, 8, |i, j| ((i * 8 + j) as f32 * 0.17).cos());
+        let fp = FixedPredictor::from_float(&Predictor::new(u, v));
+        let pp = PackedPredictor::pack(&fp, 4);
+        let vr: Vec<Q6_10> = [0.5f32, 0.0, -0.25]
+            .iter()
+            .map(|&x| Q6_10::from_f32(x))
+            .collect();
+        let golden = fp.u_phase(&vr);
+        for (i, &want) in golden.iter().enumerate() {
+            assert_eq!(pp.u_verdict(i, &vr), want, "row {i}");
+        }
+        assert_eq!(pp.rank(), 3);
+        assert_eq!(pp.u_rows(), 6);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based verification of the two-stage kernel against the golden
+//! fixed-point model: prescan coverage is exact, outputs are bit-identical
+//! in both UV modes, batched runs equal their serial counterparts sample
+//! by sample, and the prescan never does more work than dense.
+
+use proptest::prelude::*;
+use sparsenn_kernel::{BlockIndex, Scratch, SparseKernel, Strategy};
+use sparsenn_linalg::init::seeded_rng;
+use sparsenn_model::fixedpoint::{FixedNetwork, UvMode};
+use sparsenn_model::{Mlp, PredictedNetwork};
+use sparsenn_numeric::Q6_10;
+
+fn build_net(seed: u64, hidden: usize, rank: usize) -> FixedNetwork {
+    let mut rng = seeded_rng(seed);
+    let mlp = Mlp::random(&[24, hidden, 10], &mut rng);
+    let net = PredictedNetwork::with_random_predictors(mlp, rank, &mut rng);
+    FixedNetwork::from_float(&net)
+}
+
+fn build_input(seed: u64, len: usize, sparsity_pct: u8) -> Vec<f32> {
+    let mut rng = seeded_rng(seed ^ 0xDEAD);
+    (0..len)
+        .map(|_| {
+            use rand::Rng;
+            if rng.gen_range(0u8..100) < sparsity_pct {
+                0.0
+            } else {
+                rng.gen_range(-2.0f32..2.0)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The prescan index covers the nonzeros exactly: every nonzero lies
+    /// in a live block (no misses) and every live block holds at least one
+    /// nonzero (no dead blocks in the live list), for random vectors,
+    /// sparsity levels and block sizes.
+    #[test]
+    fn prescan_coverage_is_exact(
+        seed in 0u64..10_000,
+        len in 1usize..600,
+        block in 1usize..48,
+        sparsity in 0u8..100,
+    ) {
+        let x: Vec<Q6_10> = build_input(seed, len, sparsity)
+            .iter()
+            .map(|&v| Q6_10::from_f32(v))
+            .collect();
+        let mut idx = BlockIndex::new();
+        idx.prescan(&x, block);
+        prop_assert_eq!(idx.blocks(), len.div_ceil(block));
+        let mut nnz = 0u64;
+        for (j, v) in x.iter().enumerate() {
+            if !v.is_zero() {
+                nnz += 1;
+                prop_assert!(idx.is_live(j / block), "nonzero at {} missed", j);
+            }
+        }
+        prop_assert_eq!(idx.nnz(), nnz);
+        for &b in idx.live() {
+            let o = b as usize * block;
+            prop_assert!(
+                x[o..(o + block).min(len)].iter().any(|v| !v.is_zero()),
+                "block {} live but all-zero", b
+            );
+        }
+        // The live list and the mask words agree.
+        for b in 0..idx.blocks() {
+            prop_assert_eq!(idx.is_live(b), idx.live().contains(&(b as u32)));
+        }
+        // The coalesced runs flatten back to exactly the live list, and
+        // every run is maximal (no two adjacent runs touch).
+        let flat: Vec<u32> = idx
+            .runs()
+            .iter()
+            .flat_map(|&(s, n)| s..s + n)
+            .collect();
+        prop_assert_eq!(flat.as_slice(), idx.live());
+        for w in idx.runs().windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0, "runs {:?} not maximal", w);
+        }
+    }
+
+    /// Kernel outputs and masks are bit-identical to the golden model for
+    /// random networks, inputs, block sizes, both strategies and both UV
+    /// modes — and prescan never touches more words than dense.
+    #[test]
+    fn kernel_is_bit_exact_vs_golden(
+        seed in 0u64..10_000,
+        hidden in 8usize..96,
+        rank in 1usize..6,
+        block in 1usize..40,
+        sparsity in 0u8..100,
+        uv_on in any::<bool>(),
+    ) {
+        let net = build_net(seed, hidden, rank);
+        let x = net.quantize_input(&build_input(seed, 24, sparsity));
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let kernel = SparseKernel::pack(&net, block);
+        let mut s = kernel.scratch();
+        let golden = net.forward(&x, mode);
+        for strategy in [Strategy::Prescan, Strategy::Dense] {
+            let run = kernel.run(&x, mode, strategy, &mut s);
+            for (l, (r, g)) in run.layers.iter().zip(&golden).enumerate() {
+                prop_assert_eq!(&r.output, &g.output,
+                    "layer {} output differs ({:?})", l, strategy);
+                prop_assert_eq!(&r.mask, &g.mask,
+                    "layer {} mask differs ({:?})", l, strategy);
+            }
+        }
+        // Work accounting: prescan touches no more W words than dense,
+        // modulo the padding slack of the final partial block (the panels
+        // really do read whole blocks).
+        let pre = kernel.run(&x, mode, Strategy::Prescan, &mut s);
+        let dense = kernel.run(&x, mode, Strategy::Dense, &mut s);
+        for (l, (p, d)) in pre.layers.iter().zip(&dense.layers).enumerate() {
+            let padded = (p.stats.cols as usize).div_ceil(block) * block;
+            let slack = p.stats.active_rows * (padded as u64 - p.stats.cols);
+            prop_assert!(p.stats.w_words <= d.stats.w_words + slack,
+                "layer {}: {} > {} + {}", l, p.stats.w_words, d.stats.w_words, slack);
+            prop_assert!(p.stats.live_blocks <= p.stats.total_blocks, "layer {}", l);
+            prop_assert_eq!(p.stats.nnz_in, d.stats.nnz_in, "layer {}", l);
+        }
+    }
+
+    /// A batched run is bit-identical to B serial runs for B ∈ 1..=8, both
+    /// UV modes and both strategies — outputs, masks AND per-layer stats —
+    /// and the batch W book never exceeds the serial book.
+    #[test]
+    fn run_batch_matches_serial_per_sample(
+        seed in 0u64..10_000,
+        hidden in 8usize..64,
+        b in 1usize..=8,
+        block in 1usize..40,
+        uv_on in any::<bool>(),
+    ) {
+        let net = build_net(seed, hidden, 3);
+        let inputs: Vec<_> = (0..b)
+            .map(|s| {
+                let sparsity = (20 + s * 9) as u8 % 100;
+                net.quantize_input(&build_input(seed ^ ((s as u64) << 16), 24, sparsity))
+            })
+            .collect();
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let kernel = SparseKernel::pack(&net, block);
+        let mut s = kernel.scratch();
+        for strategy in [Strategy::Prescan, Strategy::Dense] {
+            let batch = kernel.run_batch(&inputs, mode, strategy, &mut s);
+            prop_assert_eq!(batch.runs.len(), b);
+            let mut serial_words = 0u64;
+            for (si, x) in inputs.iter().enumerate() {
+                let own = kernel.run(x, mode, strategy, &mut s);
+                prop_assert_eq!(&batch.runs[si], &own,
+                    "sample {} differs from its serial run ({:?})", si, strategy);
+                serial_words += own.layers.iter().map(|l| l.stats.w_words).sum::<u64>();
+            }
+            prop_assert_eq!(batch.w_words_serial, serial_words, "{:?}", strategy);
+            prop_assert!(batch.w_words_batch <= batch.w_words_serial,
+                "batching never adds W traffic ({:?})", strategy);
+            prop_assert!(batch.w_amortization() >= 1.0);
+            if b == 1 && strategy == Strategy::Prescan {
+                // A batch of one amortizes nothing the serial book counts…
+                // unless a masked-off row left its panel unread serially
+                // while the union pass (built only from active samples)
+                // counts the same zero. Both books agree at B = 1.
+                prop_assert_eq!(batch.w_words_batch, batch.w_words_serial);
+            }
+        }
+    }
+
+    /// The scratch arena is reusable: interleaving runs of different
+    /// shapes, strategies and modes through one scratch never changes
+    /// results vs a fresh scratch.
+    #[test]
+    fn scratch_reuse_never_changes_results(
+        seed in 0u64..5_000,
+        uv_on in any::<bool>(),
+    ) {
+        let small = build_net(seed, 8, 2);
+        let big = build_net(seed ^ 1, 80, 4);
+        let xs = small.quantize_input(&build_input(seed, 24, 50));
+        let xb = big.quantize_input(&build_input(seed ^ 2, 24, 30));
+        let mode = if uv_on { UvMode::On } else { UvMode::Off };
+        let ks = SparseKernel::pack(&small, 16);
+        let kb = SparseKernel::pack(&big, 16);
+        let mut shared = Scratch::default();
+        // Warm the shared scratch on the big net, then reuse on the small.
+        let _ = kb.run(&xb, mode, Strategy::Prescan, &mut shared);
+        let reused = ks.run(&xs, mode, Strategy::Prescan, &mut shared);
+        let fresh = ks.run(&xs, mode, Strategy::Prescan, &mut ks.scratch());
+        prop_assert_eq!(reused, fresh);
+    }
+}

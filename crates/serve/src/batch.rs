@@ -63,6 +63,49 @@ impl BatchShardSpec {
         }
     }
 
+    /// A batch table **measured wall-clock** on a real backend: for each
+    /// `b` in `1..=max_batch`, a batch of `b` inputs (cycling through
+    /// `inputs`) is dispatched `reps` times through
+    /// [`run_batch`](sparsenn_core::engine::InferenceBackend::run_batch)
+    /// (after one untimed warm-up) and the minimum latency becomes the
+    /// table entry — so the batching simulator's knee is the hardware's
+    /// own, not an assumed curve.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the backend's `run_batch` returns
+    /// ([`SparseNnError`](sparsenn_core::SparseNnError)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or `max_batch == 0`.
+    pub fn from_measured(
+        name: impl Into<String>,
+        backend: &dyn sparsenn_core::engine::InferenceBackend,
+        net: &sparsenn_core::model::fixedpoint::FixedNetwork,
+        inputs: &[Vec<sparsenn_core::numeric::Q6_10>],
+        mode: sparsenn_core::model::fixedpoint::UvMode,
+        max_batch: usize,
+        reps: usize,
+    ) -> Result<Self, sparsenn_core::SparseNnError> {
+        assert!(!inputs.is_empty(), "need at least one input to measure");
+        assert!(max_batch > 0, "max_batch must be positive");
+        let reps = reps.max(1);
+        backend.run_batch(net, &inputs[..1], mode)?; // warm-up (pack, caches)
+        let mut batch_service_us = Vec::with_capacity(max_batch);
+        for b in 1..=max_batch {
+            let batch: Vec<_> = (0..b).map(|i| inputs[i % inputs.len()].clone()).collect();
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                backend.run_batch(net, &batch, mode)?;
+                best = best.min(t.elapsed().as_secs_f64() * 1e6);
+            }
+            batch_service_us.push(best);
+        }
+        Ok(Self::with_table(name, batch_service_us))
+    }
+
     /// Service time of a batch of `b` requests (clamped to the table).
     pub fn service_for_batch(&self, b: usize) -> f64 {
         let i = b.clamp(1, self.batch_service_us.len());
@@ -562,6 +605,52 @@ mod tests {
         (1..=max_batch)
             .map(|b| t1 * (1.0 + 0.3 * (b as f64 - 1.0)))
             .collect()
+    }
+
+    /// A measured batch table is real wall-clock per batch size, one
+    /// entry per `b` up to `max_batch`, and drives the batching
+    /// simulator unchanged.
+    #[test]
+    fn from_measured_builds_a_usable_batch_table() {
+        use sparsenn_core::engine::KernelBackend;
+        use sparsenn_core::linalg::init::seeded_rng;
+        use sparsenn_core::model::fixedpoint::{FixedNetwork, UvMode};
+        use sparsenn_core::model::{Mlp, PredictedNetwork};
+        let mut rng = seeded_rng(7);
+        let mlp = Mlp::random(&[24, 32, 10], &mut rng);
+        let net =
+            FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(mlp, 3, &mut rng));
+        let inputs: Vec<_> = (0..2)
+            .map(|s| {
+                let x: Vec<f32> = (0..24)
+                    .map(|i| if (i + s) % 2 == 0 { 0.0 } else { 0.5 })
+                    .collect();
+                net.quantize_input(&x)
+            })
+            .collect();
+        let backend = KernelBackend::new();
+        let spec =
+            BatchShardSpec::from_measured("kernel", &backend, &net, &inputs, UvMode::On, 4, 3)
+                .unwrap();
+        assert_eq!(spec.max_batch(), 4);
+        assert!(spec
+            .batch_service_us
+            .iter()
+            .all(|&t| t.is_finite() && t > 0.0));
+        let s = simulate_batched(
+            std::slice::from_ref(&spec),
+            &FirstIdle,
+            BatchPolicy::Immediate,
+            &Workload::ClosedLoop {
+                concurrency: 1,
+                requests: 8,
+                think_us: 0.0,
+            },
+            MetricsMode::Exact,
+        )
+        .unwrap();
+        assert_eq!(s.requests, 8);
+        assert!(s.latency.mean_us > 0.0);
     }
 
     #[test]

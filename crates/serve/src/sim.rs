@@ -74,6 +74,46 @@ impl ShardSpec {
         }
     }
 
+    /// A shard whose service-time table is **measured wall-clock**, not a
+    /// model: each input is run `reps` times through the backend (after
+    /// one untimed warm-up pass, so one-time costs like the kernel
+    /// backend's weight repack don't pollute the table) and the minimum
+    /// per-input latency becomes that request's service time. Feed a
+    /// [`KernelBackend`](sparsenn_core::engine::KernelBackend) to drive
+    /// the virtual-time simulator with real CPU numbers.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the backend's `run` returns for the first failing input
+    /// ([`SparseNnError`](sparsenn_core::SparseNnError)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn from_measured(
+        name: impl Into<String>,
+        backend: &dyn sparsenn_core::engine::InferenceBackend,
+        net: &sparsenn_core::model::fixedpoint::FixedNetwork,
+        inputs: &[Vec<sparsenn_core::numeric::Q6_10>],
+        mode: sparsenn_core::model::fixedpoint::UvMode,
+        reps: usize,
+    ) -> Result<Self, sparsenn_core::SparseNnError> {
+        assert!(!inputs.is_empty(), "need at least one input to measure");
+        let reps = reps.max(1);
+        backend.run(net, &inputs[0], mode)?; // warm-up (pack, caches)
+        let mut service_us = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t = std::time::Instant::now();
+                backend.run(net, input, mode)?;
+                best = best.min(t.elapsed().as_secs_f64() * 1e6);
+            }
+            service_us.push(best);
+        }
+        Ok(Self::with_table(name, service_us))
+    }
+
     fn service_for(&self, request: usize) -> f64 {
         self.service_us[request % self.service_us.len()]
     }
@@ -468,6 +508,41 @@ mod tests {
         (0..n)
             .map(|i| ShardSpec::uniform(format!("machine-{i}"), service_us))
             .collect()
+    }
+
+    /// A measured table is real wall-clock: positive, finite, one entry
+    /// per input — and it drives the simulator like any modelled table.
+    #[test]
+    fn from_measured_builds_a_usable_table() {
+        use sparsenn_core::engine::KernelBackend;
+        use sparsenn_core::linalg::init::seeded_rng;
+        use sparsenn_core::model::fixedpoint::{FixedNetwork, UvMode};
+        use sparsenn_core::model::{Mlp, PredictedNetwork};
+        let mut rng = seeded_rng(7);
+        let mlp = Mlp::random(&[24, 32, 10], &mut rng);
+        let net =
+            FixedNetwork::from_float(&PredictedNetwork::with_random_predictors(mlp, 3, &mut rng));
+        let inputs: Vec<_> = (0..3)
+            .map(|s| {
+                let x: Vec<f32> = (0..24)
+                    .map(|i| if (i + s) % 2 == 0 { 0.0 } else { 0.5 })
+                    .collect();
+                net.quantize_input(&x)
+            })
+            .collect();
+        let backend = KernelBackend::new();
+        let spec =
+            ShardSpec::from_measured("kernel", &backend, &net, &inputs, UvMode::On, 3).unwrap();
+        assert_eq!(spec.service_us.len(), 3);
+        assert!(spec.service_us.iter().all(|&t| t.is_finite() && t > 0.0));
+        let workload = Workload::ClosedLoop {
+            concurrency: 1,
+            requests: 9,
+            think_us: 0.0,
+        };
+        let s = simulate(std::slice::from_ref(&spec), &FirstIdle, &workload).unwrap();
+        assert_eq!(s.requests, 9);
+        assert!(s.latency.mean_us > 0.0);
     }
 
     /// The acceptance criterion: closed-loop with concurrency == shards on

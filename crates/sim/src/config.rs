@@ -59,6 +59,24 @@ impl std::fmt::Display for LayerFitError {
 
 impl std::error::Error for LayerFitError {}
 
+/// How a PE's queue consumer enumerates the rows owed MACs for a popped
+/// activation. This is a **host-side simulation strategy**, not a hardware
+/// parameter: both modes simulate the same machine, cycle for cycle and
+/// bit for bit (property-tested); they differ only in how fast the
+/// simulator itself runs. Checkpoints do not record it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ScanMode {
+    /// Iterate a precomputed active-row list, rebuilt from the predictor
+    /// bank's mask words (trailing-zeros scan) whenever the bank changes —
+    /// no per-pop allocation, no per-pop scan over every local row.
+    #[default]
+    MaskWord,
+    /// The original per-element scan: on every queue pop, filter each
+    /// local row's predictor bit and materialize a fresh MAC list. Kept as
+    /// the reference the measured sim speedup is reported against.
+    PerElement,
+}
+
 /// Micro-architectural parameters of the simulated accelerator.
 ///
 /// The defaults are the paper's Table II machine:
@@ -91,6 +109,11 @@ pub struct MachineConfig {
     /// Clock period in nanoseconds (2 ns: the 128 KB SRAM access alone is
     /// more than 1.7 ns).
     pub clock_ns: f64,
+    /// Host-side row-enumeration strategy for the PE hot loop (see
+    /// [`ScanMode`]). Never affects results, cycles, or events — only how
+    /// fast the simulation itself runs — and is not serialized in
+    /// checkpoints.
+    pub scan: ScanMode,
 }
 
 impl MachineConfig {
@@ -172,6 +195,7 @@ impl Default for MachineConfig {
             act_regs_per_pe: 64,
             pe_pipeline_depth: 5,
             clock_ns: 2.0,
+            scan: ScanMode::default(),
         }
     }
 }

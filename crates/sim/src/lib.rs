@@ -51,7 +51,7 @@ mod machine;
 pub mod pe;
 pub mod simd;
 
-pub use config::{LayerFitError, MachineConfig};
+pub use config::{LayerFitError, MachineConfig, ScanMode};
 pub use events::MachineEvents;
 pub use machine::{
     BatchLayerRun, BatchNetworkRun, BatchTiming, LayerRun, LayerStages, Machine, MachineError,

@@ -672,7 +672,7 @@ impl<'a> LayerStages<'a> {
         }
         let n_pes = cfg.num_pes();
         let pes: Vec<Pe> = (0..n_pes)
-            .map(|id| Pe::new(id, n_pes, cfg.act_queue_depth, input, w.rows()))
+            .map(|id| Pe::with_scan(id, n_pes, cfg.act_queue_depth, input, w.rows(), cfg.scan))
             .collect();
         let predicted = mode == UvMode::On && is_hidden && predictor.is_some();
         Ok(Self {
@@ -1289,6 +1289,29 @@ mod tests {
                 .unwrap_err(),
             MachineError::EmptyBatch
         );
+    }
+
+    #[test]
+    fn scan_mode_never_changes_results_cycles_or_events() {
+        use crate::config::ScanMode;
+        let (net, x) = build(31, &[48, 160, 96, 10], 4);
+        let mask_word = Machine::new(MachineConfig::default());
+        let per_element = Machine::new(MachineConfig {
+            scan: ScanMode::PerElement,
+            ..MachineConfig::default()
+        });
+        for mode in [UvMode::Off, UvMode::On] {
+            let a = mask_word.run_network(&net, &x, mode);
+            let b = per_element.run_network(&net, &x, mode);
+            for (l, (la, lb)) in a.layers.iter().zip(&b.layers).enumerate() {
+                assert_eq!(la.output, lb.output, "{mode:?} L{l} output");
+                assert_eq!(la.mask, lb.mask, "{mode:?} L{l} mask");
+                assert_eq!(la.cycles, lb.cycles, "{mode:?} L{l} cycles");
+                assert_eq!(la.events, lb.events, "{mode:?} L{l} events");
+                assert_eq!(la.pe_busy, lb.pe_busy, "{mode:?} L{l} pe_busy");
+                assert_eq!(la.row_ready, lb.row_ready, "{mode:?} L{l} row_ready");
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use sparsenn_noc::ActFlit;
 use sparsenn_numeric::{Accumulator, Q6_10};
 use std::collections::VecDeque;
 
+use crate::config::ScanMode;
 use crate::events::MachineEvents;
 
 /// What the datapath accomplished in one cycle (for utilization stats).
@@ -58,8 +59,24 @@ pub struct Pe {
     acc_u: Vec<Accumulator>,
     /// Predictor register bank (`true` = row predicted active).
     pred: Vec<bool>,
-    /// MACs still owed for the activation being processed (local row ids).
+    /// Host-side row-enumeration strategy (see [`ScanMode`]).
+    scan: ScanMode,
+    /// [`ScanMode::MaskWord`]: the predictor bank packed into mask words,
+    /// rebuilt whenever the bank changes.
+    pred_words: Vec<u64>,
+    /// [`ScanMode::MaskWord`]: local indices of predicted-active rows,
+    /// derived from `pred_words` by a trailing-zeros scan.
+    active: Vec<u32>,
+    /// [`ScanMode::PerElement`] only: MACs still owed for the activation
+    /// being processed (local row ids).
     mac_list: VecDeque<usize>,
+    /// [`ScanMode::MaskWord`]: cursor into the current MAC enumeration —
+    /// `true` walks every local row, `false` walks `active`.
+    mac_all: bool,
+    /// [`ScanMode::MaskWord`]: next position of the enumeration.
+    mac_pos: usize,
+    /// [`ScanMode::MaskWord`]: MACs still owed for the current activation.
+    mac_rem: usize,
     /// The activation being processed.
     cur: Option<ActFlit>,
     /// Whether the current `mac_list` targets the U accumulators.
@@ -89,6 +106,18 @@ impl Pe {
         input: &[Q6_10],
         out_rows: usize,
     ) -> Self {
+        Self::with_scan(id, num_pes, queue_cap, input, out_rows, ScanMode::default())
+    }
+
+    /// [`new`](Self::new) with an explicit row-enumeration strategy.
+    pub fn with_scan(
+        id: usize,
+        num_pes: usize,
+        queue_cap: usize,
+        input: &[Q6_10],
+        out_rows: usize,
+        scan: ScanMode,
+    ) -> Self {
         let src: Vec<(u32, Q6_10)> = input
             .iter()
             .enumerate()
@@ -99,7 +128,7 @@ impl Pe {
             .collect();
         let rows: Vec<u32> = (id..out_rows).step_by(num_pes).map(|i| i as u32).collect();
         let n_rows = rows.len();
-        Self {
+        let mut pe = Self {
             id,
             queue_cap,
             src,
@@ -110,7 +139,13 @@ impl Pe {
             last_w_mac: vec![0; n_rows],
             acc_u: vec![Accumulator::new(); n_rows],
             pred: vec![true; n_rows],
+            scan,
+            pred_words: Vec::new(),
+            active: Vec::new(),
             mac_list: VecDeque::new(),
+            mac_all: false,
+            mac_pos: 0,
+            mac_rem: 0,
             cur: None,
             cur_is_u: false,
             v_row: 0,
@@ -118,6 +153,42 @@ impl Pe {
             v_idx: 0,
             v_partial: Accumulator::new(),
             v_emit: None,
+        };
+        pe.rebuild_active();
+        pe
+    }
+
+    /// Packs the predictor bank into mask words and re-derives the
+    /// active-row list by a trailing-zeros scan over them — the hot-loop
+    /// index [`ScanMode::MaskWord`] consumes. Runs once per predictor
+    /// change (latch / force / external mask), never per queue pop.
+    fn rebuild_active(&mut self) {
+        if self.scan == ScanMode::PerElement {
+            return;
+        }
+        self.pred_words.clear();
+        self.pred_words.resize(self.pred.len().div_ceil(64), 0);
+        for (i, &p) in self.pred.iter().enumerate() {
+            if p {
+                self.pred_words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.active.clear();
+        for (wi, &word) in self.pred_words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                self.active
+                    .push((wi * 64 + bits.trailing_zeros() as usize) as u32);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// MACs still owed for the activation being processed.
+    fn has_pending_macs(&self) -> bool {
+        match self.scan {
+            ScanMode::PerElement => !self.mac_list.is_empty(),
+            ScanMode::MaskWord => self.mac_rem > 0,
         }
     }
 
@@ -209,7 +280,7 @@ impl Pe {
 
     /// `true` when the datapath and queue are fully drained.
     pub fn drained(&self) -> bool {
-        self.queue.is_empty() && self.mac_list.is_empty()
+        self.queue.is_empty() && !self.has_pending_macs()
     }
 
     /// Advances the datapath one cycle during the combined V/U phase:
@@ -274,28 +345,55 @@ impl Pe {
         pred_filter: bool,
         cycle: u64,
     ) -> StepOutcome {
-        if self.mac_list.is_empty() {
+        if !self.has_pending_macs() {
             let Some(flit) = self.queue.pop_front() else {
                 return StepOutcome::Idle;
             };
             ev.queue_pops += 1;
-            let list: Vec<usize> = if pred_filter {
-                ev.pred_scans += 1;
-                (0..self.rows.len()).filter(|&i| self.pred[i]).collect()
-            } else {
-                (0..self.rows.len()).collect()
-            };
             self.cur = Some(flit);
             self.cur_is_u = is_u;
-            self.mac_list = list.into();
-            if self.mac_list.is_empty() {
+            match self.scan {
+                ScanMode::PerElement => {
+                    let list: Vec<usize> = if pred_filter {
+                        ev.pred_scans += 1;
+                        (0..self.rows.len()).filter(|&i| self.pred[i]).collect()
+                    } else {
+                        (0..self.rows.len()).collect()
+                    };
+                    self.mac_list = list.into();
+                }
+                ScanMode::MaskWord => {
+                    self.mac_pos = 0;
+                    if pred_filter {
+                        ev.pred_scans += 1;
+                        self.mac_all = false;
+                        self.mac_rem = self.active.len();
+                    } else {
+                        self.mac_all = true;
+                        self.mac_rem = self.rows.len();
+                    }
+                }
+            }
+            if !self.has_pending_macs() {
                 // Nothing mapped / predicted active for this activation:
                 // the pop and LNZD scan consumed the cycle but the datapath
                 // did no useful work — idle for utilization purposes.
                 return StepOutcome::Idle;
             }
         }
-        let local = self.mac_list.pop_front().expect("nonempty checked");
+        let local = match self.scan {
+            ScanMode::PerElement => self.mac_list.pop_front().expect("nonempty checked"),
+            ScanMode::MaskWord => {
+                let i = if self.mac_all {
+                    self.mac_pos
+                } else {
+                    self.active[self.mac_pos] as usize
+                };
+                self.mac_pos += 1;
+                self.mac_rem -= 1;
+                i
+            }
+        };
         let flit = self.cur.expect("current activation set");
         let weight = matrix.get(self.rows[local] as usize, flit.index as usize);
         let act = Q6_10::from_raw(flit.value);
@@ -318,12 +416,14 @@ impl Pe {
             self.pred[i] = acc.is_positive();
         }
         ev.pred_writes += self.rows.len() as u64;
+        self.rebuild_active();
     }
 
     /// Forces every predictor bit active (the `uv_off` / EIE mode and
     /// layers without a predictor).
     pub fn force_all_active(&mut self) {
         self.pred.iter_mut().for_each(|p| *p = true);
+        self.rebuild_active();
     }
 
     /// Loads the predictor register bank from an externally computed
@@ -339,6 +439,7 @@ impl Pe {
         for (i, &row) in self.rows.iter().enumerate() {
             self.pred[i] = mask[row as usize];
         }
+        self.rebuild_active();
     }
 
     /// The predictor bank contents (for mask assembly).
@@ -442,8 +543,8 @@ mod tests {
     fn predicted_inactive_rows_cost_nothing() {
         let w = FixedMatrix::from_float(&sparsenn_linalg::Matrix::from_fn(128, 4, |_, _| 1.0));
         let mut pe = Pe::new(0, 64, 8, &[q(1.0); 4], 128);
-        // Force both local rows inactive.
-        pe.pred = vec![false, false];
+        // Force both local rows (0 and 64) inactive.
+        pe.set_predictor(&[false; 128]);
         let mut ev = MachineEvents::default();
         pe.push_act(
             ActFlit {
@@ -540,13 +641,54 @@ mod tests {
         let mut pe = Pe::new(0, 64, 8, &[q(1.0); 4], 128);
         pe.acc_w[0].mac(q(-2.0), q(1.0)); // negative pre-activation
         pe.acc_w[1].mac(q(3.0), q(1.0));
-        pe.pred = vec![true, false]; // row 64 bypassed
+        let mut mask = vec![false; 128];
+        mask[0] = true; // row 64 bypassed
+        pe.set_predictor(&mask);
         let mut ev = MachineEvents::default();
         let out = pe.writeback(true, &mut ev);
         assert_eq!(out[0], (0, Q6_10::ZERO, 0)); // ReLU clamps
         assert_eq!(out[1], (64, Q6_10::ZERO, 0)); // bypassed
         let out_linear = pe.writeback(false, &mut ev);
         assert_eq!(out_linear[0].1, q(-2.0)); // no ReLU on classifier
+    }
+
+    #[test]
+    fn scan_modes_step_identically() {
+        // Same PE, same stimulus, both enumeration strategies: every cycle
+        // outcome and every event counter must match exactly.
+        let w = FixedMatrix::from_float(&sparsenn_linalg::Matrix::from_fn(256, 8, |i, j| {
+            ((i * 8 + j) as f32 * 0.07).sin()
+        }));
+        for uv_on in [false, true] {
+            let mut mask = vec![false; 256];
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m = i % 3 != 0;
+            }
+            let mut runs = Vec::new();
+            for scan in [ScanMode::MaskWord, ScanMode::PerElement] {
+                let mut pe = Pe::with_scan(0, 64, 8, &[q(1.0); 8], 256, scan);
+                pe.set_predictor(&mask);
+                let mut ev = MachineEvents::default();
+                for idx in 0..3u32 {
+                    pe.push_act(
+                        ActFlit {
+                            index: idx,
+                            value: q(0.5).raw(),
+                        },
+                        &mut ev,
+                    );
+                }
+                let mut outcomes = Vec::new();
+                for cycle in 1..40 {
+                    outcomes.push(pe.step_w(&w, uv_on, cycle, &mut ev));
+                }
+                assert!(pe.drained());
+                runs.push((outcomes, ev, pe.writeback(true, &mut ev)));
+            }
+            assert_eq!(runs[0].0, runs[1].0, "cycle outcomes (uv_on={uv_on})");
+            assert_eq!(runs[0].1, runs[1].1, "events (uv_on={uv_on})");
+            assert_eq!(runs[0].2, runs[1].2, "writeback (uv_on={uv_on})");
+        }
     }
 
     #[test]

@@ -42,3 +42,9 @@ pub use sparsenn_frontend as frontend;
 /// export, the unified [`obs::LatencyStat`] accumulator, the
 /// [`obs::MetricsRegistry`], and wall-clock profiling hooks.
 pub use sparsenn_obs as obs;
+
+/// Native CPU kernels (re-export of `sparsenn-kernel`): the two-stage
+/// prescan + block-skip inference kernel behind
+/// [`engine::KernelBackend`] — bit-exact vs the golden model, engineered
+/// for measured wall-clock speed rather than modelled cycles.
+pub use sparsenn_kernel as kernel;
